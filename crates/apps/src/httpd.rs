@@ -1,0 +1,378 @@
+//! The mini Apache: the case-study server, written in SimC.
+//!
+//! The server follows the structure the paper's §3–§4 describe for Apache:
+//!
+//! 1. start as root, read `/etc/httpd.conf`;
+//! 2. map the configured `User` name to a UID by parsing `/etc/passwd`
+//!    (the trusted external data the unshared-files mechanism diversifies);
+//! 3. bind the privileged listen port, then drop the *effective* UID to the
+//!    service account (keeping root in the saved UID so the log append can
+//!    temporarily re-escalate — the wu-ftpd/Apache pattern of Chen et al.);
+//! 4. serve static files from the document root, appending to a root-owned
+//!    log around each request.
+//!
+//! Two vulnerabilities are planted deliberately (they are the subjects of
+//! the attack library, not bugs):
+//!
+//! * **Unbounded header copy**: the `User-Agent` value is copied with no
+//!   bounds check into a 96-byte global buffer declared immediately before
+//!   the cached `server_uid` — a classic non-control-data overflow.
+//! * **Arbitrary write**: a `/debug/poke/<addr>/<value>` maintenance
+//!   endpoint writes a word to an attacker-chosen absolute address, standing
+//!   in for the format-string class of vulnerabilities.
+
+/// The SimC source of the mini Apache server.
+///
+/// The program is designed to be deployed through
+/// [`nvariant::NVariantSystemBuilder`]; combined with the SimC standard
+/// library it parses, type-checks and compiles under every configuration.
+#[must_use]
+pub fn httpd_source() -> &'static str {
+    r#"
+// ---------------------------------------------------------------------------
+// mini-httpd: the Apache-like case-study server.
+// ---------------------------------------------------------------------------
+
+var listen_port: int = 80;
+var docroot: buf[64];
+var logfile: buf[64];
+var username: buf[32];
+
+// The unbounded User-Agent copy lands in logbuf; server_uid is declared
+// immediately after it, so a long header overwrites the cached UID.
+var logbuf: buf[96];
+var server_uid: uid_t;
+var request_count: int = 0;
+
+// --- configuration ----------------------------------------------------------
+
+// Copies the value following `key` (up to end of line) into out.
+fn config_value(text: ptr, key: ptr, out: ptr) -> int {
+    var pos: int = 0;
+    var j: int;
+    while (text[pos] != 0) {
+        if (starts_with(text + pos, key)) {
+            pos = pos + strlen(key);
+            j = 0;
+            while (text[pos] != 0 && text[pos] != '\n' && text[pos] != '\r') {
+                out[j] = text[pos];
+                j = j + 1;
+                pos = pos + 1;
+            }
+            out[j] = 0;
+            return j;
+        }
+        while (text[pos] != 0 && text[pos] != '\n') { pos = pos + 1; }
+        if (text[pos] == '\n') { pos = pos + 1; }
+    }
+    return 0 - 1;
+}
+
+fn load_config() -> int {
+    var fd: int;
+    var text: buf[512];
+    var portbuf: buf[16];
+    var n: int;
+    fd = open("/etc/httpd.conf", 0);
+    if (fd < 0) { return 0 - 1; }
+    n = read(fd, &text, 500);
+    close(fd);
+    text[n] = 0;
+    if (config_value(&text, "Listen ", &portbuf) > 0) {
+        listen_port = atoi(&portbuf);
+    }
+    if (config_value(&text, "User ", username) < 0) { return 0 - 1; }
+    if (config_value(&text, "DocumentRoot ", docroot) < 0) { return 0 - 1; }
+    if (config_value(&text, "LogFile ", logfile) < 0) { return 0 - 1; }
+    return 0;
+}
+
+// --- account database -------------------------------------------------------
+
+// Maps a login name to its UID by parsing /etc/passwd (the libc getpwnam
+// path). Returns 0 if the name is not found, which main treats as fatal.
+fn lookup_uid(name: ptr) -> uid_t {
+    var fd: int;
+    var text: buf[1024];
+    var n: int;
+    var pos: int;
+    var field: int;
+    var value: int;
+    fd = open("/etc/passwd", 0);
+    if (fd < 0) { return 0; }
+    n = read(fd, &text, 1000);
+    close(fd);
+    text[n] = 0;
+    pos = 0;
+    while (text[pos] != 0) {
+        if (starts_with(text + pos, name)) {
+            field = 0;
+            while (field < 2) {
+                while (text[pos] != ':') { pos = pos + 1; }
+                pos = pos + 1;
+                field = field + 1;
+            }
+            value = 0;
+            while (text[pos] >= '0' && text[pos] <= '9') {
+                value = value * 10 + (text[pos] - '0');
+                pos = pos + 1;
+            }
+            return value;
+        }
+        while (text[pos] != 0 && text[pos] != '\n') { pos = pos + 1; }
+        if (text[pos] == '\n') { pos = pos + 1; }
+    }
+    return 0;
+}
+
+// --- logging (temporary privilege escalation) --------------------------------
+
+// Appends one access-log line. The log file is root-owned, so the server
+// escalates its effective UID for the append and then drops back to the
+// cached service UID — the value an attacker wants to corrupt.
+fn log_request(path: ptr) {
+    var fd: int;
+    seteuid(0);
+    fd = open(logfile, 1089);
+    if (fd >= 0) {
+        write(fd, "GET ", 4);
+        write(fd, path, strlen(path));
+        write(fd, "\n", 1);
+        close(fd);
+    }
+    seteuid(server_uid);
+    request_count = request_count + 1;
+}
+
+// Records a permission failure, including the responsible UID (the error-log
+// statement §4 of the paper had to sanitize).
+fn log_denied(who: uid_t) {
+    var fd: int;
+    var line: buf[32];
+    seteuid(0);
+    fd = open(logfile, 1089);
+    if (fd >= 0) {
+        write(fd, "denied uid ", 11);
+        utoa(who, &line);
+        write(fd, &line, strlen(&line));
+        write(fd, "\n", 1);
+        close(fd);
+    }
+    seteuid(server_uid);
+}
+
+// --- request handling ---------------------------------------------------------
+
+// Locates a header value; returns the offset just past the header name, or -1.
+fn header_offset(req: ptr, name: ptr) -> int {
+    var i: int = 0;
+    while (req[i] != 0) {
+        if (starts_with(req + i, name)) { return i + strlen(name); }
+        i = i + 1;
+    }
+    return 0 - 1;
+}
+
+// Copies a header value up to the end of its line.
+// VULNERABILITY: the destination size is never checked.
+fn copy_header_value(dst: ptr, src: ptr) -> int {
+    var i: int = 0;
+    while (src[i] != 0 && src[i] != '\r' && src[i] != '\n') {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+    dst[i] = 0;
+    return i;
+}
+
+// The /debug/poke/<addr>/<value> maintenance endpoint.
+// VULNERABILITY: writes one word to an arbitrary absolute address.
+fn parse_poke(path: ptr) -> int {
+    var p: ptr;
+    var addr: int;
+    var value: int;
+    var i: int = 12;
+    addr = 0;
+    while (path[i] >= '0' && path[i] <= '9') {
+        addr = addr * 10 + (path[i] - '0');
+        i = i + 1;
+    }
+    if (path[i] == '/') { i = i + 1; }
+    value = 0;
+    while (path[i] >= '0' && path[i] <= '9') {
+        value = value * 10 + (path[i] - '0');
+        i = i + 1;
+    }
+    p = addr;
+    *p = value;
+    return 0;
+}
+
+// Minimal per-request policy check, modelled on the suexec-style UID checks
+// real servers perform: administrative pages are served only when the worker
+// is running as a system service account (never as root, never as an
+// ordinary or anonymous user).
+fn authorize_admin(who: uid_t) -> int {
+    if (who == 0) { return 0; }
+    if (who >= 65534) { return 0; }
+    if (who < 100) { return 1; }
+    return 0;
+}
+
+fn serve_file(conn: int, path: ptr) -> int {
+    var full: buf[320];
+    var content: buf[4096];
+    var fd: int;
+    var n: int;
+    strcpy(&full, docroot);
+    if (strcmp(path, "/") == 0) {
+        strcat(&full, "/index.html");
+    } else {
+        strcat(&full, path);
+    }
+    fd = open(&full, 0);
+    if (fd < 0) {
+        if (fd == 0 - 13) {
+            send_str(conn, "HTTP/1.0 403 Forbidden\r\n\r\nForbidden\n");
+            log_denied(server_uid);
+            return 403;
+        }
+        send_str(conn, "HTTP/1.0 404 Not Found\r\n\r\nNot Found\n");
+        return 404;
+    }
+    send_str(conn, "HTTP/1.0 200 OK\r\n\r\n");
+    n = read(fd, &content, 4096);
+    while (n > 0) {
+        send(conn, &content, n);
+        n = read(fd, &content, 4096);
+    }
+    close(fd);
+    return 200;
+}
+
+fn handle_request(conn: int) -> int {
+    var request: buf[1024];
+    var path: buf[256];
+    var n: int;
+    var i: int;
+    var agent_at: int;
+    var status: int;
+    n = recv(conn, &request, 1000);
+    if (n <= 0) { return 0 - 1; }
+    request[n] = 0;
+    if (starts_with(&request, "GET ") == 0) {
+        send_str(conn, "HTTP/1.0 501 Not Implemented\r\n\r\n");
+        return 501;
+    }
+    // Extract the request path.
+    i = 0;
+    while (request[4 + i] != ' ' && request[4 + i] != 0 && i < 255) {
+        path[i] = request[4 + i];
+        i = i + 1;
+    }
+    path[i] = 0;
+    // Remember the client's User-Agent for the access log.
+    agent_at = header_offset(&request, "User-Agent: ");
+    if (agent_at >= 0) {
+        copy_header_value(logbuf, &request + agent_at);
+    }
+    // Maintenance endpoint.
+    if (starts_with(&path, "/debug/poke/")) {
+        parse_poke(&path);
+        log_request(&path);
+        send_str(conn, "HTTP/1.0 200 OK\r\n\r\npoked\n");
+        return 200;
+    }
+    // Administrative pages require the suexec-style UID policy check.
+    if (starts_with(&path, "/admin/")) {
+        if (authorize_admin(geteuid()) == 0) {
+            send_str(conn, "HTTP/1.0 403 Forbidden\r\n\r\nForbidden\n");
+            log_denied(geteuid());
+            return 403;
+        }
+    }
+    log_request(&path);
+    status = serve_file(conn, &path);
+    return status;
+}
+
+fn main() -> int {
+    var sock: int;
+    var conn: int;
+    var rc: int;
+    if (load_config() != 0) { return 1; }
+    server_uid = lookup_uid(username);
+    // The account must exist and must not be root (the implicit comparison
+    // with the constant 0 is the paper's §3.3 `if (!getuid())` example).
+    if (!server_uid) { return 2; }
+    sock = socket();
+    if (sock < 0) { return 3; }
+    rc = bind(sock, listen_port);
+    if (rc != 0) { return 4; }
+    rc = listen(sock);
+    if (rc != 0) { return 5; }
+    rc = seteuid(server_uid);
+    if (rc != 0) { return 6; }
+    conn = accept(sock);
+    while (conn >= 0) {
+        handle_request(conn);
+        close(conn);
+        conn = accept(sock);
+    }
+    return 0;
+}
+"#
+}
+
+/// Size of the vulnerable `logbuf` buffer; the number of bytes an attacker
+/// must write before reaching `server_uid`.
+pub const LOGBUF_SIZE: usize = 96;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvariant_vm::{compile_program, parse_with_stdlib, typecheck_program};
+
+    #[test]
+    fn httpd_parses_typechecks_and_compiles() {
+        let program = parse_with_stdlib(httpd_source()).unwrap();
+        assert!(program.function("main").is_some());
+        assert!(program.function("handle_request").is_some());
+        assert!(program.function("lookup_uid").is_some());
+        typecheck_program(&program).unwrap();
+        let compiled = compile_program(&program).unwrap();
+        assert!(compiled.instruction_count() > 400);
+        // The overflow adjacency the attack depends on.
+        let (logbuf_off, _) = compiled.globals_map["logbuf"];
+        let (uid_off, _) = compiled.globals_map["server_uid"];
+        assert_eq!(uid_off, logbuf_off + LOGBUF_SIZE as u32);
+    }
+
+    #[test]
+    fn uid_typed_data_is_declared_with_uid_t() {
+        let program = parse_with_stdlib(httpd_source()).unwrap();
+        let global = program.global("server_uid").unwrap();
+        assert_eq!(global.ty, nvariant_vm::Type::UidT);
+        let lookup = program.function("lookup_uid").unwrap();
+        assert_eq!(lookup.ret, nvariant_vm::Type::UidT);
+    }
+
+    #[test]
+    fn httpd_transforms_cleanly_for_the_uid_variation() {
+        use nvariant_diversity::UidTransform;
+        use nvariant_transform::UidTransformer;
+        let program = parse_with_stdlib(httpd_source()).unwrap();
+        let transformer = UidTransformer::default();
+        let variant1 = transformer
+            .transform_for_variant(&program, &UidTransform::paper_mask())
+            .unwrap();
+        assert!(variant1.stats.comparison_exposures >= 4, "{:?}", variant1.stats);
+        assert!(variant1.stats.conditional_checks >= 3, "{:?}", variant1.stats);
+        assert!(variant1.stats.single_value_exposures >= 2, "{:?}", variant1.stats);
+        assert!(variant1.stats.log_sinks_sanitized >= 1, "{:?}", variant1.stats);
+        assert!(variant1.stats.uid_constants_reexpressed >= 5, "{:?}", variant1.stats);
+        assert!(variant1.stats.paper_change_total() >= 12, "{:?}", variant1.stats);
+        // The transformed variant still compiles.
+        compile_program(&variant1.program).unwrap();
+    }
+}

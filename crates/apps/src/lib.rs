@@ -1,0 +1,48 @@
+//! Case-study applications for the *Security through Redundant Data
+//! Diversity* reproduction.
+//!
+//! * [`httpd`] — a mini Apache written in SimC: configuration file parsing,
+//!   `/etc/passwd` lookup, privilege dropping, a request loop serving static
+//!   files, root-escalating log appends, and two deliberately planted
+//!   vulnerabilities (an unbounded header copy adjacent to the cached server
+//!   UID, and an arbitrary-write maintenance endpoint).
+//! * [`workload`] — a WebBench-style closed-loop load generator plus a
+//!   discrete-event performance model that reproduces the shape of the
+//!   paper's Table 3.
+//! * [`attacks`] — concrete attack payloads against the mini server, one per
+//!   attack class discussed in the paper, with expected outcomes per
+//!   deployment configuration.
+//! * [`scenarios`] — canned builders tying the server, the world and the
+//!   deployment configurations together.
+//!
+//! # Example
+//!
+//! ```
+//! use nvariant::DeploymentConfig;
+//! use nvariant_apps::scenarios::{run_requests, ServedRequest};
+//! use nvariant_apps::workload::benign_request;
+//!
+//! // Serve two benign requests under the paper's Configuration 4.
+//! let outcome = run_requests(
+//!     &DeploymentConfig::TwoVariantUid,
+//!     &[benign_request("/index.html"), benign_request("/about.html")],
+//! );
+//! assert!(outcome.system.exited_normally());
+//! assert_eq!(outcome.requests.len(), 2);
+//! assert!(outcome.requests.iter().all(ServedRequest::is_success));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod httpd;
+pub mod scenarios;
+pub mod workload;
+
+pub use attacks::{Attack, AttackClass, AttackOutcome, AttackResult};
+pub use httpd::httpd_source;
+pub use scenarios::{run_requests, ScenarioOutcome, ServedRequest};
+pub use workload::{
+    benign_request, BenchmarkResult, LoadLevel, WebBench, WorkloadMix,
+};

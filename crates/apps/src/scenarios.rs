@@ -1,0 +1,229 @@
+//! Canned scenarios: deploy the mini Apache in a configuration, feed it
+//! requests, and collect what happened.
+
+use crate::httpd::httpd_source;
+use nvariant::{DeploymentConfig, NVariantSystemBuilder, RunnableSystem, SystemOutcome};
+use nvariant_transform::TransformStats;
+use nvariant_types::{Port, Uid};
+use serde::{Deserialize, Serialize};
+
+/// One request/response pair observed at the simulated network.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServedRequest {
+    /// The raw request the client sent.
+    pub request: Vec<u8>,
+    /// The raw response the server produced (possibly empty if the group
+    /// was terminated before answering).
+    pub response: Vec<u8>,
+}
+
+impl ServedRequest {
+    /// Returns `true` if the response is a 200.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        self.response.starts_with(b"HTTP/1.0 200")
+    }
+
+    /// Returns `true` if the response is a 403.
+    #[must_use]
+    pub fn is_forbidden(&self) -> bool {
+        self.response.starts_with(b"HTTP/1.0 403")
+    }
+
+    /// Returns `true` if the response is a 404.
+    #[must_use]
+    pub fn is_not_found(&self) -> bool {
+        self.response.starts_with(b"HTTP/1.0 404")
+    }
+
+    /// The response body (everything after the blank line).
+    #[must_use]
+    pub fn body(&self) -> &[u8] {
+        match self
+            .response
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+        {
+            Some(pos) => &self.response[pos + 4..],
+            None => &[],
+        }
+    }
+}
+
+/// The result of serving a batch of requests under one configuration.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// The configuration label the scenario ran under.
+    pub config_label: String,
+    /// How the deployed system terminated.
+    pub system: SystemOutcome,
+    /// The request/response pairs, in arrival order.
+    pub requests: Vec<ServedRequest>,
+    /// The UID-transformation change counts applied at build time.
+    pub transform_stats: TransformStats,
+}
+
+impl ScenarioOutcome {
+    /// Total number of response bytes produced.
+    #[must_use]
+    pub fn total_response_bytes(&self) -> u64 {
+        self.requests.iter().map(|r| r.response.len() as u64).sum()
+    }
+
+    /// Number of requests answered with a 200.
+    #[must_use]
+    pub fn successful_requests(&self) -> usize {
+        self.requests.iter().filter(|r| r.is_success()).count()
+    }
+}
+
+/// Builds the mini Apache deployed under `config`, in the standard world.
+///
+/// # Panics
+///
+/// Panics if the bundled server source fails to build — that would be a bug
+/// in this crate, not in the caller.
+#[must_use]
+pub fn build_httpd_system(config: &DeploymentConfig) -> RunnableSystem {
+    NVariantSystemBuilder::from_source(httpd_source())
+        .expect("bundled httpd source parses")
+        .config(config.clone())
+        .initial_uid(Uid::ROOT)
+        .build()
+        .expect("bundled httpd source builds under every configuration")
+}
+
+/// Deploys the mini Apache under `config`, stages `requests` on the HTTP
+/// port, runs the system to completion and pairs each request with its
+/// response.
+#[must_use]
+pub fn run_requests(config: &DeploymentConfig, requests: &[Vec<u8>]) -> ScenarioOutcome {
+    let mut system = build_httpd_system(config);
+    run_requests_on(&mut system, config, requests)
+}
+
+/// Like [`run_requests`] but against an already-built system (useful when
+/// the caller needed to inspect symbol addresses to craft the requests).
+#[must_use]
+pub fn run_requests_on(
+    system: &mut RunnableSystem,
+    config: &DeploymentConfig,
+    requests: &[Vec<u8>],
+) -> ScenarioOutcome {
+    for request in requests {
+        system
+            .kernel_mut()
+            .net_mut()
+            .preload_request(Port::HTTP, request.clone());
+    }
+    let outcome = system.run();
+    let served: Vec<ServedRequest> = system
+        .kernel()
+        .net()
+        .connections()
+        .map(|conn| ServedRequest {
+            request: conn.request.clone(),
+            response: conn.response.clone(),
+        })
+        .collect();
+    ScenarioOutcome {
+        config_label: config.label(),
+        system: outcome,
+        requests: served,
+        transform_stats: *system.transform_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::benign_request;
+
+    #[test]
+    fn benign_requests_are_served_under_all_paper_configurations() {
+        let requests = vec![
+            benign_request("/index.html"),
+            benign_request("/"),
+            benign_request("/about.html"),
+            benign_request("/missing.html"),
+        ];
+        for config in DeploymentConfig::paper_configurations() {
+            let outcome = run_requests(&config, &requests);
+            assert!(
+                outcome.system.exited_normally(),
+                "{}: {}",
+                config,
+                outcome.system
+            );
+            assert_eq!(outcome.requests.len(), 4, "{config}");
+            assert_eq!(outcome.successful_requests(), 3, "{config}");
+            assert!(outcome.requests[3].is_not_found(), "{config}");
+            assert!(outcome.total_response_bytes() > 1000, "{config}");
+            // The served index page has the expected content.
+            assert!(String::from_utf8_lossy(outcome.requests[0].body()).contains("Welcome"));
+        }
+    }
+
+    #[test]
+    fn traversal_without_corruption_is_denied_by_file_permissions() {
+        let requests = vec![benign_request("/../../../../etc/shadow")];
+        let outcome = run_requests(&DeploymentConfig::Unmodified, &requests);
+        assert!(outcome.system.exited_normally());
+        assert!(outcome.requests[0].is_forbidden());
+        assert!(!String::from_utf8_lossy(outcome.requests[0].body())
+            .contains("EncryptedRootPasswordHash"));
+    }
+
+    #[test]
+    fn transformed_configurations_expose_change_counts() {
+        let outcome = run_requests(
+            &DeploymentConfig::TwoVariantUid,
+            &[benign_request("/index.html")],
+        );
+        assert!(outcome.transform_stats.paper_change_total() >= 12);
+        let untransformed = run_requests(
+            &DeploymentConfig::Unmodified,
+            &[benign_request("/index.html")],
+        );
+        assert_eq!(untransformed.transform_stats.total(), 0);
+    }
+
+    #[test]
+    fn request_log_is_written_through_privilege_escalation() {
+        let outcome = run_requests(
+            &DeploymentConfig::TwoVariantUid,
+            &[benign_request("/index.html"), benign_request("/about.html")],
+        );
+        assert!(outcome.system.exited_normally(), "{}", outcome.system);
+        let mut system = build_httpd_system(&DeploymentConfig::TwoVariantUid);
+        // Fresh system: log starts empty.
+        assert!(system
+            .kernel_mut()
+            .fs()
+            .get("/var/log/httpd.log")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn served_request_helpers() {
+        let ok = ServedRequest {
+            request: b"GET / HTTP/1.0\r\n\r\n".to_vec(),
+            response: b"HTTP/1.0 200 OK\r\n\r\nhello".to_vec(),
+        };
+        assert!(ok.is_success());
+        assert_eq!(ok.body(), b"hello");
+        let denied = ServedRequest {
+            request: vec![],
+            response: b"HTTP/1.0 403 Forbidden\r\n\r\nForbidden\n".to_vec(),
+        };
+        assert!(denied.is_forbidden());
+        assert!(!denied.is_success());
+        let empty = ServedRequest {
+            request: vec![],
+            response: vec![],
+        };
+        assert_eq!(empty.body(), b"");
+        assert!(!empty.is_not_found());
+    }
+}

@@ -1,0 +1,87 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * detection-call granularity — the §5 alternative of relying only on the
+//!   pre-existing system-call boundary checks versus inserting the Table 2
+//!   detection calls;
+//! * shared versus unshared account files;
+//! * the full-bit-flip UID mask versus the paper's high-bit-preserving mask.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvariant::prelude::*;
+use nvariant_apps::httpd_source;
+use nvariant_apps::workload::benign_request;
+use nvariant_transform::TransformOptions;
+use std::time::Duration;
+
+fn serve_with(options: TransformOptions, variation: Variation) -> u64 {
+    let mut system = NVariantSystemBuilder::from_source(httpd_source())
+        .expect("bundled server parses")
+        .config(DeploymentConfig::Custom {
+            variation,
+            variants: 2,
+            transform_uids: true,
+        })
+        .transform_options(options)
+        .initial_uid(Uid::ROOT)
+        .build()
+        .expect("bundled server builds");
+    for _ in 0..4 {
+        system
+            .kernel_mut()
+            .net_mut()
+            .preload_request(Port::HTTP, benign_request("/index.html"));
+    }
+    let outcome = system.run();
+    assert!(outcome.exited_normally(), "{outcome}");
+    outcome.metrics.total_instructions
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+
+    group.bench_function("uid_variation_with_detection_calls", |b| {
+        b.iter(|| {
+            black_box(serve_with(
+                TransformOptions::default(),
+                Variation::uid_diversity(),
+            ))
+        })
+    });
+    group.bench_function("uid_variation_syscall_boundary_only", |b| {
+        b.iter(|| {
+            black_box(serve_with(
+                TransformOptions {
+                    insert_detection_calls: false,
+                    ..TransformOptions::default()
+                },
+                Variation::uid_diversity(),
+            ))
+        })
+    });
+    group.bench_function("uid_variation_full_mask", |b| {
+        b.iter(|| {
+            black_box(serve_with(
+                TransformOptions::default(),
+                Variation::uid_diversity_full_mask(),
+            ))
+        })
+    });
+    group.bench_function("composed_uid_plus_address", |b| {
+        b.iter(|| {
+            black_box(serve_with(
+                TransformOptions::default(),
+                Variation::composed(vec![
+                    Variation::uid_diversity(),
+                    Variation::address_partitioning(),
+                ]),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Security-evaluation benchmark: end-to-end cost of launching the UID
+//! corruption attack against an unprotected deployment versus the time for
+//! the UID variation to detect it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvariant::DeploymentConfig;
+use nvariant_apps::attacks::{run_attack, Attack, AttackResult};
+use std::time::Duration;
+
+fn bench_attacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_detection");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+
+    let attacks = Attack::all();
+    let uid_overflow = &attacks[0];
+    let uid_poke = &attacks[1];
+
+    group.bench_function("uid_overflow_vs_unmodified", |b| {
+        b.iter(|| {
+            let outcome = run_attack(&DeploymentConfig::Unmodified, uid_overflow);
+            assert_eq!(outcome.result, AttackResult::Succeeded);
+            black_box(outcome)
+        })
+    });
+    group.bench_function("uid_overflow_vs_two_variant_uid", |b| {
+        b.iter(|| {
+            let outcome = run_attack(&DeploymentConfig::TwoVariantUid, uid_overflow);
+            assert_eq!(outcome.result, AttackResult::Detected);
+            black_box(outcome)
+        })
+    });
+    group.bench_function("uid_poke_vs_two_variant_address", |b| {
+        b.iter(|| {
+            let outcome = run_attack(&DeploymentConfig::TwoVariantAddress, uid_poke);
+            assert_eq!(outcome.result, AttackResult::Detected);
+            black_box(outcome)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 1 benchmark: the two-variant address-partitioning architecture —
+//! cost of running a pointer-heavy program under partitioned variants and
+//! the time to detect an injected absolute address.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvariant::prelude::*;
+use std::time::Duration;
+
+const POINTER_CHASE: &str = r#"
+    var table: buf[256];
+    fn main() -> int {
+        var i: int = 0;
+        var p: ptr;
+        p = &table;
+        while (i < 200) {
+            p[i % 256] = i;
+            i = i + 1;
+        }
+        return p[10];
+    }
+"#;
+
+const ABSOLUTE_ADDRESS_ATTACK: &str = r#"
+    var target: int = 5;
+    fn main() -> int {
+        var p: ptr;
+        p = 0x00100000;
+        *p = 7;
+        return target;
+    }
+"#;
+
+fn run_under(source: &str, config: DeploymentConfig) -> SystemOutcome {
+    let mut system = NVariantSystemBuilder::from_source(source)
+        .expect("bench source parses")
+        .config(config)
+        .initial_uid(Uid::ROOT)
+        .build()
+        .expect("bench source builds");
+    system.run()
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_address_partitioning");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+
+    group.bench_function("pointer_chase_single_process", |b| {
+        b.iter(|| black_box(run_under(POINTER_CHASE, DeploymentConfig::Unmodified)))
+    });
+    group.bench_function("pointer_chase_two_variant_partitioned", |b| {
+        b.iter(|| black_box(run_under(POINTER_CHASE, DeploymentConfig::TwoVariantAddress)))
+    });
+    group.bench_function("detect_absolute_address_injection", |b| {
+        b.iter(|| {
+            let outcome = run_under(ABSOLUTE_ADDRESS_ATTACK, DeploymentConfig::TwoVariantAddress);
+            assert!(outcome.detected_attack());
+            black_box(outcome)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Table 1 microbenchmarks: the cost of applying and inverting each
+//! variation's reexpression function, and of a full property verification.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvariant_diversity::{verify_variation, AddressTransform, UidTransform, Variation};
+use nvariant_types::{Uid, VirtAddr};
+use std::time::Duration;
+
+fn bench_reexpression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_reexpression");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    let uid = UidTransform::paper_mask();
+    group.bench_function("uid_apply_invert", |b| {
+        b.iter(|| {
+            let reexpressed = uid.apply(black_box(Uid::new(48)));
+            black_box(uid.invert(reexpressed))
+        })
+    });
+
+    let addr = AddressTransform::PartitionHigh;
+    group.bench_function("address_apply_invert", |b| {
+        b.iter(|| {
+            let reexpressed = addr.apply(black_box(VirtAddr::new(0x0010_0040)));
+            black_box(addr.invert(reexpressed))
+        })
+    });
+
+    let extended = AddressTransform::PartitionHighWithOffset(0x40);
+    group.bench_function("extended_address_apply_invert", |b| {
+        b.iter(|| {
+            let reexpressed = extended.apply(black_box(VirtAddr::new(0x0010_0040)));
+            black_box(extended.invert(reexpressed))
+        })
+    });
+
+    group.bench_function("verify_uid_variation_properties", |b| {
+        b.iter(|| black_box(verify_variation(&Variation::uid_diversity(), 2)))
+    });
+    group.bench_function("verify_composed_variation_properties", |b| {
+        b.iter(|| {
+            black_box(verify_variation(
+                &Variation::composed(vec![
+                    Variation::uid_diversity(),
+                    Variation::address_partitioning(),
+                ]),
+                2,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reexpression);
+criterion_main!(benches);

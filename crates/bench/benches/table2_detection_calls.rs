@@ -1,0 +1,83 @@
+//! Table 2 microbenchmarks: the cost of the detection system calls under
+//! the 2-variant monitor, compared with the same program containing no
+//! detection calls (the §5 discussion of whether the extra calls are
+//! affordable).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvariant::prelude::*;
+use std::time::Duration;
+
+/// A program issuing `count` detection-call batches (uid_value + cc_eq +
+/// cond_chk per iteration).
+fn detection_heavy_source(count: u32) -> String {
+    format!(
+        r#"
+        fn main() -> int {{
+            var uid: uid_t;
+            var i: int = 0;
+            uid = getuid();
+            while (i < {count}) {{
+                uid = uid_value(uid);
+                if (cc_eq(uid, geteuid())) {{
+                    if (cond_chk(1)) {{ i = i + 1; }}
+                }} else {{
+                    i = i + 1;
+                }}
+            }}
+            return 0;
+        }}
+        "#
+    )
+}
+
+/// The same loop without any detection calls.
+fn plain_source(count: u32) -> String {
+    format!(
+        r#"
+        fn main() -> int {{
+            var uid: uid_t;
+            var i: int = 0;
+            uid = getuid();
+            while (i < {count}) {{
+                if (uid == geteuid()) {{ i = i + 1; }} else {{ i = i + 1; }}
+            }}
+            return 0;
+        }}
+        "#
+    )
+}
+
+fn run_two_variant(source: &str) -> SystemOutcome {
+    let mut system = NVariantSystemBuilder::from_source(source)
+        .expect("bench source parses")
+        .config(DeploymentConfig::Custom {
+            variation: Variation::uid_diversity(),
+            variants: 2,
+            transform_uids: false,
+        })
+        .initial_uid(Uid::new(48))
+        .build()
+        .expect("bench source builds");
+    system.run()
+}
+
+fn bench_detection_calls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_detection_calls");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+
+    let with_checks = detection_heavy_source(50);
+    let without_checks = plain_source(50);
+
+    group.bench_function("50_iterations_with_detection_calls", |b| {
+        b.iter(|| black_box(run_two_variant(&with_checks)))
+    });
+    group.bench_function("50_iterations_without_detection_calls", |b| {
+        b.iter(|| black_box(run_two_variant(&without_checks)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection_calls);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 3 benchmark: wall-clock cost of serving the WebBench-style page
+//! mix under each of the paper's four configurations (the simulated-time
+//! throughput/latency table itself is produced by the `table3_report`
+//! binary; this bench measures the real redundant-computation cost on the
+//! host machine).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvariant::DeploymentConfig;
+use nvariant_apps::scenarios::run_requests;
+use nvariant_apps::workload::WorkloadMix;
+use std::time::Duration;
+
+fn bench_configurations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_serving_cost");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+
+    let requests = WorkloadMix::standard().request_sequence(12, 0x5EED);
+    for config in DeploymentConfig::paper_configurations() {
+        group.bench_with_input(
+            BenchmarkId::new("serve_12_requests", config.label()),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let outcome = run_requests(config, &requests);
+                    assert!(outcome.system.exited_normally());
+                    black_box(outcome.total_response_bytes())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_configurations);
+criterion_main!(benches);

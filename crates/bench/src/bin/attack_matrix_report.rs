@@ -1,0 +1,54 @@
+//! The security evaluation: every attack class against every deployment
+//! configuration, with the result the paper's arguments predict next to the
+//! observed result.
+
+use nvariant::DeploymentConfig;
+use nvariant_apps::attacks::{attack_matrix, Attack};
+use nvariant_bench::render_table;
+
+fn main() {
+    println!("Attack detection matrix");
+    println!("=======================\n");
+
+    for attack in Attack::all() {
+        println!("{:<16} {}", attack.name, attack.description);
+    }
+    println!();
+
+    let configs = vec![
+        DeploymentConfig::Unmodified,
+        DeploymentConfig::TransformedSingle,
+        DeploymentConfig::TwoVariantAddress,
+        DeploymentConfig::TwoVariantUid,
+        DeploymentConfig::composed_uid_and_address(),
+    ];
+    let outcomes = attack_matrix(&configs);
+
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.attack.clone(),
+                o.config_label.clone(),
+                o.result.to_string(),
+                o.expected.to_string(),
+                if o.matches_expectation() { "yes".to_string() } else { "MISMATCH".to_string() },
+                o.alarm.clone().unwrap_or_else(|| "-".to_string()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Attack", "Configuration", "Observed", "Predicted", "Matches", "Alarm"],
+            &rows,
+        )
+    );
+
+    let mismatches = outcomes.iter().filter(|o| !o.matches_expectation()).count();
+    println!(
+        "{} of {} attack/configuration pairs behave as the paper's arguments predict.",
+        outcomes.len() - mismatches,
+        outcomes.len()
+    );
+}

@@ -1,0 +1,104 @@
+//! Regenerates the paper's **Table 3**: throughput and latency of the four
+//! configurations under unsaturated (1 client) and saturated (15 clients)
+//! load, with the relative overheads the paper reports alongside the
+//! published numbers.
+
+use nvariant_apps::workload::WebBench;
+use nvariant_bench::{measure_table3, paper_table3, percent_change, render_table};
+
+fn main() {
+    println!("Table 3: Performance Results (reproduction)");
+    println!("===========================================\n");
+
+    let bench = WebBench::default();
+    let rows = measure_table3(&bench);
+
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for row in &rows {
+        table.push(vec![
+            row.config.to_string(),
+            format!("{:.0}", row.unsaturated.throughput_kb_s),
+            format!("{:.2}", row.unsaturated.latency_ms),
+            format!("{:.0}", row.saturated.throughput_kb_s),
+            format!("{:.2}", row.saturated.latency_ms),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Configuration",
+                "Unsat KB/s",
+                "Unsat ms",
+                "Sat KB/s",
+                "Sat ms",
+            ],
+            &table,
+        )
+    );
+
+    let base = &rows[0];
+    let addr = &rows[2];
+    println!("Relative overheads (measured):");
+    for row in &rows[1..] {
+        println!(
+            "  {:<38} unsat throughput {:+6.1}%  latency {:+6.1}%   sat throughput {:+6.1}%  latency {:+6.1}%",
+            row.config.label(),
+            percent_change(base.unsaturated.throughput_kb_s, row.unsaturated.throughput_kb_s),
+            percent_change(base.unsaturated.latency_ms, row.unsaturated.latency_ms),
+            percent_change(base.saturated.throughput_kb_s, row.saturated.throughput_kb_s),
+            percent_change(base.saturated.latency_ms, row.saturated.latency_ms),
+        );
+    }
+    let uid = &rows[3];
+    println!(
+        "  {:<38} relative to Configuration 3: unsat throughput {:+.1}%, sat throughput {:+.1}%",
+        "2-Variant UID (vs 2-Variant Address)",
+        percent_change(addr.unsaturated.throughput_kb_s, uid.unsaturated.throughput_kb_s),
+        percent_change(addr.saturated.throughput_kb_s, uid.saturated.throughput_kb_s),
+    );
+
+    println!("\nPaper's published Table 3 (1.4 GHz Pentium 4, WebBench 5.0):");
+    let paper_rows: Vec<Vec<String>> = paper_table3()
+        .into_iter()
+        .map(|(n, u_kb, u_ms, s_kb, s_ms)| {
+            vec![
+                format!("Configuration {n}"),
+                format!("{u_kb:.0}"),
+                format!("{u_ms:.2}"),
+                format!("{s_kb:.0}"),
+                format!("{s_ms:.2}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Configuration",
+                "Unsat KB/s",
+                "Unsat ms",
+                "Sat KB/s",
+                "Sat ms",
+            ],
+            &paper_rows,
+        )
+    );
+    println!(
+        "Absolute numbers are not expected to match (different substrate); the shape to compare is:\n\
+         the source transformation alone is ~free, running two variants roughly halves saturated\n\
+         throughput while costing ~10-15% unsaturated, and the UID variation adds only a few percent\n\
+         on top of the two-variant baseline."
+    );
+
+    println!("\nPer-request measured cost (all variants + monitor):");
+    for row in &rows {
+        println!(
+            "  {:<38} {:>10} instructions, {:>6} checks, CPU {:.3} ms/request",
+            row.config.label(),
+            row.saturated.total_instructions / row.saturated.requests.max(1) as u64,
+            row.saturated.monitor_checks / row.saturated.requests.max(1) as u64,
+            row.saturated.cpu_service_ms,
+        );
+    }
+}

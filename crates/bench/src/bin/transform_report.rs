@@ -1,0 +1,77 @@
+//! Regenerates the paper's Section 4 transformation statistics: the number
+//! of source changes, per category, needed to create the UID-variation
+//! variants of the case-study server (the paper reports 73 changes to
+//! Apache: 15 constants, 16 single-value exposures, 22 comparison exposures,
+//! 20 conditional checks).
+
+use nvariant_apps::httpd_source;
+use nvariant_bench::render_table;
+use nvariant_diversity::UidTransform;
+use nvariant_transform::UidTransformer;
+use nvariant_vm::parse_with_stdlib;
+
+fn main() {
+    println!("Section 4: UID transformation statistics (mini Apache)");
+    println!("======================================================\n");
+
+    let program = parse_with_stdlib(httpd_source()).expect("bundled server source parses");
+    let transformer = UidTransformer::default();
+    let variant1 = transformer
+        .transform_for_variant(&program, &UidTransform::paper_mask())
+        .expect("bundled server source transforms");
+    let stats = variant1.stats;
+
+    let rows = vec![
+        vec![
+            "Reexpression applied to constant UID values".to_string(),
+            stats.uid_constants_reexpressed.to_string(),
+            "15".to_string(),
+        ],
+        vec![
+            "Single UID value usages exposed (uid_value)".to_string(),
+            stats.single_value_exposures.to_string(),
+            "16".to_string(),
+        ],
+        vec![
+            "UID comparisons exposed (cc_*)".to_string(),
+            stats.comparison_exposures.to_string(),
+            "22".to_string(),
+        ],
+        vec![
+            "Conditional statements checked (cond_chk)".to_string(),
+            stats.conditional_checks.to_string(),
+            "20".to_string(),
+        ],
+        vec![
+            "Total (paper counts these four categories)".to_string(),
+            stats.paper_change_total().to_string(),
+            "73".to_string(),
+        ],
+        vec![
+            "Implicit constants made explicit".to_string(),
+            stats.implicit_constants_made_explicit.to_string(),
+            "(within the above)".to_string(),
+        ],
+        vec![
+            "Log sinks sanitized (the error-log workaround)".to_string(),
+            stats.log_sinks_sanitized.to_string(),
+            "1".to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["Change category", "mini Apache (this repo)", "Apache (paper)"],
+            &rows,
+        )
+    );
+
+    println!(
+        "The mini server is roughly {} SimC statements plus the SimC standard library, versus\n\
+         Apache's hundreds of thousands of lines of C, so the absolute counts are smaller; the\n\
+         point of comparison is that every category the paper had to handle appears, the\n\
+         transformation is fully automated, and variant 0's text is untouched while variant 1\n\
+         differs only in re-expressed constants.",
+        program.statement_count()
+    );
+}

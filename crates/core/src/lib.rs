@@ -1,0 +1,68 @@
+//! `nvariant` — the public facade of the *Security through Redundant Data
+//! Diversity* reproduction.
+//!
+//! This crate assembles the underlying pieces — the SimC compiler and VM
+//! ([`nvariant_vm`]), the simulated kernel ([`nvariant_simos`]), the
+//! reexpression framework ([`nvariant_diversity`]), the source-to-source UID
+//! transformation ([`nvariant_transform`]) and the N-variant monitor
+//! ([`nvariant_monitor`]) — into one builder-style API for deploying a SimC
+//! program under any of the paper's configurations:
+//!
+//! | Paper configuration | [`DeploymentConfig`] |
+//! |---|---|
+//! | 1 — unmodified Apache | [`DeploymentConfig::Unmodified`] |
+//! | 2 — UID-transformed Apache, single process | [`DeploymentConfig::TransformedSingle`] |
+//! | 3 — 2-variant address-space partitioning | [`DeploymentConfig::TwoVariantAddress`] |
+//! | 4 — 2-variant UID variation | [`DeploymentConfig::TwoVariantUid`] |
+//! | (future work §5/§7) composed variations, N > 2 | [`DeploymentConfig::Custom`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nvariant::prelude::*;
+//!
+//! // A privilege-dropping program with no vulnerabilities.
+//! let source = r#"
+//!     fn main() -> int {
+//!         var uid: uid_t;
+//!         uid = getuid();
+//!         if (uid == 0) { return setuid(48); }
+//!         return 0;
+//!     }
+//! "#;
+//!
+//! // Deploy it as the paper's Configuration 4: a 2-variant UID-diversity
+//! // system with unshared passwd files and the full UID transformation.
+//! let mut system = NVariantSystemBuilder::from_source(source)?
+//!     .config(DeploymentConfig::TwoVariantUid)
+//!     .initial_uid(Uid::ROOT)
+//!     .build()?;
+//! let outcome = system.run();
+//! assert_eq!(outcome.exit_status, Some(0));
+//! assert!(!outcome.detected_attack());
+//! # Ok::<(), nvariant::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod outcome;
+pub mod system;
+
+pub use config::DeploymentConfig;
+pub use outcome::{ExecutionMetrics, SystemOutcome};
+pub use system::{BuildError, NVariantSystemBuilder, RunnableSystem};
+
+/// Convenient glob-import of the most commonly used types across the
+/// workspace.
+pub mod prelude {
+    pub use crate::config::DeploymentConfig;
+    pub use crate::outcome::{ExecutionMetrics, SystemOutcome};
+    pub use crate::system::{BuildError, NVariantSystemBuilder, RunnableSystem};
+    pub use nvariant_diversity::{UidTransform, Variation};
+    pub use nvariant_monitor::{Alarm, DivergenceKind, MonitorConfig};
+    pub use nvariant_simos::{OsKernel, WorldBuilder};
+    pub use nvariant_types::{Gid, Port, Uid, VariantId};
+    pub use nvariant_vm::{parse_program, parse_with_stdlib, pretty_print};
+}

@@ -1,0 +1,634 @@
+//! The system builder: from SimC source to a runnable deployment.
+
+use crate::config::DeploymentConfig;
+use crate::outcome::SystemOutcome;
+use nvariant_diversity::{AddressTransform, UidTransform, VariantSet};
+use nvariant_monitor::{provision_unshared_copies, MonitorConfig, NVariantMonitor};
+use nvariant_simos::{OsKernel, WorldBuilder};
+use nvariant_transform::{TransformError, TransformOptions, TransformStats, UidTransformer};
+use nvariant_types::{Pid, Uid};
+use nvariant_vm::{
+    compile_program, CompileError, MemoryLayout, ParseError, Process, Program, RunLimits, Runner,
+};
+use std::fmt;
+
+/// Errors raised while building a deployable system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The SimC source failed to parse.
+    Parse(ParseError),
+    /// The program failed to compile.
+    Compile(CompileError),
+    /// The UID transformation failed.
+    Transform(TransformError),
+    /// The requested variation cannot be instantiated (e.g. a conflicting
+    /// composition, or a multi-variant deployment with no variation).
+    Variation(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Parse(e) => write!(f, "{e}"),
+            BuildError::Compile(e) => write!(f, "{e}"),
+            BuildError::Transform(e) => write!(f, "{e}"),
+            BuildError::Variation(msg) => write!(f, "invalid variation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<ParseError> for BuildError {
+    fn from(e: ParseError) -> Self {
+        BuildError::Parse(e)
+    }
+}
+
+impl From<CompileError> for BuildError {
+    fn from(e: CompileError) -> Self {
+        BuildError::Compile(e)
+    }
+}
+
+impl From<TransformError> for BuildError {
+    fn from(e: TransformError) -> Self {
+        BuildError::Transform(e)
+    }
+}
+
+/// Builder for a deployed system.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Clone, Debug)]
+pub struct NVariantSystemBuilder {
+    program: Program,
+    world: Option<OsKernel>,
+    initial_uid: Uid,
+    config: DeploymentConfig,
+    monitor_config: MonitorConfig,
+    transform_options: TransformOptions,
+    base_layout: MemoryLayout,
+    run_limits: RunLimits,
+    extra_unshared: Vec<String>,
+}
+
+impl NVariantSystemBuilder {
+    /// Starts a builder from SimC source text; the standard library is
+    /// linked in automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Parse`] if the source does not parse.
+    pub fn from_source(source: &str) -> Result<Self, BuildError> {
+        Ok(Self::from_program(nvariant_vm::parse_with_stdlib(source)?))
+    }
+
+    /// Starts a builder from an already-parsed program (no standard library
+    /// is added).
+    #[must_use]
+    pub fn from_program(program: Program) -> Self {
+        NVariantSystemBuilder {
+            program,
+            world: None,
+            initial_uid: Uid::ROOT,
+            config: DeploymentConfig::TwoVariantUid,
+            monitor_config: MonitorConfig::default(),
+            transform_options: TransformOptions::default(),
+            base_layout: MemoryLayout::default(),
+            run_limits: RunLimits::default(),
+            extra_unshared: Vec::new(),
+        }
+    }
+
+    /// Sets the simulated world (defaults to [`WorldBuilder::standard`]).
+    #[must_use]
+    pub fn world(mut self, kernel: OsKernel) -> Self {
+        self.world = Some(kernel);
+        self
+    }
+
+    /// Sets the UID the program starts with (defaults to root, as the
+    /// case-study server must bind a privileged port before dropping).
+    #[must_use]
+    pub fn initial_uid(mut self, uid: Uid) -> Self {
+        self.initial_uid = uid;
+        self
+    }
+
+    /// Selects the deployment configuration (defaults to
+    /// [`DeploymentConfig::TwoVariantUid`]).
+    #[must_use]
+    pub fn config(mut self, config: DeploymentConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the monitor configuration.
+    #[must_use]
+    pub fn monitor_config(mut self, config: MonitorConfig) -> Self {
+        self.monitor_config = config;
+        self
+    }
+
+    /// Overrides the UID transformation options.
+    #[must_use]
+    pub fn transform_options(mut self, options: TransformOptions) -> Self {
+        self.transform_options = options;
+        self
+    }
+
+    /// Overrides the base memory layout used for variant 0.
+    #[must_use]
+    pub fn base_layout(mut self, layout: MemoryLayout) -> Self {
+        self.base_layout = layout;
+        self
+    }
+
+    /// Overrides the execution limits.
+    #[must_use]
+    pub fn run_limits(mut self, limits: RunLimits) -> Self {
+        self.run_limits = limits;
+        self
+    }
+
+    /// Marks an additional file as unshared (each variant receives a
+    /// verbatim copy unless the caller provisions diversified copies
+    /// beforehand).
+    #[must_use]
+    pub fn unshared_file(mut self, path: &str) -> Self {
+        self.extra_unshared.push(path.to_string());
+        self
+    }
+
+    fn layout_for(&self, addr: &AddressTransform) -> MemoryLayout {
+        match addr {
+            AddressTransform::Identity => self.base_layout,
+            AddressTransform::PartitionHigh => self.base_layout.with_partition_bit(),
+            AddressTransform::PartitionHighWithOffset(offset) => {
+                self.base_layout.with_partition_bit().with_offset(*offset)
+            }
+        }
+    }
+
+    /// Builds the runnable system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if the program fails to transform or
+    /// compile, or the variation cannot be instantiated.
+    pub fn build(self) -> Result<RunnableSystem, BuildError> {
+        let mut kernel = self
+            .world
+            .clone()
+            .unwrap_or_else(|| WorldBuilder::standard().build());
+        let n = self.config.variant_count();
+        let transformer = UidTransformer::new(self.transform_options.clone());
+
+        if n == 1 {
+            let (program, stats) = if self.config.transforms_uids() {
+                let variant =
+                    transformer.transform_for_variant(&self.program, &UidTransform::Identity)?;
+                (variant.program, variant.stats)
+            } else {
+                (self.program.clone(), TransformStats::default())
+            };
+            let compiled = compile_program(&program)?;
+            let process = Process::new(&compiled, self.base_layout);
+            let pid = kernel.spawn_process(self.initial_uid);
+            return Ok(RunnableSystem {
+                config: self.config,
+                transform_stats: stats,
+                inner: Deployment::Single {
+                    kernel,
+                    pid,
+                    process: Box::new(process),
+                    limits: self.run_limits,
+                    finished: None,
+                },
+            });
+        }
+
+        let variation = self
+            .config
+            .variation()
+            .ok_or_else(|| {
+                BuildError::Variation(
+                    "a multi-variant deployment requires a variation".to_string(),
+                )
+            })?;
+        let specs = variation
+            .try_variant_specs(n)
+            .map_err(BuildError::Variation)?;
+
+        // Per-variant program text.
+        let (variant_programs, stats) = if self.config.transforms_uids() {
+            let uid_transforms: Vec<UidTransform> = specs.iter().map(|s| s.uid).collect();
+            let variants = transformer.transform_for_variants(&self.program, &uid_transforms)?;
+            let stats = variants
+                .last()
+                .map(|v| v.stats)
+                .unwrap_or_default();
+            (
+                variants.into_iter().map(|v| v.program).collect::<Vec<_>>(),
+                stats,
+            )
+        } else {
+            (vec![self.program.clone(); n], TransformStats::default())
+        };
+
+        // Compile and instantiate each variant.
+        let mut processes = Vec::with_capacity(n);
+        for (spec, program) in specs.iter().zip(&variant_programs) {
+            let compiled = compile_program(program)?;
+            let layout = self.layout_for(&spec.addr);
+            processes.push(Process::with_tag(&compiled, layout, spec.tag));
+        }
+
+        // Provision unshared files.
+        let mut monitor_config = self.monitor_config.clone();
+        if self.config.uses_unshared_account_files() {
+            let db = kernel.passwd().clone();
+            for (index, spec) in specs.iter().enumerate() {
+                let uid_transform = spec.uid;
+                kernel.fs_mut().create(
+                    &format!("/etc/passwd-{index}"),
+                    db.render_passwd_with(|uid| uid_transform.apply(uid))
+                        .into_bytes(),
+                );
+                kernel.fs_mut().create(
+                    &format!("/etc/group-{index}"),
+                    db.render_group_with(|gid| {
+                        nvariant_types::Gid::new(
+                            uid_transform.apply(Uid::new(gid.as_u32())).as_u32(),
+                        )
+                    })
+                    .into_bytes(),
+                );
+            }
+            for path in ["/etc/passwd", "/etc/group"] {
+                if !monitor_config.is_unshared(path) {
+                    monitor_config = monitor_config.with_unshared_file(path);
+                }
+            }
+        }
+        for path in &self.extra_unshared {
+            provision_unshared_copies(&mut kernel, path, n, |_, data| data.to_vec());
+            if !monitor_config.is_unshared(path) {
+                monitor_config = monitor_config.with_unshared_file(path);
+            }
+        }
+
+        let monitor = NVariantMonitor::new(
+            kernel,
+            processes,
+            VariantSet::new(specs),
+            self.initial_uid,
+            monitor_config,
+        );
+        Ok(RunnableSystem {
+            config: self.config,
+            transform_stats: stats,
+            inner: Deployment::Multi {
+                monitor: Box::new(monitor),
+            },
+        })
+    }
+}
+
+enum Deployment {
+    Single {
+        kernel: OsKernel,
+        pid: Pid,
+        process: Box<Process>,
+        limits: RunLimits,
+        finished: Option<SystemOutcome>,
+    },
+    Multi {
+        monitor: Box<NVariantMonitor>,
+    },
+}
+
+/// A deployed system, ready to run.
+pub struct RunnableSystem {
+    config: DeploymentConfig,
+    transform_stats: TransformStats,
+    inner: Deployment,
+}
+
+impl RunnableSystem {
+    /// The deployment configuration this system was built with.
+    #[must_use]
+    pub fn config(&self) -> &DeploymentConfig {
+        &self.config
+    }
+
+    /// The change counts of the UID transformation applied at build time
+    /// (all zeros for untransformed configurations).
+    #[must_use]
+    pub fn transform_stats(&self) -> &TransformStats {
+        &self.transform_stats
+    }
+
+    /// Number of variant processes.
+    #[must_use]
+    pub fn variant_count(&self) -> usize {
+        match &self.inner {
+            Deployment::Single { .. } => 1,
+            Deployment::Multi { monitor } => monitor.variant_count(),
+        }
+    }
+
+    /// Read access to the simulated kernel (files, network, credentials).
+    #[must_use]
+    pub fn kernel(&self) -> &OsKernel {
+        match &self.inner {
+            Deployment::Single { kernel, .. } => kernel,
+            Deployment::Multi { monitor } => monitor.kernel(),
+        }
+    }
+
+    /// Mutable access to the simulated kernel, used to stage client
+    /// requests before calling [`RunnableSystem::run`].
+    pub fn kernel_mut(&mut self) -> &mut OsKernel {
+        match &mut self.inner {
+            Deployment::Single { kernel, .. } => kernel,
+            Deployment::Multi { monitor } => monitor.kernel_mut(),
+        }
+    }
+
+    /// The underlying monitor, for N-variant deployments.
+    #[must_use]
+    pub fn monitor(&self) -> Option<&NVariantMonitor> {
+        match &self.inner {
+            Deployment::Single { .. } => None,
+            Deployment::Multi { monitor } => Some(monitor),
+        }
+    }
+
+    /// Mutable access to the underlying monitor, for N-variant deployments.
+    pub fn monitor_mut(&mut self) -> Option<&mut NVariantMonitor> {
+        match &mut self.inner {
+            Deployment::Single { .. } => None,
+            Deployment::Multi { monitor } => Some(monitor),
+        }
+    }
+
+    /// The virtual address of a named global variable in variant 0's
+    /// address space, if it exists. Attack payload generators use this the
+    /// way a real attacker uses a leaked or guessed address.
+    #[must_use]
+    pub fn global_addr(&self, name: &str) -> Option<nvariant_types::VirtAddr> {
+        match &self.inner {
+            Deployment::Single { process, .. } => process.global_addr(name),
+            Deployment::Multi { monitor } => monitor
+                .variant_process(nvariant_types::VariantId::P0)
+                .global_addr(name),
+        }
+    }
+
+    /// Runs the system to completion and returns the outcome. Calling `run`
+    /// again returns the same outcome (the processes have terminated).
+    pub fn run(&mut self) -> SystemOutcome {
+        match &mut self.inner {
+            Deployment::Single {
+                kernel,
+                pid,
+                process,
+                limits,
+                finished,
+            } => {
+                if let Some(outcome) = finished {
+                    return outcome.clone();
+                }
+                let run = Runner::new(*limits).run(kernel, *pid, process);
+                let outcome = SystemOutcome::from_single(&run);
+                *finished = Some(outcome.clone());
+                outcome
+            }
+            Deployment::Multi { monitor } => {
+                SystemOutcome::from_nvariant(&monitor.run_to_completion())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for RunnableSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunnableSystem")
+            .field("config", &self.config)
+            .field("variants", &self.variant_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvariant_diversity::Variation;
+    use nvariant_types::Port;
+
+    /// A minimal privilege-dropping server fragment exercising UID syscalls,
+    /// file I/O and the account database.
+    const DROP_PRIVILEGES: &str = r#"
+        var server_uid: uid_t;
+        fn main() -> int {
+            var rc: int;
+            server_uid = getuid();
+            if (server_uid == 0) {
+                rc = setuid(48);
+                if (rc != 0) { return 2; }
+            }
+            if (geteuid() == 0) { return 3; }
+            return 0;
+        }
+    "#;
+
+    fn outcome_for(config: DeploymentConfig) -> SystemOutcome {
+        let mut system = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(config)
+            .initial_uid(Uid::ROOT)
+            .build()
+            .unwrap();
+        system.run()
+    }
+
+    #[test]
+    fn all_four_paper_configurations_run_the_clean_program_identically() {
+        for config in DeploymentConfig::paper_configurations() {
+            let label = config.to_string();
+            let outcome = outcome_for(config);
+            assert_eq!(outcome.exit_status, Some(0), "{label}: {outcome}");
+            assert!(!outcome.detected_attack(), "{label}");
+        }
+    }
+
+    #[test]
+    fn transformed_configurations_report_change_counts() {
+        let system = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(DeploymentConfig::TwoVariantUid)
+            .build()
+            .unwrap();
+        let stats = system.transform_stats();
+        assert!(stats.uid_constants_reexpressed >= 1);
+        assert!(stats.comparison_exposures >= 2);
+        assert!(stats.paper_change_total() > 0);
+
+        let untransformed = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(DeploymentConfig::TwoVariantAddress)
+            .build()
+            .unwrap();
+        assert_eq!(untransformed.transform_stats().total(), 0);
+    }
+
+    #[test]
+    fn two_variant_uid_provisions_unshared_account_files() {
+        let system = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(DeploymentConfig::TwoVariantUid)
+            .build()
+            .unwrap();
+        let fs = system.kernel().fs();
+        assert!(fs.exists("/etc/passwd-0"));
+        assert!(fs.exists("/etc/passwd-1"));
+        assert!(fs.exists("/etc/group-1"));
+        // Variant 1's copy has the re-expressed UID for httpd.
+        let text = String::from_utf8(fs.get("/etc/passwd-1").unwrap().data.clone()).unwrap();
+        assert!(text.contains(&format!("{}", 48u32 ^ 0x7FFF_FFFF)));
+        // Address-partitioned deployments do not need them.
+        let system = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(DeploymentConfig::TwoVariantAddress)
+            .build()
+            .unwrap();
+        assert!(!system.kernel().fs().exists("/etc/passwd-0"));
+    }
+
+    #[test]
+    fn variant_counts_and_monitor_access() {
+        let single = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(DeploymentConfig::Unmodified)
+            .build()
+            .unwrap();
+        assert_eq!(single.variant_count(), 1);
+        assert!(single.monitor().is_none());
+
+        let multi = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(DeploymentConfig::TwoVariantUid)
+            .build()
+            .unwrap();
+        assert_eq!(multi.variant_count(), 2);
+        assert!(multi.monitor().is_some());
+        assert!(format!("{multi:?}").contains("TwoVariantUid"));
+    }
+
+    #[test]
+    fn composed_and_tagging_configurations_run_cleanly() {
+        for config in [
+            DeploymentConfig::composed_uid_and_address(),
+            DeploymentConfig::two_variant_instruction_tagging(),
+        ] {
+            let label = config.to_string();
+            let outcome = outcome_for(config);
+            // Instruction tagging runs the untransformed program, whose UID
+            // constants stay equivalent because neither variant re-expresses
+            // UID data.
+            assert_eq!(outcome.exit_status, Some(0), "{label}: {outcome}");
+        }
+    }
+
+    #[test]
+    fn three_variant_uid_deployment_is_supported() {
+        let config = DeploymentConfig::Custom {
+            variation: Variation::uid_diversity(),
+            variants: 3,
+            transform_uids: true,
+        };
+        let outcome = outcome_for(config);
+        assert_eq!(outcome.exit_status, Some(0), "{outcome}");
+        assert_eq!(outcome.metrics.variants, 3);
+    }
+
+    #[test]
+    fn build_errors_are_reported() {
+        assert!(matches!(
+            NVariantSystemBuilder::from_source("fn broken("),
+            Err(BuildError::Parse(_))
+        ));
+        let no_main = nvariant_vm::parse_program("fn helper() -> int { return 1; }").unwrap();
+        assert!(matches!(
+            NVariantSystemBuilder::from_program(no_main)
+                .config(DeploymentConfig::Unmodified)
+                .build(),
+            Err(BuildError::Compile(_))
+        ));
+        let conflicting = DeploymentConfig::Custom {
+            variation: Variation::composed(vec![
+                Variation::uid_diversity(),
+                Variation::uid_diversity_full_mask(),
+            ]),
+            variants: 2,
+            transform_uids: true,
+        };
+        assert!(matches!(
+            NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+                .unwrap()
+                .config(conflicting)
+                .build(),
+            Err(BuildError::Variation(_))
+        ));
+    }
+
+    #[test]
+    fn staged_network_requests_are_served_after_build() {
+        // An end-to-end mini server under Configuration 4.
+        let server = r#"
+            fn main() -> int {
+                var sock: int;
+                var conn: int;
+                var request: buf[256];
+                var uid: uid_t;
+                sock = socket();
+                bind(sock, 80);
+                listen(sock);
+                uid = getuid();
+                setuid(48);
+                conn = accept(sock);
+                while (conn >= 0) {
+                    recv(conn, &request, 255);
+                    send_str(conn, "HTTP/1.0 200 OK\r\n\r\nok");
+                    close(conn);
+                    conn = accept(sock);
+                }
+                return 0;
+            }
+        "#;
+        let mut system = NVariantSystemBuilder::from_source(server)
+            .unwrap()
+            .config(DeploymentConfig::TwoVariantUid)
+            .initial_uid(Uid::ROOT)
+            .build()
+            .unwrap();
+        for _ in 0..3 {
+            system
+                .kernel_mut()
+                .net_mut()
+                .preload_request(Port::HTTP, b"GET / HTTP/1.0\r\n\r\n".to_vec());
+        }
+        let outcome = system.run();
+        assert_eq!(outcome.exit_status, Some(0), "{outcome}");
+        assert_eq!(system.kernel().net().connections().count(), 3);
+        assert!(system
+            .kernel()
+            .net()
+            .connections()
+            .all(|c| c.response.starts_with(b"HTTP/1.0 200 OK")));
+        assert!(outcome.metrics.monitor_checks > 10);
+    }
+}

@@ -1,0 +1,53 @@
+//! Data diversity for N-variant systems: reexpression functions, variant
+//! specifications, property checks and canonicalization.
+//!
+//! This crate is the direct implementation of the paper's model (§2):
+//!
+//! * a **reexpression function** `Rᵢ` maps canonical data to the concrete
+//!   representation variant *i* operates on, and its inverse `Rᵢ⁻¹` is
+//!   applied at the boundary to the target interpreter;
+//! * **normal equivalence** requires `Rᵢ⁻¹(Rᵢ(x)) ≡ x` (the *inverse
+//!   property*);
+//! * **detection** requires the inverses to be *disjoint*:
+//!   `∀x: R₀⁻¹(x) ≠ R₁⁻¹(x)`, so a single concrete value injected into every
+//!   variant cannot mean the same thing in all of them.
+//!
+//! The four variations of the paper's Table 1 are provided ([`Variation`]):
+//! address-space partitioning, extended address-space partitioning,
+//! instruction-set tagging, and the UID data variation introduced by the
+//! paper — plus the full-XOR UID variant discussed in §3.2 and variation
+//! composition (§5).
+//!
+//! # Example
+//!
+//! ```
+//! use nvariant_diversity::{UidTransform, Variation};
+//! use nvariant_types::Uid;
+//!
+//! // The paper's UID reexpression: R1(u) = u ^ 0x7FFFFFFF.
+//! let variation = Variation::uid_diversity();
+//! let specs = variation.variant_specs(2);
+//! assert_eq!(specs[0].uid, UidTransform::Identity);
+//! assert_eq!(specs[1].uid.apply(Uid::ROOT).as_u32(), 0x7FFF_FFFF);
+//!
+//! // Inverse and disjointedness properties hold.
+//! let report = nvariant_diversity::verify_variation(&variation, 2);
+//! assert!(report.all_hold());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod canonical;
+pub mod properties;
+pub mod spec;
+pub mod uid;
+pub mod variation;
+
+pub use addr::AddressTransform;
+pub use canonical::{Canonicalizer, DataClass};
+pub use properties::{verify_variation, PropertyCheck, PropertyReport};
+pub use spec::{VariantSet, VariantSpec};
+pub use uid::UidTransform;
+pub use variation::{Table1Row, Variation};

@@ -1,0 +1,91 @@
+//! Monitor configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// What the monitor does when it detects divergence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DivergencePolicy {
+    /// Terminate every variant and report the alarm (the paper's behaviour:
+    /// any divergence is treated as an attack).
+    #[default]
+    KillAndReport,
+    /// Report the alarm but keep note of it and continue executing — useful
+    /// only for debugging benign-divergence issues such as un-sanitized log
+    /// output; never appropriate in production.
+    ReportAndContinue,
+}
+
+/// Configuration of an N-variant monitor instance.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Absolute paths treated as *unshared files*: each variant opens its
+    /// own copy (`<path>-<variant index>`), which must have been provisioned
+    /// in the filesystem beforehand (see
+    /// [`provision_unshared_copies`](crate::provision_unshared_copies)).
+    pub unshared_files: Vec<String>,
+    /// Maximum bytecode instructions one variant may execute between two
+    /// synchronization points before it is considered runaway.
+    pub max_steps_per_slice: u64,
+    /// Maximum number of synchronization points before the run is aborted.
+    pub max_syscalls: u64,
+    /// Divergence policy.
+    pub policy: DivergencePolicy,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            unshared_files: Vec::new(),
+            max_steps_per_slice: 20_000_000,
+            max_syscalls: 1_000_000,
+            policy: DivergencePolicy::KillAndReport,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Adds an unshared file path.
+    #[must_use]
+    pub fn with_unshared_file(mut self, path: &str) -> Self {
+        self.unshared_files.push(path.to_string());
+        self
+    }
+
+    /// Sets the divergence policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DivergencePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns `true` if `path` is configured as unshared.
+    #[must_use]
+    pub fn is_unshared(&self, path: &str) -> bool {
+        self.unshared_files.iter().any(|p| p == path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let config = MonitorConfig::default();
+        assert!(config.unshared_files.is_empty());
+        assert_eq!(config.policy, DivergencePolicy::KillAndReport);
+        assert!(config.max_steps_per_slice > 1_000_000);
+    }
+
+    #[test]
+    fn builder_and_lookup() {
+        let config = MonitorConfig::default()
+            .with_unshared_file("/etc/passwd")
+            .with_unshared_file("/etc/group")
+            .with_policy(DivergencePolicy::ReportAndContinue);
+        assert!(config.is_unshared("/etc/passwd"));
+        assert!(config.is_unshared("/etc/group"));
+        assert!(!config.is_unshared("/etc/httpd.conf"));
+        assert_eq!(config.policy, DivergencePolicy::ReportAndContinue);
+    }
+}

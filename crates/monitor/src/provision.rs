@@ -1,0 +1,109 @@
+//! Provisioning of per-variant copies of unshared files.
+
+use nvariant_simos::OsKernel;
+
+/// Creates the per-variant backing files for one unshared path.
+///
+/// For each variant `i` in `0..variants`, the file `<path>-<i>` is created
+/// with contents produced by `transform(i, original_contents)`, preserving
+/// the original file's owner, group and mode. The original file is left in
+/// place (an unprotected single-process configuration still reads it).
+///
+/// Returns the number of copies created, or 0 if the original file does not
+/// exist.
+///
+/// # Example
+///
+/// ```
+/// use nvariant_monitor::provision_unshared_copies;
+/// use nvariant_simos::WorldBuilder;
+///
+/// let mut kernel = WorldBuilder::standard().build();
+/// let created = provision_unshared_copies(&mut kernel, "/etc/passwd", 2, |variant, data| {
+///     if variant == 0 {
+///         data.to_vec()
+///     } else {
+///         // A real deployment transforms the UID columns; this example
+///         // just tags the copy.
+///         let mut copy = data.to_vec();
+///         copy.extend_from_slice(b"# variant 1\n");
+///         copy
+///     }
+/// });
+/// assert_eq!(created, 2);
+/// assert!(kernel.fs().exists("/etc/passwd-0"));
+/// assert!(kernel.fs().exists("/etc/passwd-1"));
+/// ```
+pub fn provision_unshared_copies(
+    kernel: &mut OsKernel,
+    path: &str,
+    variants: usize,
+    transform: impl Fn(usize, &[u8]) -> Vec<u8>,
+) -> usize {
+    let Some(original) = kernel.fs().get(path).cloned() else {
+        return 0;
+    };
+    for variant in 0..variants {
+        let copy_path = format!("{path}-{variant}");
+        let contents = transform(variant, &original.data);
+        kernel.fs_mut().create_with(
+            &copy_path,
+            contents,
+            original.owner,
+            original.group,
+            original.mode,
+        );
+    }
+    variants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvariant_simos::WorldBuilder;
+    use nvariant_types::Uid;
+
+    #[test]
+    fn copies_preserve_ownership_and_mode() {
+        let mut kernel = WorldBuilder::standard().build();
+        let created =
+            provision_unshared_copies(&mut kernel, "/etc/shadow", 2, |_, data| data.to_vec());
+        assert_eq!(created, 2);
+        let original = kernel.fs().get("/etc/shadow").unwrap().clone();
+        for variant in 0..2 {
+            let copy = kernel.fs().get(&format!("/etc/shadow-{variant}")).unwrap();
+            assert_eq!(copy.owner, original.owner);
+            assert_eq!(copy.mode, original.mode);
+            assert_eq!(copy.data, original.data);
+        }
+    }
+
+    #[test]
+    fn transform_receives_variant_index() {
+        let mut kernel = WorldBuilder::standard().build();
+        provision_unshared_copies(&mut kernel, "/etc/passwd", 3, |variant, data| {
+            let mut copy = data.to_vec();
+            copy.push(b'0' + variant as u8);
+            copy
+        });
+        for variant in 0..3u8 {
+            let copy = kernel
+                .fs()
+                .get(&format!("/etc/passwd-{variant}"))
+                .unwrap();
+            assert_eq!(*copy.data.last().unwrap(), b'0' + variant);
+        }
+    }
+
+    #[test]
+    fn missing_original_creates_nothing() {
+        let mut kernel = OsKernel::new();
+        let created =
+            provision_unshared_copies(&mut kernel, "/etc/passwd", 2, |_, data| data.to_vec());
+        assert_eq!(created, 0);
+        assert!(!kernel.fs().exists("/etc/passwd-0"));
+        // Unrelated state untouched.
+        assert_eq!(kernel.fs().len(), 0);
+        let _ = Uid::ROOT;
+    }
+}

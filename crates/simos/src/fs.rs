@@ -1,0 +1,549 @@
+//! An in-memory filesystem with Unix-style ownership and permission bits.
+//!
+//! The filesystem is the *target interpreter* for the path-based part of the
+//! case study: whether an attacker who has corrupted the server's cached UID
+//! actually gains anything is decided here, when `open("/etc/shadow")` is
+//! checked against the effective UID of the calling process.
+
+use crate::cred::Credentials;
+use nvariant_types::{Errno, Gid, Uid};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Unix-style permission bits (lower 9 bits of the classic mode word).
+///
+/// # Example
+///
+/// ```
+/// use nvariant_simos::FileMode;
+///
+/// let mode = FileMode::new(0o640);
+/// assert!(mode.allows_owner_read());
+/// assert!(!mode.allows_other_read());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FileMode(u16);
+
+impl FileMode {
+    /// World-readable file, owner-writable (`0644`).
+    pub const PUBLIC: FileMode = FileMode(0o644);
+    /// Owner-only file (`0600`), e.g. `/etc/shadow`.
+    pub const PRIVATE: FileMode = FileMode(0o600);
+
+    /// Creates a mode from the classic octal representation.
+    #[must_use]
+    pub const fn new(bits: u16) -> Self {
+        FileMode(bits & 0o777)
+    }
+
+    /// Returns the raw permission bits.
+    #[must_use]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Owner read permission.
+    #[must_use]
+    pub const fn allows_owner_read(self) -> bool {
+        self.0 & 0o400 != 0
+    }
+
+    /// Owner write permission.
+    #[must_use]
+    pub const fn allows_owner_write(self) -> bool {
+        self.0 & 0o200 != 0
+    }
+
+    /// Group read permission.
+    #[must_use]
+    pub const fn allows_group_read(self) -> bool {
+        self.0 & 0o040 != 0
+    }
+
+    /// Group write permission.
+    #[must_use]
+    pub const fn allows_group_write(self) -> bool {
+        self.0 & 0o020 != 0
+    }
+
+    /// Other (world) read permission.
+    #[must_use]
+    pub const fn allows_other_read(self) -> bool {
+        self.0 & 0o004 != 0
+    }
+
+    /// Other (world) write permission.
+    #[must_use]
+    pub const fn allows_other_write(self) -> bool {
+        self.0 & 0o002 != 0
+    }
+}
+
+impl fmt::Debug for FileMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FileMode({:#o})", self.0)
+    }
+}
+
+impl fmt::Display for FileMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:03o}", self.0)
+    }
+}
+
+impl Default for FileMode {
+    fn default() -> Self {
+        FileMode::PUBLIC
+    }
+}
+
+/// The kind of access being requested on a file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessMode {
+    /// Read access.
+    Read,
+    /// Write access.
+    Write,
+}
+
+/// Flags passed to `open(2)` in the simulated kernel.
+///
+/// # Example
+///
+/// ```
+/// use nvariant_simos::OpenFlags;
+///
+/// assert!(OpenFlags::RDONLY.wants_read());
+/// assert!(OpenFlags::WRONLY.wants_write());
+/// assert!(OpenFlags::RDWR.wants_read() && OpenFlags::RDWR.wants_write());
+/// assert!(OpenFlags::from_bits(OpenFlags::WRONLY.bits() | OpenFlags::CREAT.bits()).creates());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct OpenFlags(u32);
+
+impl OpenFlags {
+    /// Open for reading only.
+    pub const RDONLY: OpenFlags = OpenFlags(0);
+    /// Open for writing only.
+    pub const WRONLY: OpenFlags = OpenFlags(1);
+    /// Open for reading and writing.
+    pub const RDWR: OpenFlags = OpenFlags(2);
+    /// Create the file if it does not exist.
+    pub const CREAT: OpenFlags = OpenFlags(0o100);
+    /// Append on each write.
+    pub const APPEND: OpenFlags = OpenFlags(0o2000);
+    /// Truncate to zero length on open.
+    pub const TRUNC: OpenFlags = OpenFlags(0o1000);
+
+    /// Reconstructs flags from their numeric representation (as passed
+    /// through a syscall argument register).
+    #[must_use]
+    pub const fn from_bits(bits: u32) -> Self {
+        OpenFlags(bits)
+    }
+
+    /// Returns the numeric representation.
+    #[must_use]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if the access mode includes reading.
+    #[must_use]
+    pub const fn wants_read(self) -> bool {
+        self.0 & 0o3 == 0 || self.0 & 0o3 == 2
+    }
+
+    /// Returns `true` if the access mode includes writing.
+    #[must_use]
+    pub const fn wants_write(self) -> bool {
+        let mode = self.0 & 0o3;
+        mode == 1 || mode == 2
+    }
+
+    /// Returns `true` if `O_CREAT` is set.
+    #[must_use]
+    pub const fn creates(self) -> bool {
+        self.0 & 0o100 != 0
+    }
+
+    /// Returns `true` if `O_APPEND` is set.
+    #[must_use]
+    pub const fn appends(self) -> bool {
+        self.0 & 0o2000 != 0
+    }
+
+    /// Returns `true` if `O_TRUNC` is set.
+    #[must_use]
+    pub const fn truncates(self) -> bool {
+        self.0 & 0o1000 != 0
+    }
+
+    /// Combines two flag sets.
+    #[must_use]
+    pub const fn union(self, other: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | other.0)
+    }
+}
+
+impl fmt::Debug for OpenFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OpenFlags({:#o})", self.0)
+    }
+}
+
+/// A regular file in the simulated filesystem.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Inode {
+    /// The file contents.
+    pub data: Vec<u8>,
+    /// Owning user.
+    pub owner: Uid,
+    /// Owning group.
+    pub group: Gid,
+    /// Permission bits.
+    pub mode: FileMode,
+}
+
+impl Inode {
+    /// Creates a new inode owned by root with public permissions.
+    #[must_use]
+    pub fn new(data: Vec<u8>) -> Self {
+        Inode {
+            data,
+            owner: Uid::ROOT,
+            group: Gid::ROOT,
+            mode: FileMode::PUBLIC,
+        }
+    }
+
+    /// Size of the file in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the file is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A flat, in-memory filesystem keyed by absolute path.
+///
+/// Directories are implicit: any `/`-separated prefix of an existing path is
+/// considered a directory. Paths are normalized before lookup so that the
+/// classic `..` traversal in URL paths behaves like it would on a real
+/// system (the case-study attack intentionally abuses this).
+///
+/// # Example
+///
+/// ```
+/// use nvariant_simos::{AccessMode, Credentials, FileMode, FileSystem};
+/// use nvariant_types::{Gid, Uid};
+///
+/// let mut fs = FileSystem::new();
+/// fs.create_with("/etc/shadow", b"root:x:...".to_vec(), Uid::ROOT, Gid::ROOT, FileMode::PRIVATE);
+///
+/// let www = Credentials::new(Uid::new(48), Gid::new(48));
+/// assert!(fs.check_access("/etc/shadow", &www, AccessMode::Read).is_err());
+/// let root = Credentials::root();
+/// assert!(fs.check_access("/etc/shadow", &root, AccessMode::Read).is_ok());
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FileSystem {
+    files: BTreeMap<String, Inode>,
+}
+
+impl FileSystem {
+    /// Creates an empty filesystem.
+    #[must_use]
+    pub fn new() -> Self {
+        FileSystem {
+            files: BTreeMap::new(),
+        }
+    }
+
+    /// Normalizes a path: collapses `//`, resolves `.` and `..` components,
+    /// and ensures a leading slash.
+    #[must_use]
+    pub fn normalize(path: &str) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        for comp in path.split('/') {
+            match comp {
+                "" | "." => {}
+                ".." => {
+                    parts.pop();
+                }
+                other => parts.push(other),
+            }
+        }
+        let mut out = String::from("/");
+        out.push_str(&parts.join("/"));
+        out
+    }
+
+    /// Creates (or replaces) a file owned by root with public permissions.
+    pub fn create(&mut self, path: &str, data: Vec<u8>) {
+        self.files
+            .insert(Self::normalize(path), Inode::new(data));
+    }
+
+    /// Creates (or replaces) a file with explicit ownership and mode.
+    pub fn create_with(
+        &mut self,
+        path: &str,
+        data: Vec<u8>,
+        owner: Uid,
+        group: Gid,
+        mode: FileMode,
+    ) {
+        self.files.insert(
+            Self::normalize(path),
+            Inode {
+                data,
+                owner,
+                group,
+                mode,
+            },
+        );
+    }
+
+    /// Removes a file. Returns the removed inode if it existed.
+    pub fn remove(&mut self, path: &str) -> Option<Inode> {
+        self.files.remove(&Self::normalize(path))
+    }
+
+    /// Returns `true` if a file exists at `path`.
+    #[must_use]
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(&Self::normalize(path))
+    }
+
+    /// Looks up a file.
+    #[must_use]
+    pub fn get(&self, path: &str) -> Option<&Inode> {
+        self.files.get(&Self::normalize(path))
+    }
+
+    /// Looks up a file mutably.
+    pub fn get_mut(&mut self, path: &str) -> Option<&mut Inode> {
+        self.files.get_mut(&Self::normalize(path))
+    }
+
+    /// Iterates over all `(path, inode)` pairs in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Inode)> {
+        self.files.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of files in the filesystem.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Returns `true` if the filesystem contains no files.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Checks whether the process described by `cred` may access `path` with
+    /// the requested mode, using standard owner/group/other semantics with a
+    /// root override.
+    ///
+    /// # Errors
+    ///
+    /// * [`Errno::Enoent`] if the file does not exist.
+    /// * [`Errno::Eacces`] if the permission bits deny the access.
+    pub fn check_access(
+        &self,
+        path: &str,
+        cred: &Credentials,
+        mode: AccessMode,
+    ) -> Result<(), Errno> {
+        let inode = self.get(path).ok_or(Errno::Enoent)?;
+        if cred.euid().is_root() {
+            return Ok(());
+        }
+        let allowed = if cred.euid() == inode.owner {
+            match mode {
+                AccessMode::Read => inode.mode.allows_owner_read(),
+                AccessMode::Write => inode.mode.allows_owner_write(),
+            }
+        } else if cred.egid() == inode.group {
+            match mode {
+                AccessMode::Read => inode.mode.allows_group_read(),
+                AccessMode::Write => inode.mode.allows_group_write(),
+            }
+        } else {
+            match mode {
+                AccessMode::Read => inode.mode.allows_other_read(),
+                AccessMode::Write => inode.mode.allows_other_write(),
+            }
+        };
+        if allowed {
+            Ok(())
+        } else {
+            Err(Errno::Eacces)
+        }
+    }
+
+    /// Changes the ownership of a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Enoent`] if the file does not exist.
+    pub fn chown(&mut self, path: &str, owner: Uid, group: Gid) -> Result<(), Errno> {
+        let inode = self.get_mut(path).ok_or(Errno::Enoent)?;
+        inode.owner = owner;
+        inode.group = group;
+        Ok(())
+    }
+
+    /// Changes the permission bits of a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Enoent`] if the file does not exist.
+    pub fn chmod(&mut self, path: &str, mode: FileMode) -> Result<(), Errno> {
+        let inode = self.get_mut(path).ok_or(Errno::Enoent)?;
+        inode.mode = mode;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn www() -> Credentials {
+        Credentials::new(Uid::new(48), Gid::new(48))
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(FileSystem::normalize("/a/b/c"), "/a/b/c");
+        assert_eq!(FileSystem::normalize("a/b"), "/a/b");
+        assert_eq!(FileSystem::normalize("/a//b/./c"), "/a/b/c");
+        assert_eq!(FileSystem::normalize("/a/b/../c"), "/a/c");
+        assert_eq!(FileSystem::normalize("/var/www/html/../../../etc/shadow"), "/etc/shadow");
+        assert_eq!(FileSystem::normalize("/../.."), "/");
+        assert_eq!(FileSystem::normalize(""), "/");
+    }
+
+    #[test]
+    fn create_and_read_back() {
+        let mut fs = FileSystem::new();
+        fs.create("/var/www/html/index.html", b"<html>".to_vec());
+        assert!(fs.exists("/var/www/html/index.html"));
+        assert!(fs.exists("/var/www//html/./index.html"));
+        assert_eq!(fs.get("/var/www/html/index.html").unwrap().data, b"<html>");
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn permission_checks_owner_group_other() {
+        let mut fs = FileSystem::new();
+        fs.create_with(
+            "/srv/data",
+            b"x".to_vec(),
+            Uid::new(48),
+            Gid::new(100),
+            FileMode::new(0o640),
+        );
+        // Owner may read and write.
+        let owner = Credentials::new(Uid::new(48), Gid::new(48));
+        assert!(fs.check_access("/srv/data", &owner, AccessMode::Read).is_ok());
+        assert!(fs.check_access("/srv/data", &owner, AccessMode::Write).is_ok());
+        // Group member may read, not write.
+        let group = Credentials::new(Uid::new(1000), Gid::new(100));
+        assert!(fs.check_access("/srv/data", &group, AccessMode::Read).is_ok());
+        assert_eq!(
+            fs.check_access("/srv/data", &group, AccessMode::Write),
+            Err(Errno::Eacces)
+        );
+        // Others get nothing.
+        let other = Credentials::new(Uid::new(2000), Gid::new(2000));
+        assert_eq!(
+            fs.check_access("/srv/data", &other, AccessMode::Read),
+            Err(Errno::Eacces)
+        );
+    }
+
+    #[test]
+    fn root_bypasses_permissions() {
+        let mut fs = FileSystem::new();
+        fs.create_with(
+            "/etc/shadow",
+            b"secret".to_vec(),
+            Uid::ROOT,
+            Gid::ROOT,
+            FileMode::PRIVATE,
+        );
+        assert!(fs
+            .check_access("/etc/shadow", &Credentials::root(), AccessMode::Read)
+            .is_ok());
+        assert_eq!(
+            fs.check_access("/etc/shadow", &www(), AccessMode::Read),
+            Err(Errno::Eacces)
+        );
+    }
+
+    #[test]
+    fn missing_file_is_enoent() {
+        let fs = FileSystem::new();
+        assert_eq!(
+            fs.check_access("/nope", &Credentials::root(), AccessMode::Read),
+            Err(Errno::Enoent)
+        );
+    }
+
+    #[test]
+    fn chown_and_chmod() {
+        let mut fs = FileSystem::new();
+        fs.create("/f", b"".to_vec());
+        fs.chown("/f", Uid::new(48), Gid::new(48)).unwrap();
+        fs.chmod("/f", FileMode::PRIVATE).unwrap();
+        let inode = fs.get("/f").unwrap();
+        assert_eq!(inode.owner, Uid::new(48));
+        assert_eq!(inode.mode, FileMode::PRIVATE);
+        assert_eq!(fs.chown("/missing", Uid::ROOT, Gid::ROOT), Err(Errno::Enoent));
+        assert_eq!(fs.chmod("/missing", FileMode::PUBLIC), Err(Errno::Enoent));
+    }
+
+    #[test]
+    fn traversal_resolves_before_lookup() {
+        let mut fs = FileSystem::new();
+        fs.create_with(
+            "/etc/shadow",
+            b"secret".to_vec(),
+            Uid::ROOT,
+            Gid::ROOT,
+            FileMode::PRIVATE,
+        );
+        // A docroot-relative traversal reaches the same inode.
+        assert!(fs.exists("/var/www/html/../../../etc/shadow"));
+    }
+
+    #[test]
+    fn open_flags_decoding() {
+        let f = OpenFlags::from_bits(OpenFlags::WRONLY.bits() | OpenFlags::CREAT.bits() | OpenFlags::APPEND.bits());
+        assert!(f.wants_write());
+        assert!(!f.wants_read());
+        assert!(f.creates());
+        assert!(f.appends());
+        assert!(!f.truncates());
+    }
+
+    #[test]
+    fn remove_files() {
+        let mut fs = FileSystem::new();
+        fs.create("/f", b"x".to_vec());
+        assert!(fs.remove("/f").is_some());
+        assert!(fs.remove("/f").is_none());
+        assert!(fs.is_empty());
+    }
+}

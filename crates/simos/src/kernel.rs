@@ -1,0 +1,812 @@
+//! The reference kernel: processes, file descriptors, and the typed system
+//! call operations shared by the single-process runner and the N-variant
+//! monitor.
+//!
+//! The monitor (in `nvariant-monitor`) performs the *N-variant specific*
+//! work — synchronization, canonicalization, equivalence checks, unshared
+//! files — and then invokes the operations here exactly once, which is how
+//! the paper's "wrap input system calls so the actual input operation is
+//! only performed once" behaviour is realized.
+
+use crate::cred::Credentials;
+use crate::fs::{AccessMode, FileMode, FileSystem, OpenFlags};
+use crate::net::SimNetwork;
+use crate::passwd::PasswdDb;
+use nvariant_types::{ConnId, Errno, Fd, Gid, Pid, Port, Uid};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Maximum number of open descriptors per process.
+pub const MAX_FDS: usize = 64;
+
+/// Access to a variant process' memory, implemented by the VM.
+///
+/// The kernel needs this to copy data to and from user space (`read`,
+/// `write`, path strings for `open`). Keeping it a trait lets `nvariant-simos`
+/// stay independent of the VM crate.
+pub trait ProcessMem {
+    /// Reads `len` bytes starting at virtual address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Efault`] if any byte of the range is unmapped.
+    fn read_mem(&self, addr: u32, len: usize) -> Result<Vec<u8>, Errno>;
+
+    /// Writes `data` starting at virtual address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Efault`] if any byte of the range is unmapped.
+    fn write_mem(&mut self, addr: u32, data: &[u8]) -> Result<(), Errno>;
+
+    /// Reads a NUL-terminated string of at most `max` bytes starting at
+    /// `addr` (the terminator is not included in the result).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Efault`] if the string runs off mapped memory before
+    /// a NUL terminator is found within `max` bytes.
+    fn read_cstr(&self, addr: u32, max: usize) -> Result<Vec<u8>, Errno> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let byte = self.read_mem(addr.wrapping_add(i as u32), 1)?;
+            if byte[0] == 0 {
+                return Ok(out);
+            }
+            out.push(byte[0]);
+        }
+        Err(Errno::Efault)
+    }
+}
+
+/// What a file descriptor refers to.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FdEntry {
+    /// The process console (stdin/stdout/stderr).
+    Console,
+    /// An open regular file with a cursor.
+    File {
+        /// Normalized path of the file.
+        path: String,
+        /// Current read/write offset.
+        offset: usize,
+        /// Flags the file was opened with.
+        flags: OpenFlags,
+    },
+    /// An unbound or bound (but unconnected) TCP socket.
+    Socket {
+        /// Port the socket is bound to, if any.
+        bound: Option<Port>,
+        /// Whether `listen` has been called.
+        listening: bool,
+    },
+    /// An accepted client connection.
+    Conn(ConnId),
+}
+
+/// Per-process kernel state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Proc {
+    cred: Credentials,
+    fds: Vec<Option<FdEntry>>,
+    console: Vec<u8>,
+    exited: Option<i32>,
+}
+
+impl Proc {
+    fn new(cred: Credentials) -> Self {
+        let mut fds = vec![None; MAX_FDS];
+        fds[0] = Some(FdEntry::Console);
+        fds[1] = Some(FdEntry::Console);
+        fds[2] = Some(FdEntry::Console);
+        Proc {
+            cred,
+            fds,
+            console: Vec::new(),
+            exited: None,
+        }
+    }
+
+    fn alloc_fd(&mut self, entry: FdEntry) -> Result<Fd, Errno> {
+        for (i, slot) in self.fds.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(entry);
+                return Ok(Fd::new(i as u32));
+            }
+        }
+        Err(Errno::Emfile)
+    }
+
+    fn fd(&self, fd: Fd) -> Result<&FdEntry, Errno> {
+        self.fds
+            .get(fd.as_usize())
+            .and_then(Option::as_ref)
+            .ok_or(Errno::Ebadf)
+    }
+
+    fn fd_mut(&mut self, fd: Fd) -> Result<&mut FdEntry, Errno> {
+        self.fds
+            .get_mut(fd.as_usize())
+            .and_then(Option::as_mut)
+            .ok_or(Errno::Ebadf)
+    }
+}
+
+/// The simulated operating system kernel: filesystem, network, account
+/// database, and a process table with credentials and descriptor tables.
+///
+/// # Example
+///
+/// ```
+/// use nvariant_simos::{OsKernel, OpenFlags};
+/// use nvariant_types::Uid;
+///
+/// let mut kernel = OsKernel::new();
+/// kernel.fs_mut().create("/greeting.txt", b"hello".to_vec());
+/// let pid = kernel.spawn_process(Uid::new(1000));
+/// let fd = kernel.open(pid, "/greeting.txt", OpenFlags::RDONLY)?;
+/// assert_eq!(kernel.read(pid, fd, 16)?, b"hello");
+/// # Ok::<(), nvariant_types::Errno>(())
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OsKernel {
+    fs: FileSystem,
+    net: SimNetwork,
+    passwd: PasswdDb,
+    procs: BTreeMap<u32, Proc>,
+    next_pid: u32,
+    sim_seconds: u64,
+}
+
+impl OsKernel {
+    /// Creates an empty kernel with no processes or files.
+    #[must_use]
+    pub fn new() -> Self {
+        OsKernel {
+            next_pid: 1,
+            ..OsKernel::default()
+        }
+    }
+
+    // ----- world accessors -------------------------------------------------
+
+    /// Shared view of the filesystem.
+    #[must_use]
+    pub fn fs(&self) -> &FileSystem {
+        &self.fs
+    }
+
+    /// Mutable view of the filesystem (used by world setup and tests).
+    pub fn fs_mut(&mut self) -> &mut FileSystem {
+        &mut self.fs
+    }
+
+    /// Shared view of the network.
+    #[must_use]
+    pub fn net(&self) -> &SimNetwork {
+        &self.net
+    }
+
+    /// Mutable view of the network (used by workload generators).
+    pub fn net_mut(&mut self) -> &mut SimNetwork {
+        &mut self.net
+    }
+
+    /// The account database.
+    #[must_use]
+    pub fn passwd(&self) -> &PasswdDb {
+        &self.passwd
+    }
+
+    /// Mutable account database (used by world setup).
+    pub fn passwd_mut(&mut self) -> &mut PasswdDb {
+        &mut self.passwd
+    }
+
+    // ----- process management ----------------------------------------------
+
+    /// Creates a new process whose real, effective and saved UID are `uid`
+    /// (the GID mirrors the UID, as is conventional for service accounts).
+    pub fn spawn_process(&mut self, uid: Uid) -> Pid {
+        self.spawn_process_with(Credentials::new(uid, Gid::new(uid.as_u32())))
+    }
+
+    /// Creates a new process with explicit credentials.
+    pub fn spawn_process_with(&mut self, cred: Credentials) -> Pid {
+        let pid = Pid::new(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(pid.as_u32(), Proc::new(cred));
+        pid
+    }
+
+    fn proc_ref(&self, pid: Pid) -> Result<&Proc, Errno> {
+        self.procs.get(&pid.as_u32()).ok_or(Errno::Einval)
+    }
+
+    fn proc_mut(&mut self, pid: Pid) -> Result<&mut Proc, Errno> {
+        self.procs.get_mut(&pid.as_u32()).ok_or(Errno::Einval)
+    }
+
+    /// Returns the credentials of a process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Einval`] if the process does not exist.
+    pub fn credentials(&self, pid: Pid) -> Result<Credentials, Errno> {
+        Ok(self.proc_ref(pid)?.cred)
+    }
+
+    /// Marks a process as exited with the given status.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Einval`] if the process does not exist.
+    pub fn exit(&mut self, pid: Pid, status: i32) -> Result<(), Errno> {
+        self.proc_mut(pid)?.exited = Some(status);
+        Ok(())
+    }
+
+    /// Returns the exit status of a process, if it has exited.
+    #[must_use]
+    pub fn exit_status(&self, pid: Pid) -> Option<i32> {
+        self.procs.get(&pid.as_u32()).and_then(|p| p.exited)
+    }
+
+    /// Returns everything the process has written to stdout/stderr.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Einval`] if the process does not exist.
+    pub fn console_output(&self, pid: Pid) -> Result<&[u8], Errno> {
+        Ok(&self.proc_ref(pid)?.console)
+    }
+
+    // ----- identity syscalls -----------------------------------------------
+
+    /// `getuid(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Einval`] if the process does not exist.
+    pub fn getuid(&self, pid: Pid) -> Result<Uid, Errno> {
+        Ok(self.proc_ref(pid)?.cred.ruid())
+    }
+
+    /// `geteuid(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Einval`] if the process does not exist.
+    pub fn geteuid(&self, pid: Pid) -> Result<Uid, Errno> {
+        Ok(self.proc_ref(pid)?.cred.euid())
+    }
+
+    /// `getgid(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Einval`] if the process does not exist.
+    pub fn getgid(&self, pid: Pid) -> Result<Gid, Errno> {
+        Ok(self.proc_ref(pid)?.cred.rgid())
+    }
+
+    /// `setuid(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Errno::Eperm`] from the credential rules, or
+    /// [`Errno::Einval`] for an unknown process.
+    pub fn setuid(&mut self, pid: Pid, uid: Uid) -> Result<(), Errno> {
+        self.proc_mut(pid)?.cred.setuid(uid)
+    }
+
+    /// `seteuid(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Errno::Eperm`] from the credential rules, or
+    /// [`Errno::Einval`] for an unknown process.
+    pub fn seteuid(&mut self, pid: Pid, uid: Uid) -> Result<(), Errno> {
+        self.proc_mut(pid)?.cred.seteuid(uid)
+    }
+
+    /// `setgid(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Errno::Eperm`] from the credential rules, or
+    /// [`Errno::Einval`] for an unknown process.
+    pub fn setgid(&mut self, pid: Pid, gid: Gid) -> Result<(), Errno> {
+        self.proc_mut(pid)?.cred.setgid(gid)
+    }
+
+    /// `setreuid(2)`; `None` leaves the corresponding ID unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Errno::Eperm`] from the credential rules, or
+    /// [`Errno::Einval`] for an unknown process.
+    pub fn setreuid(
+        &mut self,
+        pid: Pid,
+        ruid: Option<Uid>,
+        euid: Option<Uid>,
+    ) -> Result<(), Errno> {
+        self.proc_mut(pid)?.cred.setreuid(ruid, euid)
+    }
+
+    // ----- filesystem syscalls ----------------------------------------------
+
+    /// `open(2)`: permission-checks `path` against the caller's effective
+    /// UID and returns a new descriptor.
+    ///
+    /// # Errors
+    ///
+    /// * [`Errno::Enoent`] if the file is missing and `O_CREAT` is not set.
+    /// * [`Errno::Eacces`] if the permission bits deny the requested access.
+    /// * [`Errno::Emfile`] if the descriptor table is full.
+    pub fn open(&mut self, pid: Pid, path: &str, flags: OpenFlags) -> Result<Fd, Errno> {
+        let cred = self.proc_ref(pid)?.cred;
+        let normalized = FileSystem::normalize(path);
+        if !self.fs.exists(&normalized) {
+            if flags.creates() {
+                if flags.wants_write() {
+                    self.fs.create_with(
+                        &normalized,
+                        Vec::new(),
+                        cred.euid(),
+                        cred.egid(),
+                        FileMode::new(0o644),
+                    );
+                } else {
+                    return Err(Errno::Eacces);
+                }
+            } else {
+                return Err(Errno::Enoent);
+            }
+        } else {
+            if flags.wants_read() {
+                self.fs.check_access(&normalized, &cred, AccessMode::Read)?;
+            }
+            if flags.wants_write() {
+                self.fs
+                    .check_access(&normalized, &cred, AccessMode::Write)?;
+            }
+            if flags.truncates() && flags.wants_write() {
+                if let Some(inode) = self.fs.get_mut(&normalized) {
+                    inode.data.clear();
+                }
+            }
+        }
+        let offset = if flags.appends() {
+            self.fs.get(&normalized).map_or(0, |i| i.data.len())
+        } else {
+            0
+        };
+        self.proc_mut(pid)?.alloc_fd(FdEntry::File {
+            path: normalized,
+            offset,
+            flags,
+        })
+    }
+
+    /// `read(2)` / `recv(2)` depending on what the descriptor refers to.
+    ///
+    /// # Errors
+    ///
+    /// * [`Errno::Ebadf`] if the descriptor is invalid.
+    /// * [`Errno::Eacces`] if the file was not opened for reading.
+    pub fn read(&mut self, pid: Pid, fd: Fd, max: usize) -> Result<Vec<u8>, Errno> {
+        let entry = self.proc_ref(pid)?.fd(fd)?.clone();
+        match entry {
+            FdEntry::Console => Ok(Vec::new()),
+            FdEntry::File { path, offset, flags } => {
+                if !flags.wants_read() {
+                    return Err(Errno::Eacces);
+                }
+                let inode = self.fs.get(&path).ok_or(Errno::Enoent)?;
+                let start = offset.min(inode.data.len());
+                let end = (start + max).min(inode.data.len());
+                let data = inode.data[start..end].to_vec();
+                if let FdEntry::File { offset, .. } = self.proc_mut(pid)?.fd_mut(fd)? {
+                    *offset = end;
+                }
+                Ok(data)
+            }
+            FdEntry::Conn(conn) => self.net.recv(conn, max),
+            FdEntry::Socket { .. } => Err(Errno::Einval),
+        }
+    }
+
+    /// `write(2)` / `send(2)` depending on what the descriptor refers to.
+    ///
+    /// # Errors
+    ///
+    /// * [`Errno::Ebadf`] if the descriptor is invalid.
+    /// * [`Errno::Eacces`] if the file was not opened for writing.
+    pub fn write(&mut self, pid: Pid, fd: Fd, data: &[u8]) -> Result<usize, Errno> {
+        let entry = self.proc_ref(pid)?.fd(fd)?.clone();
+        match entry {
+            FdEntry::Console => {
+                self.proc_mut(pid)?.console.extend_from_slice(data);
+                Ok(data.len())
+            }
+            FdEntry::File { path, offset, flags } => {
+                if !flags.wants_write() {
+                    return Err(Errno::Eacces);
+                }
+                let inode = self.fs.get_mut(&path).ok_or(Errno::Enoent)?;
+                let pos = if flags.appends() {
+                    inode.data.len()
+                } else {
+                    offset
+                };
+                if inode.data.len() < pos + data.len() {
+                    inode.data.resize(pos + data.len(), 0);
+                }
+                inode.data[pos..pos + data.len()].copy_from_slice(data);
+                let new_offset = pos + data.len();
+                if let FdEntry::File { offset, .. } = self.proc_mut(pid)?.fd_mut(fd)? {
+                    *offset = new_offset;
+                }
+                Ok(data.len())
+            }
+            FdEntry::Conn(conn) => self.net.send(conn, data),
+            FdEntry::Socket { .. } => Err(Errno::Einval),
+        }
+    }
+
+    /// `close(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Ebadf`] if the descriptor is invalid.
+    pub fn close(&mut self, pid: Pid, fd: Fd) -> Result<(), Errno> {
+        let entry = self.proc_ref(pid)?.fd(fd)?.clone();
+        if let FdEntry::Conn(conn) = entry {
+            // Ignore errors from double closes of the underlying connection.
+            let _ = self.net.close(conn);
+        }
+        let proc = self.proc_mut(pid)?;
+        proc.fds[fd.as_usize()] = None;
+        Ok(())
+    }
+
+    /// Returns the path behind a file descriptor, if it is a regular file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Ebadf`] if the descriptor is invalid.
+    pub fn fd_path(&self, pid: Pid, fd: Fd) -> Result<Option<String>, Errno> {
+        match self.proc_ref(pid)?.fd(fd)? {
+            FdEntry::File { path, .. } => Ok(Some(path.clone())),
+            _ => Ok(None),
+        }
+    }
+
+    // ----- network syscalls --------------------------------------------------
+
+    /// `socket(2)`: allocates an unbound TCP socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Emfile`] if the descriptor table is full.
+    pub fn socket(&mut self, pid: Pid) -> Result<Fd, Errno> {
+        self.proc_mut(pid)?.alloc_fd(FdEntry::Socket {
+            bound: None,
+            listening: false,
+        })
+    }
+
+    /// `bind(2)`: binds a socket to a port. Binding a privileged port
+    /// (< 1024) requires an effective UID of root — this is the check the
+    /// Apache-style server must start as root to pass.
+    ///
+    /// # Errors
+    ///
+    /// * [`Errno::Ebadf`] / [`Errno::Enotsock`] for bad descriptors.
+    /// * [`Errno::Eacces`] if the port is privileged and the caller is not.
+    /// * [`Errno::Eaddrinuse`] if the port is taken.
+    pub fn bind(&mut self, pid: Pid, fd: Fd, port: Port) -> Result<(), Errno> {
+        let cred = self.proc_ref(pid)?.cred;
+        match self.proc_ref(pid)?.fd(fd)? {
+            FdEntry::Socket { .. } => {}
+            _ => return Err(Errno::Enotsock),
+        }
+        if port.is_privileged() && !cred.euid().is_root() {
+            return Err(Errno::Eacces);
+        }
+        self.net.bind(port)?;
+        if let FdEntry::Socket { bound, .. } = self.proc_mut(pid)?.fd_mut(fd)? {
+            *bound = Some(port);
+        }
+        Ok(())
+    }
+
+    /// `listen(2)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Errno::Enotsock`] if the descriptor is not a socket.
+    /// * [`Errno::Einval`] if the socket is not bound.
+    pub fn listen(&mut self, pid: Pid, fd: Fd) -> Result<(), Errno> {
+        let port = match self.proc_ref(pid)?.fd(fd)? {
+            FdEntry::Socket { bound: Some(p), .. } => *p,
+            FdEntry::Socket { bound: None, .. } => return Err(Errno::Einval),
+            _ => return Err(Errno::Enotsock),
+        };
+        self.net.listen(port)?;
+        if let FdEntry::Socket { listening, .. } = self.proc_mut(pid)?.fd_mut(fd)? {
+            *listening = true;
+        }
+        Ok(())
+    }
+
+    /// `accept(2)`: dequeues a pending connection and returns a new
+    /// descriptor for it.
+    ///
+    /// # Errors
+    ///
+    /// * [`Errno::Enotsock`] / [`Errno::Einval`] for bad descriptors.
+    /// * [`Errno::Eagain`] if no connection is pending (used by the case
+    ///   study as its shutdown signal).
+    pub fn accept(&mut self, pid: Pid, fd: Fd) -> Result<Fd, Errno> {
+        let port = match self.proc_ref(pid)?.fd(fd)? {
+            FdEntry::Socket {
+                bound: Some(p),
+                listening: true,
+            } => *p,
+            FdEntry::Socket { .. } => return Err(Errno::Einval),
+            _ => return Err(Errno::Enotsock),
+        };
+        let conn = self.net.accept(port)?;
+        self.proc_mut(pid)?.alloc_fd(FdEntry::Conn(conn))
+    }
+
+    /// `recv(2)`; equivalent to [`OsKernel::read`] on a connection fd.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Enotsock`] if the descriptor is not a connection.
+    pub fn recv(&mut self, pid: Pid, fd: Fd, max: usize) -> Result<Vec<u8>, Errno> {
+        match self.proc_ref(pid)?.fd(fd)? {
+            FdEntry::Conn(conn) => self.net.recv(*conn, max),
+            _ => Err(Errno::Enotsock),
+        }
+    }
+
+    /// `send(2)`; equivalent to [`OsKernel::write`] on a connection fd.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Enotsock`] if the descriptor is not a connection.
+    pub fn send(&mut self, pid: Pid, fd: Fd, data: &[u8]) -> Result<usize, Errno> {
+        match self.proc_ref(pid)?.fd(fd)? {
+            FdEntry::Conn(conn) => self.net.send(*conn, data),
+            _ => Err(Errno::Enotsock),
+        }
+    }
+
+    // ----- clock --------------------------------------------------------------
+
+    /// `time(2)`: seconds since simulation start.
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.sim_seconds
+    }
+
+    /// Advances the simulated wall clock (driven by the workload harness).
+    pub fn advance_time(&mut self, seconds: u64) {
+        self.sim_seconds += seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_with_file(path: &str, data: &[u8], mode: FileMode, owner: Uid) -> OsKernel {
+        let mut k = OsKernel::new();
+        k.fs_mut()
+            .create_with(path, data.to_vec(), owner, Gid::new(owner.as_u32()), mode);
+        k
+    }
+
+    #[test]
+    fn spawn_and_identity_calls() {
+        let mut k = OsKernel::new();
+        let pid = k.spawn_process(Uid::new(48));
+        assert_eq!(k.getuid(pid).unwrap(), Uid::new(48));
+        assert_eq!(k.geteuid(pid).unwrap(), Uid::new(48));
+        assert_eq!(k.getgid(pid).unwrap(), Gid::new(48));
+    }
+
+    #[test]
+    fn open_read_write_round_trip() {
+        let mut k = kernel_with_file("/data.txt", b"hello world", FileMode::PUBLIC, Uid::ROOT);
+        let pid = k.spawn_process(Uid::new(1000));
+        let fd = k.open(pid, "/data.txt", OpenFlags::RDONLY).unwrap();
+        assert_eq!(k.read(pid, fd, 5).unwrap(), b"hello");
+        assert_eq!(k.read(pid, fd, 100).unwrap(), b" world");
+        assert_eq!(k.read(pid, fd, 100).unwrap(), b"");
+        // Not opened for writing.
+        assert_eq!(k.write(pid, fd, b"x"), Err(Errno::Eacces));
+        k.close(pid, fd).unwrap();
+        assert_eq!(k.read(pid, fd, 1), Err(Errno::Ebadf));
+    }
+
+    #[test]
+    fn open_respects_permissions() {
+        let mut k = kernel_with_file("/etc/shadow", b"secret", FileMode::PRIVATE, Uid::ROOT);
+        let www = k.spawn_process(Uid::new(48));
+        assert_eq!(
+            k.open(www, "/etc/shadow", OpenFlags::RDONLY),
+            Err(Errno::Eacces)
+        );
+        let root = k.spawn_process(Uid::ROOT);
+        assert!(k.open(root, "/etc/shadow", OpenFlags::RDONLY).is_ok());
+    }
+
+    #[test]
+    fn privilege_drop_changes_access_decisions() {
+        let mut k = kernel_with_file("/etc/shadow", b"secret", FileMode::PRIVATE, Uid::ROOT);
+        let pid = k.spawn_process(Uid::ROOT);
+        assert!(k.open(pid, "/etc/shadow", OpenFlags::RDONLY).is_ok());
+        k.setuid(pid, Uid::new(48)).unwrap();
+        assert_eq!(
+            k.open(pid, "/etc/shadow", OpenFlags::RDONLY),
+            Err(Errno::Eacces)
+        );
+        // And the drop is irreversible.
+        assert_eq!(k.seteuid(pid, Uid::ROOT), Err(Errno::Eperm));
+    }
+
+    #[test]
+    fn seteuid_toggle_preserves_saved_root() {
+        let mut k = kernel_with_file("/etc/shadow", b"secret", FileMode::PRIVATE, Uid::ROOT);
+        let pid = k.spawn_process(Uid::ROOT);
+        k.seteuid(pid, Uid::new(48)).unwrap();
+        assert_eq!(
+            k.open(pid, "/etc/shadow", OpenFlags::RDONLY),
+            Err(Errno::Eacces)
+        );
+        k.seteuid(pid, Uid::ROOT).unwrap();
+        assert!(k.open(pid, "/etc/shadow", OpenFlags::RDONLY).is_ok());
+    }
+
+    #[test]
+    fn create_append_and_truncate() {
+        let mut k = OsKernel::new();
+        let pid = k.spawn_process(Uid::new(48));
+        let flags = OpenFlags::WRONLY.union(OpenFlags::CREAT);
+        let fd = k.open(pid, "/tmp/log", flags).unwrap();
+        k.write(pid, fd, b"line1\n").unwrap();
+        k.close(pid, fd).unwrap();
+
+        let fd = k
+            .open(pid, "/tmp/log", OpenFlags::WRONLY.union(OpenFlags::APPEND))
+            .unwrap();
+        k.write(pid, fd, b"line2\n").unwrap();
+        k.close(pid, fd).unwrap();
+        assert_eq!(k.fs().get("/tmp/log").unwrap().data, b"line1\nline2\n");
+
+        let fd = k
+            .open(pid, "/tmp/log", OpenFlags::WRONLY.union(OpenFlags::TRUNC))
+            .unwrap();
+        k.write(pid, fd, b"fresh").unwrap();
+        k.close(pid, fd).unwrap();
+        assert_eq!(k.fs().get("/tmp/log").unwrap().data, b"fresh");
+        // New file is owned by the creator.
+        assert_eq!(k.fs().get("/tmp/log").unwrap().owner, Uid::new(48));
+    }
+
+    #[test]
+    fn missing_file_without_creat_is_enoent() {
+        let mut k = OsKernel::new();
+        let pid = k.spawn_process(Uid::ROOT);
+        assert_eq!(
+            k.open(pid, "/missing", OpenFlags::RDONLY),
+            Err(Errno::Enoent)
+        );
+    }
+
+    #[test]
+    fn console_collects_stdout() {
+        let mut k = OsKernel::new();
+        let pid = k.spawn_process(Uid::new(1000));
+        k.write(pid, Fd::STDOUT, b"hello ").unwrap();
+        k.write(pid, Fd::STDERR, b"world").unwrap();
+        assert_eq!(k.console_output(pid).unwrap(), b"hello world");
+        assert_eq!(k.read(pid, Fd::STDIN, 10).unwrap(), b"");
+    }
+
+    #[test]
+    fn socket_lifecycle_and_privileged_bind() {
+        let mut k = OsKernel::new();
+        let root = k.spawn_process(Uid::ROOT);
+        let sock = k.socket(root).unwrap();
+        assert_eq!(k.listen(root, sock), Err(Errno::Einval));
+        k.bind(root, sock, Port::HTTP).unwrap();
+        k.listen(root, sock).unwrap();
+
+        // Unprivileged process cannot bind a low port.
+        let www = k.spawn_process(Uid::new(48));
+        let sock2 = k.socket(www).unwrap();
+        assert_eq!(k.bind(www, sock2, Port::new(443)), Err(Errno::Eacces));
+        assert!(k.bind(www, sock2, Port::new(8080)).is_ok());
+
+        // Serve one request end to end.
+        k.net_mut()
+            .enqueue_request(Port::HTTP, b"GET / HTTP/1.0\r\n\r\n".to_vec())
+            .unwrap();
+        let conn = k.accept(root, sock).unwrap();
+        let req = k.recv(root, conn, 1024).unwrap();
+        assert!(req.starts_with(b"GET /"));
+        k.send(root, conn, b"HTTP/1.0 200 OK\r\n\r\nhi").unwrap();
+        k.close(root, conn).unwrap();
+        assert_eq!(k.net().total_response_bytes(), 21);
+
+        // Backlog drained: next accept would block.
+        assert_eq!(k.accept(root, sock), Err(Errno::Eagain));
+    }
+
+    #[test]
+    fn accept_on_non_listening_socket_fails() {
+        let mut k = OsKernel::new();
+        let pid = k.spawn_process(Uid::ROOT);
+        let sock = k.socket(pid).unwrap();
+        assert_eq!(k.accept(pid, sock), Err(Errno::Einval));
+        let fd_file = {
+            k.fs_mut().create("/f", vec![]);
+            k.open(pid, "/f", OpenFlags::RDONLY).unwrap()
+        };
+        assert_eq!(k.accept(pid, fd_file), Err(Errno::Enotsock));
+        assert_eq!(k.recv(pid, fd_file, 1), Err(Errno::Enotsock));
+        assert_eq!(k.send(pid, fd_file, b"x"), Err(Errno::Enotsock));
+    }
+
+    #[test]
+    fn exit_status_tracking() {
+        let mut k = OsKernel::new();
+        let pid = k.spawn_process(Uid::ROOT);
+        assert_eq!(k.exit_status(pid), None);
+        k.exit(pid, 3).unwrap();
+        assert_eq!(k.exit_status(pid), Some(3));
+    }
+
+    #[test]
+    fn time_advances_only_when_driven() {
+        let mut k = OsKernel::new();
+        assert_eq!(k.time(), 0);
+        k.advance_time(5);
+        assert_eq!(k.time(), 5);
+    }
+
+    #[test]
+    fn fd_exhaustion() {
+        let mut k = OsKernel::new();
+        k.fs_mut().create("/f", vec![]);
+        let pid = k.spawn_process(Uid::ROOT);
+        let mut opened = Vec::new();
+        loop {
+            match k.open(pid, "/f", OpenFlags::RDONLY) {
+                Ok(fd) => opened.push(fd),
+                Err(e) => {
+                    assert_eq!(e, Errno::Emfile);
+                    break;
+                }
+            }
+        }
+        assert_eq!(opened.len(), MAX_FDS - 3);
+    }
+
+    #[test]
+    fn fd_path_reports_backing_file() {
+        let mut k = OsKernel::new();
+        k.fs_mut().create("/etc/passwd", b"root:x:0:0:::\n".to_vec());
+        let pid = k.spawn_process(Uid::ROOT);
+        let fd = k.open(pid, "/etc/passwd", OpenFlags::RDONLY).unwrap();
+        assert_eq!(k.fd_path(pid, fd).unwrap().as_deref(), Some("/etc/passwd"));
+        assert_eq!(k.fd_path(pid, Fd::STDOUT).unwrap(), None);
+    }
+}

@@ -1,0 +1,335 @@
+//! Construction of the standard case-study world: users, account files,
+//! server configuration, document root, and sensitive targets.
+//!
+//! The layout mirrors the environment of the paper's Apache case study:
+//! the server is configured (in `/etc/httpd.conf`) to run as the `httpd`
+//! user, maps that name to a UID by reading `/etc/passwd`, serves static
+//! pages from `/var/www/html`, appends to a root-owned log file, and the
+//! attacker's prize is the root-only `/etc/shadow`.
+
+use crate::fs::FileMode;
+use crate::kernel::OsKernel;
+use crate::passwd::{GroupEntry, PasswdDb, PasswdEntry};
+use nvariant_types::{Gid, Uid};
+use serde::{Deserialize, Serialize};
+
+/// Description of one user account to create in the world.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserSpec {
+    /// Login name.
+    pub name: String,
+    /// User ID.
+    pub uid: Uid,
+    /// Primary group ID.
+    pub gid: Gid,
+}
+
+impl UserSpec {
+    /// Creates a user specification.
+    #[must_use]
+    pub fn new(name: &str, uid: u32, gid: u32) -> Self {
+        UserSpec {
+            name: name.to_string(),
+            uid: Uid::new(uid),
+            gid: Gid::new(gid),
+        }
+    }
+}
+
+/// A file to create in the world.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct FileSpec {
+    path: String,
+    data: Vec<u8>,
+    owner: Uid,
+    group: Gid,
+    mode: FileMode,
+}
+
+/// Builder for the simulated world used by the examples, tests and
+/// benchmarks.
+///
+/// # Example
+///
+/// ```
+/// use nvariant_simos::WorldBuilder;
+///
+/// let kernel = WorldBuilder::standard().build();
+/// assert!(kernel.fs().exists("/etc/passwd"));
+/// assert!(kernel.fs().exists("/var/www/html/index.html"));
+/// assert_eq!(kernel.passwd().lookup_user("httpd").unwrap().uid.as_u32(), 48);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WorldBuilder {
+    users: Vec<UserSpec>,
+    files: Vec<FileSpec>,
+    server_user: String,
+    document_root: String,
+    listen_port: u16,
+    log_file: String,
+}
+
+/// The UID of the `httpd` service account in the standard world.
+pub const HTTPD_UID: u32 = 48;
+
+impl WorldBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        WorldBuilder {
+            server_user: "httpd".to_string(),
+            document_root: "/var/www/html".to_string(),
+            listen_port: 80,
+            log_file: "/var/log/httpd.log".to_string(),
+            ..WorldBuilder::default()
+        }
+    }
+
+    /// Creates the standard case-study world:
+    ///
+    /// * accounts `root` (0), `httpd` (48), `alice` (1000);
+    /// * `/etc/passwd` and `/etc/group` rendered from those accounts;
+    /// * `/etc/httpd.conf` configuring the server;
+    /// * a document root with a static-page mix modelled on the WebBench
+    ///   workload (small and medium HTML pages plus an image);
+    /// * root-only `/etc/shadow` (the attacker's target) and a root-owned
+    ///   log file the server must escalate to append to.
+    #[must_use]
+    pub fn standard() -> Self {
+        let mut b = WorldBuilder::new();
+        b = b
+            .user(UserSpec::new("root", 0, 0))
+            .user(UserSpec::new("httpd", HTTPD_UID, HTTPD_UID))
+            .user(UserSpec::new("alice", 1000, 100));
+
+        b = b.file_with(
+            "/etc/shadow",
+            b"root:$6$rEdUnDaNt$EncryptedRootPasswordHash:19000:0:99999:7:::\nhttpd:!!:19000::::::\nalice:$6$aLiCe$AnotherHash:19000:0:99999:7:::\n".to_vec(),
+            Uid::ROOT,
+            Gid::ROOT,
+            FileMode::PRIVATE,
+        );
+        b = b.file_with(
+            "/var/log/httpd.log",
+            Vec::new(),
+            Uid::ROOT,
+            Gid::ROOT,
+            FileMode::PRIVATE,
+        );
+        b = b.file_with(
+            "/etc/httpd.conf",
+            b"Listen 80\nUser httpd\nDocumentRoot /var/www/html\nLogFile /var/log/httpd.log\n"
+                .to_vec(),
+            Uid::ROOT,
+            Gid::ROOT,
+            FileMode::PUBLIC,
+        );
+
+        // WebBench-style static page mix.
+        b = b.page("index.html", &WorldBuilder::html_page("Welcome", 16));
+        b = b.page("about.html", &WorldBuilder::html_page("About Us", 24));
+        b = b.page("products.html", &WorldBuilder::html_page("Products", 48));
+        b = b.page("contact.html", &WorldBuilder::html_page("Contact", 8));
+        b = b.page("news.html", &WorldBuilder::html_page("News Archive", 96));
+        b = b.page(
+            "logo.png",
+            &String::from_utf8(vec![b'P'; 4096]).expect("ascii fill is valid utf-8"),
+        );
+        b = b.page("admin/status.html", &WorldBuilder::html_page("Server Status", 12));
+        b
+    }
+
+    fn html_page(title: &str, paragraphs: usize) -> String {
+        let mut body = String::new();
+        body.push_str("<html><head><title>");
+        body.push_str(title);
+        body.push_str("</title></head><body>\n");
+        for i in 0..paragraphs {
+            body.push_str(&format!(
+                "<p>Paragraph {i} of the {title} page, served by the redundant \
+                 data diversity case study server.</p>\n"
+            ));
+        }
+        body.push_str("</body></html>\n");
+        body
+    }
+
+    /// Adds a user account (and a matching single-member group).
+    #[must_use]
+    pub fn user(mut self, user: UserSpec) -> Self {
+        self.users.push(user);
+        self
+    }
+
+    /// Adds a world-readable, root-owned file.
+    #[must_use]
+    pub fn file(self, path: &str, data: Vec<u8>) -> Self {
+        self.file_with(path, data, Uid::ROOT, Gid::ROOT, FileMode::PUBLIC)
+    }
+
+    /// Adds a file with explicit ownership and mode.
+    #[must_use]
+    pub fn file_with(
+        mut self,
+        path: &str,
+        data: Vec<u8>,
+        owner: Uid,
+        group: Gid,
+        mode: FileMode,
+    ) -> Self {
+        self.files.push(FileSpec {
+            path: path.to_string(),
+            data,
+            owner,
+            group,
+            mode,
+        });
+        self
+    }
+
+    /// Adds a static page under the document root.
+    #[must_use]
+    pub fn page(self, relative_path: &str, contents: &str) -> Self {
+        let path = format!("{}/{}", "/var/www/html", relative_path);
+        self.file(&path, contents.as_bytes().to_vec())
+    }
+
+    /// Overrides the server's configured user name.
+    #[must_use]
+    pub fn server_user(mut self, name: &str) -> Self {
+        self.server_user = name.to_string();
+        self
+    }
+
+    /// The document root used for pages added via [`WorldBuilder::page`].
+    #[must_use]
+    pub fn document_root(&self) -> &str {
+        &self.document_root
+    }
+
+    /// The account database implied by the configured users.
+    #[must_use]
+    pub fn passwd_db(&self) -> PasswdDb {
+        let mut db = PasswdDb::new();
+        for user in &self.users {
+            db.add_user(PasswdEntry::new(&user.name, user.uid, user.gid));
+            db.add_group(GroupEntry::new(&user.name, user.gid));
+        }
+        db
+    }
+
+    /// Builds the kernel: creates all accounts and files, including the
+    /// rendered `/etc/passwd` and `/etc/group`.
+    #[must_use]
+    pub fn build(&self) -> OsKernel {
+        let mut kernel = OsKernel::new();
+        let db = self.passwd_db();
+        *kernel.passwd_mut() = db.clone();
+
+        kernel.fs_mut().create_with(
+            "/etc/passwd",
+            db.render_passwd().into_bytes(),
+            Uid::ROOT,
+            Gid::ROOT,
+            FileMode::PUBLIC,
+        );
+        kernel.fs_mut().create_with(
+            "/etc/group",
+            db.render_group().into_bytes(),
+            Uid::ROOT,
+            Gid::ROOT,
+            FileMode::PUBLIC,
+        );
+
+        for f in &self.files {
+            kernel
+                .fs_mut()
+                .create_with(&f.path, f.data.clone(), f.owner, f.group, f.mode);
+        }
+        kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::{AccessMode, OpenFlags};
+    use crate::cred::Credentials;
+
+    #[test]
+    fn standard_world_has_expected_accounts() {
+        let b = WorldBuilder::standard();
+        let db = b.passwd_db();
+        assert_eq!(db.lookup_user("root").unwrap().uid, Uid::ROOT);
+        assert_eq!(db.lookup_user("httpd").unwrap().uid, Uid::new(HTTPD_UID));
+        assert_eq!(db.lookup_user("alice").unwrap().uid, Uid::new(1000));
+        assert!(db.lookup_group("httpd").is_some());
+    }
+
+    #[test]
+    fn standard_world_files_exist_with_expected_protection() {
+        let kernel = WorldBuilder::standard().build();
+        assert!(kernel.fs().exists("/etc/passwd"));
+        assert!(kernel.fs().exists("/etc/group"));
+        assert!(kernel.fs().exists("/etc/httpd.conf"));
+        assert!(kernel.fs().exists("/var/www/html/index.html"));
+        assert!(kernel.fs().exists("/var/www/html/admin/status.html"));
+
+        let www = Credentials::new(Uid::new(HTTPD_UID), Gid::new(HTTPD_UID));
+        // Shadow and the log file are root-only.
+        assert!(kernel
+            .fs()
+            .check_access("/etc/shadow", &www, AccessMode::Read)
+            .is_err());
+        assert!(kernel
+            .fs()
+            .check_access("/var/log/httpd.log", &www, AccessMode::Write)
+            .is_err());
+        // Pages and passwd are world readable.
+        assert!(kernel
+            .fs()
+            .check_access("/var/www/html/index.html", &www, AccessMode::Read)
+            .is_ok());
+        assert!(kernel
+            .fs()
+            .check_access("/etc/passwd", &www, AccessMode::Read)
+            .is_ok());
+    }
+
+    #[test]
+    fn rendered_passwd_contains_httpd_line() {
+        let kernel = WorldBuilder::standard().build();
+        let passwd = kernel.fs().get("/etc/passwd").unwrap();
+        let text = String::from_utf8(passwd.data.clone()).unwrap();
+        assert!(text.contains("httpd:x:48:48:"));
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn custom_world_pages_and_users() {
+        let kernel = WorldBuilder::new()
+            .user(UserSpec::new("root", 0, 0))
+            .user(UserSpec::new("svc", 200, 200))
+            .page("custom.html", "<html>x</html>")
+            .build();
+        assert!(kernel.fs().exists("/var/www/html/custom.html"));
+        assert_eq!(kernel.passwd().lookup_user("svc").unwrap().uid, Uid::new(200));
+    }
+
+    #[test]
+    fn built_kernel_supports_end_to_end_privileged_open() {
+        let mut kernel = WorldBuilder::standard().build();
+        let root = kernel.spawn_process(Uid::ROOT);
+        assert!(kernel.open(root, "/etc/shadow", OpenFlags::RDONLY).is_ok());
+        let www = kernel.spawn_process(Uid::new(HTTPD_UID));
+        assert!(kernel.open(www, "/etc/shadow", OpenFlags::RDONLY).is_err());
+    }
+
+    #[test]
+    fn page_sizes_form_a_mix() {
+        let kernel = WorldBuilder::standard().build();
+        let small = kernel.fs().get("/var/www/html/contact.html").unwrap().len();
+        let large = kernel.fs().get("/var/www/html/news.html").unwrap().len();
+        assert!(large > 4 * small);
+    }
+}

@@ -1,0 +1,61 @@
+//! The source-to-source UID data diversity transformation (§3.3–§3.5, §4 of
+//! the paper), automated.
+//!
+//! The paper transformed Apache by hand (73 changes) but argues the process
+//! "could be readily automated"; this crate is that automation for SimC
+//! programs. It has two halves, mirroring the paper:
+//!
+//! 1. **Instrumentation**, applied identically to every variant:
+//!    * make implicit UID constants explicit (`if (!getuid())` becomes
+//!      `if (getuid() == 0)`),
+//!    * expose UID comparisons to the monitor through the `cc_*` detection
+//!      calls (Table 2) — which also sidesteps the operator-reversal problem
+//!      for inequality comparisons on reexpressed data,
+//!    * expose single UID values passed across function boundaries through
+//!      `uid_value`,
+//!    * check UID-influenced conditionals through `cond_chk`,
+//!    * sanitize UID values out of log/format sinks (the divergence pitfall
+//!      §4 describes for Apache's error log).
+//! 2. **Reexpression**, applied per variant: every UID-typed constant in the
+//!    program text is replaced by `Rᵢ(constant)`.
+//!
+//! The per-category change counts are reported as [`TransformStats`], the
+//! analogue of the paper's "73 changes" breakdown.
+//!
+//! # Example
+//!
+//! ```
+//! use nvariant_diversity::UidTransform;
+//! use nvariant_transform::UidTransformer;
+//! use nvariant_vm::parse_program;
+//!
+//! let program = parse_program(r#"
+//!     var server_uid: uid_t;
+//!     fn main() -> int {
+//!         server_uid = getuid();
+//!         if (!server_uid) { return 1; }
+//!         if (server_uid >= 1000) { return 2; }
+//!         return setuid(0);
+//!     }
+//! "#)?;
+//!
+//! let transformer = UidTransformer::default();
+//! let variant1 = transformer.transform_for_variant(&program, &UidTransform::paper_mask())?;
+//! assert!(variant1.stats.total() > 0);
+//! // The constant 0 passed to setuid is now the variant's representation of root.
+//! let text = nvariant_vm::pretty_print(&variant1.program);
+//! assert!(text.contains("setuid(0x7fffffff)"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod inference;
+pub mod passes;
+pub mod stats;
+
+pub use driver::{TransformError, TransformOptions, TransformedVariant, UidTransformer};
+pub use inference::UidContext;
+pub use stats::TransformStats;

@@ -1,0 +1,130 @@
+//! Pass: expose UID comparisons through the `cc_*` detection calls.
+//!
+//! Every comparison whose operands include UID-class data is rewritten to
+//! the corresponding checked-comparison system call of Table 2
+//! (`uid == VARIANT_ROOT` becomes `cc_eq(uid, VARIANT_ROOT)`). Besides
+//! letting the monitor observe the comparison, this keeps the variants'
+//! instruction streams identical: if the ordering comparisons were evaluated
+//! in user space, the reexpressed variant would need its operators reversed
+//! (§3.5 of the paper).
+
+use crate::inference::UidContext;
+use crate::passes::rewrite_exprs;
+use nvariant_vm::ast::{BinOp, Expr, Program};
+
+/// The detection call corresponding to a comparison operator.
+#[must_use]
+pub fn detection_call_for(op: BinOp) -> Option<&'static str> {
+    match op {
+        BinOp::Eq => Some("cc_eq"),
+        BinOp::Ne => Some("cc_neq"),
+        BinOp::Lt => Some("cc_lt"),
+        BinOp::Le => Some("cc_leq"),
+        BinOp::Gt => Some("cc_gt"),
+        BinOp::Ge => Some("cc_geq"),
+        _ => None,
+    }
+}
+
+/// Runs the pass, returning the number of comparisons rewritten.
+pub fn run(program: &mut Program, ctx: &UidContext) -> usize {
+    let mut count = 0;
+    rewrite_exprs(program, |function, expr| match expr {
+        Expr::Binary(op, lhs, rhs)
+            if op.is_comparison()
+                && (ctx.is_uid_expr(function, &lhs) || ctx.is_uid_expr(function, &rhs)) =>
+        {
+            let call = detection_call_for(op).expect("comparison operators map to cc_* calls");
+            count += 1;
+            Expr::Call(call.to_string(), vec![*lhs, *rhs])
+        }
+        other => other,
+    });
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvariant_vm::{parse_program, pretty_print};
+
+    fn transform(src: &str) -> (String, usize) {
+        let mut program = parse_program(src).unwrap();
+        let ctx = UidContext::analyze(&program).unwrap();
+        let count = run(&mut program, &ctx);
+        (pretty_print(&program), count)
+    }
+
+    #[test]
+    fn equality_against_constant_root() {
+        let (text, count) = transform(
+            r#"
+            var server_uid: uid_t;
+            fn main() -> int {
+                if (server_uid == 0) { return 1; }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(count, 1);
+        assert!(text.contains("cc_eq(server_uid, 0)"));
+    }
+
+    #[test]
+    fn all_six_operators_are_mapped() {
+        let (text, count) = transform(
+            r#"
+            fn classify(u: uid_t) -> int {
+                if (u == 0) { return 1; }
+                if (u != 0) { return 2; }
+                if (u < 100) { return 3; }
+                if (u <= 999) { return 4; }
+                if (u > 1000) { return 5; }
+                if (u >= 65534) { return 6; }
+                return 0;
+            }
+            fn main() -> int { return classify(getuid()); }
+            "#,
+        );
+        assert_eq!(count, 6);
+        for call in ["cc_eq", "cc_neq", "cc_lt", "cc_leq", "cc_gt", "cc_geq"] {
+            assert!(text.contains(call), "missing {call} in {text}");
+        }
+    }
+
+    #[test]
+    fn uid_to_uid_comparisons_are_rewritten() {
+        let (text, count) = transform(
+            r#"
+            fn same_owner(a: uid_t, b: uid_t) -> int { return a == b; }
+            fn main() -> int { return same_owner(getuid(), geteuid()); }
+            "#,
+        );
+        assert_eq!(count, 1);
+        assert!(text.contains("cc_eq(a, b)"));
+    }
+
+    #[test]
+    fn plain_integer_comparisons_are_untouched() {
+        let (text, count) = transform(
+            r#"
+            fn main() -> int {
+                var n: int = 5;
+                if (n == 5) { return 1; }
+                if (n < 10) { return 2; }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(count, 0);
+        assert!(!text.contains("cc_"));
+    }
+
+    #[test]
+    fn detection_call_mapping_is_total_over_comparisons() {
+        assert_eq!(detection_call_for(BinOp::Eq), Some("cc_eq"));
+        assert_eq!(detection_call_for(BinOp::Ge), Some("cc_geq"));
+        assert_eq!(detection_call_for(BinOp::Add), None);
+        assert_eq!(detection_call_for(BinOp::LogAnd), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Pass: check UID-influenced conditionals with `cond_chk`.
+//!
+//! The paper's example (§3.5): `(pw == NULL)` — a condition whose value is
+//! only indirectly affected by UID data — is replaced by
+//! `cond_chk(pw == NULL)`, so the monitor verifies that all variants take
+//! the same branch. Direct UID comparisons are *not* wrapped here: they have
+//! already been rewritten to `cc_*` calls, which the monitor checks on their
+//! own.
+
+use crate::inference::UidContext;
+use crate::passes::rewrite_conditions;
+use nvariant_vm::ast::{Expr, Program};
+
+/// Names of calls that already constitute a monitor check, so wrapping them
+/// again is unnecessary.
+fn is_already_checked(cond: &Expr) -> bool {
+    matches!(
+        cond,
+        Expr::Call(name, _)
+            if name == "cond_chk"
+                || name == "uid_value"
+                || name.starts_with("cc_")
+    )
+}
+
+/// Runs the pass, returning the number of `cond_chk` wrappers inserted.
+pub fn run(program: &mut Program, ctx: &UidContext) -> usize {
+    let mut count = 0;
+    rewrite_conditions(program, |function, cond| {
+        if is_already_checked(&cond) || !ctx.is_tainted_expr(function, &cond) {
+            cond
+        } else {
+            count += 1;
+            Expr::Call("cond_chk".to_string(), vec![cond])
+        }
+    });
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::comparisons;
+    use nvariant_vm::{parse_program, pretty_print};
+
+    fn transform(src: &str) -> (String, usize) {
+        let mut program = parse_program(src).unwrap();
+        let ctx = UidContext::analyze(&program).unwrap();
+        // Match the driver's ordering: comparisons are exposed first.
+        comparisons::run(&mut program, &ctx);
+        let count = run(&mut program, &ctx);
+        (pretty_print(&program), count)
+    }
+
+    #[test]
+    fn uid_influenced_conditions_are_wrapped() {
+        let (text, count) = transform(
+            r#"
+            fn main() -> int {
+                var rc: int;
+                rc = setuid(48);
+                if (rc != 0) { return 1; }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(count, 1);
+        assert!(text.contains("if (cond_chk((rc != 0)))"));
+    }
+
+    #[test]
+    fn direct_uid_comparisons_are_left_to_cc_calls() {
+        let (text, count) = transform(
+            r#"
+            var server_uid: uid_t;
+            fn main() -> int {
+                if (server_uid == 0) { return 1; }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(count, 0);
+        assert!(text.contains("if (cc_eq(server_uid, 0))"));
+        assert!(!text.contains("cond_chk"));
+    }
+
+    #[test]
+    fn untainted_conditions_are_untouched() {
+        let (text, count) = transform(
+            r#"
+            fn main() -> int {
+                var n: int = 3;
+                while (n > 0) { n = n - 1; }
+                if (n == 0) { return 1; }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(count, 0);
+        assert!(!text.contains("cond_chk"));
+    }
+
+    #[test]
+    fn compound_conditions_mixing_uid_and_other_data_are_wrapped() {
+        let (text, count) = transform(
+            r#"
+            var authorized: int;
+            fn main() -> int {
+                var rc: int;
+                rc = seteuid(getuid());
+                authorized = rc + 1;
+                if (authorized && 1) { return 1; }
+                while (authorized < 10) { authorized = authorized + 1; }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(count, 2);
+        assert!(text.contains("cond_chk((authorized && 1))"));
+        assert!(text.contains("while (cond_chk((authorized < 10)))"));
+    }
+
+    #[test]
+    fn pass_is_idempotent() {
+        let src = r#"
+            fn main() -> int {
+                var rc: int;
+                rc = setuid(48);
+                if (rc != 0) { return 1; }
+                return 0;
+            }
+        "#;
+        let mut program = parse_program(src).unwrap();
+        let ctx = UidContext::analyze(&program).unwrap();
+        assert_eq!(run(&mut program, &ctx), 1);
+        assert_eq!(run(&mut program, &ctx), 0);
+        assert!(!pretty_print(&program).contains("cond_chk(cond_chk"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Pass (per variant): replace UID constants with their re-expressed values.
+//!
+//! This is the half of the transformation that actually differs between
+//! variants: every constant that denotes a UID — global initializers of
+//! UID-typed variables, literals assigned or compared to UID data, literals
+//! passed where a UID parameter is expected — is replaced by `Rᵢ(constant)`.
+
+use crate::inference::UidContext;
+use crate::passes::rewrite_exprs;
+use nvariant_diversity::UidTransform;
+use nvariant_types::Uid;
+use nvariant_vm::ast::{Expr, Program, Stmt};
+use nvariant_vm::typecheck::builtin_signature;
+
+/// Runs the pass, returning the number of constants re-expressed.
+pub fn run(program: &mut Program, ctx: &UidContext, transform: &UidTransform) -> usize {
+    if transform.is_identity() {
+        // Variant 0 keeps the original program text (§3.3: "the original
+        // program can be used unchanged for the first variant").
+        return 0;
+    }
+    let mut count = 0;
+
+    let reexpress = |value: i64, count: &mut usize| -> Expr {
+        let raw = value as u32;
+        let reexpressed = transform.apply(Uid::new(raw)).as_u32();
+        *count += 1;
+        Expr::IntLit(i64::from(reexpressed))
+    };
+
+    // Global initializers of UID-typed globals.
+    for global in &mut program.globals {
+        if global.ty.is_uid_class() {
+            if let Some(Expr::IntLit(value)) = global.init {
+                global.init = Some(reexpress(value, &mut count));
+            }
+        }
+    }
+
+    // Declarations and assignments of UID variables from literal constants.
+    for function in &mut program.functions {
+        let fname = function.name.clone();
+        visit_stmts(&mut function.body, &mut |stmt| match stmt {
+            Stmt::VarDecl { name, init: Some(Expr::IntLit(value)), .. }
+                if ctx.is_uid_var(&fname, name) =>
+            {
+                let new_init = reexpress(*value, &mut count);
+                if let Stmt::VarDecl { init, .. } = stmt {
+                    *init = Some(new_init);
+                }
+            }
+            Stmt::Assign {
+                target: nvariant_vm::ast::LValue::Var(name),
+                value: Expr::IntLit(literal),
+            } if ctx.is_uid_var(&fname, name) => {
+                let new_value = reexpress(*literal, &mut count);
+                if let Stmt::Assign { value, .. } = stmt {
+                    *value = new_value;
+                }
+            }
+            _ => {}
+        });
+    }
+
+    // Literals in UID argument positions (setuid(0), cc_eq(uid, 0), user
+    // functions with uid_t parameters) and literals compared directly with
+    // UID expressions.
+    rewrite_exprs(program, |function, expr| match expr {
+        Expr::Call(name, args) => {
+            let sig = ctx
+                .type_info()
+                .functions
+                .get(&name)
+                .cloned()
+                .or_else(|| builtin_signature(&name));
+            let args = match sig {
+                Some(sig) => args
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, arg)| match (&arg, sig.params.get(i)) {
+                        (Expr::IntLit(value), Some(param)) if param.is_uid_class() => {
+                            reexpress(*value, &mut count)
+                        }
+                        _ => arg,
+                    })
+                    .collect(),
+                None => args,
+            };
+            Expr::Call(name, args)
+        }
+        Expr::Binary(op, lhs, rhs) if op.is_comparison() => {
+            let lhs_uid = ctx.is_uid_expr(function, &lhs);
+            let rhs_uid = ctx.is_uid_expr(function, &rhs);
+            let (lhs, rhs) = match (&*lhs, &*rhs, lhs_uid, rhs_uid) {
+                (_, Expr::IntLit(value), true, false) => {
+                    (lhs, Box::new(reexpress(*value, &mut count)))
+                }
+                (Expr::IntLit(value), _, false, true) => {
+                    (Box::new(reexpress(*value, &mut count)), rhs)
+                }
+                _ => (lhs, rhs),
+            };
+            Expr::Binary(op, lhs, rhs)
+        }
+        other => other,
+    });
+
+    count
+}
+
+fn visit_stmts(stmts: &mut [Stmt], visit: &mut impl FnMut(&mut Stmt)) {
+    for stmt in stmts {
+        visit(stmt);
+        match stmt {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                visit_stmts(then_body, visit);
+                visit_stmts(else_body, visit);
+            }
+            Stmt::While { body, .. } => visit_stmts(body, visit),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvariant_vm::{parse_program, pretty_print};
+
+    fn transform(src: &str, t: &UidTransform) -> (String, usize) {
+        let mut program = parse_program(src).unwrap();
+        let ctx = UidContext::analyze(&program).unwrap();
+        let count = run(&mut program, &ctx, t);
+        (pretty_print(&program), count)
+    }
+
+    const MASKED_ROOT: &str = "0x7fffffff";
+
+    #[test]
+    fn identity_transform_changes_nothing() {
+        let src = "var u: uid_t = 0; fn main() -> int { return setuid(0); }";
+        let (text, count) = transform(src, &UidTransform::Identity);
+        assert_eq!(count, 0);
+        assert!(text.contains("setuid(0)"));
+        assert!(text.contains("var u: uid_t = 0"));
+    }
+
+    #[test]
+    fn global_initializers_are_reexpressed() {
+        let (text, count) = transform(
+            "var u: uid_t = 48; var n: int = 48; fn main() -> int { return 0; }",
+            &UidTransform::paper_mask(),
+        );
+        assert_eq!(count, 1);
+        assert!(text.contains(&format!("var u: uid_t = {:#x}", 48u32 ^ 0x7FFF_FFFF)));
+        assert!(text.contains("var n: int = 48"));
+    }
+
+    #[test]
+    fn syscall_and_detection_call_arguments_are_reexpressed() {
+        let (text, count) = transform(
+            r#"
+            var u: uid_t;
+            fn main() -> int {
+                setuid(0);
+                seteuid(48);
+                cc_eq(u, 0);
+                open("/etc/passwd", 0);
+                return 0;
+            }
+            "#,
+            &UidTransform::paper_mask(),
+        );
+        assert_eq!(count, 3);
+        assert!(text.contains(&format!("setuid({MASKED_ROOT})")));
+        assert!(text.contains(&format!("seteuid({:#x})", 48u32 ^ 0x7FFF_FFFF)));
+        assert!(text.contains(&format!("cc_eq(u, {MASKED_ROOT})")));
+        // open's flags argument is not a UID and stays 0.
+        assert!(text.contains(r#"open("/etc/passwd", 0)"#));
+    }
+
+    #[test]
+    fn assignments_and_declarations_are_reexpressed() {
+        let (text, count) = transform(
+            r#"
+            fn main() -> int {
+                var u: uid_t = 0;
+                var n: int = 0;
+                u = 1000;
+                n = 1000;
+                return 0;
+            }
+            "#,
+            &UidTransform::paper_mask(),
+        );
+        assert_eq!(count, 2);
+        assert!(text.contains(&format!("var u: uid_t = {MASKED_ROOT}")));
+        assert!(text.contains("var n: int = 0"));
+        assert!(text.contains(&format!("u = {:#x}", 1000u32 ^ 0x7FFF_FFFF)));
+        assert!(text.contains("n = 1000"));
+    }
+
+    #[test]
+    fn raw_comparisons_with_literals_are_reexpressed() {
+        // If a comparison was for some reason not rewritten to cc_*, the
+        // literal is still re-expressed so normal equivalence holds.
+        let (text, count) = transform(
+            r#"
+            var u: uid_t;
+            fn main() -> int {
+                if (u == 0) { return 1; }
+                if (1000 != u) { return 2; }
+                return 0;
+            }
+            "#,
+            &UidTransform::paper_mask(),
+        );
+        assert_eq!(count, 2);
+        assert!(text.contains(&format!("(u == {MASKED_ROOT})")));
+        assert!(text.contains(&format!("({:#x} != u)", 1000u32 ^ 0x7FFF_FFFF)));
+    }
+
+    #[test]
+    fn user_functions_with_uid_parameters_are_reexpressed() {
+        let (text, count) = transform(
+            r#"
+            fn become(who: uid_t) -> int { return setuid(who); }
+            fn main() -> int { return become(0); }
+            "#,
+            &UidTransform::paper_mask(),
+        );
+        assert_eq!(count, 1);
+        assert!(text.contains(&format!("become({MASKED_ROOT})")));
+    }
+
+    #[test]
+    fn full_mask_uses_all_bits() {
+        let (text, count) = transform(
+            "fn main() -> int { return setuid(0); }",
+            &UidTransform::full_mask(),
+        );
+        assert_eq!(count, 1);
+        assert!(text.contains("setuid(0xffffffff)"));
+    }
+}

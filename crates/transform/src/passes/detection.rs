@@ -1,0 +1,111 @@
+//! Pass: expose single UID value uses through `uid_value`.
+//!
+//! The paper's example (§3.5): `getpwname(uid)` becomes
+//! `getpwname(uid_value(uid))`, so the monitor observes the UID at the point
+//! of use, before the (possibly corrupted) value can influence behaviour
+//! that only diverges much later. Here the rule is: any UID-class expression
+//! passed to a *user-defined* function (the kernel already checks UID
+//! arguments of system calls) is wrapped in `uid_value`.
+
+use crate::inference::UidContext;
+use crate::passes::rewrite_exprs;
+use nvariant_vm::ast::{Expr, Program};
+use nvariant_vm::typecheck::builtin_signature;
+
+/// Runs the pass, returning the number of `uid_value` wrappers inserted.
+pub fn run(program: &mut Program, ctx: &UidContext) -> usize {
+    let mut count = 0;
+    rewrite_exprs(program, |function, expr| match expr {
+        Expr::Call(name, args) if builtin_signature(&name).is_none() => {
+            let wrapped: Vec<Expr> = args
+                .into_iter()
+                .map(|arg| {
+                    let already_wrapped =
+                        matches!(&arg, Expr::Call(callee, _) if callee == "uid_value");
+                    if !already_wrapped && ctx.is_uid_expr(function, &arg) {
+                        count += 1;
+                        Expr::Call("uid_value".to_string(), vec![arg])
+                    } else {
+                        arg
+                    }
+                })
+                .collect();
+            Expr::Call(name, wrapped)
+        }
+        other => other,
+    });
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvariant_vm::{parse_program, pretty_print};
+
+    fn transform(src: &str) -> (String, usize) {
+        let mut program = parse_program(src).unwrap();
+        let ctx = UidContext::analyze(&program).unwrap();
+        let count = run(&mut program, &ctx);
+        (pretty_print(&program), count)
+    }
+
+    #[test]
+    fn uid_arguments_to_user_functions_are_wrapped() {
+        let (text, count) = transform(
+            r#"
+            var server_uid: uid_t;
+            fn audit(who: uid_t, what: int) -> int { return what; }
+            fn main() -> int {
+                return audit(server_uid, 3);
+            }
+            "#,
+        );
+        assert_eq!(count, 1);
+        assert!(text.contains("audit(uid_value(server_uid), 3)"));
+    }
+
+    #[test]
+    fn uid_returning_calls_as_arguments_are_wrapped() {
+        let (text, count) = transform(
+            r#"
+            fn log_owner(who: uid_t) -> int { return 0; }
+            fn main() -> int { return log_owner(getuid()); }
+            "#,
+        );
+        assert_eq!(count, 1);
+        assert!(text.contains("log_owner(uid_value(getuid()))"));
+    }
+
+    #[test]
+    fn syscall_arguments_are_not_wrapped() {
+        // The kernel wrapper already applies the inverse reexpression and
+        // checks setuid's argument; wrapping again would be redundant.
+        let (text, count) = transform(
+            r#"
+            var server_uid: uid_t;
+            fn main() -> int { return setuid(server_uid); }
+            "#,
+        );
+        assert_eq!(count, 0);
+        assert!(text.contains("setuid(server_uid)"));
+        assert!(!text.contains("uid_value"));
+    }
+
+    #[test]
+    fn non_uid_arguments_are_untouched_and_wrapping_is_idempotent() {
+        let src = r#"
+            var server_uid: uid_t;
+            fn audit(who: uid_t, what: int) -> int { return what; }
+            fn main() -> int { return audit(uid_value(server_uid), strlenish(4)); }
+            fn strlenish(n: int) -> int { return n; }
+        "#;
+        let mut program = parse_program(src).unwrap();
+        let ctx = UidContext::analyze(&program).unwrap();
+        let first = run(&mut program, &ctx);
+        assert_eq!(first, 0, "already-wrapped arguments must not be re-wrapped");
+        let second = run(&mut program, &ctx);
+        assert_eq!(second, 0);
+        let text = pretty_print(&program);
+        assert!(!text.contains("uid_value(uid_value"));
+    }
+}

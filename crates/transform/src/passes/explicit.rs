@@ -1,0 +1,112 @@
+//! Pass: make implicit UID constants explicit.
+//!
+//! The paper's example (§3.3): `if (!getuid())` contains an implied
+//! comparison to the constant 0; it is rewritten to `if (getuid() == 0)` so
+//! that the constant exists in the source and can then be re-expressed.
+//! Similarly a bare UID value used as a truth value (`if (uid) …`) implies a
+//! comparison with 0 and becomes `if (uid != 0)`.
+
+use crate::inference::UidContext;
+use crate::passes::{rewrite_conditions, rewrite_exprs};
+use nvariant_vm::ast::{BinOp, Expr, Program, UnOp};
+
+/// Runs the pass, returning the number of implicit constants made explicit.
+pub fn run(program: &mut Program, ctx: &UidContext) -> usize {
+    let mut count = 0;
+
+    // `!uid_expr`  →  `uid_expr == 0`, wherever it appears.
+    rewrite_exprs(program, |function, expr| match expr {
+        Expr::Unary(UnOp::Not, inner) if ctx.is_uid_expr(function, &inner) => {
+            count += 1;
+            Expr::Binary(BinOp::Eq, inner, Box::new(Expr::IntLit(0)))
+        }
+        other => other,
+    });
+
+    // A bare UID value used directly as an `if`/`while` condition
+    // →  `uid_expr != 0`.
+    rewrite_conditions(program, |function, cond| {
+        let is_bare_uid = matches!(&cond, Expr::Ident(_) | Expr::Call(_, _))
+            && ctx.is_uid_expr(function, &cond);
+        if is_bare_uid {
+            count += 1;
+            Expr::Binary(BinOp::Ne, Box::new(cond), Box::new(Expr::IntLit(0)))
+        } else {
+            cond
+        }
+    });
+
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvariant_vm::{parse_program, pretty_print};
+
+    fn transform(src: &str) -> (String, usize) {
+        let mut program = parse_program(src).unwrap();
+        let ctx = UidContext::analyze(&program).unwrap();
+        let count = run(&mut program, &ctx);
+        (pretty_print(&program), count)
+    }
+
+    #[test]
+    fn negated_uid_call_becomes_equality() {
+        let (text, count) = transform(
+            "fn main() -> int { if (!getuid()) { return 1; } return 0; }",
+        );
+        assert_eq!(count, 1);
+        assert!(text.contains("(getuid() == 0)"));
+        assert!(!text.contains("!getuid"));
+    }
+
+    #[test]
+    fn bare_uid_condition_becomes_inequality() {
+        let (text, count) = transform(
+            r#"
+            var server_uid: uid_t;
+            fn main() -> int {
+                if (server_uid) { return 1; }
+                while (getuid()) { return 2; }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(count, 2);
+        assert!(text.contains("(server_uid != 0)"));
+        assert!(text.contains("(getuid() != 0)"));
+    }
+
+    #[test]
+    fn non_uid_expressions_are_untouched() {
+        let (text, count) = transform(
+            r#"
+            fn main() -> int {
+                var n: int = 3;
+                if (!n) { return 1; }
+                if (n) { return 2; }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(count, 0);
+        assert!(text.contains("!n"));
+        assert!(text.contains("if (n)"));
+    }
+
+    #[test]
+    fn nested_negations_inside_larger_conditions() {
+        let (text, count) = transform(
+            r#"
+            var server_uid: uid_t;
+            fn main() -> int {
+                if (!server_uid && 1) { return 1; }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(count, 1);
+        assert!(text.contains("(server_uid == 0)"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Pass: remove UID values from log/format sinks.
+//!
+//! Section 4 of the paper: Apache wrote the UID into an error-log message;
+//! left untransformed this causes a benign divergence (the two variants hold
+//! different concrete UID values), while converting the value back inside
+//! the program would reopen the attack path. The paper's resolution —
+//! "we worked around this problem simply by removing the user id value from
+//! the log output" — is automated here: any UID-class argument flowing into
+//! a configured *format sink* (by default the decimal formatter `utoa`) is
+//! replaced by a placeholder constant.
+
+use crate::inference::UidContext;
+use crate::passes::rewrite_exprs;
+use nvariant_vm::ast::{Expr, Program};
+
+/// The placeholder written in place of a UID value in log output.
+pub const SANITIZED_PLACEHOLDER: i64 = 0;
+
+/// Runs the pass, returning the number of sink arguments sanitized.
+///
+/// `sinks` is the list of function names whose UID-class arguments are
+/// scrubbed (the formatting routines the program uses to render values into
+/// log lines).
+pub fn run(program: &mut Program, ctx: &UidContext, sinks: &[String]) -> usize {
+    let mut count = 0;
+    rewrite_exprs(program, |function, expr| match expr {
+        Expr::Call(name, args) if sinks.iter().any(|s| s == &name) => {
+            let sanitized: Vec<Expr> = args
+                .into_iter()
+                .map(|arg| {
+                    if ctx.is_uid_expr(function, &arg) {
+                        count += 1;
+                        Expr::IntLit(SANITIZED_PLACEHOLDER)
+                    } else {
+                        arg
+                    }
+                })
+                .collect();
+            Expr::Call(name, sanitized)
+        }
+        other => other,
+    });
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvariant_vm::{parse_program, pretty_print};
+
+    fn transform(src: &str, sinks: &[&str]) -> (String, usize) {
+        let mut program = parse_program(src).unwrap();
+        let ctx = UidContext::analyze(&program).unwrap();
+        let sinks: Vec<String> = sinks.iter().map(|s| s.to_string()).collect();
+        let count = run(&mut program, &ctx, &sinks);
+        (pretty_print(&program), count)
+    }
+
+    #[test]
+    fn uid_values_are_scrubbed_from_sinks() {
+        let (text, count) = transform(
+            r#"
+            var server_uid: uid_t;
+            fn utoa(value: int, dst: ptr) -> int { return 0; }
+            fn main() -> int {
+                var line: buf[32];
+                utoa(server_uid, &line);
+                utoa(42, &line);
+                return 0;
+            }
+            "#,
+            &["utoa"],
+        );
+        assert_eq!(count, 1);
+        assert!(text.contains("utoa(0, &line)"));
+        assert!(text.contains("utoa(42, &line)"));
+    }
+
+    #[test]
+    fn non_sink_calls_are_untouched() {
+        let (text, count) = transform(
+            r#"
+            var server_uid: uid_t;
+            fn audit(value: uid_t) -> int { return 0; }
+            fn main() -> int { return audit(server_uid); }
+            "#,
+            &["utoa"],
+        );
+        assert_eq!(count, 0);
+        assert!(text.contains("audit(server_uid)"));
+    }
+
+    #[test]
+    fn multiple_sinks_are_supported() {
+        let (_, count) = transform(
+            r#"
+            var server_uid: uid_t;
+            fn utoa(value: int, dst: ptr) -> int { return 0; }
+            fn log_int(value: int) -> int { return value; }
+            fn main() -> int {
+                var line: buf[8];
+                utoa(server_uid, &line);
+                log_int(getuid());
+                return 0;
+            }
+            "#,
+            &["utoa", "log_int"],
+        );
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn empty_sink_list_changes_nothing() {
+        let (_, count) = transform(
+            r#"
+            var server_uid: uid_t;
+            fn utoa(value: int, dst: ptr) -> int { return 0; }
+            fn main() -> int { var b: buf[8]; utoa(server_uid, &b); return 0; }
+            "#,
+            &[],
+        );
+        assert_eq!(count, 0);
+    }
+}

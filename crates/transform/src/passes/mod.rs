@@ -1,0 +1,168 @@
+//! The individual transformation passes.
+//!
+//! Instrumentation passes (applied identically to every variant):
+//!
+//! * [`explicit`] — make implicit UID constants explicit;
+//! * [`comparisons`] — rewrite UID comparisons to `cc_*` detection calls;
+//! * [`logs`] — remove UID values from log/format sinks;
+//! * [`detection`] — wrap single UID value uses in `uid_value`;
+//! * [`cond_chk`] — wrap UID-influenced conditionals in `cond_chk`.
+//!
+//! Per-variant pass:
+//!
+//! * [`constants`] — replace UID constants with their re-expressed values.
+
+pub mod comparisons;
+pub mod cond_chk;
+pub mod constants;
+pub mod detection;
+pub mod explicit;
+pub mod logs;
+
+use nvariant_vm::ast::{Expr, Program, Stmt};
+
+/// Applies `rewrite` to every expression in the program, bottom-up, visiting
+/// statement bodies recursively. The rewriter receives the enclosing
+/// function's name.
+pub(crate) fn rewrite_exprs(
+    program: &mut Program,
+    mut rewrite: impl FnMut(&str, Expr) -> Expr,
+) {
+    // Global initializers are constant literals; passes that need to touch
+    // them do so directly rather than through this generic walker.
+    for function in &mut program.functions {
+        let name = function.name.clone();
+        for stmt in &mut function.body {
+            rewrite_stmt(stmt, &name, &mut rewrite);
+        }
+    }
+}
+
+fn rewrite_stmt(stmt: &mut Stmt, function: &str, rewrite: &mut impl FnMut(&str, Expr) -> Expr) {
+    match stmt {
+        Stmt::VarDecl { init, .. } => {
+            if let Some(init) = init {
+                take_and_rewrite(init, function, rewrite);
+            }
+        }
+        Stmt::Assign { target, value } => {
+            take_and_rewrite(value, function, rewrite);
+            match target {
+                nvariant_vm::ast::LValue::Index(base, index) => {
+                    take_and_rewrite(base, function, rewrite);
+                    take_and_rewrite(index, function, rewrite);
+                }
+                nvariant_vm::ast::LValue::Deref(inner) => {
+                    take_and_rewrite(inner, function, rewrite);
+                }
+                nvariant_vm::ast::LValue::Var(_) => {}
+            }
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            take_and_rewrite(cond, function, rewrite);
+            for s in then_body {
+                rewrite_stmt(s, function, rewrite);
+            }
+            for s in else_body {
+                rewrite_stmt(s, function, rewrite);
+            }
+        }
+        Stmt::While { cond, body } => {
+            take_and_rewrite(cond, function, rewrite);
+            for s in body {
+                rewrite_stmt(s, function, rewrite);
+            }
+        }
+        Stmt::Return(Some(value)) => take_and_rewrite(value, function, rewrite),
+        Stmt::Expr(expr) => take_and_rewrite(expr, function, rewrite),
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+    }
+}
+
+fn take_and_rewrite(
+    slot: &mut Expr,
+    function: &str,
+    rewrite: &mut impl FnMut(&str, Expr) -> Expr,
+) {
+    let expr = std::mem::replace(slot, Expr::IntLit(0));
+    *slot = rewrite_expr(expr, function, rewrite);
+}
+
+/// Rewrites an expression bottom-up: children first, then the node itself.
+pub(crate) fn rewrite_expr(
+    expr: Expr,
+    function: &str,
+    rewrite: &mut impl FnMut(&str, Expr) -> Expr,
+) -> Expr {
+    let rebuilt = match expr {
+        Expr::Unary(op, inner) => {
+            Expr::Unary(op, Box::new(rewrite_expr(*inner, function, rewrite)))
+        }
+        Expr::Binary(op, lhs, rhs) => Expr::Binary(
+            op,
+            Box::new(rewrite_expr(*lhs, function, rewrite)),
+            Box::new(rewrite_expr(*rhs, function, rewrite)),
+        ),
+        Expr::Call(name, args) => Expr::Call(
+            name,
+            args.into_iter()
+                .map(|a| rewrite_expr(a, function, rewrite))
+                .collect(),
+        ),
+        Expr::Index(base, index) => Expr::Index(
+            Box::new(rewrite_expr(*base, function, rewrite)),
+            Box::new(rewrite_expr(*index, function, rewrite)),
+        ),
+        Expr::Deref(inner) => Expr::Deref(Box::new(rewrite_expr(*inner, function, rewrite))),
+        leaf @ (Expr::IntLit(_) | Expr::StrLit(_) | Expr::Ident(_) | Expr::AddrOf(_)) => leaf,
+    };
+    rewrite(function, rebuilt)
+}
+
+/// Visits (mutably) every `if`/`while` condition in the program.
+pub(crate) fn rewrite_conditions(
+    program: &mut Program,
+    mut rewrite: impl FnMut(&str, Expr) -> Expr,
+) {
+    for function in &mut program.functions {
+        let name = function.name.clone();
+        for stmt in &mut function.body {
+            rewrite_conditions_in_stmt(stmt, &name, &mut rewrite);
+        }
+    }
+}
+
+fn rewrite_conditions_in_stmt(
+    stmt: &mut Stmt,
+    function: &str,
+    rewrite: &mut impl FnMut(&str, Expr) -> Expr,
+) {
+    match stmt {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let taken = std::mem::replace(cond, Expr::IntLit(0));
+            *cond = rewrite(function, taken);
+            for s in then_body {
+                rewrite_conditions_in_stmt(s, function, rewrite);
+            }
+            for s in else_body {
+                rewrite_conditions_in_stmt(s, function, rewrite);
+            }
+        }
+        Stmt::While { cond, body } => {
+            let taken = std::mem::replace(cond, Expr::IntLit(0));
+            *cond = rewrite(function, taken);
+            for s in body {
+                rewrite_conditions_in_stmt(s, function, rewrite);
+            }
+        }
+        _ => {}
+    }
+}

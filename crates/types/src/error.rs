@@ -1,0 +1,104 @@
+//! Common error types shared by the simulated kernel and monitor.
+
+use crate::Errno;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result alias for kernel-level operations.
+pub type KernelResult<T> = Result<T, KernelError>;
+
+/// Errors produced by the simulated kernel substrate.
+///
+/// Syscall-level failures that a real kernel would report to user space are
+/// represented by [`KernelError::Errno`]; the remaining variants represent
+/// conditions that indicate misuse of the simulation itself (for example,
+/// referring to a process that was never registered).
+///
+/// # Example
+///
+/// ```
+/// use nvariant_types::{Errno, KernelError};
+///
+/// let err = KernelError::Errno(Errno::Eacces);
+/// assert!(err.to_string().contains("EACCES"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// A POSIX-style failure that is reported to the calling program.
+    Errno(Errno),
+    /// A path string contained invalid bytes (e.g. interior NUL).
+    InvalidPath(String),
+    /// The referenced process does not exist in the kernel's tables.
+    NoSuchProcess(u32),
+    /// The simulation was asked to do something its configuration forbids.
+    Unsupported(String),
+}
+
+impl KernelError {
+    /// Returns the errno to report to user space for this error.
+    ///
+    /// Simulation-misuse errors map to `EINVAL` so that a buggy harness still
+    /// produces a well-formed syscall return value rather than a panic.
+    #[must_use]
+    pub fn errno(&self) -> Errno {
+        match self {
+            KernelError::Errno(e) => *e,
+            KernelError::InvalidPath(_) => Errno::Einval,
+            KernelError::NoSuchProcess(_) => Errno::Einval,
+            KernelError::Unsupported(_) => Errno::Enosys,
+        }
+    }
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Errno(e) => write!(f, "syscall failed: {e}"),
+            KernelError::InvalidPath(p) => write!(f, "invalid path: {p:?}"),
+            KernelError::NoSuchProcess(pid) => write!(f, "no such process: pid {pid}"),
+            KernelError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<Errno> for KernelError {
+    fn from(e: Errno) -> Self {
+        KernelError::Errno(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_mapping() {
+        assert_eq!(KernelError::Errno(Errno::Eacces).errno(), Errno::Eacces);
+        assert_eq!(
+            KernelError::InvalidPath("a\0b".into()).errno(),
+            Errno::Einval
+        );
+        assert_eq!(KernelError::NoSuchProcess(7).errno(), Errno::Einval);
+        assert_eq!(
+            KernelError::Unsupported("threads".into()).errno(),
+            Errno::Enosys
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = KernelError::NoSuchProcess(42).to_string();
+        assert!(text.contains("42"));
+        let text = KernelError::from(Errno::Eperm).to_string();
+        assert!(text.contains("EPERM"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<KernelError>();
+    }
+}

@@ -1,0 +1,377 @@
+//! The SimC bytecode: a fixed-width, byte-encoded instruction set.
+//!
+//! Every instruction is encoded as six bytes:
+//!
+//! ```text
+//! +--------+--------+----------------------------------+
+//! |  tag   | opcode |        operand (u32, LE)         |
+//! +--------+--------+----------------------------------+
+//! ```
+//!
+//! The leading **tag** byte exists to support the *instruction-set tagging*
+//! variation of Table 1: each variant's code image is stamped with a
+//! different tag, the fetch stage checks the tag before decoding, and
+//! injected instructions (which necessarily carry a single concrete tag)
+//! therefore fault in at least one variant.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size in bytes of one encoded instruction.
+pub const INSTR_SIZE: u32 = 6;
+
+/// Operation codes of the SimC machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+#[repr(u8)]
+pub enum Op {
+    /// Do nothing.
+    Nop = 0,
+    /// Push the operand as an immediate word.
+    Push = 1,
+    /// Push the word at `globals_base + operand`.
+    LoadG = 2,
+    /// Pop a word and store it at `globals_base + operand`.
+    StoreG = 3,
+    /// Push the word at `fp - operand` (a local slot).
+    LoadL = 4,
+    /// Pop a word and store it at `fp - operand`.
+    StoreL = 5,
+    /// Pop an address and push the word it points to.
+    LoadW = 6,
+    /// Pop an address, then a value, and store the value at the address.
+    StoreW = 7,
+    /// Pop an address and push the byte it points to (zero-extended).
+    LoadB = 8,
+    /// Pop an address, then a value, and store its low byte at the address.
+    StoreB = 9,
+    /// Push the address `globals_base + operand`.
+    LeaG = 10,
+    /// Push the address `fp - operand`.
+    LeaL = 11,
+    /// Pop two words, push their sum.
+    Add = 12,
+    /// Pop two words, push their difference.
+    Sub = 13,
+    /// Pop two words, push their product.
+    Mul = 14,
+    /// Pop two words, push their signed quotient.
+    Div = 15,
+    /// Pop two words, push their signed remainder.
+    Mod = 16,
+    /// Bitwise and.
+    BitAnd = 17,
+    /// Bitwise or.
+    BitOr = 18,
+    /// Bitwise xor.
+    BitXor = 19,
+    /// Shift left.
+    Shl = 20,
+    /// Logical shift right.
+    Shr = 21,
+    /// Arithmetic negation.
+    Neg = 22,
+    /// Logical not (0 becomes 1, everything else 0).
+    Not = 23,
+    /// Bitwise complement.
+    BitNot = 24,
+    /// Signed comparisons pushing 0 or 1.
+    Eq = 25,
+    /// Not equal.
+    Ne = 26,
+    /// Less than.
+    Lt = 27,
+    /// Less or equal.
+    Le = 28,
+    /// Greater than.
+    Gt = 29,
+    /// Greater or equal.
+    Ge = 30,
+    /// Unconditional jump to the absolute code address in the operand.
+    Jmp = 31,
+    /// Pop a word; jump if it is zero.
+    Jz = 32,
+    /// Pop a word; jump if it is non-zero.
+    Jnz = 33,
+    /// Call the function at the absolute code address in the operand.
+    Call = 34,
+    /// Pop an address and call it (indirect call).
+    CallPtr = 35,
+    /// Reserve `operand` bytes of locals (function prologue).
+    Enter = 36,
+    /// Return to the caller, leaving the return value on the operand stack.
+    Ret = 37,
+    /// System call; operand encodes `sysno << 8 | argc`.
+    Syscall = 38,
+    /// Duplicate the top of the operand stack.
+    Dup = 39,
+    /// Discard the top of the operand stack.
+    Pop = 40,
+    /// Swap the two top operand stack entries.
+    Swap = 41,
+    /// Halt the machine (only reachable from the start stub).
+    Halt = 42,
+}
+
+impl Op {
+    /// All opcodes in numbering order.
+    pub const ALL: &'static [Op] = &[
+        Op::Nop,
+        Op::Push,
+        Op::LoadG,
+        Op::StoreG,
+        Op::LoadL,
+        Op::StoreL,
+        Op::LoadW,
+        Op::StoreW,
+        Op::LoadB,
+        Op::StoreB,
+        Op::LeaG,
+        Op::LeaL,
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Div,
+        Op::Mod,
+        Op::BitAnd,
+        Op::BitOr,
+        Op::BitXor,
+        Op::Shl,
+        Op::Shr,
+        Op::Neg,
+        Op::Not,
+        Op::BitNot,
+        Op::Eq,
+        Op::Ne,
+        Op::Lt,
+        Op::Le,
+        Op::Gt,
+        Op::Ge,
+        Op::Jmp,
+        Op::Jz,
+        Op::Jnz,
+        Op::Call,
+        Op::CallPtr,
+        Op::Enter,
+        Op::Ret,
+        Op::Syscall,
+        Op::Dup,
+        Op::Pop,
+        Op::Swap,
+        Op::Halt,
+    ];
+
+    /// Numeric opcode.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes an opcode byte.
+    #[must_use]
+    pub fn from_u8(byte: u8) -> Option<Op> {
+        Op::ALL.iter().copied().find(|o| o.as_u8() == byte)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One decoded instruction.
+///
+/// # Example
+///
+/// ```
+/// use nvariant_vm::{Instr, Op, INSTR_SIZE};
+///
+/// let instr = Instr::new(Op::Push, 42).with_tag(1);
+/// let bytes = instr.encode();
+/// assert_eq!(bytes.len() as u32, INSTR_SIZE);
+/// assert_eq!(Instr::decode(&bytes).unwrap(), instr);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instr {
+    /// The variant tag stamped on this instruction.
+    pub tag: u8,
+    /// The operation.
+    pub op: Op,
+    /// The 32-bit operand (meaning depends on the operation).
+    pub operand: u32,
+}
+
+impl Instr {
+    /// Creates an instruction with tag 0.
+    #[must_use]
+    pub fn new(op: Op, operand: u32) -> Self {
+        Instr {
+            tag: 0,
+            op,
+            operand,
+        }
+    }
+
+    /// Creates an instruction with no operand and tag 0.
+    #[must_use]
+    pub fn simple(op: Op) -> Self {
+        Instr::new(op, 0)
+    }
+
+    /// Returns the instruction with the given tag.
+    #[must_use]
+    pub fn with_tag(mut self, tag: u8) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Encodes the instruction into its six-byte representation.
+    #[must_use]
+    pub fn encode(&self) -> [u8; INSTR_SIZE as usize] {
+        let operand = self.operand.to_le_bytes();
+        [
+            self.tag,
+            self.op.as_u8(),
+            operand[0],
+            operand[1],
+            operand[2],
+            operand[3],
+        ]
+    }
+
+    /// Decodes an instruction from six bytes. Returns `None` if the opcode
+    /// byte is not a valid operation (the caller converts this into an
+    /// illegal-instruction fault).
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Instr> {
+        if bytes.len() < INSTR_SIZE as usize {
+            return None;
+        }
+        let op = Op::from_u8(bytes[1])?;
+        let operand = u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
+        Some(Instr {
+            tag: bytes[0],
+            op,
+            operand,
+        })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} {:#x}", self.tag, self.op, self.operand)
+    }
+}
+
+/// Encodes a sequence of instructions into a flat code image.
+#[must_use]
+pub fn encode_all(instrs: &[Instr]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(instrs.len() * INSTR_SIZE as usize);
+    for i in instrs {
+        out.extend_from_slice(&i.encode());
+    }
+    out
+}
+
+/// Decodes a flat code image back into instructions.
+///
+/// Returns `None` if any instruction fails to decode or the image length is
+/// not a multiple of [`INSTR_SIZE`].
+#[must_use]
+pub fn decode_all(code: &[u8]) -> Option<Vec<Instr>> {
+    if code.len() % INSTR_SIZE as usize != 0 {
+        return None;
+    }
+    code.chunks(INSTR_SIZE as usize).map(Instr::decode).collect()
+}
+
+/// Re-stamps every instruction in a code image with `tag`, returning the new
+/// image. This is the code-transformation half of the instruction-set
+/// tagging variation.
+#[must_use]
+pub fn retag_code(code: &[u8], tag: u8) -> Vec<u8> {
+    let mut out = code.to_vec();
+    let mut i = 0;
+    while i < out.len() {
+        out[i] = tag;
+        i += INSTR_SIZE as usize;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_round_trip() {
+        for &op in Op::ALL {
+            assert_eq!(Op::from_u8(op.as_u8()), Some(op));
+        }
+        assert_eq!(Op::from_u8(200), None);
+    }
+
+    #[test]
+    fn opcode_numbers_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &op in Op::ALL {
+            assert!(seen.insert(op.as_u8()), "duplicate opcode for {op}");
+        }
+    }
+
+    #[test]
+    fn instruction_encode_decode_round_trip() {
+        let cases = [
+            Instr::new(Op::Push, 0xDEAD_BEEF).with_tag(3),
+            Instr::simple(Op::Ret),
+            Instr::new(Op::Syscall, (9 << 8) | 3),
+            Instr::new(Op::Jmp, 0x1234),
+        ];
+        for instr in cases {
+            assert_eq!(Instr::decode(&instr.encode()), Some(instr));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_short_or_invalid_input() {
+        assert_eq!(Instr::decode(&[0, 1, 2]), None);
+        let mut bytes = Instr::simple(Op::Nop).encode();
+        bytes[1] = 0xFF;
+        assert_eq!(Instr::decode(&bytes), None);
+    }
+
+    #[test]
+    fn encode_all_decode_all_round_trip() {
+        let instrs = vec![
+            Instr::new(Op::Push, 1),
+            Instr::new(Op::Push, 2),
+            Instr::simple(Op::Add),
+            Instr::simple(Op::Ret),
+        ];
+        let code = encode_all(&instrs);
+        assert_eq!(code.len(), 4 * INSTR_SIZE as usize);
+        assert_eq!(decode_all(&code), Some(instrs));
+        assert_eq!(decode_all(&code[..7]), None);
+    }
+
+    #[test]
+    fn retag_changes_only_tags() {
+        let instrs = vec![Instr::new(Op::Push, 7), Instr::simple(Op::Halt)];
+        let code = encode_all(&instrs);
+        let tagged = retag_code(&code, 1);
+        let decoded = decode_all(&tagged).unwrap();
+        assert!(decoded.iter().all(|i| i.tag == 1));
+        assert_eq!(decoded[0].op, Op::Push);
+        assert_eq!(decoded[0].operand, 7);
+        assert_eq!(decoded[1].op, Op::Halt);
+    }
+
+    #[test]
+    fn display_contains_tag_and_op() {
+        let text = Instr::new(Op::Push, 16).with_tag(1).to_string();
+        assert!(text.contains("Push"));
+        assert!(text.contains("[1]"));
+        assert!(text.contains("0x10"));
+    }
+}

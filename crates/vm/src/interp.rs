@@ -1,0 +1,596 @@
+//! The bytecode interpreter: fetch, tag check, decode, execute.
+//!
+//! Execution proceeds one instruction at a time and *traps* to the caller on
+//! every system call, exit or fault — the hook the single-process runner and
+//! the N-variant monitor both build on.
+
+use crate::bytecode::{Instr, Op, INSTR_SIZE};
+use crate::fault::Fault;
+use crate::process::{Process, ProcessState};
+use nvariant_simos::{SyscallRequest, Sysno};
+use nvariant_types::{VirtAddr, Word};
+use serde::{Deserialize, Serialize};
+
+/// The result of executing a single instruction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepResult {
+    /// The instruction completed; execution may continue.
+    Continue,
+    /// The process issued a system call and is waiting for its result
+    /// (deliver it with [`Process::complete_syscall`]).
+    Syscall(SyscallRequest),
+    /// The process halted.
+    Exited(i32),
+    /// The process faulted.
+    Faulted(Fault),
+}
+
+/// Why [`Process::run_until_trap`] stopped.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrapReason {
+    /// A system call was issued.
+    Syscall(SyscallRequest),
+    /// The process exited.
+    Exited(i32),
+    /// The process faulted.
+    Faulted(Fault),
+}
+
+impl Process {
+    /// Executes instructions until the process traps (system call, exit or
+    /// fault) or `max_steps` instructions have been executed, whichever
+    /// comes first.
+    ///
+    /// Exceeding the step budget is reported as a
+    /// [`Fault::StepLimitExceeded`] — the monitor treats a runaway variant
+    /// the same way it treats any other fault.
+    pub fn run_until_trap(&mut self, max_steps: u64) -> TrapReason {
+        for _ in 0..max_steps {
+            match self.step() {
+                StepResult::Continue => {}
+                StepResult::Syscall(req) => return TrapReason::Syscall(req),
+                StepResult::Exited(status) => return TrapReason::Exited(status),
+                StepResult::Faulted(fault) => return TrapReason::Faulted(fault),
+            }
+        }
+        self.set_faulted(Fault::StepLimitExceeded);
+        TrapReason::Faulted(Fault::StepLimitExceeded)
+    }
+
+    /// Executes one instruction.
+    pub fn step(&mut self) -> StepResult {
+        match self.state {
+            ProcessState::Running => {}
+            ProcessState::Exited(status) => return StepResult::Exited(status),
+            ProcessState::Faulted(fault) => return StepResult::Faulted(fault),
+        }
+
+        let pc = VirtAddr::new(self.pc);
+        let raw = match self.read_bytes(pc, INSTR_SIZE as usize) {
+            Ok(raw) => raw,
+            Err(fault) => return self.fault(fault),
+        };
+        let Some(instr) = Instr::decode(&raw) else {
+            return self.fault(Fault::IllegalInstruction { pc });
+        };
+        if instr.tag != self.expected_tag {
+            return self.fault(Fault::TagMismatch {
+                pc,
+                expected: self.expected_tag,
+                found: instr.tag,
+            });
+        }
+
+        self.pc = self.pc.wrapping_add(INSTR_SIZE);
+        self.instructions_executed += 1;
+        self.execute(instr)
+    }
+
+    fn fault(&mut self, fault: Fault) -> StepResult {
+        self.state = ProcessState::Faulted(fault);
+        StepResult::Faulted(fault)
+    }
+
+    fn pop(&mut self) -> Result<Word, Fault> {
+        self.ostack.pop().ok_or(Fault::OperandStackUnderflow)
+    }
+
+    fn execute(&mut self, instr: Instr) -> StepResult {
+        macro_rules! try_fault {
+            ($e:expr) => {
+                match $e {
+                    Ok(value) => value,
+                    Err(fault) => return self.fault(fault),
+                }
+            };
+        }
+
+        let operand = instr.operand;
+        match instr.op {
+            Op::Nop => {}
+            Op::Push => self.ostack.push(Word::from_u32(operand)),
+            Op::Dup => {
+                let top = try_fault!(self.pop());
+                self.ostack.push(top);
+                self.ostack.push(top);
+            }
+            Op::Pop => {
+                try_fault!(self.pop());
+            }
+            Op::Swap => {
+                let a = try_fault!(self.pop());
+                let b = try_fault!(self.pop());
+                self.ostack.push(a);
+                self.ostack.push(b);
+            }
+
+            Op::LoadG => {
+                let addr = VirtAddr::new(self.layout.globals_base.wrapping_add(operand));
+                let value = try_fault!(self.read_word(addr));
+                self.ostack.push(value);
+            }
+            Op::StoreG => {
+                let value = try_fault!(self.pop());
+                let addr = VirtAddr::new(self.layout.globals_base.wrapping_add(operand));
+                try_fault!(self.write_word(addr, value));
+            }
+            Op::LoadL => {
+                let addr = VirtAddr::new(self.fp.wrapping_sub(operand));
+                let value = try_fault!(self.read_word(addr));
+                self.ostack.push(value);
+            }
+            Op::StoreL => {
+                let value = try_fault!(self.pop());
+                let addr = VirtAddr::new(self.fp.wrapping_sub(operand));
+                try_fault!(self.write_word(addr, value));
+            }
+            Op::LeaG => {
+                self.ostack.push(Word::from_u32(
+                    self.layout.globals_base.wrapping_add(operand),
+                ));
+            }
+            Op::LeaL => {
+                self.ostack
+                    .push(Word::from_u32(self.fp.wrapping_sub(operand)));
+            }
+            Op::LoadW => {
+                let addr = try_fault!(self.pop()).as_addr();
+                let value = try_fault!(self.read_word(addr));
+                self.ostack.push(value);
+            }
+            Op::StoreW => {
+                let addr = try_fault!(self.pop()).as_addr();
+                let value = try_fault!(self.pop());
+                try_fault!(self.write_word(addr, value));
+            }
+            Op::LoadB => {
+                let addr = try_fault!(self.pop()).as_addr();
+                let value = try_fault!(self.read_byte(addr));
+                self.ostack.push(Word::from_u32(u32::from(value)));
+            }
+            Op::StoreB => {
+                let addr = try_fault!(self.pop()).as_addr();
+                let value = try_fault!(self.pop());
+                try_fault!(self.write_byte(addr, (value.as_u32() & 0xFF) as u8));
+            }
+
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod | Op::BitAnd | Op::BitOr
+            | Op::BitXor | Op::Shl | Op::Shr | Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt
+            | Op::Ge => {
+                let rhs = try_fault!(self.pop());
+                let lhs = try_fault!(self.pop());
+                let result = match instr.op {
+                    Op::Add => Word::from_u32(lhs.as_u32().wrapping_add(rhs.as_u32())),
+                    Op::Sub => Word::from_u32(lhs.as_u32().wrapping_sub(rhs.as_u32())),
+                    Op::Mul => Word::from_u32(lhs.as_u32().wrapping_mul(rhs.as_u32())),
+                    Op::Div => {
+                        if rhs.as_i32() == 0 {
+                            return self.fault(Fault::DivideByZero);
+                        }
+                        Word::from_i32(lhs.as_i32().wrapping_div(rhs.as_i32()))
+                    }
+                    Op::Mod => {
+                        if rhs.as_i32() == 0 {
+                            return self.fault(Fault::DivideByZero);
+                        }
+                        Word::from_i32(lhs.as_i32().wrapping_rem(rhs.as_i32()))
+                    }
+                    Op::BitAnd => Word::from_u32(lhs.as_u32() & rhs.as_u32()),
+                    Op::BitOr => Word::from_u32(lhs.as_u32() | rhs.as_u32()),
+                    Op::BitXor => Word::from_u32(lhs.as_u32() ^ rhs.as_u32()),
+                    Op::Shl => Word::from_u32(lhs.as_u32().wrapping_shl(rhs.as_u32() & 31)),
+                    Op::Shr => Word::from_u32(lhs.as_u32().wrapping_shr(rhs.as_u32() & 31)),
+                    Op::Eq => Word::from_bool(lhs == rhs),
+                    Op::Ne => Word::from_bool(lhs != rhs),
+                    Op::Lt => Word::from_bool(lhs.as_i32() < rhs.as_i32()),
+                    Op::Le => Word::from_bool(lhs.as_i32() <= rhs.as_i32()),
+                    Op::Gt => Word::from_bool(lhs.as_i32() > rhs.as_i32()),
+                    Op::Ge => Word::from_bool(lhs.as_i32() >= rhs.as_i32()),
+                    _ => unreachable!("covered by outer match arm"),
+                };
+                self.ostack.push(result);
+            }
+            Op::Neg => {
+                let value = try_fault!(self.pop());
+                self.ostack.push(Word::from_i32(value.as_i32().wrapping_neg()));
+            }
+            Op::Not => {
+                let value = try_fault!(self.pop());
+                self.ostack.push(Word::from_bool(value.as_u32() == 0));
+            }
+            Op::BitNot => {
+                let value = try_fault!(self.pop());
+                self.ostack.push(Word::from_u32(!value.as_u32()));
+            }
+
+            Op::Jmp => self.pc = self.layout.code_base.wrapping_add(operand),
+            Op::Jz => {
+                let value = try_fault!(self.pop());
+                if value.as_u32() == 0 {
+                    self.pc = self.layout.code_base.wrapping_add(operand);
+                }
+            }
+            Op::Jnz => {
+                let value = try_fault!(self.pop());
+                if value.as_u32() != 0 {
+                    self.pc = self.layout.code_base.wrapping_add(operand);
+                }
+            }
+
+            Op::Call => {
+                let target = self.layout.code_base.wrapping_add(operand);
+                try_fault!(self.push_frame(target));
+            }
+            Op::CallPtr => {
+                let target = try_fault!(self.pop()).as_u32();
+                try_fault!(self.push_frame(target));
+            }
+            Op::Enter => {
+                self.sp = self.sp.wrapping_sub(operand);
+                if self.sp < self.layout.stack_base() {
+                    return self.fault(Fault::StackOverflow);
+                }
+            }
+            Op::Ret => {
+                let fp = VirtAddr::new(self.fp);
+                let return_addr = try_fault!(self.read_word(fp));
+                let saved_fp = try_fault!(self.read_word(fp + 4));
+                self.sp = self.fp.wrapping_add(8);
+                self.fp = saved_fp.as_u32();
+                self.pc = return_addr.as_u32();
+            }
+
+            Op::Syscall => {
+                let number = operand >> 8;
+                let argc = (operand & 0xFF) as usize;
+                let Some(sysno) = Sysno::from_u32(number) else {
+                    return self.fault(Fault::InvalidSyscall { number });
+                };
+                let mut args = Vec::with_capacity(argc);
+                for _ in 0..argc {
+                    args.push(try_fault!(self.pop()));
+                }
+                args.reverse();
+                self.syscalls_made += 1;
+                return StepResult::Syscall(SyscallRequest::new(sysno, args));
+            }
+
+            Op::Halt => {
+                self.state = ProcessState::Exited(0);
+                return StepResult::Exited(0);
+            }
+        }
+        StepResult::Continue
+    }
+
+    /// Pushes a call frame (return address and saved frame pointer) onto the
+    /// memory stack and transfers control to `target`.
+    fn push_frame(&mut self, target: u32) -> Result<(), Fault> {
+        let new_sp = self.sp.wrapping_sub(8);
+        if new_sp < self.layout.stack_base() {
+            return Err(Fault::StackOverflow);
+        }
+        // Saved frame pointer at the higher address, return address below it:
+        // a buffer overflow that writes upward reaches the return address
+        // first, exactly like the classic stack-smash layout.
+        self.write_word(VirtAddr::new(new_sp + 4), Word::from_u32(self.fp))?;
+        self.write_word(VirtAddr::new(new_sp), Word::from_u32(self.pc))?;
+        self.fp = new_sp;
+        self.sp = new_sp;
+        self.pc = target;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_program;
+    use crate::parser::parse_program;
+    use crate::process::MemoryLayout;
+
+    fn process_for(src: &str) -> Process {
+        let program = parse_program(src).unwrap();
+        let compiled = compile_program(&program).unwrap();
+        Process::new(&compiled, MemoryLayout::default())
+    }
+
+    /// Runs a process that makes no system calls other than the final exit
+    /// and returns the exit status.
+    fn run_to_exit(process: &mut Process) -> i32 {
+        loop {
+            match process.run_until_trap(1_000_000) {
+                TrapReason::Syscall(req) if req.sysno == Sysno::Exit => {
+                    let status = req.arg(0).as_i32();
+                    process.set_exited(status);
+                    return status;
+                }
+                TrapReason::Syscall(req) => panic!("unexpected syscall {req}"),
+                TrapReason::Exited(status) => return status,
+                TrapReason::Faulted(fault) => panic!("unexpected fault: {fault}"),
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_return_value() {
+        let mut p = process_for("fn main() -> int { return (2 + 3) * 4 - 10 / 2; }");
+        assert_eq!(run_to_exit(&mut p), 15);
+    }
+
+    #[test]
+    fn signed_arithmetic_and_comparisons() {
+        let mut p = process_for(
+            r#"
+            fn main() -> int {
+                var a: int = 0 - 7;
+                var b: int = 3;
+                if (a < b) {
+                    if (a / b == 0 - 2) {
+                        if (a % b == 0 - 1) { return 1; }
+                    }
+                }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(run_to_exit(&mut p), 1);
+    }
+
+    #[test]
+    fn while_loop_and_locals() {
+        let mut p = process_for(
+            r#"
+            fn main() -> int {
+                var i: int = 0;
+                var total: int = 0;
+                while (i < 10) {
+                    total = total + i;
+                    i = i + 1;
+                }
+                return total;
+            }
+            "#,
+        );
+        assert_eq!(run_to_exit(&mut p), 45);
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let mut p = process_for(
+            r#"
+            fn main() -> int {
+                var i: int = 0;
+                var total: int = 0;
+                while (1) {
+                    i = i + 1;
+                    if (i > 10) { break; }
+                    if (i % 2 == 0) { continue; }
+                    total = total + i;
+                }
+                return total;
+            }
+            "#,
+        );
+        assert_eq!(run_to_exit(&mut p), 25);
+    }
+
+    #[test]
+    fn function_calls_with_arguments() {
+        let mut p = process_for(
+            r#"
+            fn add3(a: int, b: int, c: int) -> int { return a + b + c; }
+            fn twice(x: int) -> int { return add3(x, x, 0); }
+            fn main() -> int { return twice(7) + add3(1, 2, 3); }
+            "#,
+        );
+        assert_eq!(run_to_exit(&mut p), 20);
+    }
+
+    #[test]
+    fn recursion() {
+        let mut p = process_for(
+            r#"
+            fn fib(n: int) -> int {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fn main() -> int { return fib(10); }
+            "#,
+        );
+        assert_eq!(run_to_exit(&mut p), 55);
+    }
+
+    #[test]
+    fn globals_buffers_and_pointers() {
+        let mut p = process_for(
+            r#"
+            var table: buf[16];
+            var cursor: int = 0;
+            fn put(value: int) {
+                table[cursor] = value;
+                cursor = cursor + 1;
+            }
+            fn main() -> int {
+                var p: ptr;
+                put(10);
+                put(20);
+                put(30);
+                p = &cursor;
+                *p = *p + 100;
+                return table[0] + table[1] + table[2] + cursor;
+            }
+            "#,
+        );
+        assert_eq!(run_to_exit(&mut p), 163);
+    }
+
+    #[test]
+    fn logical_operators_short_circuit() {
+        let mut p = process_for(
+            r#"
+            var side_effects: int = 0;
+            fn bump() -> int { side_effects = side_effects + 1; return 1; }
+            fn main() -> int {
+                if (0 && bump()) { return 100; }
+                if (1 || bump()) {
+                    if (side_effects == 0) { return 1; }
+                }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(run_to_exit(&mut p), 1);
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let mut p = process_for("fn main() -> int { var z: int = 0; return 5 / z; }");
+        match p.run_until_trap(10_000) {
+            TrapReason::Faulted(Fault::DivideByZero) => {}
+            other => panic!("expected divide-by-zero, got {other:?}"),
+        }
+        assert!(matches!(p.state(), ProcessState::Faulted(_)));
+    }
+
+    #[test]
+    fn wild_pointer_write_segfaults() {
+        let mut p = process_for(
+            r#"
+            fn main() -> int {
+                var p: ptr;
+                p = 0x40;
+                *p = 7;
+                return 0;
+            }
+            "#,
+        );
+        match p.run_until_trap(10_000) {
+            TrapReason::Faulted(Fault::Segfault { addr }) => {
+                assert_eq!(addr.as_u32(), 0x40);
+            }
+            other => panic!("expected segfault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partitioned_variant_faults_on_low_half_absolute_address() {
+        // The Figure 1 scenario: an absolute address valid for variant 0 is
+        // unmapped in the partitioned variant.
+        let program = parse_program(
+            r#"
+            var target: int = 5;
+            fn main() -> int {
+                var p: ptr;
+                p = 0x00100000;
+                *p = 99;
+                return target;
+            }
+            "#,
+        )
+        .unwrap();
+        let compiled = compile_program(&program).unwrap();
+        let mut p0 = Process::new(&compiled, MemoryLayout::default());
+        let mut p1 = Process::new(&compiled, MemoryLayout::default().with_partition_bit());
+        assert_eq!(run_to_exit(&mut p0), 99);
+        match p1.run_until_trap(10_000) {
+            TrapReason::Faulted(Fault::Segfault { .. }) => {}
+            other => panic!("expected segfault in partitioned variant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tag_mismatch_faults_immediately() {
+        let program = parse_program("fn main() -> int { return 0; }").unwrap();
+        let compiled = compile_program(&program).unwrap();
+        // Code stamped with tag 0 but the variant expects tag 1.
+        let mut p = Process::new(&compiled, MemoryLayout::default());
+        p.expected_tag = 1;
+        match p.step() {
+            StepResult::Faulted(Fault::TagMismatch { expected, found, .. }) => {
+                assert_eq!(expected, 1);
+                assert_eq!(found, 0);
+            }
+            other => panic!("expected tag mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syscall_traps_and_resumes() {
+        let mut p = process_for("fn main() -> int { return getuid() + 1; }");
+        match p.run_until_trap(10_000) {
+            TrapReason::Syscall(req) => {
+                assert_eq!(req.sysno, Sysno::GetUid);
+                assert!(req.args.is_empty());
+            }
+            other => panic!("expected getuid trap, got {other:?}"),
+        }
+        p.complete_syscall(Word::from_u32(48));
+        match p.run_until_trap(10_000) {
+            TrapReason::Syscall(req) => {
+                assert_eq!(req.sysno, Sysno::Exit);
+                assert_eq!(req.arg(0).as_u32(), 49);
+            }
+            other => panic!("expected exit trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_limit_is_reported_as_fault() {
+        let mut p = process_for("fn main() -> int { while (1) { } return 0; }");
+        match p.run_until_trap(1_000) {
+            TrapReason::Faulted(Fault::StepLimitExceeded) => {}
+            other => panic!("expected step limit fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_recursion_overflows_the_stack() {
+        let mut p = process_for(
+            r#"
+            fn spin(n: int) -> int { return spin(n + 1); }
+            fn main() -> int { return spin(0); }
+            "#,
+        );
+        match p.run_until_trap(50_000_000) {
+            TrapReason::Faulted(Fault::StackOverflow) => {}
+            other => panic!("expected stack overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instruction_counter_advances() {
+        let mut p = process_for("fn main() -> int { return 1 + 2; }");
+        let _ = p.run_until_trap(10_000);
+        assert!(p.instructions_executed() > 3);
+        assert_eq!(p.syscalls_made(), 1);
+    }
+
+    #[test]
+    fn exited_process_stays_exited() {
+        let mut p = process_for("fn main() -> int { return 3; }");
+        let _ = run_to_exit(&mut p);
+        assert_eq!(p.step(), StepResult::Exited(3));
+        assert_eq!(p.run_until_trap(10), TrapReason::Exited(3));
+    }
+}

@@ -1,0 +1,235 @@
+//! Pretty-printer that renders a [`Program`] back into SimC source text.
+//!
+//! Used to inspect transformed variants (the output of `nvariant-transform`)
+//! and in round-trip tests of the parser.
+
+use crate::ast::{Expr, Function, GlobalDecl, LValue, Program, Stmt};
+use std::fmt::Write as _;
+
+/// Renders a program as SimC source text.
+///
+/// The output parses back to an equivalent AST (see the round-trip tests),
+/// which makes it suitable for diffing an original program against its
+/// UID-transformed variant.
+///
+/// # Example
+///
+/// ```
+/// use nvariant_vm::{parse_program, pretty_print};
+///
+/// let program = parse_program("fn main() -> int { return 1 + 2; }")?;
+/// let text = pretty_print(&program);
+/// assert!(text.contains("fn main() -> int {"));
+/// assert!(text.contains("return (1 + 2);"));
+/// # Ok::<(), nvariant_vm::ParseError>(())
+/// ```
+#[must_use]
+pub fn pretty_print(program: &Program) -> String {
+    let mut out = String::new();
+    for global in &program.globals {
+        print_global(&mut out, global);
+    }
+    if !program.globals.is_empty() {
+        out.push('\n');
+    }
+    for (i, function) in program.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_function(&mut out, function);
+    }
+    out
+}
+
+fn print_global(out: &mut String, global: &GlobalDecl) {
+    let _ = write!(out, "var {}: {}", global.name, global.ty);
+    if let Some(init) = &global.init {
+        let _ = write!(out, " = {}", expr_to_string(init));
+    }
+    out.push_str(";\n");
+}
+
+fn print_function(out: &mut String, function: &Function) {
+    let params: Vec<String> = function
+        .params
+        .iter()
+        .map(|p| format!("{}: {}", p.name, p.ty))
+        .collect();
+    let _ = write!(out, "fn {}({})", function.name, params.join(", "));
+    if function.ret != crate::ast::Type::Void {
+        let _ = write!(out, " -> {}", function.ret);
+    }
+    out.push_str(" {\n");
+    for stmt in &function.body {
+        print_stmt(out, stmt, 1);
+    }
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    indent(out, level);
+    match stmt {
+        Stmt::VarDecl { name, ty, init } => {
+            let _ = write!(out, "var {name}: {ty}");
+            if let Some(init) = init {
+                let _ = write!(out, " = {}", expr_to_string(init));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { target, value } => {
+            let target_text = match target {
+                LValue::Var(name) => name.clone(),
+                LValue::Index(base, index) => {
+                    format!("{}[{}]", expr_to_string(base), expr_to_string(index))
+                }
+                LValue::Deref(inner) => format!("*{}", expr_to_string(inner)),
+            };
+            let _ = writeln!(out, "{target_text} = {};", expr_to_string(value));
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let _ = writeln!(out, "if ({}) {{", expr_to_string(cond));
+            for s in then_body {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for s in else_body {
+                    print_stmt(out, s, level + 1);
+                }
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", expr_to_string(cond));
+            for s in body {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Return(None) => out.push_str("return;\n"),
+        Stmt::Return(Some(value)) => {
+            let _ = writeln!(out, "return {};", expr_to_string(value));
+        }
+        Stmt::Expr(expr) => {
+            let _ = writeln!(out, "{};", expr_to_string(expr));
+        }
+        Stmt::Break => out.push_str("break;\n"),
+        Stmt::Continue => out.push_str("continue;\n"),
+    }
+}
+
+/// Renders an expression as SimC source (fully parenthesized for binary
+/// operations, so precedence never changes on re-parse).
+#[must_use]
+pub fn expr_to_string(expr: &Expr) -> String {
+    match expr {
+        Expr::IntLit(n) => {
+            // Large constants read better in hex (e.g. the reexpression mask).
+            if *n > 0xFFFF {
+                format!("{n:#x}")
+            } else {
+                format!("{n}")
+            }
+        }
+        Expr::StrLit(s) => format!("{:?}", s),
+        Expr::Ident(name) => name.clone(),
+        Expr::Unary(op, inner) => format!("{op}{}", expr_to_string(inner)),
+        Expr::Binary(op, lhs, rhs) => {
+            format!("({} {op} {})", expr_to_string(lhs), expr_to_string(rhs))
+        }
+        Expr::Call(name, args) => {
+            let rendered: Vec<String> = args.iter().map(expr_to_string).collect();
+            format!("{name}({})", rendered.join(", "))
+        }
+        Expr::Index(base, index) => {
+            format!("{}[{}]", expr_to_string(base), expr_to_string(index))
+        }
+        Expr::Deref(inner) => format!("*{}", expr_to_string(inner)),
+        Expr::AddrOf(name) => format!("&{name}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const SAMPLE: &str = r#"
+        var logbuf: buf[64];
+        var server_uid: uid_t;
+
+        fn check(uid: uid_t) -> int {
+            if (uid == 0) {
+                return 1;
+            } else {
+                while (uid > 100) {
+                    uid = uid - 100;
+                }
+            }
+            logbuf[0] = 'x';
+            *(&server_uid) = uid;
+            write(1, "done\n", 5);
+            return 0;
+        }
+
+        fn main() -> int {
+            return check(getuid());
+        }
+    "#;
+
+    #[test]
+    fn round_trip_through_parser() {
+        let original = parse_program(SAMPLE).unwrap();
+        let printed = pretty_print(&original);
+        let reparsed = parse_program(&printed).unwrap();
+        // Pretty-printing normalizes formatting but must preserve structure:
+        // a second print of the reparsed program is identical.
+        assert_eq!(pretty_print(&reparsed), printed);
+        assert_eq!(reparsed.globals.len(), original.globals.len());
+        assert_eq!(reparsed.functions.len(), original.functions.len());
+        assert_eq!(
+            reparsed.statement_count(),
+            original.statement_count()
+        );
+    }
+
+    #[test]
+    fn hex_rendering_of_large_constants() {
+        let program =
+            parse_program("fn f(u: uid_t) -> uid_t { return u ^ 0x7FFFFFFF; }").unwrap();
+        let printed = pretty_print(&program);
+        assert!(printed.contains("0x7fffffff"));
+    }
+
+    #[test]
+    fn string_literals_are_escaped() {
+        let program = parse_program(r#"fn f() { write(1, "a\nb", 3); }"#).unwrap();
+        let printed = pretty_print(&program);
+        assert!(printed.contains(r#""a\nb""#));
+        // And the escaped form re-parses.
+        assert!(parse_program(&printed).is_ok());
+    }
+
+    #[test]
+    fn void_functions_omit_arrow() {
+        let program = parse_program("fn f() { return; }").unwrap();
+        let printed = pretty_print(&program);
+        assert!(printed.contains("fn f() {"));
+        assert!(!printed.contains("->"));
+    }
+}

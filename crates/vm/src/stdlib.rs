@@ -1,0 +1,373 @@
+//! The SimC standard library, written in SimC itself.
+//!
+//! These are the moral equivalents of the libc routines the paper's case
+//! study depends on. `strcpy` is intentionally unbounded — it is the classic
+//! unsafe copy through which the case-study server's non-control-data
+//! vulnerability is exercised.
+
+use crate::ast::Program;
+use crate::parser::{parse_program, ParseError};
+
+/// SimC source of the standard library.
+#[must_use]
+pub fn stdlib_source() -> &'static str {
+    r#"
+// ---------------------------------------------------------------------------
+// SimC standard library: string and memory routines.
+// ---------------------------------------------------------------------------
+
+fn strlen(s: ptr) -> int {
+    var n: int = 0;
+    while (s[n] != 0) { n = n + 1; }
+    return n;
+}
+
+// Unbounded copy, faithful to C's strcpy: the destination size is never
+// consulted, which is exactly how the case-study overflow happens.
+fn strcpy(dst: ptr, src: ptr) -> int {
+    var i: int = 0;
+    while (src[i] != 0) {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+    dst[i] = 0;
+    return i;
+}
+
+fn strncpy(dst: ptr, src: ptr, n: int) -> int {
+    var i: int = 0;
+    while (i < n - 1 && src[i] != 0) {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+    dst[i] = 0;
+    return i;
+}
+
+fn strcat(dst: ptr, src: ptr) -> int {
+    var off: int = strlen(dst);
+    var i: int = 0;
+    while (src[i] != 0) {
+        dst[off + i] = src[i];
+        i = i + 1;
+    }
+    dst[off + i] = 0;
+    return off + i;
+}
+
+fn strcmp(a: ptr, b: ptr) -> int {
+    var i: int = 0;
+    while (a[i] != 0 && b[i] != 0) {
+        if (a[i] != b[i]) { return a[i] - b[i]; }
+        i = i + 1;
+    }
+    return a[i] - b[i];
+}
+
+fn strncmp(a: ptr, b: ptr, n: int) -> int {
+    var i: int = 0;
+    while (i < n) {
+        if (a[i] != b[i]) { return a[i] - b[i]; }
+        if (a[i] == 0) { return 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+fn memcpy(dst: ptr, src: ptr, n: int) -> int {
+    var i: int = 0;
+    while (i < n) {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+    return n;
+}
+
+fn memset(dst: ptr, value: int, n: int) -> int {
+    var i: int = 0;
+    while (i < n) {
+        dst[i] = value;
+        i = i + 1;
+    }
+    return n;
+}
+
+fn atoi(s: ptr) -> int {
+    var i: int = 0;
+    var value: int = 0;
+    var negative: int = 0;
+    if (s[0] == '-') {
+        negative = 1;
+        i = 1;
+    }
+    while (s[i] >= '0' && s[i] <= '9') {
+        value = value * 10 + (s[i] - '0');
+        i = i + 1;
+    }
+    if (negative) { return 0 - value; }
+    return value;
+}
+
+// Renders a non-negative integer into dst, returning the length written.
+fn utoa(value: int, dst: ptr) -> int {
+    var tmp: buf[16];
+    var i: int = 0;
+    var n: int = 0;
+    if (value == 0) {
+        dst[0] = '0';
+        dst[1] = 0;
+        return 1;
+    }
+    while (value > 0) {
+        tmp[i] = '0' + value % 10;
+        value = value / 10;
+        i = i + 1;
+    }
+    while (i > 0) {
+        i = i - 1;
+        dst[n] = tmp[i];
+        n = n + 1;
+    }
+    dst[n] = 0;
+    return n;
+}
+
+// Index of the first occurrence of c in s, or -1.
+fn find_char(s: ptr, c: int) -> int {
+    var i: int = 0;
+    while (s[i] != 0) {
+        if (s[i] == c) { return i; }
+        i = i + 1;
+    }
+    return 0 - 1;
+}
+
+fn starts_with(s: ptr, prefix: ptr) -> int {
+    var i: int = 0;
+    while (prefix[i] != 0) {
+        if (s[i] != prefix[i]) { return 0; }
+        i = i + 1;
+    }
+    return 1;
+}
+
+// Returns 1 if needle occurs anywhere in s.
+fn str_contains(s: ptr, needle: ptr) -> int {
+    var i: int = 0;
+    if (needle[0] == 0) { return 1; }
+    while (s[i] != 0) {
+        var j: int = 0;
+        while (needle[j] != 0 && s[i + j] == needle[j]) {
+            j = j + 1;
+        }
+        if (needle[j] == 0) { return 1; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+// Writes a NUL-terminated string to a descriptor.
+fn write_str(fd: int, s: ptr) -> int {
+    return write(fd, s, strlen(s));
+}
+
+// Writes a NUL-terminated string to a connection.
+fn send_str(fd: int, s: ptr) -> int {
+    return send(fd, s, strlen(s));
+}
+"#
+}
+
+/// Parses application source text and links it with the standard library.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if either the application source or (in debug
+/// builds, impossibly) the library source fails to parse.
+///
+/// # Example
+///
+/// ```
+/// use nvariant_vm::parse_with_stdlib;
+///
+/// let program = parse_with_stdlib(r#"
+///     fn main() -> int {
+///         var b: buf[16];
+///         strcpy(&b, "hi");
+///         return strlen(&b);
+///     }
+/// "#)?;
+/// assert!(program.function("strcpy").is_some());
+/// assert!(program.function("main").is_some());
+/// # Ok::<(), nvariant_vm::ParseError>(())
+/// ```
+pub fn parse_with_stdlib(application_source: &str) -> Result<Program, ParseError> {
+    let mut program = parse_program(application_source)?;
+    let library = parse_program(stdlib_source())?;
+    program.merge(library);
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_program;
+    use crate::interp::TrapReason;
+    use crate::process::{MemoryLayout, Process};
+    use nvariant_simos::Sysno;
+
+    /// Compiles `src` linked against the stdlib and runs it until exit,
+    /// returning the exit status. The program must not use any system call
+    /// other than the implicit `exit`.
+    fn run(src: &str) -> i32 {
+        let program = parse_with_stdlib(src).unwrap();
+        let compiled = compile_program(&program).unwrap();
+        let mut process = Process::new(&compiled, MemoryLayout::default());
+        loop {
+            match process.run_until_trap(10_000_000) {
+                TrapReason::Syscall(req) if req.sysno == Sysno::Exit => {
+                    return req.arg(0).as_i32();
+                }
+                other => panic!("unexpected trap: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stdlib_parses_and_typechecks_alone() {
+        let lib = parse_program(stdlib_source()).unwrap();
+        assert!(lib.function("strcpy").is_some());
+        assert!(lib.function("atoi").is_some());
+        assert!(crate::typecheck::typecheck_program(&lib).is_ok());
+    }
+
+    #[test]
+    fn strlen_strcpy_strcat() {
+        let status = run(
+            r#"
+            fn main() -> int {
+                var a: buf[32];
+                var b: buf[32];
+                strcpy(&a, "GET /index");
+                strcpy(&b, ".html");
+                strcat(&a, &b);
+                if (strcmp(&a, "GET /index.html") == 0) { return strlen(&a); }
+                return 0 - 1;
+            }
+            "#,
+        );
+        assert_eq!(status, 15);
+    }
+
+    #[test]
+    fn strncpy_bounds_and_termination() {
+        let status = run(
+            r#"
+            fn main() -> int {
+                var dst: buf[8];
+                strncpy(&dst, "abcdefghij", 8);
+                if (dst[7] == 0) {
+                    if (strlen(&dst) == 7) { return 1; }
+                }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(status, 1);
+    }
+
+    #[test]
+    fn strcmp_orders_strings() {
+        let status = run(
+            r#"
+            fn main() -> int {
+                if (strcmp("abc", "abc") != 0) { return 1; }
+                if (strcmp("abc", "abd") >= 0) { return 2; }
+                if (strcmp("abd", "abc") <= 0) { return 3; }
+                if (strncmp("abcdef", "abcxyz", 3) != 0) { return 4; }
+                if (strncmp("abcdef", "abcxyz", 4) == 0) { return 5; }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(status, 0);
+    }
+
+    #[test]
+    fn memcpy_and_memset() {
+        let status = run(
+            r#"
+            fn main() -> int {
+                var a: buf[16];
+                var b: buf[16];
+                memset(&a, 'x', 15);
+                a[15] = 0;
+                memcpy(&b, &a, 16);
+                if (b[0] == 'x' && b[14] == 'x' && b[15] == 0) { return strlen(&b); }
+                return 0 - 1;
+            }
+            "#,
+        );
+        assert_eq!(status, 15);
+    }
+
+    #[test]
+    fn atoi_and_utoa_round_trip() {
+        let status = run(
+            r#"
+            fn main() -> int {
+                var text: buf[16];
+                if (atoi("48") != 48) { return 1; }
+                if (atoi("-7") != 0 - 7) { return 2; }
+                if (atoi("0") != 0) { return 3; }
+                if (atoi("2147483647") != 0x7FFFFFFF) { return 4; }
+                utoa(1234, &text);
+                if (strcmp(&text, "1234") != 0) { return 5; }
+                utoa(0, &text);
+                if (strcmp(&text, "0") != 0) { return 6; }
+                if (atoi("123abc") != 123) { return 7; }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(status, 0);
+    }
+
+    #[test]
+    fn searching_helpers() {
+        let status = run(
+            r#"
+            fn main() -> int {
+                if (find_char("GET /", ' ') != 3) { return 1; }
+                if (find_char("GET", 'x') != 0 - 1) { return 2; }
+                if (starts_with("GET /index.html", "GET ") != 1) { return 3; }
+                if (starts_with("POST /", "GET ") != 0) { return 4; }
+                if (str_contains("/var/www/../etc/shadow", "..") != 1) { return 5; }
+                if (str_contains("/var/www/index.html", "..") != 0) { return 6; }
+                if (str_contains("abc", "") != 1) { return 7; }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(status, 0);
+    }
+
+    #[test]
+    fn strcpy_is_genuinely_unbounded() {
+        // Overflowing a small buffer with strcpy corrupts the adjacent
+        // global — this is the primitive the attack library builds on.
+        let status = run(
+            r#"
+            var small: buf[4];
+            var sentinel: int = 7;
+            fn main() -> int {
+                strcpy(&small, "AAAAAAAA");
+                return sentinel;
+            }
+            "#,
+        );
+        // The sentinel's low bytes now hold "AAAA"'s continuation, not 7.
+        assert_ne!(status, 7);
+        assert_eq!(status & 0xFF, i32::from(b'A'));
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 1 of the paper: two-variant address-space partitioning. An attack
+//! that injects a complete absolute address works against at most one
+//! variant; the other faults, and the monitor reports the divergence.
+//!
+//! Run with: `cargo run --example address_partitioning`
+
+use nvariant::prelude::*;
+
+const ATTACKED_PROGRAM: &str = r#"
+    var secret_flag: int = 0;
+    fn main() -> int {
+        var p: ptr;
+        // Attack data: a complete absolute address (here the address of
+        // `secret_flag` in the conventional low-half layout) reaches a
+        // pointer the program then writes through.
+        p = 0x00100000;
+        *p = 1;
+        if (secret_flag == 1) { return 99; }
+        return 0;
+    }
+"#;
+
+fn main() -> Result<(), BuildError> {
+    println!("== Figure 1: address-space partitioning ==\n");
+
+    // Against a single unprotected process the injected absolute address
+    // lands exactly where the attacker wanted.
+    let mut single = NVariantSystemBuilder::from_source(ATTACKED_PROGRAM)?
+        .config(DeploymentConfig::Unmodified)
+        .build()?;
+    let outcome = single.run();
+    println!("Configuration 1 (single process): {outcome}");
+    println!("    -> the write landed; the program observed the corrupted flag\n");
+
+    // Under partitioning the same concrete address cannot be valid in both
+    // variants at once: P1 lives in the upper half, so it faults.
+    let mut partitioned = NVariantSystemBuilder::from_source(ATTACKED_PROGRAM)?
+        .config(DeploymentConfig::TwoVariantAddress)
+        .build()?;
+    let outcome = partitioned.run();
+    println!("Configuration 3 (2-variant address partitioning): {outcome}");
+    if let Some(alarm) = &outcome.alarm {
+        println!("    -> {alarm}");
+    }
+
+    // The variant layouts really are disjoint.
+    let layouts: Vec<String> = Variation::address_partitioning()
+        .variant_specs(2)
+        .iter()
+        .map(|spec| spec.addr.describe())
+        .collect();
+    println!("\nPer-variant address reexpression: {layouts:?}");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Unshared files (§3.4–§5 of the paper): trusted external data arrives in
+//! each variant already re-expressed, because each variant opens its own
+//! copy of the file. This example shows the per-variant `/etc/passwd` views
+//! of a Configuration 4 deployment, plus the §5 idea of diversifying other
+//! configuration data the same way.
+//!
+//! Run with: `cargo run --example unshared_files`
+
+use nvariant::prelude::*;
+use nvariant_apps::httpd_source;
+use nvariant_apps::workload::benign_request;
+
+fn main() -> Result<(), BuildError> {
+    let mut system = NVariantSystemBuilder::from_source(httpd_source())?
+        .config(DeploymentConfig::TwoVariantUid)
+        .initial_uid(Uid::ROOT)
+        .build()?;
+
+    println!("== Unshared files under Configuration 4 ==\n");
+    for variant in 0..2 {
+        let path = format!("/etc/passwd-{variant}");
+        let data = system
+            .kernel()
+            .fs()
+            .get(&path)
+            .expect("per-variant passwd copies are provisioned at build time");
+        println!("{path} (what variant {variant} reads when it opens /etc/passwd):");
+        for line in String::from_utf8_lossy(&data.data).lines() {
+            println!("    {line}");
+        }
+        println!();
+    }
+    println!(
+        "The UID columns differ, yet both files describe the same accounts: the httpd entry's\n\
+         UID is 48 in variant 0 and 48 xor 0x7FFFFFFF = {} in variant 1, and the two values\n\
+         canonicalize to the same identity at every system call.\n",
+        48u32 ^ 0x7FFF_FFFF
+    );
+
+    // Serve one request so the unshared reads actually happen, then show the
+    // per-variant I/O counted by the monitor.
+    system
+        .kernel_mut()
+        .net_mut()
+        .preload_request(Port::HTTP, benign_request("/index.html"));
+    let outcome = system.run();
+    println!("Serving one page: {outcome}");
+    println!(
+        "    kernel I/O bytes (shared files + network, performed once): {}",
+        outcome.metrics.io_bytes
+    );
+    println!("    monitor equivalence checks: {}", outcome.metrics.monitor_checks);
+    Ok(())
+}

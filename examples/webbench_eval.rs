@@ -1,0 +1,59 @@
+//! The Table 3 evaluation: throughput and latency of the mini Apache under
+//! the four paper configurations at the unsaturated and saturated load
+//! levels. (The `table3_report` binary in `crates/bench` prints the full
+//! table with paper-value comparisons; this example is a smaller, faster
+//! run suitable for a quick look.)
+//!
+//! Run with: `cargo run --release --example webbench_eval`
+
+use nvariant::DeploymentConfig;
+use nvariant_apps::workload::{LoadLevel, WebBench};
+
+fn main() {
+    let bench = WebBench::default();
+    let light = LoadLevel {
+        clients: 1,
+        requests_per_client: 12,
+    };
+    let heavy = LoadLevel {
+        clients: 15,
+        requests_per_client: 2,
+    };
+
+    println!("== WebBench-style evaluation (abbreviated) ==\n");
+    println!(
+        "{:<38} {:>12} {:>10} {:>12} {:>10}",
+        "Configuration", "Unsat KB/s", "Unsat ms", "Sat KB/s", "Sat ms"
+    );
+    let mut baseline: Option<(f64, f64)> = None;
+    for config in DeploymentConfig::paper_configurations() {
+        let unsaturated = bench.measure(&config, &light);
+        let saturated = bench.measure(&config, &heavy);
+        println!(
+            "{:<38} {:>12.0} {:>10.2} {:>12.0} {:>10.2}",
+            config.to_string(),
+            unsaturated.throughput_kb_s,
+            unsaturated.latency_ms,
+            saturated.throughput_kb_s,
+            saturated.latency_ms
+        );
+        match &baseline {
+            None => baseline = Some((unsaturated.throughput_kb_s, saturated.throughput_kb_s)),
+            Some((unsat_base, sat_base)) => {
+                println!(
+                    "{:<38} {:>11.1}% {:>10} {:>11.1}% {:>10}",
+                    "    relative to Configuration 1",
+                    (unsaturated.throughput_kb_s - unsat_base) / unsat_base * 100.0,
+                    "",
+                    (saturated.throughput_kb_s - sat_base) / sat_base * 100.0,
+                    ""
+                );
+            }
+        }
+    }
+    println!(
+        "\nExpected shape (paper): Configuration 2 is nearly free; Configurations 3 and 4 lose\n\
+         ~10-15% unsaturated and roughly half their throughput saturated; Configuration 4 costs\n\
+         only a few percent more than Configuration 3."
+    );
+}

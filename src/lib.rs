@@ -1,0 +1,14 @@
+//! Workspace root crate for the *Security through Redundant Data Diversity* reproduction.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories; the actual functionality lives in the `crates/*` members.
+//! See the [`nvariant`] facade crate for the public API.
+
+pub use nvariant;
+pub use nvariant_apps as apps;
+pub use nvariant_diversity as diversity;
+pub use nvariant_monitor as monitor;
+pub use nvariant_simos as simos;
+pub use nvariant_transform as transform;
+pub use nvariant_types as types;
+pub use nvariant_vm as vm;

@@ -1,0 +1,94 @@
+//! Integration test: the security evaluation matrix.
+//!
+//! Every attack class is launched against every deployment configuration
+//! and the observed result must match what the paper's arguments predict —
+//! including the negative results (class-specificity), which are as
+//! important to the paper's story as the detections.
+
+use nvariant::DeploymentConfig;
+use nvariant_apps::attacks::{attack_matrix, run_attack, Attack, AttackClass, AttackResult};
+
+fn matrix_configs() -> Vec<DeploymentConfig> {
+    vec![
+        DeploymentConfig::Unmodified,
+        DeploymentConfig::TransformedSingle,
+        DeploymentConfig::TwoVariantAddress,
+        DeploymentConfig::TwoVariantUid,
+        DeploymentConfig::composed_uid_and_address(),
+    ]
+}
+
+#[test]
+fn every_attack_outcome_matches_the_papers_prediction() {
+    let outcomes = attack_matrix(&matrix_configs());
+    assert_eq!(outcomes.len(), 3 * 5);
+    for outcome in &outcomes {
+        assert!(
+            outcome.matches_expectation(),
+            "{} vs {}: observed {:?}, predicted {:?} (alarm: {:?})",
+            outcome.attack,
+            outcome.config_label,
+            outcome.result,
+            outcome.expected,
+            outcome.alarm
+        );
+    }
+}
+
+#[test]
+fn uid_corruption_is_guaranteed_detected_by_the_uid_variation() {
+    for attack in Attack::all() {
+        if matches!(
+            attack.class,
+            AttackClass::UidCorruptionRelative | AttackClass::UidCorruptionAbsolute
+        ) {
+            let outcome = run_attack(&DeploymentConfig::TwoVariantUid, &attack);
+            assert_eq!(outcome.result, AttackResult::Detected, "{outcome:?}");
+            assert!(outcome.alarm.is_some());
+        }
+    }
+}
+
+#[test]
+fn the_composed_variation_covers_both_attack_classes() {
+    let composed = DeploymentConfig::composed_uid_and_address();
+    for attack in Attack::all() {
+        let outcome = run_attack(&composed, &attack);
+        assert_eq!(
+            outcome.result,
+            AttackResult::Detected,
+            "composition should detect {}: {outcome:?}",
+            attack.name
+        );
+    }
+}
+
+#[test]
+fn detection_alarms_identify_the_uid_data_class() {
+    let attack = &Attack::all()[0];
+    let outcome = run_attack(&DeploymentConfig::TwoVariantUid, attack);
+    let alarm = outcome.alarm.expect("attack must be detected");
+    // The divergence is observed at a UID use: either a detection call or a
+    // UID-carrying system call argument.
+    assert!(
+        alarm.contains("seteuid") || alarm.contains("uid_value") || alarm.contains("cc_"),
+        "alarm should implicate a UID use: {alarm}"
+    );
+}
+
+#[test]
+fn single_process_configurations_never_raise_alarms() {
+    for attack in Attack::all() {
+        for config in [
+            DeploymentConfig::Unmodified,
+            DeploymentConfig::TransformedSingle,
+        ] {
+            let outcome = run_attack(&config, &attack);
+            assert!(
+                outcome.alarm.is_none(),
+                "single-process deployments cannot detect: {outcome:?}"
+            );
+            assert_ne!(outcome.result, AttackResult::Detected);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration test of the Table 3 *shape*: the relative overheads the
+//! paper reports must emerge from the measured execution, even though the
+//! absolute numbers come from a simulated cost model rather than a 2008
+//! Pentium 4.
+//!
+//! Paper shape:
+//! * Configuration 2 (source transformation only) is essentially free;
+//! * Configurations 3 and 4 (two variants) lose roughly half their
+//!   throughput under saturated load, but only ~10–15% unsaturated;
+//! * Configuration 4 costs at most a few percent more than Configuration 3.
+
+use nvariant::DeploymentConfig;
+use nvariant_apps::workload::{LoadLevel, WebBench};
+
+fn measurements() -> Vec<(u8, f64, f64, f64)> {
+    // (config number, unsat throughput, sat throughput, sat latency)
+    let bench = WebBench::default();
+    let unsat = LoadLevel {
+        clients: 1,
+        requests_per_client: 18,
+    };
+    let sat = LoadLevel {
+        clients: 15,
+        requests_per_client: 2,
+    };
+    DeploymentConfig::paper_configurations()
+        .into_iter()
+        .map(|config| {
+            let u = bench.measure(&config, &unsat);
+            let s = bench.measure(&config, &sat);
+            assert!(u.all_requests_succeeded, "{config}");
+            assert!(s.all_requests_succeeded, "{config}");
+            (
+                config.paper_number().unwrap(),
+                u.throughput_kb_s,
+                s.throughput_kb_s,
+                s.latency_ms,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn table3_shape_is_reproduced() {
+    let rows = measurements();
+    let (_, unsat1, sat1, satlat1) = rows[0];
+    let (_, unsat2, sat2, _) = rows[1];
+    let (_, unsat3, sat3, satlat3) = rows[2];
+    let (_, unsat4, sat4, satlat4) = rows[3];
+
+    // Configuration 2: the source transformation alone costs almost nothing
+    // (paper: -3.7% unsaturated, -0.9% saturated).
+    assert!((sat1 - sat2).abs() / sat1 < 0.10, "sat {sat1} vs {sat2}");
+    assert!((unsat1 - unsat2).abs() / unsat1 < 0.10, "unsat {unsat1} vs {unsat2}");
+
+    // Configurations 3 and 4: saturated throughput drops close to half
+    // (paper: -56% and -58%) because all computation is duplicated.
+    let drop3 = (sat1 - sat3) / sat1;
+    let drop4 = (sat1 - sat4) / sat1;
+    assert!(drop3 > 0.30 && drop3 < 0.65, "config 3 saturated drop {drop3}");
+    assert!(drop4 > 0.30 && drop4 < 0.70, "config 4 saturated drop {drop4}");
+
+    // Unsaturated, the loss is much smaller because the request is
+    // I/O-bound (paper: -12.2% and -13.2%).
+    let unsat_drop3 = (unsat1 - unsat3) / unsat1;
+    assert!(
+        unsat_drop3 < drop3,
+        "unsaturated drop {unsat_drop3} should be smaller than saturated drop {drop3}"
+    );
+    assert!(unsat_drop3 < 0.35, "unsaturated drop {unsat_drop3}");
+
+    // The UID variation costs only a few percent on top of the two-variant
+    // baseline (paper: -4.5% saturated, -1% unsaturated).
+    let uid_extra_sat = (sat3 - sat4) / sat3;
+    assert!(uid_extra_sat < 0.15, "UID variation extra cost {uid_extra_sat}");
+    let uid_extra_unsat = (unsat3 - unsat4) / unsat3;
+    assert!(uid_extra_unsat < 0.12, "UID variation extra unsat cost {uid_extra_unsat}");
+
+    // Latency moves the other way: saturated latency grows substantially for
+    // the two-variant systems (paper: +129%, +136%).
+    assert!(satlat3 > satlat1 * 1.3, "latency {satlat1} -> {satlat3}");
+    assert!(satlat4 >= satlat3 * 0.95);
+}
+
+#[test]
+fn redundant_computation_is_visible_in_the_instruction_counts() {
+    let bench = WebBench::default();
+    let load = LoadLevel {
+        clients: 2,
+        requests_per_client: 3,
+    };
+    let single = bench.measure(&DeploymentConfig::Unmodified, &load);
+    let dual = bench.measure(&DeploymentConfig::TwoVariantAddress, &load);
+    // Two variants execute roughly twice the instructions for the same work.
+    let ratio = dual.total_instructions as f64 / single.total_instructions as f64;
+    assert!(ratio > 1.8 && ratio < 2.3, "instruction ratio {ratio}");
+    // And only the N-variant configuration pays for monitor checks.
+    assert_eq!(single.monitor_checks, 0);
+    assert!(dual.monitor_checks > 0);
+}
