@@ -117,9 +117,7 @@ impl Attack {
                 requests
             }
             AttackClass::UidCorruptionAbsolute => {
-                let addr = system
-                    .global_addr("server_uid")
-                    .map_or(0, |a| a.as_u32());
+                let addr = system.global_addr("server_uid").map_or(0, |a| a.as_u32());
                 vec![
                     format!(
                         "GET /debug/poke/{addr}/0 HTTP/1.0\r\nHost: victim\r\nUser-Agent: curl\r\n\r\n"
@@ -174,13 +172,11 @@ impl Attack {
     /// matrix report to flag discrepancies).
     #[must_use]
     pub fn expected_result(&self, config: &DeploymentConfig) -> AttackResult {
-        let protects_uid = matches!(
-            config,
-            DeploymentConfig::TwoVariantUid
-        ) || matches!(
-            config,
-            DeploymentConfig::Custom { transform_uids: true, variants, .. } if *variants > 1
-        );
+        let protects_uid = matches!(config, DeploymentConfig::TwoVariantUid)
+            || matches!(
+                config,
+                DeploymentConfig::Custom { transform_uids: true, variants, .. } if *variants > 1
+            );
         let protects_addresses = matches!(config, DeploymentConfig::TwoVariantAddress)
             || matches!(
                 config,
@@ -343,16 +339,28 @@ mod tests {
             assert!(outcome.matches_expectation());
         }
         let unprotected = run_attack(&DeploymentConfig::Unmodified, attack);
-        assert_eq!(unprotected.result, AttackResult::Succeeded, "{unprotected:?}");
+        assert_eq!(
+            unprotected.result,
+            AttackResult::Succeeded,
+            "{unprotected:?}"
+        );
     }
 
     #[test]
     fn non_uid_corruption_evades_the_uid_variation_but_not_address_partitioning() {
         let attack = &Attack::all()[2];
         let against_uid = run_attack(&DeploymentConfig::TwoVariantUid, attack);
-        assert_eq!(against_uid.result, AttackResult::Succeeded, "{against_uid:?}");
+        assert_eq!(
+            against_uid.result,
+            AttackResult::Succeeded,
+            "{against_uid:?}"
+        );
         let against_addr = run_attack(&DeploymentConfig::TwoVariantAddress, attack);
-        assert_eq!(against_addr.result, AttackResult::Detected, "{against_addr:?}");
+        assert_eq!(
+            against_addr.result,
+            AttackResult::Detected,
+            "{against_addr:?}"
+        );
         assert!(against_uid.matches_expectation());
         assert!(against_addr.matches_expectation());
     }

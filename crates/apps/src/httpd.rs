@@ -366,12 +366,36 @@ mod tests {
         let variant1 = transformer
             .transform_for_variant(&program, &UidTransform::paper_mask())
             .unwrap();
-        assert!(variant1.stats.comparison_exposures >= 4, "{:?}", variant1.stats);
-        assert!(variant1.stats.conditional_checks >= 3, "{:?}", variant1.stats);
-        assert!(variant1.stats.single_value_exposures >= 2, "{:?}", variant1.stats);
-        assert!(variant1.stats.log_sinks_sanitized >= 1, "{:?}", variant1.stats);
-        assert!(variant1.stats.uid_constants_reexpressed >= 5, "{:?}", variant1.stats);
-        assert!(variant1.stats.paper_change_total() >= 12, "{:?}", variant1.stats);
+        assert!(
+            variant1.stats.comparison_exposures >= 4,
+            "{:?}",
+            variant1.stats
+        );
+        assert!(
+            variant1.stats.conditional_checks >= 3,
+            "{:?}",
+            variant1.stats
+        );
+        assert!(
+            variant1.stats.single_value_exposures >= 2,
+            "{:?}",
+            variant1.stats
+        );
+        assert!(
+            variant1.stats.log_sinks_sanitized >= 1,
+            "{:?}",
+            variant1.stats
+        );
+        assert!(
+            variant1.stats.uid_constants_reexpressed >= 5,
+            "{:?}",
+            variant1.stats
+        );
+        assert!(
+            variant1.stats.paper_change_total() >= 12,
+            "{:?}",
+            variant1.stats
+        );
         // The transformed variant still compiles.
         compile_program(&variant1.program).unwrap();
     }

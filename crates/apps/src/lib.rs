@@ -43,6 +43,4 @@ pub mod workload;
 pub use attacks::{Attack, AttackClass, AttackOutcome, AttackResult};
 pub use httpd::httpd_source;
 pub use scenarios::{run_requests, ScenarioOutcome, ServedRequest};
-pub use workload::{
-    benign_request, BenchmarkResult, LoadLevel, WebBench, WorkloadMix,
-};
+pub use workload::{benign_request, BenchmarkResult, LoadLevel, WebBench, WorkloadMix};

@@ -39,11 +39,7 @@ impl ServedRequest {
     /// The response body (everything after the blank line).
     #[must_use]
     pub fn body(&self) -> &[u8] {
-        match self
-            .response
-            .windows(4)
-            .position(|w| w == b"\r\n\r\n")
-        {
+        match self.response.windows(4).position(|w| w == b"\r\n\r\n") {
             Some(pos) => &self.response[pos + 4..],
             None => &[],
         }

@@ -298,12 +298,14 @@ fn simulate_closed_loop(
         next_send[client] = response_arrival;
     }
 
-    let mean_latency = if completed > 0 {
-        SimDuration::from_nanos(latency_total.as_nanos() / completed)
-    } else {
-        SimDuration::ZERO
-    };
-    (last_completion.duration_since(SimInstant::ZERO), mean_latency)
+    let mean_latency = latency_total
+        .as_nanos()
+        .checked_div(completed)
+        .map_or(SimDuration::ZERO, SimDuration::from_nanos);
+    (
+        last_completion.duration_since(SimInstant::ZERO),
+        mean_latency,
+    )
 }
 
 #[cfg(test)]

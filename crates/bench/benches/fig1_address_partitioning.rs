@@ -50,7 +50,12 @@ fn bench_fig1(c: &mut Criterion) {
         b.iter(|| black_box(run_under(POINTER_CHASE, DeploymentConfig::Unmodified)))
     });
     group.bench_function("pointer_chase_two_variant_partitioned", |b| {
-        b.iter(|| black_box(run_under(POINTER_CHASE, DeploymentConfig::TwoVariantAddress)))
+        b.iter(|| {
+            black_box(run_under(
+                POINTER_CHASE,
+                DeploymentConfig::TwoVariantAddress,
+            ))
+        })
     });
     group.bench_function("detect_absolute_address_injection", |b| {
         b.iter(|| {

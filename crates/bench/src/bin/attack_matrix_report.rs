@@ -32,7 +32,11 @@ fn main() {
                 o.config_label.clone(),
                 o.result.to_string(),
                 o.expected.to_string(),
-                if o.matches_expectation() { "yes".to_string() } else { "MISMATCH".to_string() },
+                if o.matches_expectation() {
+                    "yes".to_string()
+                } else {
+                    "MISMATCH".to_string()
+                },
                 o.alarm.clone().unwrap_or_else(|| "-".to_string()),
             ]
         })
@@ -40,7 +44,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Attack", "Configuration", "Observed", "Predicted", "Matches", "Alarm"],
+            &[
+                "Attack",
+                "Configuration",
+                "Observed",
+                "Predicted",
+                "Matches",
+                "Alarm"
+            ],
             &rows,
         )
     );

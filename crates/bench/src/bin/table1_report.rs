@@ -23,7 +23,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Variation", "Target Type", "Reexpression Functions", "Inverse Functions"],
+            &[
+                "Variation",
+                "Target Type",
+                "Reexpression Functions",
+                "Inverse Functions"
+            ],
             &rows,
         )
     );
@@ -44,7 +49,11 @@ fn main() {
         println!(
             "  {:<55} {}",
             variation.name(),
-            if report.all_hold() { "all properties hold" } else { "PROPERTY VIOLATION" }
+            if report.all_hold() {
+                "all properties hold"
+            } else {
+                "PROPERTY VIOLATION"
+            }
         );
         for check in &report.checks {
             println!(

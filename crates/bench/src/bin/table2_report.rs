@@ -50,7 +50,10 @@ fn main() {
         .iter()
         .map(|(sig, desc)| vec![sig.to_string(), desc.to_string()])
         .collect();
-    println!("{}", render_table(&["Function Signature", "Description"], &rows));
+    println!(
+        "{}",
+        render_table(&["Function Signature", "Description"], &rows)
+    );
 
     println!("Syscall numbers assigned in this reproduction:");
     for sysno in Sysno::ALL.iter().filter(|s| s.is_detection_call()) {
@@ -61,7 +64,10 @@ fn main() {
     // serving a benign page mix under Configuration 4.
     let requests = WorkloadMix::standard().request_sequence(24, 7);
     let scenario = run_requests(&DeploymentConfig::TwoVariantUid, &requests);
-    println!("\nObserved while serving {} benign requests under Configuration 4:", requests.len());
+    println!(
+        "\nObserved while serving {} benign requests under Configuration 4:",
+        requests.len()
+    );
     println!(
         "    detection calls ............ {}",
         scenario.system.metrics.detection_calls

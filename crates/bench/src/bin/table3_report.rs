@@ -54,8 +54,14 @@ fn main() {
     println!(
         "  {:<38} relative to Configuration 3: unsat throughput {:+.1}%, sat throughput {:+.1}%",
         "2-Variant UID (vs 2-Variant Address)",
-        percent_change(addr.unsaturated.throughput_kb_s, uid.unsaturated.throughput_kb_s),
-        percent_change(addr.saturated.throughput_kb_s, uid.saturated.throughput_kb_s),
+        percent_change(
+            addr.unsaturated.throughput_kb_s,
+            uid.unsaturated.throughput_kb_s
+        ),
+        percent_change(
+            addr.saturated.throughput_kb_s,
+            uid.saturated.throughput_kb_s
+        ),
     );
 
     println!("\nPaper's published Table 3 (1.4 GHz Pentium 4, WebBench 5.0):");

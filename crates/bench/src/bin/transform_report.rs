@@ -61,7 +61,11 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Change category", "mini Apache (this repo)", "Apache (paper)"],
+            &[
+                "Change category",
+                "mini Apache (this repo)",
+                "Apache (paper)"
+            ],
             &rows,
         )
     );

@@ -56,7 +56,11 @@ impl fmt::Display for ExecutionMetrics {
         write!(
             f,
             "{} variants, {} instructions, {} syscalls, {} checks, {} I/O bytes",
-            self.variants, self.total_instructions, self.syscalls, self.monitor_checks, self.io_bytes
+            self.variants,
+            self.total_instructions,
+            self.syscalls,
+            self.monitor_checks,
+            self.io_bytes
         )
     }
 }

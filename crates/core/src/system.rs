@@ -201,7 +201,7 @@ impl NVariantSystemBuilder {
                 config: self.config,
                 transform_stats: stats,
                 inner: Deployment::Single {
-                    kernel,
+                    kernel: Box::new(kernel),
                     pid,
                     process: Box::new(process),
                     limits: self.run_limits,
@@ -210,14 +210,9 @@ impl NVariantSystemBuilder {
             });
         }
 
-        let variation = self
-            .config
-            .variation()
-            .ok_or_else(|| {
-                BuildError::Variation(
-                    "a multi-variant deployment requires a variation".to_string(),
-                )
-            })?;
+        let variation = self.config.variation().ok_or_else(|| {
+            BuildError::Variation("a multi-variant deployment requires a variation".to_string())
+        })?;
         let specs = variation
             .try_variant_specs(n)
             .map_err(BuildError::Variation)?;
@@ -226,10 +221,7 @@ impl NVariantSystemBuilder {
         let (variant_programs, stats) = if self.config.transforms_uids() {
             let uid_transforms: Vec<UidTransform> = specs.iter().map(|s| s.uid).collect();
             let variants = transformer.transform_for_variants(&self.program, &uid_transforms)?;
-            let stats = variants
-                .last()
-                .map(|v| v.stats)
-                .unwrap_or_default();
+            let stats = variants.last().map(|v| v.stats).unwrap_or_default();
             (
                 variants.into_iter().map(|v| v.program).collect::<Vec<_>>(),
                 stats,
@@ -299,7 +291,7 @@ impl NVariantSystemBuilder {
 
 enum Deployment {
     Single {
-        kernel: OsKernel,
+        kernel: Box<OsKernel>,
         pid: Pid,
         process: Box<Process>,
         limits: RunLimits,

@@ -105,9 +105,7 @@ impl AddressTransform {
     pub fn describe_inverse(&self) -> String {
         match self {
             AddressTransform::Identity => "R\u{207b}\u{00b9}(a) = a".to_string(),
-            AddressTransform::PartitionHigh => {
-                "R\u{207b}\u{00b9}(a) = a - 0x80000000".to_string()
-            }
+            AddressTransform::PartitionHigh => "R\u{207b}\u{00b9}(a) = a - 0x80000000".to_string(),
             AddressTransform::PartitionHighWithOffset(offset) => {
                 format!("R\u{207b}\u{00b9}(a) = a - 0x80000000 - {offset:#x}")
             }

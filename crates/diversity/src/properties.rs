@@ -112,9 +112,9 @@ pub fn verify_variation(variation: &Variation, n: usize) -> PropertyReport {
     }
     for i in 0..specs.len() {
         for j in (i + 1)..specs.len() {
-            report
-                .checks
-                .push(check_disjoint(variation, i, j, &specs[i], &specs[j], &samples));
+            report.checks.push(check_disjoint(
+                variation, i, j, &specs[i], &specs[j], &samples,
+            ));
         }
     }
     report
@@ -163,8 +163,8 @@ fn check_disjoint(
                 let addr = !a.addr.is_identity() || !b.addr.is_identity();
                 let uid_disjoint =
                     uid && a.uid.invert(Uid::new(raw)) != b.uid.invert(Uid::new(raw));
-                let addr_disjoint = addr
-                    && a.addr.invert(VirtAddr::new(raw)) != b.addr.invert(VirtAddr::new(raw));
+                let addr_disjoint =
+                    addr && a.addr.invert(VirtAddr::new(raw)) != b.addr.invert(VirtAddr::new(raw));
                 let tag_disjoint = a.tag != b.tag;
                 uid_disjoint || addr_disjoint || tag_disjoint
             }
@@ -175,9 +175,7 @@ fn check_disjoint(
         }
     }
     PropertyCheck {
-        description: format!(
-            "disjointedness: variants {i} and {j} (∀x, R{i}⁻¹(x) ≠ R{j}⁻¹(x))"
-        ),
+        description: format!("disjointedness: variants {i} and {j} (∀x, R{i}⁻¹(x) ≠ R{j}⁻¹(x))"),
         holds: counterexample.is_none(),
         counterexample,
     }

@@ -96,8 +96,7 @@ impl UidTransform {
     /// Returns `true` if this transform is the identity.
     #[must_use]
     pub fn is_identity(&self) -> bool {
-        matches!(self, UidTransform::Identity)
-            || matches!(self, UidTransform::Xor(0))
+        matches!(self, UidTransform::Identity) || matches!(self, UidTransform::Xor(0))
     }
 
     /// Human-readable description of `R`, as in Table 1 of the paper.
@@ -150,7 +149,10 @@ mod tests {
         assert_eq!(r1.variant_root().as_u32(), 0x7FFF_FFFF);
         assert_eq!(r1.apply(Uid::new(48)).as_u32(), 0x7FFF_FFCF);
         // High bit is preserved (the §3.2 caveat).
-        assert_eq!(r1.apply(Uid::new(0x8000_0000)).as_u32() & 0x8000_0000, 0x8000_0000);
+        assert_eq!(
+            r1.apply(Uid::new(0x8000_0000)).as_u32() & 0x8000_0000,
+            0x8000_0000
+        );
     }
 
     #[test]

@@ -147,28 +147,25 @@ impl Variation {
     pub fn try_variant_specs(&self, n: usize) -> Result<Vec<VariantSpec>, String> {
         let mut specs = Vec::with_capacity(n);
         for index in 0..n {
-            specs.push(self.spec_for(index, n)?);
+            specs.push(self.spec_for(index)?);
         }
         Ok(specs)
     }
 
-    fn spec_for(&self, index: usize, n: usize) -> Result<VariantSpec, String> {
+    fn spec_for(&self, index: usize) -> Result<VariantSpec, String> {
         if index == 0 {
             // Variant 0 always runs the canonical representation.
             return Ok(VariantSpec::identity());
         }
         let spec = match self {
-            Variation::AddressPartitioning => {
-                VariantSpec::identity().with_addr(if index == 1 {
-                    AddressTransform::PartitionHigh
-                } else {
-                    AddressTransform::PartitionHighWithOffset(0x1_0000 * (index as u32 - 1))
-                })
-            }
-            Variation::ExtendedAddressPartitioning { offset } => VariantSpec::identity()
-                .with_addr(AddressTransform::PartitionHighWithOffset(
-                    offset.wrapping_mul(index as u32),
-                )),
+            Variation::AddressPartitioning => VariantSpec::identity().with_addr(if index == 1 {
+                AddressTransform::PartitionHigh
+            } else {
+                AddressTransform::PartitionHighWithOffset(0x1_0000 * (index as u32 - 1))
+            }),
+            Variation::ExtendedAddressPartitioning { offset } => VariantSpec::identity().with_addr(
+                AddressTransform::PartitionHighWithOffset(offset.wrapping_mul(index as u32)),
+            ),
             Variation::InstructionTagging => {
                 VariantSpec::identity().with_tag(u8::try_from(index).unwrap_or(u8::MAX))
             }
@@ -186,7 +183,7 @@ impl Variation {
             Variation::Composed(parts) => {
                 let mut spec = VariantSpec::identity();
                 for part in parts {
-                    spec = spec.compose(&part.spec_for(index, n)?)?;
+                    spec = spec.compose(&part.spec_for(index)?)?;
                 }
                 spec
             }
@@ -368,10 +365,7 @@ mod tests {
 
     #[test]
     fn display_uses_name() {
-        assert_eq!(
-            format!("{}", Variation::uid_diversity()),
-            "UID Variation"
-        );
+        assert_eq!(format!("{}", Variation::uid_diversity()), "UID Variation");
         assert!(Variation::uid_diversity_full_mask()
             .name()
             .contains("0xFFFFFFFF"));

@@ -70,7 +70,10 @@ impl NVariantMonitor {
         initial_uid: Uid,
         config: MonitorConfig,
     ) -> Self {
-        assert!(!processes.is_empty(), "an N-variant system needs at least one variant");
+        assert!(
+            !processes.is_empty(),
+            "an N-variant system needs at least one variant"
+        );
         assert_eq!(
             processes.len(),
             specs.len(),
@@ -303,7 +306,11 @@ impl NVariantMonitor {
         let mut canonical_args: Vec<Vec<Word>> = Vec::with_capacity(self.variants.len());
         for (variant, request) in self.variants.iter().zip(requests) {
             let canon: Vec<Word> = (0..arg_count)
-                .map(|i| variant.canon.canonical(request.arg(i), Self::arg_class(sysno, i)))
+                .map(|i| {
+                    variant
+                        .canon
+                        .canonical(request.arg(i), Self::arg_class(sysno, i))
+                })
                 .collect();
             canonical_args.push(canon);
         }
@@ -371,7 +378,9 @@ impl NVariantMonitor {
         let all = |w: Word| vec![w; n];
 
         match sysno {
-            Sysno::Exit => ExecuteResult::Exited(canon0.first().copied().unwrap_or(Word::ZERO).as_i32()),
+            Sysno::Exit => {
+                ExecuteResult::Exited(canon0.first().copied().unwrap_or(Word::ZERO).as_i32())
+            }
 
             // Identity queries: perform once, re-express per variant.
             Sysno::GetUid | Sysno::GetEuid | Sysno::GetGid => {
@@ -400,9 +409,7 @@ impl NVariantMonitor {
                 let result = match sysno {
                     Sysno::SetUid => self.kernel.setuid(self.group_pid, value.as_uid()),
                     Sysno::SetEuid => self.kernel.seteuid(self.group_pid, value.as_uid()),
-                    _ => self
-                        .kernel
-                        .setgid(self.group_pid, Gid::new(value.as_u32())),
+                    _ => self.kernel.setgid(self.group_pid, Gid::new(value.as_u32())),
                 };
                 ExecuteResult::Deliver(all(match result {
                     Ok(()) => Word::ZERO,
@@ -410,10 +417,16 @@ impl NVariantMonitor {
                 }))
             }
             Sysno::SetReUid => {
-                let decode = |w: Word| if w.as_i32() == -1 { None } else { Some(w.as_uid()) };
-                let result = self
-                    .kernel
-                    .setreuid(self.group_pid, decode(canon0[0]), decode(canon0[1]));
+                let decode = |w: Word| {
+                    if w.as_i32() == -1 {
+                        None
+                    } else {
+                        Some(w.as_uid())
+                    }
+                };
+                let result =
+                    self.kernel
+                        .setreuid(self.group_pid, decode(canon0[0]), decode(canon0[1]));
                 ExecuteResult::Deliver(all(match result {
                     Ok(()) => Word::ZERO,
                     Err(e) => errno_word(e),
@@ -421,13 +434,14 @@ impl NVariantMonitor {
             }
 
             // Detection calls: already checked; answer locally.
-            Sysno::UidValue => ExecuteResult::Deliver(
-                requests.iter().map(|r| r.arg(0)).collect(),
-            ),
-            Sysno::CondChk => ExecuteResult::Deliver(
-                requests.iter().map(|r| r.arg(0)).collect(),
-            ),
-            Sysno::CcEq | Sysno::CcNeq | Sysno::CcLt | Sysno::CcLeq | Sysno::CcGt | Sysno::CcGeq => {
+            Sysno::UidValue => ExecuteResult::Deliver(requests.iter().map(|r| r.arg(0)).collect()),
+            Sysno::CondChk => ExecuteResult::Deliver(requests.iter().map(|r| r.arg(0)).collect()),
+            Sysno::CcEq
+            | Sysno::CcNeq
+            | Sysno::CcLt
+            | Sysno::CcLeq
+            | Sysno::CcGt
+            | Sysno::CcGeq => {
                 let a = canon0[0].as_u32();
                 let b = canon0[1].as_u32();
                 let result = match sysno {
@@ -665,7 +679,8 @@ impl NVariantMonitor {
         // Standard descriptors (console) are not in the virtual table; treat
         // them as shared writes to the group process console.
         let result = if vfd < 3 {
-            self.kernel.write(self.group_pid, Fd::new(vfd), &payloads[0])
+            self.kernel
+                .write(self.group_pid, Fd::new(vfd), &payloads[0])
         } else {
             match self.vfds.shared_fd(vfd) {
                 Ok(fd) => {
@@ -773,7 +788,11 @@ mod tests {
         assert_eq!(outcome.exit_status, Some(0));
         assert!(!outcome.detected_attack());
         assert_eq!(
-            monitor.kernel().credentials(monitor.group_pid()).unwrap().ruid(),
+            monitor
+                .kernel()
+                .credentials(monitor.group_pid())
+                .unwrap()
+                .ruid(),
             Uid::new(48)
         );
     }
@@ -946,7 +965,8 @@ mod tests {
             let transform: UidTransform = spec.uid;
             kernel.fs_mut().create(
                 &format!("/etc/passwd-{}", index.index()),
-                db.render_passwd_with(|uid| transform.apply(uid)).into_bytes(),
+                db.render_passwd_with(|uid| transform.apply(uid))
+                    .into_bytes(),
             );
         }
         let config = MonitorConfig::default().with_unshared_file("/etc/passwd");
@@ -955,7 +975,11 @@ mod tests {
         assert_eq!(outcome.exit_status, Some(0), "alarm: {:?}", outcome.alarm);
         assert!(outcome.metrics.unshared_bytes > 0);
         assert_eq!(
-            monitor.kernel().credentials(monitor.group_pid()).unwrap().euid(),
+            monitor
+                .kernel()
+                .credentials(monitor.group_pid())
+                .unwrap()
+                .euid(),
             Uid::new(48)
         );
     }
@@ -1036,8 +1060,10 @@ mod tests {
         // made different calls first, as a syscall mismatch).
         assert!(matches!(
             outcome.alarm.unwrap().kind,
-            DivergenceKind::ArgumentMismatch { sysno: Sysno::Exit, .. }
-                | DivergenceKind::SyscallMismatch { .. }
+            DivergenceKind::ArgumentMismatch {
+                sysno: Sysno::Exit,
+                ..
+            } | DivergenceKind::SyscallMismatch { .. }
                 | DivergenceKind::ExitMismatch { .. }
         ));
     }
@@ -1065,8 +1091,7 @@ mod tests {
             policy: DivergencePolicy::ReportAndContinue,
             ..MonitorConfig::default()
         };
-        let mut monitor =
-            NVariantMonitor::new(kernel, processes, specs, Uid::new(48), config);
+        let mut monitor = NVariantMonitor::new(kernel, processes, specs, Uid::new(48), config);
         let outcome = monitor.run_to_completion();
         assert_eq!(outcome.exit_status, Some(0));
         assert!(outcome.metrics.alarms >= 1);
@@ -1144,10 +1169,7 @@ mod tests {
     fn redirect_pc(process: &mut Process, target: VirtAddr) {
         // Execute the start stub's `Call main` so the return-address slot
         // exists at the top of the stack.
-        assert!(matches!(
-            process.step(),
-            nvariant_vm::StepResult::Continue
-        ));
+        assert!(matches!(process.step(), nvariant_vm::StepResult::Continue));
         let stack_top = process.layout().stack_top;
         process
             .write_word(VirtAddr::new(stack_top - 8), Word::from_addr(target))

@@ -87,10 +87,7 @@ mod tests {
             copy
         });
         for variant in 0..3u8 {
-            let copy = kernel
-                .fs()
-                .get(&format!("/etc/passwd-{variant}"))
-                .unwrap();
+            let copy = kernel.fs().get(&format!("/etc/passwd-{variant}")).unwrap();
             assert_eq!(*copy.data.last().unwrap(), b'0' + variant);
         }
     }

@@ -232,8 +232,8 @@ impl CostModel {
     /// `syscalls` kernel crossings.
     #[must_use]
     pub fn cpu_cost(&self, instructions: u64, syscalls: u64) -> SimDuration {
-        let ns = instructions as f64 * self.ns_per_instruction
-            + syscalls as f64 * self.ns_per_syscall;
+        let ns =
+            instructions as f64 * self.ns_per_instruction + syscalls as f64 * self.ns_per_syscall;
         SimDuration::from_nanos(ns.round() as u64)
     }
 
@@ -328,7 +328,9 @@ mod tests {
         // a request that executes ~50k instructions is CPU-cheaper than its
         // network+disk I/O, while one that executes ~5M instructions is not.
         let m = CostModel::default();
-        let io = m.io_cost(Sysno::Recv, 512) + m.io_cost(Sysno::Read, 8192) + m.io_cost(Sysno::Send, 8192);
+        let io = m.io_cost(Sysno::Recv, 512)
+            + m.io_cost(Sysno::Read, 8192)
+            + m.io_cost(Sysno::Send, 8192);
         assert!(m.cpu_cost(50_000, 10) < io);
         assert!(m.cpu_cost(5_000_000, 10) > io);
     }

@@ -282,7 +282,8 @@ mod tests {
     #[test]
     fn setreuid_privileged_swaps_ids() {
         let mut cred = Credentials::root();
-        cred.setreuid(Some(Uid::new(48)), Some(Uid::new(48))).unwrap();
+        cred.setreuid(Some(Uid::new(48)), Some(Uid::new(48)))
+            .unwrap();
         assert_eq!(cred.ruid(), Uid::new(48));
         assert_eq!(cred.euid(), Uid::new(48));
         assert_eq!(cred.suid(), Uid::new(48));
@@ -291,14 +292,8 @@ mod tests {
     #[test]
     fn setreuid_unprivileged_rejects_foreign_ids() {
         let mut cred = Credentials::new(Uid::new(1000), Gid::new(100));
-        assert_eq!(
-            cred.setreuid(Some(Uid::ROOT), None),
-            Err(Errno::Eperm)
-        );
-        assert_eq!(
-            cred.setreuid(None, Some(Uid::new(48))),
-            Err(Errno::Eperm)
-        );
+        assert_eq!(cred.setreuid(Some(Uid::ROOT), None), Err(Errno::Eperm));
+        assert_eq!(cred.setreuid(None, Some(Uid::new(48))), Err(Errno::Eperm));
     }
 
     #[test]

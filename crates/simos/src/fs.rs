@@ -287,8 +287,7 @@ impl FileSystem {
 
     /// Creates (or replaces) a file owned by root with public permissions.
     pub fn create(&mut self, path: &str, data: Vec<u8>) {
-        self.files
-            .insert(Self::normalize(path), Inode::new(data));
+        self.files.insert(Self::normalize(path), Inode::new(data));
     }
 
     /// Creates (or replaces) a file with explicit ownership and mode.
@@ -429,7 +428,10 @@ mod tests {
         assert_eq!(FileSystem::normalize("a/b"), "/a/b");
         assert_eq!(FileSystem::normalize("/a//b/./c"), "/a/b/c");
         assert_eq!(FileSystem::normalize("/a/b/../c"), "/a/c");
-        assert_eq!(FileSystem::normalize("/var/www/html/../../../etc/shadow"), "/etc/shadow");
+        assert_eq!(
+            FileSystem::normalize("/var/www/html/../../../etc/shadow"),
+            "/etc/shadow"
+        );
         assert_eq!(FileSystem::normalize("/../.."), "/");
         assert_eq!(FileSystem::normalize(""), "/");
     }
@@ -456,11 +458,17 @@ mod tests {
         );
         // Owner may read and write.
         let owner = Credentials::new(Uid::new(48), Gid::new(48));
-        assert!(fs.check_access("/srv/data", &owner, AccessMode::Read).is_ok());
-        assert!(fs.check_access("/srv/data", &owner, AccessMode::Write).is_ok());
+        assert!(fs
+            .check_access("/srv/data", &owner, AccessMode::Read)
+            .is_ok());
+        assert!(fs
+            .check_access("/srv/data", &owner, AccessMode::Write)
+            .is_ok());
         // Group member may read, not write.
         let group = Credentials::new(Uid::new(1000), Gid::new(100));
-        assert!(fs.check_access("/srv/data", &group, AccessMode::Read).is_ok());
+        assert!(fs
+            .check_access("/srv/data", &group, AccessMode::Read)
+            .is_ok());
         assert_eq!(
             fs.check_access("/srv/data", &group, AccessMode::Write),
             Err(Errno::Eacces)
@@ -510,7 +518,10 @@ mod tests {
         let inode = fs.get("/f").unwrap();
         assert_eq!(inode.owner, Uid::new(48));
         assert_eq!(inode.mode, FileMode::PRIVATE);
-        assert_eq!(fs.chown("/missing", Uid::ROOT, Gid::ROOT), Err(Errno::Enoent));
+        assert_eq!(
+            fs.chown("/missing", Uid::ROOT, Gid::ROOT),
+            Err(Errno::Enoent)
+        );
         assert_eq!(fs.chmod("/missing", FileMode::PUBLIC), Err(Errno::Enoent));
     }
 
@@ -530,7 +541,9 @@ mod tests {
 
     #[test]
     fn open_flags_decoding() {
-        let f = OpenFlags::from_bits(OpenFlags::WRONLY.bits() | OpenFlags::CREAT.bits() | OpenFlags::APPEND.bits());
+        let f = OpenFlags::from_bits(
+            OpenFlags::WRONLY.bits() | OpenFlags::CREAT.bits() | OpenFlags::APPEND.bits(),
+        );
         assert!(f.wants_write());
         assert!(!f.wants_read());
         assert!(f.creates());

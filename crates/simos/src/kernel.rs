@@ -400,7 +400,11 @@ impl OsKernel {
         let entry = self.proc_ref(pid)?.fd(fd)?.clone();
         match entry {
             FdEntry::Console => Ok(Vec::new()),
-            FdEntry::File { path, offset, flags } => {
+            FdEntry::File {
+                path,
+                offset,
+                flags,
+            } => {
                 if !flags.wants_read() {
                     return Err(Errno::Eacces);
                 }
@@ -431,7 +435,11 @@ impl OsKernel {
                 self.proc_mut(pid)?.console.extend_from_slice(data);
                 Ok(data.len())
             }
-            FdEntry::File { path, offset, flags } => {
+            FdEntry::File {
+                path,
+                offset,
+                flags,
+            } => {
                 if !flags.wants_write() {
                     return Err(Errno::Eacces);
                 }
@@ -803,7 +811,8 @@ mod tests {
     #[test]
     fn fd_path_reports_backing_file() {
         let mut k = OsKernel::new();
-        k.fs_mut().create("/etc/passwd", b"root:x:0:0:::\n".to_vec());
+        k.fs_mut()
+            .create("/etc/passwd", b"root:x:0:0:::\n".to_vec());
         let pid = k.spawn_process(Uid::ROOT);
         let fd = k.open(pid, "/etc/passwd", OpenFlags::RDONLY).unwrap();
         assert_eq!(k.fd_path(pid, fd).unwrap().as_deref(), Some("/etc/passwd"));

@@ -432,7 +432,11 @@ mod tests {
     fn request_accessors_and_display() {
         let req = SyscallRequest::new(
             Sysno::Read,
-            vec![Word::from_u32(3), Word::from_u32(0x1000), Word::from_u32(64)],
+            vec![
+                Word::from_u32(3),
+                Word::from_u32(0x1000),
+                Word::from_u32(64),
+            ],
         );
         assert_eq!(req.arg(0).as_u32(), 3);
         assert_eq!(req.arg(5), Word::ZERO);

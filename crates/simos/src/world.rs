@@ -109,21 +109,8 @@ impl WorldBuilder {
             Gid::ROOT,
             FileMode::PRIVATE,
         );
-        b = b.file_with(
-            "/var/log/httpd.log",
-            Vec::new(),
-            Uid::ROOT,
-            Gid::ROOT,
-            FileMode::PRIVATE,
-        );
-        b = b.file_with(
-            "/etc/httpd.conf",
-            b"Listen 80\nUser httpd\nDocumentRoot /var/www/html\nLogFile /var/log/httpd.log\n"
-                .to_vec(),
-            Uid::ROOT,
-            Gid::ROOT,
-            FileMode::PUBLIC,
-        );
+        // `/etc/httpd.conf` and the log file are materialized by `build()`,
+        // so overrides applied after `standard()` still take effect.
 
         // WebBench-style static page mix.
         b = b.page("index.html", &WorldBuilder::html_page("Welcome", 16));
@@ -135,7 +122,10 @@ impl WorldBuilder {
             "logo.png",
             &String::from_utf8(vec![b'P'; 4096]).expect("ascii fill is valid utf-8"),
         );
-        b = b.page("admin/status.html", &WorldBuilder::html_page("Server Status", 12));
+        b = b.page(
+            "admin/status.html",
+            &WorldBuilder::html_page("Server Status", 12),
+        );
         b
     }
 
@@ -190,7 +180,7 @@ impl WorldBuilder {
     /// Adds a static page under the document root.
     #[must_use]
     pub fn page(self, relative_path: &str, contents: &str) -> Self {
-        let path = format!("{}/{}", "/var/www/html", relative_path);
+        let path = format!("{}/{}", self.document_root, relative_path);
         self.file(&path, contents.as_bytes().to_vec())
     }
 
@@ -199,6 +189,29 @@ impl WorldBuilder {
     pub fn server_user(mut self, name: &str) -> Self {
         self.server_user = name.to_string();
         self
+    }
+
+    /// Overrides the port the server listens on.
+    #[must_use]
+    pub fn listen_port(mut self, port: u16) -> Self {
+        self.listen_port = port;
+        self
+    }
+
+    /// Overrides the server's log file path.
+    #[must_use]
+    pub fn log_file(mut self, path: &str) -> Self {
+        self.log_file = path.to_string();
+        self
+    }
+
+    /// Renders `/etc/httpd.conf` from the configured server settings.
+    #[must_use]
+    pub fn render_httpd_conf(&self) -> String {
+        format!(
+            "Listen {}\nUser {}\nDocumentRoot {}\nLogFile {}\n",
+            self.listen_port, self.server_user, self.document_root, self.log_file
+        )
     }
 
     /// The document root used for pages added via [`WorldBuilder::page`].
@@ -219,7 +232,9 @@ impl WorldBuilder {
     }
 
     /// Builds the kernel: creates all accounts and files, including the
-    /// rendered `/etc/passwd` and `/etc/group`.
+    /// rendered `/etc/passwd`, `/etc/group`, and — when a server user is
+    /// configured — `/etc/httpd.conf` plus the (initially empty, root-only)
+    /// log file, both reflecting the builder's current settings.
     #[must_use]
     pub fn build(&self) -> OsKernel {
         let mut kernel = OsKernel::new();
@@ -241,6 +256,27 @@ impl WorldBuilder {
             FileMode::PUBLIC,
         );
 
+        if !self.server_user.is_empty() {
+            kernel.fs_mut().create_with(
+                "/etc/httpd.conf",
+                self.render_httpd_conf().into_bytes(),
+                Uid::ROOT,
+                Gid::ROOT,
+                FileMode::PUBLIC,
+            );
+        }
+        if !self.log_file.is_empty() {
+            kernel.fs_mut().create_with(
+                &self.log_file,
+                Vec::new(),
+                Uid::ROOT,
+                Gid::ROOT,
+                FileMode::PRIVATE,
+            );
+        }
+
+        // Explicitly added files come last so callers can override any of
+        // the rendered defaults above.
         for f in &self.files {
             kernel
                 .fs_mut()
@@ -253,8 +289,8 @@ impl WorldBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fs::{AccessMode, OpenFlags};
     use crate::cred::Credentials;
+    use crate::fs::{AccessMode, OpenFlags};
 
     #[test]
     fn standard_world_has_expected_accounts() {
@@ -264,6 +300,29 @@ mod tests {
         assert_eq!(db.lookup_user("httpd").unwrap().uid, Uid::new(HTTPD_UID));
         assert_eq!(db.lookup_user("alice").unwrap().uid, Uid::new(1000));
         assert!(db.lookup_group("httpd").is_some());
+    }
+
+    #[test]
+    fn server_settings_applied_after_standard_reach_the_rendered_conf() {
+        let kernel = WorldBuilder::standard()
+            .listen_port(8080)
+            .log_file("/var/log/alt-httpd.log")
+            .build();
+        let conf = kernel.fs().get("/etc/httpd.conf").unwrap();
+        let text = String::from_utf8(conf.data.clone()).unwrap();
+        assert!(text.contains("Listen 8080"), "{text}");
+        assert!(text.contains("LogFile /var/log/alt-httpd.log"), "{text}");
+        assert!(kernel.fs().exists("/var/log/alt-httpd.log"));
+        assert!(!kernel.fs().exists("/var/log/httpd.log"));
+    }
+
+    #[test]
+    fn explicitly_added_files_override_the_rendered_defaults() {
+        let kernel = WorldBuilder::standard()
+            .file("/etc/httpd.conf", b"Listen 9999\n".to_vec())
+            .build();
+        let conf = kernel.fs().get("/etc/httpd.conf").unwrap();
+        assert_eq!(conf.data, b"Listen 9999\n");
     }
 
     #[test]
@@ -313,7 +372,10 @@ mod tests {
             .page("custom.html", "<html>x</html>")
             .build();
         assert!(kernel.fs().exists("/var/www/html/custom.html"));
-        assert_eq!(kernel.passwd().lookup_user("svc").unwrap().uid, Uid::new(200));
+        assert_eq!(
+            kernel.passwd().lookup_user("svc").unwrap().uid,
+            Uid::new(200)
+        );
     }
 
     #[test]

@@ -117,12 +117,16 @@ impl UidTransformer {
     /// # Errors
     ///
     /// Returns [`TransformError::Type`] if the program does not type-check.
-    pub fn instrument(&self, program: &Program) -> Result<(Program, TransformStats), TransformError> {
+    pub fn instrument(
+        &self,
+        program: &Program,
+    ) -> Result<(Program, TransformStats), TransformError> {
         let mut instrumented = program.clone();
         let ctx = UidContext::analyze(&instrumented)?;
-        let mut stats = TransformStats::default();
-
-        stats.implicit_constants_made_explicit = passes::explicit::run(&mut instrumented, &ctx);
+        let mut stats = TransformStats {
+            implicit_constants_made_explicit: passes::explicit::run(&mut instrumented, &ctx),
+            ..TransformStats::default()
+        };
         if self.options.insert_detection_calls {
             stats.comparison_exposures = passes::comparisons::run(&mut instrumented, &ctx);
         }
@@ -248,7 +252,10 @@ mod tests {
         assert_eq!(stats.implicit_constants_made_explicit, 1);
         assert!(stats.comparison_exposures >= 3, "stats: {stats:?}");
         assert_eq!(stats.single_value_exposures, 1, "audit(server_uid)");
-        assert!(stats.conditional_checks >= 2, "rc and drop_privileges checks");
+        assert!(
+            stats.conditional_checks >= 2,
+            "rc and drop_privileges checks"
+        );
         assert_eq!(stats.log_sinks_sanitized, 1, "utoa(who, ...)");
         assert_eq!(stats.uid_constants_reexpressed, 0);
 

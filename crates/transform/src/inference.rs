@@ -273,26 +273,25 @@ impl UidContext {
         let mut stack: Vec<&Stmt> = function.body.iter().collect();
         while let Some(stmt) = stack.pop() {
             match stmt {
-                Stmt::VarDecl { name, init: Some(init), .. } => {
-                    if self.is_uid_expr(&function.name, init) {
-                        changed |= self.mark_uid_var(function, name);
-                    }
+                Stmt::VarDecl {
+                    name,
+                    init: Some(init),
+                    ..
+                } if self.is_uid_expr(&function.name, init) => {
+                    changed |= self.mark_uid_var(function, name);
                 }
                 Stmt::Assign {
                     target: LValue::Var(name),
                     value,
-                } => {
-                    if self.is_uid_expr(&function.name, value) {
-                        changed |= self.mark_uid_var(function, name);
-                    }
+                } if self.is_uid_expr(&function.name, value) => {
+                    changed |= self.mark_uid_var(function, name);
                 }
-                Stmt::Return(Some(value)) => {
+                Stmt::Return(Some(value))
                     if self.is_uid_expr(&function.name, value)
                         && !function.ret.is_uid_class()
-                        && function.ret != Type::Void
-                    {
-                        changed |= self.uid_functions.insert(function.name.clone());
-                    }
+                        && function.ret != Type::Void =>
+                {
+                    changed |= self.uid_functions.insert(function.name.clone());
                 }
                 Stmt::If {
                     then_body,
@@ -374,23 +373,23 @@ impl UidContext {
                 let mut stack: Vec<&Stmt> = function.body.iter().collect();
                 while let Some(stmt) = stack.pop() {
                     match stmt {
-                        Stmt::VarDecl { name, init: Some(init), .. } => {
-                            if self.is_tainted_expr(&function.name, init) {
-                                changed |= self.mark_tainted(function, name);
-                            }
+                        Stmt::VarDecl {
+                            name,
+                            init: Some(init),
+                            ..
+                        } if self.is_tainted_expr(&function.name, init) => {
+                            changed |= self.mark_tainted(function, name);
                         }
                         Stmt::Assign {
                             target: LValue::Var(name),
                             value,
-                        } => {
-                            if self.is_tainted_expr(&function.name, value) {
-                                changed |= self.mark_tainted(function, name);
-                            }
+                        } if self.is_tainted_expr(&function.name, value) => {
+                            changed |= self.mark_tainted(function, name);
                         }
-                        Stmt::Return(Some(value)) => {
-                            if self.is_tainted_expr(&function.name, value) {
-                                performs_uid_operations = true;
-                            }
+                        Stmt::Return(Some(value))
+                            if self.is_tainted_expr(&function.name, value) =>
+                        {
+                            performs_uid_operations = true;
                         }
                         Stmt::If {
                             then_body,

@@ -41,9 +41,11 @@ pub fn run(program: &mut Program, ctx: &UidContext, transform: &UidTransform) ->
     for function in &mut program.functions {
         let fname = function.name.clone();
         visit_stmts(&mut function.body, &mut |stmt| match stmt {
-            Stmt::VarDecl { name, init: Some(Expr::IntLit(value)), .. }
-                if ctx.is_uid_var(&fname, name) =>
-            {
+            Stmt::VarDecl {
+                name,
+                init: Some(Expr::IntLit(value)),
+                ..
+            } if ctx.is_uid_var(&fname, name) => {
                 let new_init = reexpress(*value, &mut count);
                 if let Stmt::VarDecl { init, .. } = stmt {
                     *init = Some(new_init);

@@ -26,8 +26,8 @@ pub fn run(program: &mut Program, ctx: &UidContext) -> usize {
     // A bare UID value used directly as an `if`/`while` condition
     // →  `uid_expr != 0`.
     rewrite_conditions(program, |function, cond| {
-        let is_bare_uid = matches!(&cond, Expr::Ident(_) | Expr::Call(_, _))
-            && ctx.is_uid_expr(function, &cond);
+        let is_bare_uid =
+            matches!(&cond, Expr::Ident(_) | Expr::Call(_, _)) && ctx.is_uid_expr(function, &cond);
         if is_bare_uid {
             count += 1;
             Expr::Binary(BinOp::Ne, Box::new(cond), Box::new(Expr::IntLit(0)))
@@ -53,9 +53,8 @@ mod tests {
 
     #[test]
     fn negated_uid_call_becomes_equality() {
-        let (text, count) = transform(
-            "fn main() -> int { if (!getuid()) { return 1; } return 0; }",
-        );
+        let (text, count) =
+            transform("fn main() -> int { if (!getuid()) { return 1; } return 0; }");
         assert_eq!(count, 1);
         assert!(text.contains("(getuid() == 0)"));
         assert!(!text.contains("!getuid"));

@@ -24,10 +24,7 @@ use nvariant_vm::ast::{Expr, Program, Stmt};
 /// Applies `rewrite` to every expression in the program, bottom-up, visiting
 /// statement bodies recursively. The rewriter receives the enclosing
 /// function's name.
-pub(crate) fn rewrite_exprs(
-    program: &mut Program,
-    mut rewrite: impl FnMut(&str, Expr) -> Expr,
-) {
+pub(crate) fn rewrite_exprs(program: &mut Program, mut rewrite: impl FnMut(&str, Expr) -> Expr) {
     // Global initializers are constant literals; passes that need to touch
     // them do so directly rather than through this generic walker.
     for function in &mut program.functions {
@@ -83,11 +80,7 @@ fn rewrite_stmt(stmt: &mut Stmt, function: &str, rewrite: &mut impl FnMut(&str, 
     }
 }
 
-fn take_and_rewrite(
-    slot: &mut Expr,
-    function: &str,
-    rewrite: &mut impl FnMut(&str, Expr) -> Expr,
-) {
+fn take_and_rewrite(slot: &mut Expr, function: &str, rewrite: &mut impl FnMut(&str, Expr) -> Expr) {
     let expr = std::mem::replace(slot, Expr::IntLit(0));
     *slot = rewrite_expr(expr, function, rewrite);
 }

@@ -27,9 +27,7 @@ use std::fmt;
 /// let addr_word = Word::from_addr(VirtAddr::new(0x8000_0000));
 /// assert!(addr_word.as_addr().high_bit_set());
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct Word(u32);
 
 impl Word {
@@ -222,10 +220,7 @@ mod tests {
             Word::from_u32(u32::MAX).wrapping_add(Word::from_u32(1)),
             Word::ZERO
         );
-        assert_eq!(
-            Word::ZERO.wrapping_sub(Word::from_u32(1)),
-            Word::MINUS_ONE
-        );
+        assert_eq!(Word::ZERO.wrapping_sub(Word::from_u32(1)), Word::MINUS_ONE);
     }
 
     #[test]

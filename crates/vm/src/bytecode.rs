@@ -280,10 +280,12 @@ pub fn encode_all(instrs: &[Instr]) -> Vec<u8> {
 /// not a multiple of [`INSTR_SIZE`].
 #[must_use]
 pub fn decode_all(code: &[u8]) -> Option<Vec<Instr>> {
-    if code.len() % INSTR_SIZE as usize != 0 {
+    if !code.len().is_multiple_of(INSTR_SIZE as usize) {
         return None;
     }
-    code.chunks(INSTR_SIZE as usize).map(Instr::decode).collect()
+    code.chunks(INSTR_SIZE as usize)
+        .map(Instr::decode)
+        .collect()
 }
 
 /// Re-stamps every instruction in a code image with `tag`, returning the new

@@ -189,9 +189,7 @@ impl<'a> Compiler<'a> {
                 Some(Expr::IntLit(value)) => {
                     bytes[..4].copy_from_slice(&(*value as u32).to_le_bytes());
                 }
-                Some(_) => {
-                    return Err(CompileError::UnsupportedGlobalInit(global.name.clone()))
-                }
+                Some(_) => return Err(CompileError::UnsupportedGlobalInit(global.name.clone())),
             }
             self.globals_image.extend_from_slice(&bytes);
         }
@@ -206,7 +204,7 @@ impl<'a> Compiler<'a> {
         self.globals_image.extend_from_slice(value.as_bytes());
         self.globals_image.push(0);
         // Keep words aligned for anything placed afterwards.
-        while self.globals_image.len() % 4 != 0 {
+        while !self.globals_image.len().is_multiple_of(4) {
             self.globals_image.push(0);
         }
         self.string_pool.insert(value.to_string(), offset);

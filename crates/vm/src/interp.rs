@@ -174,8 +174,21 @@ impl Process {
                 try_fault!(self.write_byte(addr, (value.as_u32() & 0xFF) as u8));
             }
 
-            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod | Op::BitAnd | Op::BitOr
-            | Op::BitXor | Op::Shl | Op::Shr | Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Mod
+            | Op::BitAnd
+            | Op::BitOr
+            | Op::BitXor
+            | Op::Shl
+            | Op::Shr
+            | Op::Eq
+            | Op::Ne
+            | Op::Lt
+            | Op::Le
+            | Op::Gt
             | Op::Ge => {
                 let rhs = try_fault!(self.pop());
                 let lhs = try_fault!(self.pop());
@@ -212,7 +225,8 @@ impl Process {
             }
             Op::Neg => {
                 let value = try_fault!(self.pop());
-                self.ostack.push(Word::from_i32(value.as_i32().wrapping_neg()));
+                self.ostack
+                    .push(Word::from_i32(value.as_i32().wrapping_neg()));
             }
             Op::Not => {
                 let value = try_fault!(self.pop());
@@ -318,17 +332,15 @@ mod tests {
     /// Runs a process that makes no system calls other than the final exit
     /// and returns the exit status.
     fn run_to_exit(process: &mut Process) -> i32 {
-        loop {
-            match process.run_until_trap(1_000_000) {
-                TrapReason::Syscall(req) if req.sysno == Sysno::Exit => {
-                    let status = req.arg(0).as_i32();
-                    process.set_exited(status);
-                    return status;
-                }
-                TrapReason::Syscall(req) => panic!("unexpected syscall {req}"),
-                TrapReason::Exited(status) => return status,
-                TrapReason::Faulted(fault) => panic!("unexpected fault: {fault}"),
+        match process.run_until_trap(1_000_000) {
+            TrapReason::Syscall(req) if req.sysno == Sysno::Exit => {
+                let status = req.arg(0).as_i32();
+                process.set_exited(status);
+                status
             }
+            TrapReason::Syscall(req) => panic!("unexpected syscall {req}"),
+            TrapReason::Exited(status) => status,
+            TrapReason::Faulted(fault) => panic!("unexpected fault: {fault}"),
         }
     }
 
@@ -527,7 +539,9 @@ mod tests {
         let mut p = Process::new(&compiled, MemoryLayout::default());
         p.expected_tag = 1;
         match p.step() {
-            StepResult::Faulted(Fault::TagMismatch { expected, found, .. }) => {
+            StepResult::Faulted(Fault::TagMismatch {
+                expected, found, ..
+            }) => {
                 assert_eq!(expected, 1);
                 assert_eq!(found, 0);
             }

@@ -302,7 +302,7 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>, LexError> {
                 } else {
                     (bytes[i + 1] as u8, 3)
                 };
-                if i + consumed - 1 >= bytes.len() || bytes[i + consumed - 1] != '\'' {
+                if i + consumed > bytes.len() || bytes[i + consumed - 1] != '\'' {
                     return Err(err("unterminated character literal", line));
                 }
                 tokens.push(SpannedToken {
@@ -312,131 +312,224 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>, LexError> {
                 i += consumed;
             }
             '(' => {
-                tokens.push(SpannedToken { token: Token::LParen, line });
+                tokens.push(SpannedToken {
+                    token: Token::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(SpannedToken { token: Token::RParen, line });
+                tokens.push(SpannedToken {
+                    token: Token::RParen,
+                    line,
+                });
                 i += 1;
             }
             '{' => {
-                tokens.push(SpannedToken { token: Token::LBrace, line });
+                tokens.push(SpannedToken {
+                    token: Token::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                tokens.push(SpannedToken { token: Token::RBrace, line });
+                tokens.push(SpannedToken {
+                    token: Token::RBrace,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(SpannedToken { token: Token::LBracket, line });
+                tokens.push(SpannedToken {
+                    token: Token::LBracket,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(SpannedToken { token: Token::RBracket, line });
+                tokens.push(SpannedToken {
+                    token: Token::RBracket,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(SpannedToken { token: Token::Comma, line });
+                tokens.push(SpannedToken {
+                    token: Token::Comma,
+                    line,
+                });
                 i += 1;
             }
             ':' => {
-                tokens.push(SpannedToken { token: Token::Colon, line });
+                tokens.push(SpannedToken {
+                    token: Token::Colon,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(SpannedToken { token: Token::Semicolon, line });
+                tokens.push(SpannedToken {
+                    token: Token::Semicolon,
+                    line,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(SpannedToken { token: Token::Plus, line });
+                tokens.push(SpannedToken {
+                    token: Token::Plus,
+                    line,
+                });
                 i += 1;
             }
             '-' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == '>' {
-                    tokens.push(SpannedToken { token: Token::Arrow, line });
+                    tokens.push(SpannedToken {
+                        token: Token::Arrow,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Minus, line });
+                    tokens.push(SpannedToken {
+                        token: Token::Minus,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '*' => {
-                tokens.push(SpannedToken { token: Token::Star, line });
+                tokens.push(SpannedToken {
+                    token: Token::Star,
+                    line,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(SpannedToken { token: Token::Slash, line });
+                tokens.push(SpannedToken {
+                    token: Token::Slash,
+                    line,
+                });
                 i += 1;
             }
             '%' => {
-                tokens.push(SpannedToken { token: Token::Percent, line });
+                tokens.push(SpannedToken {
+                    token: Token::Percent,
+                    line,
+                });
                 i += 1;
             }
             '~' => {
-                tokens.push(SpannedToken { token: Token::Tilde, line });
+                tokens.push(SpannedToken {
+                    token: Token::Tilde,
+                    line,
+                });
                 i += 1;
             }
             '^' => {
-                tokens.push(SpannedToken { token: Token::Caret, line });
+                tokens.push(SpannedToken {
+                    token: Token::Caret,
+                    line,
+                });
                 i += 1;
             }
             '&' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == '&' {
-                    tokens.push(SpannedToken { token: Token::AndAnd, line });
+                    tokens.push(SpannedToken {
+                        token: Token::AndAnd,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Amp, line });
+                    tokens.push(SpannedToken {
+                        token: Token::Amp,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '|' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == '|' {
-                    tokens.push(SpannedToken { token: Token::OrOr, line });
+                    tokens.push(SpannedToken {
+                        token: Token::OrOr,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Pipe, line });
+                    tokens.push(SpannedToken {
+                        token: Token::Pipe,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == '=' {
-                    tokens.push(SpannedToken { token: Token::NotEq, line });
+                    tokens.push(SpannedToken {
+                        token: Token::NotEq,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Bang, line });
+                    tokens.push(SpannedToken {
+                        token: Token::Bang,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == '=' {
-                    tokens.push(SpannedToken { token: Token::EqEq, line });
+                    tokens.push(SpannedToken {
+                        token: Token::EqEq,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Assign, line });
+                    tokens.push(SpannedToken {
+                        token: Token::Assign,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == '=' {
-                    tokens.push(SpannedToken { token: Token::Le, line });
+                    tokens.push(SpannedToken {
+                        token: Token::Le,
+                        line,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == '<' {
-                    tokens.push(SpannedToken { token: Token::Shl, line });
+                    tokens.push(SpannedToken {
+                        token: Token::Shl,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Lt, line });
+                    tokens.push(SpannedToken {
+                        token: Token::Lt,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == '=' {
-                    tokens.push(SpannedToken { token: Token::Ge, line });
+                    tokens.push(SpannedToken {
+                        token: Token::Ge,
+                        line,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == '>' {
-                    tokens.push(SpannedToken { token: Token::Shr, line });
+                    tokens.push(SpannedToken {
+                        token: Token::Shr,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Gt, line });
+                    tokens.push(SpannedToken {
+                        token: Token::Gt,
+                        line,
+                    });
                     i += 1;
                 }
             }
@@ -454,7 +547,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]

@@ -129,9 +129,7 @@ impl Parser {
             match token {
                 Token::KwVar => program.globals.push(self.parse_global()?),
                 Token::KwFn => program.functions.push(self.parse_function()?),
-                other => {
-                    return Err(self.error(format!("expected `var` or `fn`, found {other}")))
-                }
+                other => return Err(self.error(format!("expected `var` or `fn`, found {other}"))),
             }
         }
         Ok(program)
@@ -288,9 +286,7 @@ impl Parser {
                         Expr::Index(base, index) => LValue::Index(*base, *index),
                         Expr::Deref(inner) => LValue::Deref(*inner),
                         other => {
-                            return Err(
-                                self.error(format!("invalid assignment target: {other:?}"))
-                            )
+                            return Err(self.error(format!("invalid assignment target: {other:?}")))
                         }
                     };
                     let value = self.parse_expr()?;
@@ -471,16 +467,11 @@ impl Parser {
 
     fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
         let mut expr = self.parse_primary()?;
-        loop {
-            match self.peek() {
-                Some(Token::LBracket) => {
-                    self.advance();
-                    let index = self.parse_expr()?;
-                    self.expect(&Token::RBracket)?;
-                    expr = Expr::Index(Box::new(expr), Box::new(index));
-                }
-                _ => break,
-            }
+        while let Some(Token::LBracket) = self.peek() {
+            self.advance();
+            let index = self.parse_expr()?;
+            self.expect(&Token::RBracket)?;
+            expr = Expr::Index(Box::new(expr), Box::new(index));
         }
         Ok(expr)
     }
@@ -558,10 +549,9 @@ mod tests {
 
     #[test]
     fn parses_params_and_void_functions() {
-        let program = parse_program(
-            "fn log_request(conn: int, path: ptr) { write(1, path, strlen(path)); }",
-        )
-        .unwrap();
+        let program =
+            parse_program("fn log_request(conn: int, path: ptr) { write(1, path, strlen(path)); }")
+                .unwrap();
         let f = &program.functions[0];
         assert_eq!(f.params.len(), 2);
         assert_eq!(f.params[1].ty, Type::Ptr);
@@ -669,8 +659,8 @@ mod tests {
 
     #[test]
     fn implicit_comparison_to_zero_via_not() {
-        let program = parse_program("fn f() -> int { if (!getuid()) { return 1; } return 0; }")
-            .unwrap();
+        let program =
+            parse_program("fn f() -> int { if (!getuid()) { return 1; } return 0; }").unwrap();
         match &program.functions[0].body[0] {
             Stmt::If { cond, .. } => {
                 assert!(matches!(cond, Expr::Unary(UnOp::Not, _)));

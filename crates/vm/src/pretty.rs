@@ -202,16 +202,12 @@ mod tests {
         assert_eq!(pretty_print(&reparsed), printed);
         assert_eq!(reparsed.globals.len(), original.globals.len());
         assert_eq!(reparsed.functions.len(), original.functions.len());
-        assert_eq!(
-            reparsed.statement_count(),
-            original.statement_count()
-        );
+        assert_eq!(reparsed.statement_count(), original.statement_count());
     }
 
     #[test]
     fn hex_rendering_of_large_constants() {
-        let program =
-            parse_program("fn f(u: uid_t) -> uid_t { return u ^ 0x7FFFFFFF; }").unwrap();
+        let program = parse_program("fn f(u: uid_t) -> uid_t { return u ^ 0x7FFFFFFF; }").unwrap();
         let printed = pretty_print(&program);
         assert!(printed.contains("0x7fffffff"));
     }

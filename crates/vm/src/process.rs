@@ -472,7 +472,8 @@ mod tests {
         ));
         // Stack is writable.
         let stack_addr = VirtAddr::new(p.layout().stack_top - 8);
-        p.write_word(stack_addr, Word::from_u32(0xAABBCCDD)).unwrap();
+        p.write_word(stack_addr, Word::from_u32(0xAABBCCDD))
+            .unwrap();
         assert_eq!(p.read_word(stack_addr).unwrap().as_u32(), 0xAABBCCDD);
     }
 

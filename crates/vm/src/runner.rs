@@ -401,7 +401,8 @@ mod tests {
         let mut idle_kernel = WorldBuilder::standard().build();
         let mut idle_process = Process::new(&compiled, MemoryLayout::default());
         let idle_pid = idle_kernel.spawn_process(Uid::ROOT);
-        let idle = Runner::new(RunLimits::default()).run(&mut idle_kernel, idle_pid, &mut idle_process);
+        let idle =
+            Runner::new(RunLimits::default()).run(&mut idle_kernel, idle_pid, &mut idle_process);
         assert_eq!(idle.exit_status, Some(1));
 
         // With a client request staged before the server starts, the full
@@ -463,7 +464,12 @@ mod tests {
         let compiled = compile_program(&program).unwrap();
         let mut process = Process::new(&compiled, MemoryLayout::default());
         let mut kernel = WorldBuilder::standard().build();
-        let outcome = run_as_user(&mut kernel, Uid::new(48), &mut process, RunLimits::default());
+        let outcome = run_as_user(
+            &mut kernel,
+            Uid::new(48),
+            &mut process,
+            RunLimits::default(),
+        );
         assert_eq!(outcome.exit_status, Some(48));
     }
 

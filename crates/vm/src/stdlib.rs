@@ -223,13 +223,9 @@ mod tests {
         let program = parse_with_stdlib(src).unwrap();
         let compiled = compile_program(&program).unwrap();
         let mut process = Process::new(&compiled, MemoryLayout::default());
-        loop {
-            match process.run_until_trap(10_000_000) {
-                TrapReason::Syscall(req) if req.sysno == Sysno::Exit => {
-                    return req.arg(0).as_i32();
-                }
-                other => panic!("unexpected trap: {other:?}"),
-            }
+        match process.run_until_trap(10_000_000) {
+            TrapReason::Syscall(req) if req.sysno == Sysno::Exit => req.arg(0).as_i32(),
+            other => panic!("unexpected trap: {other:?}"),
         }
     }
 
@@ -243,8 +239,7 @@ mod tests {
 
     #[test]
     fn strlen_strcpy_strcat() {
-        let status = run(
-            r#"
+        let status = run(r#"
             fn main() -> int {
                 var a: buf[32];
                 var b: buf[32];
@@ -254,15 +249,13 @@ mod tests {
                 if (strcmp(&a, "GET /index.html") == 0) { return strlen(&a); }
                 return 0 - 1;
             }
-            "#,
-        );
+            "#);
         assert_eq!(status, 15);
     }
 
     #[test]
     fn strncpy_bounds_and_termination() {
-        let status = run(
-            r#"
+        let status = run(r#"
             fn main() -> int {
                 var dst: buf[8];
                 strncpy(&dst, "abcdefghij", 8);
@@ -271,15 +264,13 @@ mod tests {
                 }
                 return 0;
             }
-            "#,
-        );
+            "#);
         assert_eq!(status, 1);
     }
 
     #[test]
     fn strcmp_orders_strings() {
-        let status = run(
-            r#"
+        let status = run(r#"
             fn main() -> int {
                 if (strcmp("abc", "abc") != 0) { return 1; }
                 if (strcmp("abc", "abd") >= 0) { return 2; }
@@ -288,15 +279,13 @@ mod tests {
                 if (strncmp("abcdef", "abcxyz", 4) == 0) { return 5; }
                 return 0;
             }
-            "#,
-        );
+            "#);
         assert_eq!(status, 0);
     }
 
     #[test]
     fn memcpy_and_memset() {
-        let status = run(
-            r#"
+        let status = run(r#"
             fn main() -> int {
                 var a: buf[16];
                 var b: buf[16];
@@ -306,15 +295,13 @@ mod tests {
                 if (b[0] == 'x' && b[14] == 'x' && b[15] == 0) { return strlen(&b); }
                 return 0 - 1;
             }
-            "#,
-        );
+            "#);
         assert_eq!(status, 15);
     }
 
     #[test]
     fn atoi_and_utoa_round_trip() {
-        let status = run(
-            r#"
+        let status = run(r#"
             fn main() -> int {
                 var text: buf[16];
                 if (atoi("48") != 48) { return 1; }
@@ -328,15 +315,13 @@ mod tests {
                 if (atoi("123abc") != 123) { return 7; }
                 return 0;
             }
-            "#,
-        );
+            "#);
         assert_eq!(status, 0);
     }
 
     #[test]
     fn searching_helpers() {
-        let status = run(
-            r#"
+        let status = run(r#"
             fn main() -> int {
                 if (find_char("GET /", ' ') != 3) { return 1; }
                 if (find_char("GET", 'x') != 0 - 1) { return 2; }
@@ -347,8 +332,7 @@ mod tests {
                 if (str_contains("abc", "") != 1) { return 7; }
                 return 0;
             }
-            "#,
-        );
+            "#);
         assert_eq!(status, 0);
     }
 
@@ -356,16 +340,14 @@ mod tests {
     fn strcpy_is_genuinely_unbounded() {
         // Overflowing a small buffer with strcpy corrupts the adjacent
         // global — this is the primitive the attack library builds on.
-        let status = run(
-            r#"
+        let status = run(r#"
             var small: buf[4];
             var sentinel: int = 7;
             fn main() -> int {
                 strcpy(&small, "AAAAAAAA");
                 return sentinel;
             }
-            "#,
-        );
+            "#);
         // The sentinel's low bytes now hold "AAAA"'s continuation, not 7.
         assert_ne!(status, 7);
         assert_eq!(status & 0xFF, i32::from(b'A'));

@@ -206,15 +206,12 @@ pub fn builtin_signature(name: &str) -> Option<FunctionSig> {
             params: vec![Type::Int],
             ret: Type::Int,
         },
-        Sysno::CcEq
-        | Sysno::CcNeq
-        | Sysno::CcLt
-        | Sysno::CcLeq
-        | Sysno::CcGt
-        | Sysno::CcGeq => FunctionSig {
-            params: vec![Type::UidT, Type::UidT],
-            ret: Type::Int,
-        },
+        Sysno::CcEq | Sysno::CcNeq | Sysno::CcLt | Sysno::CcLeq | Sysno::CcGt | Sysno::CcGeq => {
+            FunctionSig {
+                params: vec![Type::UidT, Type::UidT],
+                ret: Type::Int,
+            }
+        }
         // `Sysno` is non-exhaustive; new calls default to unavailable until a
         // signature is added here.
         _ => return None,
@@ -269,7 +266,10 @@ pub fn typecheck_program(program: &Program) -> Result<TypeInfo, TypeError> {
     for function in &program.functions {
         if builtin_signature(&function.name).is_some() {
             return Err(TypeError::new(
-                format!("function `{}` shadows a built-in system call", function.name),
+                format!(
+                    "function `{}` shadows a built-in system call",
+                    function.name
+                ),
                 None,
             ));
         }
@@ -378,7 +378,10 @@ fn check_stmt(
                         .copied()
                         .or_else(|| info.globals.get(name).copied())
                         .ok_or_else(|| {
-                            TypeError::new(format!("assignment to undefined variable `{name}`"), fname)
+                            TypeError::new(
+                                format!("assignment to undefined variable `{name}`"),
+                                fname,
+                            )
                         })?;
                     if matches!(ty, Type::Buf(_)) {
                         return Err(TypeError::new(
@@ -459,7 +462,11 @@ fn check_expr(
             check_expr(info, function, locals, rhs)
         }
         Expr::Call(name, args) => {
-            let sig = info.functions.get(name).cloned().or_else(|| builtin_signature(name));
+            let sig = info
+                .functions
+                .get(name)
+                .cloned()
+                .or_else(|| builtin_signature(name));
             let Some(sig) = sig else {
                 return Err(TypeError::new(
                     format!("call to undefined function `{name}`"),
@@ -539,9 +546,7 @@ mod tests {
     fn rejects_arity_mismatch() {
         assert!(check("fn f() -> int { return setuid(); }").is_err());
         assert!(check("fn f() -> int { return setuid(1, 2); }").is_err());
-        assert!(
-            check("fn g(a: int) -> int { return a; } fn f() -> int { return g(); }").is_err()
-        );
+        assert!(check("fn g(a: int) -> int { return a; } fn f() -> int { return g(); }").is_err());
     }
 
     #[test]
@@ -575,11 +580,7 @@ mod tests {
         .unwrap();
         use crate::ast::Expr;
         // uid ^ mask is still a UID.
-        let xor = Expr::binary(
-            BinOp::BitXor,
-            Expr::ident("u"),
-            Expr::int(0x7FFF_FFFF),
-        );
+        let xor = Expr::binary(BinOp::BitXor, Expr::ident("u"), Expr::int(0x7FFF_FFFF));
         assert_eq!(info.expr_type("f", &xor), Type::UidT);
         assert!(info.is_uid_expr("f", &Expr::call("getuid", vec![])));
         // Comparisons yield int even over UIDs.
@@ -594,7 +595,10 @@ mod tests {
     fn builtin_signatures_cover_detection_calls() {
         assert_eq!(builtin_signature("uid_value").unwrap().ret, Type::UidT);
         assert_eq!(builtin_signature("cc_geq").unwrap().params.len(), 2);
-        assert_eq!(builtin_signature("cond_chk").unwrap().params, vec![Type::Int]);
+        assert_eq!(
+            builtin_signature("cond_chk").unwrap().params,
+            vec![Type::Int]
+        );
         assert!(builtin_signature("strcpy").is_none());
     }
 

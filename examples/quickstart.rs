@@ -54,6 +54,9 @@ fn main() -> Result<(), BuildError> {
     println!("Reexpression of the UID data class (Table 1, last row):");
     println!("    R0(48) = 48 (identity)");
     println!("    R1(48) = {:#010x}", r1.apply(Uid::new(48)).as_u32());
-    println!("    R1(0)  = {:#010x}  <- what `root` looks like inside variant 1", r1.apply(Uid::ROOT).as_u32());
+    println!(
+        "    R1(0)  = {:#010x}  <- what `root` looks like inside variant 1",
+        r1.apply(Uid::ROOT).as_u32()
+    );
     Ok(())
 }

@@ -28,7 +28,11 @@ fn main() {
                 config.to_string(),
                 outcome.result.to_string(),
                 outcome.expected,
-                if outcome.matches_expectation() { "" } else { "  <-- UNEXPECTED" }
+                if outcome.matches_expectation() {
+                    ""
+                } else {
+                    "  <-- UNEXPECTED"
+                }
             );
             if let Some(alarm) = &outcome.alarm {
                 println!("        {alarm}");

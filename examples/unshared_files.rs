@@ -49,6 +49,9 @@ fn main() -> Result<(), BuildError> {
         "    kernel I/O bytes (shared files + network, performed once): {}",
         outcome.metrics.io_bytes
     );
-    println!("    monitor equivalence checks: {}", outcome.metrics.monitor_checks);
+    println!(
+        "    monitor equivalence checks: {}",
+        outcome.metrics.monitor_checks
+    );
     Ok(())
 }

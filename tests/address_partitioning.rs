@@ -34,10 +34,7 @@ fn absolute_address_injection_succeeds_alone_and_is_detected_partitioned() {
     let outcome = partitioned.run();
     assert!(outcome.detected_attack());
     let alarm = outcome.alarm.unwrap();
-    assert!(matches!(
-        alarm.kind,
-        DivergenceKind::VariantFault { .. }
-    ));
+    assert!(matches!(alarm.kind, DivergenceKind::VariantFault { .. }));
 }
 
 #[test]

@@ -51,14 +51,23 @@ fn table3_shape_is_reproduced() {
     // Configuration 2: the source transformation alone costs almost nothing
     // (paper: -3.7% unsaturated, -0.9% saturated).
     assert!((sat1 - sat2).abs() / sat1 < 0.10, "sat {sat1} vs {sat2}");
-    assert!((unsat1 - unsat2).abs() / unsat1 < 0.10, "unsat {unsat1} vs {unsat2}");
+    assert!(
+        (unsat1 - unsat2).abs() / unsat1 < 0.10,
+        "unsat {unsat1} vs {unsat2}"
+    );
 
     // Configurations 3 and 4: saturated throughput drops close to half
     // (paper: -56% and -58%) because all computation is duplicated.
     let drop3 = (sat1 - sat3) / sat1;
     let drop4 = (sat1 - sat4) / sat1;
-    assert!(drop3 > 0.30 && drop3 < 0.65, "config 3 saturated drop {drop3}");
-    assert!(drop4 > 0.30 && drop4 < 0.70, "config 4 saturated drop {drop4}");
+    assert!(
+        drop3 > 0.30 && drop3 < 0.65,
+        "config 3 saturated drop {drop3}"
+    );
+    assert!(
+        drop4 > 0.30 && drop4 < 0.70,
+        "config 4 saturated drop {drop4}"
+    );
 
     // Unsaturated, the loss is much smaller because the request is
     // I/O-bound (paper: -12.2% and -13.2%).
@@ -72,9 +81,15 @@ fn table3_shape_is_reproduced() {
     // The UID variation costs only a few percent on top of the two-variant
     // baseline (paper: -4.5% saturated, -1% unsaturated).
     let uid_extra_sat = (sat3 - sat4) / sat3;
-    assert!(uid_extra_sat < 0.15, "UID variation extra cost {uid_extra_sat}");
+    assert!(
+        uid_extra_sat < 0.15,
+        "UID variation extra cost {uid_extra_sat}"
+    );
     let uid_extra_unsat = (unsat3 - unsat4) / unsat3;
-    assert!(uid_extra_unsat < 0.12, "UID variation extra unsat cost {uid_extra_unsat}");
+    assert!(
+        uid_extra_unsat < 0.12,
+        "UID variation extra unsat cost {uid_extra_unsat}"
+    );
 
     // Latency moves the other way: saturated latency grows substantially for
     // the two-variant systems (paper: +129%, +136%).

@@ -1,0 +1,323 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest grammar this workspace's property
+//! tests use: a `proptest! { ... }` block with an optional
+//! `#![proptest_config(...)]` header, test functions whose arguments are
+//! `name in strategy` bindings, the `any::<T>()` and integer-range
+//! strategies, and the `prop_assert*` macros. Sampling is deterministic:
+//! the first cases enumerate the cross-product of per-argument edge values
+//! (0, 1, extremes — each argument walks its edge table at a different
+//! stride), the rest are splitmix64 pseudo-random draws seeded from the
+//! test name — so failures reproduce exactly. There is no shrinking; the
+//! failing input is printed by the assertion message instead.
+
+use std::ops::Range;
+
+/// Run-time configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Creates a config running `cases` samples per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-case word source handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    case: u64,
+    state: u64,
+    args_sampled: u32,
+}
+
+impl TestRng {
+    /// Builds the generator for one case of one named property.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index, so every property
+        // sees a different but reproducible stream.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            case,
+            state: seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            args_sampled: 0,
+        }
+    }
+
+    /// The zero-based index of the case being generated.
+    #[must_use]
+    pub fn case(&self) -> u64 {
+        self.case
+    }
+
+    /// The zero-based position of the argument about to be sampled within
+    /// this case; each call advances the counter. Strategies use it to
+    /// decorrelate their deterministic phases: argument `k` walks its edge
+    /// table at 1/L^k the rate of argument 0, so the edge phase enumerates
+    /// the full cross-product of edge values instead of only the diagonal.
+    pub fn next_arg_index(&mut self) -> u32 {
+        let index = self.args_sampled;
+        self.args_sampled += 1;
+        index
+    }
+
+    /// Next raw 64-bit word (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of values for one property argument, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Produces the value for the current case.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy, mirroring `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized + 'static {
+    /// Edge values enumerated before random sampling begins.
+    const EDGES: &'static [Self];
+
+    /// A uniformly random value.
+    fn random(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Arbitrary for $t {
+                const EDGES: &'static [$t] =
+                    &[0, 1, <$t>::MAX, <$t>::MAX / 2, <$t>::MAX / 2 + 1];
+
+                fn random(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    const EDGES: &'static [bool] = &[false, true];
+
+    fn random(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The "any value of `T`" strategy, mirroring `proptest::arbitrary::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary + Copy> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let len = T::EDGES.len() as u64;
+        let arg = rng.next_arg_index();
+        // Edge phase: the first len^2 cases. Argument k steps through the
+        // edge table once every len^k cases (cycling), so a two-argument
+        // property sees the full cross-product of edge values — including
+        // mixed extremes like (0, MAX) — before random sampling begins.
+        match len.checked_pow(arg) {
+            Some(stride) if rng.case() < len * len => {
+                T::EDGES[(rng.case() / stride % len) as usize]
+            }
+            _ => T::random(rng),
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // i128 holds every supported element type, including
+                    // negative starts, so the span math never overflows.
+                    let span = (self.end as i128) - (self.start as i128);
+                    let arg = rng.next_arg_index();
+                    // Boundary phase for the first 4 cases, decorrelated per
+                    // argument like the edge phase of `Any` (start, end-1).
+                    let offset = match 2u64.checked_pow(arg) {
+                        Some(stride) if rng.case() < 4 => {
+                            (rng.case() / stride % 2) as i128 * (span - 1)
+                        }
+                        _ => (rng.next_u64() as i128) % span,
+                    };
+                    ((self.start as i128) + offset) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Prelude mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestRng,
+    };
+}
+
+/// Mirrors `proptest::prop_assert!`: plain assert, since there is no shrinker
+/// to report to — a panic fails the case and prints the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Mirrors `proptest::proptest!`: expands each `fn name(arg in strategy, ..)`
+/// into a `#[test]`-able zero-argument function that loops over the cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..u64::from(config.cases) {
+                    let mut rng =
+                        $crate::TestRng::for_case(concat!(module_path!(), "::", stringify!($name)), case);
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn edges_come_first_then_random(x in any::<u32>()) {
+            // Merely exercises the expansion; the property is trivially true.
+            prop_assert!(u64::from(x) <= u64::from(u32::MAX));
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in any::<u32>()) {
+            prop_assert!((10..20).contains(&x));
+            let _ = y;
+        }
+    }
+
+    #[test]
+    fn first_cases_enumerate_edges() {
+        let mut seen = Vec::new();
+        for case in 0..5 {
+            let mut rng = TestRng::for_case("edge_probe", case);
+            seen.push(Strategy::sample(&any::<u32>(), &mut rng));
+        }
+        assert_eq!(seen, vec![0, 1, u32::MAX, u32::MAX / 2, u32::MAX / 2 + 1]);
+    }
+
+    #[test]
+    fn edge_phase_enumerates_mixed_combinations() {
+        // With two u32 arguments (5 edges each) the first 25 cases must
+        // cover the full 5x5 cross-product, including off-diagonal pairs.
+        let mut seen = std::collections::BTreeSet::new();
+        for case in 0..25 {
+            let mut rng = TestRng::for_case("cross", case);
+            let x = Strategy::sample(&any::<u32>(), &mut rng);
+            let y = Strategy::sample(&any::<u32>(), &mut rng);
+            seen.insert((x, y));
+        }
+        assert_eq!(seen.len(), 25);
+        assert!(seen.contains(&(0, u32::MAX)));
+        assert!(seen.contains(&(u32::MAX, 0)));
+    }
+
+    #[test]
+    fn negative_start_ranges_stay_in_bounds() {
+        for case in 0..64 {
+            let mut rng = TestRng::for_case("neg_range", case);
+            let v = Strategy::sample(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&v), "case {case}: {v}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = TestRng::for_case("det", 9);
+        let mut b = TestRng::for_case("det", 9);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the tiny slice of the `rand` 0.8 API the workspace uses —
+//! `StdRng::seed_from_u64` plus `Rng::gen_range` over half-open integer
+//! ranges — backed by a splitmix64 generator. Deterministic for a given seed,
+//! which is exactly what the workload generator wants; not cryptographic.
+
+use std::ops::Range;
+
+/// Mirror of `rand::SeedableRng`, reduced to the one constructor in use.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high)` using `next` as the word source.
+    fn sample(low: Self, high: Self, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl SampleUniform for $t {
+                fn sample(low: Self, high: Self, next: &mut dyn FnMut() -> u64) -> Self {
+                    assert!(low < high, "gen_range: empty range");
+                    let span = (high as u128).wrapping_sub(low as u128);
+                    let r = ((next)() as u128) % span;
+                    (low as u128).wrapping_add(r) as Self
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Mirror of `rand::Rng`, reduced to `gen_range` over half-open ranges.
+pub trait Rng {
+    /// Returns the next raw 64-bit word from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let mut next = || self.next_u64();
+        T::sample(range.start, range.end, &mut next)
+    }
+}
+
+/// Generator namespace, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen_range(0u32..100), b.gen_range(0u32..100));
+        }
+    }
+
+    #[test]
+    fn stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! workspace vendors a minimal `serde` that provides the two marker traits and
+//! the `derive` feature the sources rely on. No actual serialization happens:
+//! every type in the repository only uses `#[derive(Serialize, Deserialize)]`
+//! as a forward-compatibility annotation, never a serializer. Swapping this
+//! crate for the real `serde` is a one-line change in the workspace manifest.
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The real trait's `serialize` method is deliberately omitted: nothing in the
+/// workspace calls it, and omitting it lets the no-op derive stay empty.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl Serialize for str {}
+
+impl_markers!(
+    bool,
+    char,
+    String,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    ()
+);
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize> Serialize for &T where T: ?Sized {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeSet<T> {}
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::HashSet<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}

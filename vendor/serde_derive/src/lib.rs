@@ -1,0 +1,19 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The vendored `serde` stand-in defines `Serialize`/`Deserialize` as marker
+//! traits with no required methods, so the derives here emit nothing at all:
+//! the annotated type simply never gains the impls, and because no code in the
+//! workspace bounds on the traits, nothing notices. This keeps the proc-macro
+//! crate free of `syn`/`quote`, which are unavailable offline.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
