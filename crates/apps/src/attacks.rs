@@ -2,8 +2,9 @@
 //! discusses, plus the machinery to run them against each configuration and
 //! classify the outcome.
 
-use crate::scenarios::{build_httpd_system, run_requests_on, ScenarioOutcome};
-use nvariant::{DeploymentConfig, RunnableSystem};
+use crate::scenarios::{compiled_httpd_system, ScenarioOutcome, ServedRequest};
+use nvariant::{DeploymentConfig, RunnableSystem, SystemOutcome};
+use nvariant_campaign::{Campaign, CellRun, CellVerdict, Scenario};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -145,12 +146,22 @@ impl Attack {
     /// the system outcome.
     #[must_use]
     pub fn evaluate(&self, scenario: &ScenarioOutcome) -> AttackResult {
-        if scenario.system.detected_attack() {
+        self.evaluate_parts(&scenario.system, &scenario.requests)
+    }
+
+    /// Like [`evaluate`](Self::evaluate), from the raw parts a campaign
+    /// cell observes.
+    #[must_use]
+    pub fn evaluate_parts(
+        &self,
+        system: &SystemOutcome,
+        exchanges: &[ServedRequest],
+    ) -> AttackResult {
+        if system.detected_attack() {
             return AttackResult::Detected;
         }
         let leaked = |needle: &str| {
-            scenario
-                .requests
+            exchanges
                 .iter()
                 .any(|r| String::from_utf8_lossy(r.body()).contains(needle))
         };
@@ -234,30 +245,115 @@ impl AttackOutcome {
     }
 }
 
-/// Launches `attack` against the mini Apache deployed under `config`.
+/// Wraps an attack as a judged campaign [`Scenario`]: the request generator
+/// crafts the payload against the freshly instantiated system (absolute
+/// attacks read symbol addresses from it) and the judge records the
+/// observed result next to the paper's prediction.
 #[must_use]
-pub fn run_attack(config: &DeploymentConfig, attack: &Attack) -> AttackOutcome {
-    let mut system = build_httpd_system(config);
-    let requests = attack.requests(&system);
-    let scenario = run_requests_on(&mut system, config, &requests);
-    let result = attack.evaluate(&scenario);
+pub fn attack_scenario(attack: &Attack) -> Scenario {
+    let generator = attack.clone();
+    let judge = attack.clone();
+    Scenario::new(attack.name.clone(), move |system, _seed| {
+        generator.requests(system)
+    })
+    .with_judge(move |config, run: CellRun<'_>| CellVerdict {
+        observed: judge.evaluate_parts(run.outcome, run.exchanges).to_string(),
+        expected: judge.expected_result(config).to_string(),
+    })
+}
+
+/// Declares the full attack matrix — every attack of [`Attack::all`]
+/// against every supplied configuration — as a campaign over the cached
+/// compiled artifacts.
+#[must_use]
+pub fn attack_campaign(configs: &[DeploymentConfig]) -> Campaign {
+    let mut campaign = crate::campaigns::httpd_campaign("attack-matrix", configs);
+    for attack in Attack::all() {
+        campaign = campaign.scenario(attack_scenario(&attack));
+    }
+    campaign
+}
+
+fn outcome_from_parts(
+    attack: &Attack,
+    config: &DeploymentConfig,
+    system: &SystemOutcome,
+    exchanges: &[ServedRequest],
+) -> AttackOutcome {
     AttackOutcome {
         attack: attack.name.clone(),
         class: attack.class,
         config_label: config.label(),
-        result,
+        result: attack.evaluate_parts(system, exchanges),
         expected: attack.expected_result(config),
-        alarm: scenario.system.alarm.as_ref().map(ToString::to_string),
+        alarm: system.alarm.as_ref().map(ToString::to_string),
     }
 }
 
-/// Runs every attack against every supplied configuration.
+/// Launches `attack` against the mini Apache deployed under `config`
+/// (a one-cell campaign over the cached compiled artifact).
+#[must_use]
+pub fn run_attack(config: &DeploymentConfig, attack: &Attack) -> AttackOutcome {
+    let report = Campaign::new("attack")
+        .config(compiled_httpd_system(config))
+        .scenario(attack_scenario(attack))
+        .run(1);
+    let cell = &report.cells[0];
+    outcome_from_parts(attack, config, &cell.outcome, &cell.exchanges)
+}
+
+/// Runs every attack against every supplied configuration, in parallel
+/// across the machine's cores, returning rows in attack-major order (the
+/// order the paper's matrix is read in).
 #[must_use]
 pub fn attack_matrix(configs: &[DeploymentConfig]) -> Vec<AttackOutcome> {
-    let mut rows = Vec::new();
-    for attack in Attack::all() {
-        for config in configs {
-            rows.push(run_attack(config, &attack));
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    attack_matrix_with_workers(configs, workers)
+}
+
+/// [`attack_matrix`] with an explicit worker count (the result is identical
+/// at any worker count).
+#[must_use]
+pub fn attack_matrix_with_workers(
+    configs: &[DeploymentConfig],
+    workers: usize,
+) -> Vec<AttackOutcome> {
+    attack_outcomes_from_report(&attack_campaign(configs).run(workers), configs)
+}
+
+/// Reads an [`attack_campaign`] report back into attack-major
+/// [`AttackOutcome`] rows (the one place that knows how to transpose the
+/// campaign's canonical config-major cell order).
+///
+/// # Panics
+///
+/// Panics if `report` did not come from [`attack_campaign`] over exactly
+/// `configs` (cell count or coordinates disagree).
+#[must_use]
+pub fn attack_outcomes_from_report(
+    report: &nvariant_campaign::CampaignReport,
+    configs: &[DeploymentConfig],
+) -> Vec<AttackOutcome> {
+    let attacks = Attack::all();
+    assert_eq!(
+        report.cells.len(),
+        configs.len() * attacks.len(),
+        "report does not match an attack campaign over these configs"
+    );
+    let mut rows = Vec::with_capacity(report.cells.len());
+    // Campaign cells are canonical config-major order with one replicate;
+    // the matrix reads attack-major, so transpose by direct indexing.
+    for (scenario_index, attack) in attacks.iter().enumerate() {
+        for (config_index, config) in configs.iter().enumerate() {
+            let cell = &report.cells[config_index * attacks.len() + scenario_index];
+            assert_eq!(cell.spec.config_index, config_index);
+            assert_eq!(cell.spec.scenario_index, scenario_index);
+            rows.push(outcome_from_parts(
+                attack,
+                config,
+                &cell.outcome,
+                &cell.exchanges,
+            ));
         }
     }
     rows
@@ -344,6 +440,24 @@ mod tests {
             AttackResult::Succeeded,
             "{unprotected:?}"
         );
+    }
+
+    #[test]
+    fn attack_matrix_is_worker_count_invariant() {
+        let configs = vec![
+            DeploymentConfig::Unmodified,
+            DeploymentConfig::TwoVariantUid,
+        ];
+        let serial = attack_matrix_with_workers(&configs, 1);
+        let parallel = attack_matrix_with_workers(&configs, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 6);
+        // Attack-major ordering, as the paper's matrix reads.
+        assert_eq!(serial[0].attack, "uid-overflow");
+        assert_eq!(serial[0].config_label, "Unmodified");
+        assert_eq!(serial[1].config_label, "2-Variant UID");
+        assert_eq!(serial[2].attack, "uid-poke");
+        assert!(serial.iter().all(AttackOutcome::matches_expectation));
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Ready-made campaigns over the mini Apache: benign workloads, the attack
+//! corpus, and the full security × workload sweep, all sharing the
+//! process-wide compiled-artifact cache.
+
+use crate::attacks::{attack_scenario, Attack};
+use crate::scenarios::compiled_httpd_system;
+use crate::workload::WorkloadMix;
+use nvariant::DeploymentConfig;
+use nvariant_campaign::{Campaign, Scenario};
+
+/// A scenario serving `count` requests drawn from `mix`, re-seeded per cell
+/// (replicates of the same pair see different request orders, but the same
+/// cell always sees the same order).
+#[must_use]
+pub fn benign_scenario(mix: &WorkloadMix, count: usize) -> Scenario {
+    let mix = mix.clone();
+    Scenario::new(format!("benign-{count}"), move |_, seed| {
+        mix.request_sequence(count, seed)
+    })
+}
+
+/// A campaign skeleton over the given configurations, with the compiled
+/// artifacts taken from (or added to) the process-wide cache. Cache misses
+/// compile in parallel — the compile is the expensive half of deployment,
+/// so a cold campaign shouldn't pay it serially before the pool spins up.
+#[must_use]
+pub fn httpd_campaign(name: &str, configs: &[DeploymentConfig]) -> Campaign {
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let compiled = nvariant_campaign::run_parallel(configs.to_vec(), workers, |_, config| {
+        compiled_httpd_system(&config)
+    });
+    Campaign::new(name).configs(compiled)
+}
+
+/// The configurations the security evaluation sweeps: the paper's four plus
+/// the composed UID + address variation.
+#[must_use]
+pub fn security_sweep_configs() -> Vec<DeploymentConfig> {
+    let mut configs = DeploymentConfig::paper_configurations();
+    configs.push(DeploymentConfig::composed_uid_and_address());
+    configs
+}
+
+/// The full evaluation matrix as one campaign: every supplied
+/// configuration × (a benign workload scenario + every attack of
+/// [`Attack::all`]).
+#[must_use]
+pub fn full_matrix_campaign(
+    configs: &[DeploymentConfig],
+    benign_requests_per_cell: usize,
+    replicates: usize,
+) -> Campaign {
+    let mut campaign = httpd_campaign("full-matrix", configs)
+        .scenario(benign_scenario(
+            &WorkloadMix::standard(),
+            benign_requests_per_cell,
+        ))
+        .replicates(replicates);
+    for attack in Attack::all() {
+        campaign = campaign.scenario(attack_scenario(&attack));
+    }
+    campaign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvariant_campaign::CellVerdict;
+
+    #[test]
+    fn benign_scenario_reseeds_per_cell() {
+        let configs = [DeploymentConfig::Unmodified];
+        let report = httpd_campaign("reseed", &configs)
+            .scenario(benign_scenario(&WorkloadMix::standard(), 6))
+            .replicates(2)
+            .run(2);
+        assert_eq!(report.cells.len(), 2);
+        assert!(report.cells.iter().all(|c| c.outcome.exited_normally()));
+        assert_ne!(report.cells[0].spec.seed, report.cells[1].spec.seed);
+        // Same mix, same count — but the replicate's distinct seed draws a
+        // different request order (the standard mix has 6 weighted pages,
+        // so 6 draws from different seeds virtually never agree; if they
+        // did, the campaign seed derivation would be broken).
+        let first: Vec<_> = report.cells[0]
+            .exchanges
+            .iter()
+            .map(|e| &e.request)
+            .collect();
+        let second: Vec<_> = report.cells[1]
+            .exchanges
+            .iter()
+            .map(|e| &e.request)
+            .collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn full_matrix_campaign_matches_paper_predictions() {
+        let configs = security_sweep_configs();
+        let report = full_matrix_campaign(&configs, 4, 1).run(4);
+        // 5 configs × (1 benign + 3 attacks).
+        assert_eq!(report.cells.len(), 20);
+        assert_eq!(report.judged_cells(), 15);
+        assert!(
+            report.verdict_mismatches().is_empty(),
+            "{:?}",
+            report
+                .verdict_mismatches()
+                .iter()
+                .map(|c| c.canonical_line())
+                .collect::<Vec<_>>()
+        );
+        // The benign scenario serves pages everywhere.
+        assert!(report
+            .cells_for_scenario("benign-4")
+            .iter()
+            .all(|c| c.outcome.exited_normally() && c.tally().ok > 0));
+        // Configuration 4 detects the UID overflow.
+        let uid_cells = report.cells_for_config("2-Variant UID");
+        let overflow = uid_cells
+            .iter()
+            .find(|c| c.spec.scenario_label == "uid-overflow")
+            .unwrap();
+        assert!(overflow.outcome.detected_attack());
+        assert!(overflow.verdict.as_ref().is_some_and(CellVerdict::matches));
+    }
+}

@@ -13,7 +13,11 @@
 //!   attack class discussed in the paper, with expected outcomes per
 //!   deployment configuration.
 //! * [`scenarios`] — canned builders tying the server, the world and the
-//!   deployment configurations together.
+//!   deployment configurations together, backed by a process-wide
+//!   build-once cache of compiled artifacts.
+//! * [`campaigns`] — ready-made [`nvariant_campaign`] matrices (benign
+//!   sweeps, the attack corpus, the full security × workload matrix) over
+//!   that cache.
 //!
 //! # Example
 //!
@@ -36,11 +40,19 @@
 #![warn(missing_docs)]
 
 pub mod attacks;
+pub mod campaigns;
 pub mod httpd;
 pub mod scenarios;
 pub mod workload;
 
-pub use attacks::{Attack, AttackClass, AttackOutcome, AttackResult};
+pub use attacks::{
+    attack_campaign, attack_scenario, Attack, AttackClass, AttackOutcome, AttackResult,
+};
+pub use campaigns::{
+    benign_scenario, full_matrix_campaign, httpd_campaign, security_sweep_configs,
+};
 pub use httpd::httpd_source;
-pub use scenarios::{run_requests, ScenarioOutcome, ServedRequest};
+pub use scenarios::{
+    build_httpd_system, compiled_httpd_system, run_requests, ScenarioOutcome, ServedRequest,
+};
 pub use workload::{benign_request, BenchmarkResult, LoadLevel, WebBench, WorkloadMix};

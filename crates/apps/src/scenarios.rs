@@ -1,50 +1,23 @@
 //! Canned scenarios: deploy the mini Apache in a configuration, feed it
 //! requests, and collect what happened.
+//!
+//! Since the build-once/run-many split, every entry point here runs on top
+//! of the campaign engine: the httpd is compiled **once per configuration**
+//! (a process-wide [`CompiledSystem`] cache) and each scenario run only
+//! pays [`CompiledSystem::instantiate`].
 
 use crate::httpd::httpd_source;
-use nvariant::{DeploymentConfig, NVariantSystemBuilder, RunnableSystem, SystemOutcome};
+use nvariant::{
+    CompiledSystem, DeploymentConfig, NVariantSystemBuilder, RunnableSystem, SystemOutcome,
+};
+use nvariant_campaign::{Campaign, CellResult, Scenario};
 use nvariant_transform::TransformStats;
-use nvariant_types::{Port, Uid};
+use nvariant_types::Port;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// One request/response pair observed at the simulated network.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ServedRequest {
-    /// The raw request the client sent.
-    pub request: Vec<u8>,
-    /// The raw response the server produced (possibly empty if the group
-    /// was terminated before answering).
-    pub response: Vec<u8>,
-}
-
-impl ServedRequest {
-    /// Returns `true` if the response is a 200.
-    #[must_use]
-    pub fn is_success(&self) -> bool {
-        self.response.starts_with(b"HTTP/1.0 200")
-    }
-
-    /// Returns `true` if the response is a 403.
-    #[must_use]
-    pub fn is_forbidden(&self) -> bool {
-        self.response.starts_with(b"HTTP/1.0 403")
-    }
-
-    /// Returns `true` if the response is a 404.
-    #[must_use]
-    pub fn is_not_found(&self) -> bool {
-        self.response.starts_with(b"HTTP/1.0 404")
-    }
-
-    /// The response body (everything after the blank line).
-    #[must_use]
-    pub fn body(&self) -> &[u8] {
-        match self.response.windows(4).position(|w| w == b"\r\n\r\n") {
-            Some(pos) => &self.response[pos + 4..],
-            None => &[],
-        }
-    }
-}
+pub use nvariant_campaign::ServedRequest;
 
 /// The result of serving a batch of requests under one configuration.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,9 +44,70 @@ impl ScenarioOutcome {
     pub fn successful_requests(&self) -> usize {
         self.requests.iter().filter(|r| r.is_success()).count()
     }
+
+    /// Rebuilds a scenario outcome from a campaign cell (the campaign
+    /// engine's per-cell result carries the same observations; the cell is
+    /// consumed so the exchange buffers move instead of copying).
+    #[must_use]
+    pub fn from_cell(cell: CellResult) -> Self {
+        ScenarioOutcome {
+            config_label: cell.spec.config_label,
+            system: cell.outcome,
+            requests: cell.exchanges,
+            transform_stats: cell.transform_stats,
+        }
+    }
 }
 
-/// Builds the mini Apache deployed under `config`, in the standard world.
+/// The process-wide build-once cache: one compiled httpd artifact per
+/// deployment configuration, shared by every scenario, attack and
+/// benchmark run in this process.
+fn compiled_cache() -> &'static Mutex<HashMap<String, Arc<CompiledSystem>>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<CompiledSystem>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Compiles the mini Apache for `config` — or returns the cached artifact
+/// if this process already compiled that configuration. The artifact is
+/// `Send + Sync` and cheap to instantiate, so callers can fan out over it.
+///
+/// # Panics
+///
+/// Panics if the bundled server source fails to compile — that would be a
+/// bug in this crate, not in the caller.
+#[must_use]
+pub fn compiled_httpd_system(config: &DeploymentConfig) -> Arc<CompiledSystem> {
+    let key = format!("{config:?}");
+    if let Some(compiled) = compiled_cache()
+        .lock()
+        .expect("compiled-httpd cache poisoned")
+        .get(&key)
+    {
+        return Arc::clone(compiled);
+    }
+    // Compile outside the lock: first-time compilations of different
+    // configurations proceed in parallel, and a compile panic cannot poison
+    // the cache. Two racing compiles of the same config are harmless — the
+    // loser's artifact is dropped in favour of the cached one.
+    let compiled = Arc::new(
+        NVariantSystemBuilder::from_source(httpd_source())
+            .expect("bundled httpd source parses")
+            .config(config.clone())
+            .initial_uid(nvariant_types::Uid::ROOT)
+            .compile()
+            .expect("bundled httpd source compiles under every configuration"),
+    );
+    Arc::clone(
+        compiled_cache()
+            .lock()
+            .expect("compiled-httpd cache poisoned")
+            .entry(key)
+            .or_insert(compiled),
+    )
+}
+
+/// Builds the mini Apache deployed under `config`, in the standard world
+/// (an instantiation of the cached compiled artifact).
 ///
 /// # Panics
 ///
@@ -81,47 +115,32 @@ impl ScenarioOutcome {
 /// in this crate, not in the caller.
 #[must_use]
 pub fn build_httpd_system(config: &DeploymentConfig) -> RunnableSystem {
-    NVariantSystemBuilder::from_source(httpd_source())
-        .expect("bundled httpd source parses")
-        .config(config.clone())
-        .initial_uid(Uid::ROOT)
-        .build()
-        .expect("bundled httpd source builds under every configuration")
+    compiled_httpd_system(config).instantiate()
 }
 
 /// Deploys the mini Apache under `config`, stages `requests` on the HTTP
 /// port, runs the system to completion and pairs each request with its
-/// response.
+/// response. Implemented as a one-cell campaign over the cached compiled
+/// artifact.
 #[must_use]
 pub fn run_requests(config: &DeploymentConfig, requests: &[Vec<u8>]) -> ScenarioOutcome {
-    let mut system = build_httpd_system(config);
-    run_requests_on(&mut system, config, requests)
+    let mut report = Campaign::new("run_requests")
+        .config(compiled_httpd_system(config))
+        .scenario(Scenario::fixed_requests("requests", requests.to_vec()))
+        .run(1);
+    ScenarioOutcome::from_cell(report.cells.remove(0))
 }
 
 /// Like [`run_requests`] but against an already-built system (useful when
-/// the caller needed to inspect symbol addresses to craft the requests).
+/// the caller needed to inspect symbol addresses to craft the requests, or
+/// staged extra world state).
 #[must_use]
 pub fn run_requests_on(
     system: &mut RunnableSystem,
     config: &DeploymentConfig,
     requests: &[Vec<u8>],
 ) -> ScenarioOutcome {
-    for request in requests {
-        system
-            .kernel_mut()
-            .net_mut()
-            .preload_request(Port::HTTP, request.clone());
-    }
-    let outcome = system.run();
-    let served: Vec<ServedRequest> = system
-        .kernel()
-        .net()
-        .connections()
-        .map(|conn| ServedRequest {
-            request: conn.request.clone(),
-            response: conn.response.clone(),
-        })
-        .collect();
+    let (outcome, served) = nvariant_campaign::serve_requests(system, Port::HTTP, requests);
     ScenarioOutcome {
         config_label: config.label(),
         system: outcome,
@@ -202,6 +221,19 @@ mod tests {
     }
 
     #[test]
+    fn compiled_cache_returns_the_same_artifact() {
+        let a = compiled_httpd_system(&DeploymentConfig::TwoVariantUid);
+        let b = compiled_httpd_system(&DeploymentConfig::TwoVariantUid);
+        assert!(Arc::ptr_eq(&a, &b));
+        let other = compiled_httpd_system(&DeploymentConfig::Unmodified);
+        assert!(!Arc::ptr_eq(&a, &other));
+        // Instantiations of the cached artifact are independent systems.
+        let mut one = a.instantiate();
+        one.kernel_mut().fs_mut().create("/tmp/mark", vec![1]);
+        assert!(!a.instantiate().kernel().fs().exists("/tmp/mark"));
+    }
+
+    #[test]
     fn served_request_helpers() {
         let ok = ServedRequest {
             request: b"GET / HTTP/1.0\r\n\r\n".to_vec(),
@@ -215,11 +247,19 @@ mod tests {
         };
         assert!(denied.is_forbidden());
         assert!(!denied.is_success());
+        // The status parser tolerates HTTP/1.1 responses too.
+        let http11 = ServedRequest {
+            request: vec![],
+            response: b"HTTP/1.1 404 Not Found\r\n\r\n".to_vec(),
+        };
+        assert!(http11.is_not_found());
+        assert_eq!(http11.status_code(), Some(404));
         let empty = ServedRequest {
             request: vec![],
             response: vec![],
         };
         assert_eq!(empty.body(), b"");
         assert!(!empty.is_not_found());
+        assert_eq!(empty.status_code(), None);
     }
 }

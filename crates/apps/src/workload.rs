@@ -14,8 +14,10 @@
 //!   per variant but I/O only once — which is exactly the asymmetry that
 //!   produces the paper's unsaturated-vs-saturated shape.
 
+use crate::campaigns::httpd_campaign;
 use crate::scenarios::{run_requests, ScenarioOutcome};
 use nvariant::DeploymentConfig;
+use nvariant_campaign::Scenario;
 use nvariant_simos::{CostModel, SimDuration, SimInstant, Sysno};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -180,6 +182,39 @@ impl WebBench {
         let requests = self.mix.request_sequence(load.total_requests(), self.seed);
         let scenario = run_requests(config, &requests);
         self.result_from_scenario(config, load, &scenario)
+    }
+
+    /// Measures every configuration × load-level cell as one campaign over
+    /// the cached compiled artifacts, fanning the cells out across
+    /// `workers` threads. Results come back config-major (`configs[0]`
+    /// under every load, then `configs[1]`, ...), and each cell equals the
+    /// corresponding [`measure`](Self::measure) call at any worker count:
+    /// the request sequence is fixed by the bench's own seed.
+    #[must_use]
+    pub fn measure_matrix(
+        &self,
+        configs: &[DeploymentConfig],
+        loads: &[LoadLevel],
+        workers: usize,
+    ) -> Vec<BenchmarkResult> {
+        let mut campaign = httpd_campaign("webbench", configs);
+        for load in loads {
+            campaign = campaign.scenario(Scenario::fixed_requests(
+                format!("load-{}x{}", load.clients, load.requests_per_client),
+                self.mix.request_sequence(load.total_requests(), self.seed),
+            ));
+        }
+        let report = campaign.run(workers);
+        report
+            .cells
+            .into_iter()
+            .map(|cell| {
+                let config = &configs[cell.spec.config_index];
+                let load = &loads[cell.spec.scenario_index];
+                let scenario = ScenarioOutcome::from_cell(cell);
+                self.result_from_scenario(config, load, &scenario)
+            })
+            .collect()
     }
 
     /// Converts a served scenario into throughput/latency figures using the
@@ -404,5 +439,34 @@ mod tests {
         assert!(result.latency_ms > 0.0);
         assert!(result.total_instructions > 10_000);
         assert_eq!(result.monitor_checks, 0);
+    }
+
+    #[test]
+    fn measure_matrix_parallel_cells_match_serial_measurements() {
+        let bench = WebBench::default();
+        let configs = [
+            DeploymentConfig::Unmodified,
+            DeploymentConfig::TwoVariantUid,
+        ];
+        let loads = [
+            LoadLevel {
+                clients: 1,
+                requests_per_client: 4,
+            },
+            LoadLevel {
+                clients: 2,
+                requests_per_client: 2,
+            },
+        ];
+        let matrix = bench.measure_matrix(&configs, &loads, 4);
+        assert_eq!(matrix.len(), 4);
+        // Config-major ordering, each cell identical to the one-shot path.
+        let mut index = 0;
+        for config in &configs {
+            for load in &loads {
+                assert_eq!(matrix[index], bench.measure(config, load), "cell {index}");
+                index += 1;
+            }
+        }
     }
 }

@@ -1,0 +1,52 @@
+//! Pins the build-once/run-many speedup: a full
+//! `NVariantSystemBuilder::build()` (parse → transform → compile →
+//! provision → instantiate) against `CompiledSystem::instantiate()` alone,
+//! for the paper's heaviest configuration. The acceptance bar for the
+//! campaign engine is instantiate ≥ 10× cheaper than a full build; in
+//! practice the gap is orders of magnitude.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvariant::{DeploymentConfig, NVariantSystemBuilder};
+use nvariant_apps::httpd_source;
+
+fn builder() -> NVariantSystemBuilder {
+    NVariantSystemBuilder::from_source(httpd_source())
+        .expect("bundled httpd parses")
+        .config(DeploymentConfig::TwoVariantUid)
+}
+
+fn bench_build_vs_instantiate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_vs_instantiate");
+    group.sample_size(10);
+
+    group.bench_function("full_build_config4", |b| {
+        b.iter(|| black_box(builder().build().expect("bundled httpd builds")));
+    });
+
+    group.bench_function("compile_config4", |b| {
+        b.iter(|| black_box(builder().compile().expect("bundled httpd compiles")));
+    });
+
+    let compiled = builder().compile().expect("bundled httpd compiles");
+    group.bench_function("instantiate_config4", |b| {
+        b.iter(|| black_box(compiled.instantiate()));
+    });
+
+    // A full run-many cell: instantiate + serve one request, the unit of
+    // work a campaign pays per cell after the one-off compile.
+    group.bench_function("instantiate_and_serve", |b| {
+        b.iter(|| {
+            let mut system = compiled.instantiate();
+            system.kernel_mut().net_mut().preload_request(
+                nvariant_types::Port::HTTP,
+                b"GET / HTTP/1.0\r\n\r\n".to_vec(),
+            );
+            black_box(system.run())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_vs_instantiate);
+criterion_main!(benches);

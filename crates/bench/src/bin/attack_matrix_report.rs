@@ -1,9 +1,10 @@
 //! The security evaluation: every attack class against every deployment
-//! configuration, with the result the paper's arguments predict next to the
-//! observed result.
+//! configuration, declared as one judged campaign over build-once compiled
+//! artifacts and executed in parallel, with the result the paper's
+//! arguments predict next to the observed result.
 
-use nvariant::DeploymentConfig;
-use nvariant_apps::attacks::{attack_matrix, Attack};
+use nvariant_apps::attacks::{attack_campaign, attack_outcomes_from_report, Attack};
+use nvariant_apps::campaigns::security_sweep_configs;
 use nvariant_bench::render_table;
 
 fn main() {
@@ -15,29 +16,26 @@ fn main() {
     }
     println!();
 
-    let configs = vec![
-        DeploymentConfig::Unmodified,
-        DeploymentConfig::TransformedSingle,
-        DeploymentConfig::TwoVariantAddress,
-        DeploymentConfig::TwoVariantUid,
-        DeploymentConfig::composed_uid_and_address(),
-    ];
-    let outcomes = attack_matrix(&configs);
+    let configs = security_sweep_configs();
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let report = attack_campaign(&configs).run(workers);
 
-    let rows: Vec<Vec<String>> = outcomes
-        .iter()
-        .map(|o| {
+    // Rows in attack-major order, the order the paper's matrix is read in.
+    let rows: Vec<Vec<String>> = attack_outcomes_from_report(&report, &configs)
+        .into_iter()
+        .map(|outcome| {
+            let matches = if outcome.matches_expectation() {
+                "yes".to_string()
+            } else {
+                "MISMATCH".to_string()
+            };
             vec![
-                o.attack.clone(),
-                o.config_label.clone(),
-                o.result.to_string(),
-                o.expected.to_string(),
-                if o.matches_expectation() {
-                    "yes".to_string()
-                } else {
-                    "MISMATCH".to_string()
-                },
-                o.alarm.clone().unwrap_or_else(|| "-".to_string()),
+                outcome.attack,
+                outcome.config_label,
+                outcome.result.to_string(),
+                outcome.expected.to_string(),
+                matches,
+                outcome.alarm.unwrap_or_else(|| "-".to_string()),
             ]
         })
         .collect();
@@ -56,10 +54,11 @@ fn main() {
         )
     );
 
-    let mismatches = outcomes.iter().filter(|o| !o.matches_expectation()).count();
+    let mismatches = report.verdict_mismatches().len();
     println!(
         "{} of {} attack/configuration pairs behave as the paper's arguments predict.",
-        outcomes.len() - mismatches,
-        outcomes.len()
+        report.judged_cells() - mismatches,
+        report.judged_cells()
     );
+    println!("\n{}", report.render_summary());
 }

@@ -1,0 +1,191 @@
+//! The full-matrix campaign sweep: every deployment configuration of the
+//! security evaluation × (a benign workload + every attack class), executed
+//! in parallel over build-once compiled artifacts.
+//!
+//! Usage: `campaign_report [--quick] [--workers N]`
+//!
+//! * `--quick` shrinks the matrix (fewer requests, one replicate) for CI
+//!   smoke runs;
+//! * `--workers N` overrides the worker count (default: all cores).
+//!
+//! The binary always re-runs the campaign single-threaded and compares the
+//! canonical serializations, exiting non-zero if the parallel and serial
+//! runs disagree on any per-cell outcome — the determinism contract of the
+//! engine. It also times a full build against an instantiation of the
+//! heaviest configuration, pinning the build-once/run-many speedup.
+
+use nvariant::{DeploymentConfig, NVariantSystemBuilder};
+use nvariant_apps::campaigns::{benign_scenario, full_matrix_campaign, security_sweep_configs};
+use nvariant_apps::httpd_source;
+use nvariant_apps::workload::WorkloadMix;
+use nvariant_bench::render_table;
+use nvariant_campaign::CampaignReport;
+use std::time::Instant;
+
+fn parse_args() -> (bool, usize) {
+    let mut quick = false;
+    // At least 4 workers even on small machines, so the determinism check
+    // against the serial run always exercises a genuinely parallel schedule.
+    let mut workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .max(4);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--workers" => {
+                let value = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--workers expects a positive integer");
+                        std::process::exit(2);
+                    });
+                workers = value.max(1);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: campaign_report [--quick] [--workers N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    (quick, workers)
+}
+
+fn per_config_table(report: &CampaignReport, configs: &[DeploymentConfig]) -> String {
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .enumerate()
+        .map(|(config_index, config)| {
+            let label = config.label();
+            let cells = report.cells_for_config_index(config_index);
+            let detected = cells.iter().filter(|c| c.outcome.detected_attack()).count();
+            let survived = cells.iter().filter(|c| c.outcome.exited_normally()).count();
+            let judged: Vec<_> = cells.iter().filter(|c| c.verdict.is_some()).collect();
+            let matched = judged
+                .iter()
+                .filter(|c| c.verdict.as_ref().is_some_and(|v| v.matches()))
+                .count();
+            let mut tally = nvariant_campaign::RequestTally::default();
+            for cell in &cells {
+                tally.absorb(&cell.tally());
+            }
+            let wall: std::time::Duration = cells.iter().map(|c| c.wall).sum();
+            vec![
+                label,
+                cells.len().to_string(),
+                format!("{detected}/{}", cells.len()),
+                format!("{survived}/{}", cells.len()),
+                format!("{matched}/{}", judged.len()),
+                format!(
+                    "{}/{}/{}/{}",
+                    tally.ok, tally.forbidden, tally.not_found, tally.other
+                ),
+                format!("{wall:.1?}"),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "Configuration",
+            "Cells",
+            "Alarmed",
+            "Survived",
+            "Matched",
+            "200/403/404/other",
+            "Cell wall",
+        ],
+        &rows,
+    )
+}
+
+fn measure_build_once_speedup() {
+    // Compile the heaviest paper configuration from scratch, then compare
+    // the cost of re-running the full pipeline with the cost of stamping
+    // out another instance of the artifact.
+    let full_build = Instant::now();
+    let compiled = NVariantSystemBuilder::from_source(httpd_source())
+        .expect("bundled httpd parses")
+        .config(DeploymentConfig::TwoVariantUid)
+        .compile()
+        .expect("bundled httpd compiles");
+    let build_cost = full_build.elapsed();
+
+    let runs = 20u32;
+    let instantiate = Instant::now();
+    for _ in 0..runs {
+        std::hint::black_box(compiled.instantiate());
+    }
+    let instantiate_cost = instantiate.elapsed() / runs;
+    let speedup = build_cost.as_secs_f64() / instantiate_cost.as_secs_f64().max(1e-9);
+    println!(
+        "Build-once/run-many: full pipeline {build_cost:.1?}, instantiate {instantiate_cost:.1?} \
+         ({speedup:.0}x cheaper per run)"
+    );
+}
+
+fn main() {
+    let (quick, workers) = parse_args();
+    let configs = if quick {
+        vec![
+            DeploymentConfig::Unmodified,
+            DeploymentConfig::TwoVariantAddress,
+            DeploymentConfig::TwoVariantUid,
+        ]
+    } else {
+        security_sweep_configs()
+    };
+    let (benign_requests, replicates) = if quick { (4, 1) } else { (24, 3) };
+
+    // Replicates apply to the whole matrix; attack scenarios ignore the
+    // per-cell seed, so their replicated cells reproduce identical outcomes
+    // — cheap, and a standing stability check on the engine.
+    let attack_count = nvariant_apps::Attack::all().len();
+    println!(
+        "Campaign sweep: {} configurations x (2 benign workloads + {} attacks), {} replicate(s), {} worker(s)",
+        configs.len(),
+        attack_count,
+        replicates,
+        workers
+    );
+    println!("==========================================================================\n");
+
+    let campaign = full_matrix_campaign(&configs, benign_requests, replicates).scenario(
+        benign_scenario(&WorkloadMix::standard(), benign_requests * 2),
+    );
+    let report = campaign.run(workers);
+    println!("{}", per_config_table(&report, &configs));
+    println!("{}", report.render_summary());
+
+    let mismatches = report.verdict_mismatches();
+    if !mismatches.is_empty() {
+        println!("VERDICT MISMATCHES:");
+        for cell in &mismatches {
+            println!("  {}", cell.canonical_line());
+        }
+    }
+
+    // The determinism contract: the same campaign at 1 worker must produce
+    // byte-identical canonical output.
+    let serial = campaign.run(1);
+    let deterministic = serial.canonical_text() == report.canonical_text();
+    println!(
+        "Determinism check ({} workers vs 1): {}",
+        workers,
+        if deterministic {
+            "identical per-cell outcomes"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    measure_build_once_speedup();
+
+    if !deterministic {
+        std::process::exit(1);
+    }
+    if !mismatches.is_empty() {
+        std::process::exit(1);
+    }
+}

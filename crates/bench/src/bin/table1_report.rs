@@ -1,8 +1,10 @@
 //! Regenerates the paper's **Table 1**: the reexpression functions of the
 //! four variations, plus mechanized verification of the inverse and
-//! disjointedness properties each depends on.
+//! disjointedness properties each depends on (fanned out across the
+//! machine's cores by the campaign engine's worker pool).
 
 use nvariant_bench::render_table;
+use nvariant_campaign::run_parallel;
 use nvariant_diversity::{verify_variation, Variation};
 
 fn main() {
@@ -34,7 +36,7 @@ fn main() {
     );
 
     println!("Property verification (inverse + pairwise disjointedness):\n");
-    for variation in [
+    let variations = vec![
         Variation::address_partitioning(),
         Variation::extended_address_partitioning(0x40),
         Variation::instruction_tagging(),
@@ -44,8 +46,13 @@ fn main() {
             Variation::uid_diversity(),
             Variation::address_partitioning(),
         ]),
-    ] {
+    ];
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let reports = run_parallel(variations, workers, |_, variation| {
         let report = verify_variation(&variation, 2);
+        (variation, report)
+    });
+    for (variation, report) in &reports {
         println!(
             "  {:<55} {}",
             variation.name(),

@@ -3,9 +3,10 @@
 //! issues them while serving a benign workload.
 
 use nvariant::DeploymentConfig;
-use nvariant_apps::scenarios::run_requests;
+use nvariant_apps::campaigns::httpd_campaign;
 use nvariant_apps::workload::WorkloadMix;
 use nvariant_bench::render_table;
+use nvariant_campaign::Scenario;
 use nvariant_simos::Sysno;
 
 fn main() {
@@ -61,27 +62,26 @@ fn main() {
     }
 
     // Measure how often the transformed server hits these calls while
-    // serving a benign page mix under Configuration 4.
+    // serving a benign page mix under Configuration 4, declared as a
+    // one-cell campaign over the cached compiled artifact.
     let requests = WorkloadMix::standard().request_sequence(24, 7);
-    let scenario = run_requests(&DeploymentConfig::TwoVariantUid, &requests);
-    println!(
-        "\nObserved while serving {} benign requests under Configuration 4:",
-        requests.len()
-    );
+    let request_count = requests.len();
+    let report = httpd_campaign("table2", &[DeploymentConfig::TwoVariantUid])
+        .scenario(Scenario::fixed_requests("benign-24", requests))
+        .run(1);
+    let metrics = report.total_metrics();
+    println!("\nObserved while serving {request_count} benign requests under Configuration 4:");
     println!(
         "    detection calls ............ {}",
-        scenario.system.metrics.detection_calls
+        metrics.detection_calls
     );
-    println!(
-        "    synchronization points ..... {}",
-        scenario.system.metrics.syscalls
-    );
+    println!("    synchronization points ..... {}", metrics.syscalls);
     println!(
         "    equivalence checks ......... {}",
-        scenario.system.metrics.monitor_checks
+        metrics.monitor_checks
     );
     println!(
         "    detection calls / request .. {:.2}",
-        scenario.system.metrics.detection_calls as f64 / requests.len() as f64
+        metrics.detection_calls as f64 / request_count as f64
     );
 }

@@ -55,15 +55,31 @@ pub struct Table3Row {
     pub saturated: BenchmarkResult,
 }
 
-/// Runs the full Table 3 measurement: every paper configuration under both
-/// load levels.
+/// Runs the full Table 3 measurement — every paper configuration under
+/// both load levels — as one parallel campaign over the cached compiled
+/// artifacts (the per-cell numbers are identical at any worker count).
 #[must_use]
 pub fn measure_table3(bench: &WebBench) -> Vec<Table3Row> {
-    DeploymentConfig::paper_configurations()
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    measure_table3_with_workers(bench, workers)
+}
+
+/// [`measure_table3`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics if the campaign drops a matrix cell — that would be an engine
+/// bug, not a caller error.
+#[must_use]
+pub fn measure_table3_with_workers(bench: &WebBench, workers: usize) -> Vec<Table3Row> {
+    let configs = DeploymentConfig::paper_configurations();
+    let loads = [LoadLevel::unsaturated(), LoadLevel::saturated()];
+    let mut results = bench.measure_matrix(&configs, &loads, workers).into_iter();
+    configs
         .into_iter()
         .map(|config| {
-            let unsaturated = bench.measure(&config, &LoadLevel::unsaturated());
-            let saturated = bench.measure(&config, &LoadLevel::saturated());
+            let unsaturated = results.next().expect("unsaturated cell for every config");
+            let saturated = results.next().expect("saturated cell for every config");
             Table3Row {
                 config,
                 unsaturated,

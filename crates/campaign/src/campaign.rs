@@ -1,0 +1,378 @@
+//! The `Campaign` abstraction: a matrix of (configuration, scenario,
+//! replicate) cells over build-once [`CompiledSystem`] artifacts, executed
+//! across a scoped worker pool.
+
+use crate::cell::{CellResult, CellSpec, CellVerdict};
+use crate::engine::{cell_seed, run_parallel};
+use crate::exchange::ServedRequest;
+use crate::report::CampaignReport;
+use nvariant::{CompiledSystem, DeploymentConfig, RunnableSystem, SystemOutcome};
+use nvariant_types::Port;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What a scenario's judge sees: the terminated system plus the served
+/// request/response pairs of one cell.
+#[derive(Clone, Copy, Debug)]
+pub struct CellRun<'a> {
+    /// How the deployed system terminated.
+    pub outcome: &'a SystemOutcome,
+    /// The request/response pairs, in arrival order.
+    pub exchanges: &'a [ServedRequest],
+}
+
+/// Stages `requests` on `port`, runs `system` to completion and pairs each
+/// observed connection with its response. The one canonical
+/// stage-run-collect sequence: campaign cells and direct scenario runners
+/// share it, so what a cell reports and what a hand-driven system reports
+/// cannot drift apart.
+pub fn serve_requests(
+    system: &mut RunnableSystem,
+    port: Port,
+    requests: &[Vec<u8>],
+) -> (SystemOutcome, Vec<ServedRequest>) {
+    for request in requests {
+        system
+            .kernel_mut()
+            .net_mut()
+            .preload_request(port, request.clone());
+    }
+    let outcome = system.run();
+    let exchanges = system
+        .kernel()
+        .net()
+        .connections()
+        .map(|conn| ServedRequest {
+            request: conn.request.clone(),
+            response: conn.response.clone(),
+        })
+        .collect();
+    (outcome, exchanges)
+}
+
+type RequestFn = dyn Fn(&RunnableSystem, u64) -> Vec<Vec<u8>> + Send + Sync;
+type JudgeFn = dyn Fn(&DeploymentConfig, CellRun<'_>) -> CellVerdict + Send + Sync;
+
+/// One scenario of a campaign: a labelled request generator plus an
+/// optional judge that classifies what each cell achieved.
+///
+/// The generator receives the freshly instantiated system (so payloads may
+/// inspect symbol addresses, exactly like a real attacker with a leaked
+/// binary) and the cell's deterministic seed.
+#[derive(Clone)]
+pub struct Scenario {
+    label: String,
+    port: Port,
+    requests: Arc<RequestFn>,
+    judge: Option<Arc<JudgeFn>>,
+}
+
+impl Scenario {
+    /// Creates a scenario from a request generator.
+    pub fn new(
+        label: impl Into<String>,
+        requests: impl Fn(&RunnableSystem, u64) -> Vec<Vec<u8>> + Send + Sync + 'static,
+    ) -> Self {
+        Scenario {
+            label: label.into(),
+            port: Port::HTTP,
+            requests: Arc::new(requests),
+            judge: None,
+        }
+    }
+
+    /// Creates a scenario that always stages the same fixed request batch.
+    pub fn fixed_requests(label: impl Into<String>, requests: Vec<Vec<u8>>) -> Self {
+        Scenario::new(label, move |_, _| requests.clone())
+    }
+
+    /// Stages requests on `port` instead of the default HTTP port.
+    #[must_use]
+    pub fn on_port(mut self, port: Port) -> Self {
+        self.port = port;
+        self
+    }
+
+    /// Attaches a judge that classifies each cell (observed vs. expected).
+    #[must_use]
+    pub fn with_judge(
+        mut self,
+        judge: impl Fn(&DeploymentConfig, CellRun<'_>) -> CellVerdict + Send + Sync + 'static,
+    ) -> Self {
+        self.judge = Some(Arc::new(judge));
+        self
+    }
+
+    /// The scenario's label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("label", &self.label)
+            .field("port", &self.port)
+            .field("judged", &self.judge.is_some())
+            .finish()
+    }
+}
+
+/// A campaign: every configuration × every scenario × `replicates` cells,
+/// each with a deterministic seed, executed by [`run`](Campaign::run).
+///
+/// Configurations enter as [`CompiledSystem`] artifacts, so the expensive
+/// parse/transform/compile/provision pipeline runs **once per
+/// configuration** no matter how many cells the matrix has; each cell only
+/// pays [`CompiledSystem::instantiate`].
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    name: String,
+    configs: Vec<Arc<CompiledSystem>>,
+    scenarios: Vec<Scenario>,
+    replicates: usize,
+    base_seed: u64,
+}
+
+impl Campaign {
+    /// Starts an empty campaign.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Campaign {
+            name: name.into(),
+            configs: Vec::new(),
+            scenarios: Vec::new(),
+            replicates: 1,
+            base_seed: 0x5EED,
+        }
+    }
+
+    /// Adds a compiled configuration to the matrix.
+    #[must_use]
+    pub fn config(mut self, compiled: impl Into<Arc<CompiledSystem>>) -> Self {
+        self.configs.push(compiled.into());
+        self
+    }
+
+    /// Adds every artifact in `compiled` to the matrix.
+    #[must_use]
+    pub fn configs(mut self, compiled: impl IntoIterator<Item = Arc<CompiledSystem>>) -> Self {
+        self.configs.extend(compiled);
+        self
+    }
+
+    /// Adds a scenario to the matrix.
+    #[must_use]
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Sets how many replicates of each (config, scenario) pair run
+    /// (default 1; each replicate gets a distinct deterministic seed).
+    #[must_use]
+    pub fn replicates(mut self, replicates: usize) -> Self {
+        self.replicates = replicates.max(1);
+        self
+    }
+
+    /// Sets the campaign's base seed (default `0x5EED`).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// The campaign's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compiled configurations in the matrix.
+    #[must_use]
+    pub fn compiled_configs(&self) -> &[Arc<CompiledSystem>] {
+        &self.configs
+    }
+
+    /// The full cell list, in canonical (config-major) order.
+    #[must_use]
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut cells =
+            Vec::with_capacity(self.configs.len() * self.scenarios.len() * self.replicates);
+        for (config_index, compiled) in self.configs.iter().enumerate() {
+            for (scenario_index, scenario) in self.scenarios.iter().enumerate() {
+                for replicate in 0..self.replicates {
+                    cells.push(CellSpec {
+                        config_index,
+                        scenario_index,
+                        replicate,
+                        config_label: compiled.config().label(),
+                        scenario_label: scenario.label.clone(),
+                        seed: cell_seed(self.base_seed, config_index, scenario_index, replicate),
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Executes every cell across `workers` threads and aggregates the
+    /// results. Cell results come back in canonical order and each cell's
+    /// behaviour depends only on its spec, so the report's deterministic
+    /// content is identical at any worker count.
+    #[must_use]
+    pub fn run(&self, workers: usize) -> CampaignReport {
+        let started = Instant::now();
+        let cells = self.cells();
+        let results = run_parallel(cells, workers, |_, spec| self.run_cell(spec));
+        CampaignReport::new(
+            self.name.clone(),
+            self.base_seed,
+            workers.max(1),
+            results,
+            started.elapsed(),
+        )
+    }
+
+    /// Executes a single cell: instantiate, stage, run, collect, judge.
+    #[must_use]
+    pub fn run_cell(&self, spec: CellSpec) -> CellResult {
+        let started = Instant::now();
+        let compiled = &self.configs[spec.config_index];
+        let scenario = &self.scenarios[spec.scenario_index];
+        let mut system = compiled.instantiate();
+        let requests = (scenario.requests)(&system, spec.seed);
+        let (outcome, exchanges) = serve_requests(&mut system, scenario.port, &requests);
+        let verdict = scenario.judge.as_ref().map(|judge| {
+            judge(
+                compiled.config(),
+                CellRun {
+                    outcome: &outcome,
+                    exchanges: &exchanges,
+                },
+            )
+        });
+        CellResult {
+            spec,
+            outcome,
+            exchanges,
+            transform_stats: *compiled.transform_stats(),
+            verdict,
+            wall: saturating_elapsed(started),
+        }
+    }
+}
+
+fn saturating_elapsed(started: Instant) -> Duration {
+    Instant::now().saturating_duration_since(started)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvariant::NVariantSystemBuilder;
+
+    const ECHO_SERVER: &str = r#"
+        fn main() -> int {
+            var sock: int;
+            var conn: int;
+            var request: buf[256];
+            sock = socket();
+            bind(sock, 80);
+            listen(sock);
+            setuid(48);
+            conn = accept(sock);
+            while (conn >= 0) {
+                recv(conn, &request, 255);
+                send_str(conn, "HTTP/1.0 200 OK\r\n\r\nok");
+                close(conn);
+                conn = accept(sock);
+            }
+            return 0;
+        }
+    "#;
+
+    fn compiled(config: DeploymentConfig) -> Arc<CompiledSystem> {
+        Arc::new(
+            NVariantSystemBuilder::from_source(ECHO_SERVER)
+                .unwrap()
+                .config(config)
+                .compile()
+                .unwrap(),
+        )
+    }
+
+    fn two_config_campaign() -> Campaign {
+        Campaign::new("echo")
+            .config(compiled(DeploymentConfig::Unmodified))
+            .config(compiled(DeploymentConfig::TwoVariantUid))
+            .scenario(Scenario::new("ping", |_, seed| {
+                vec![format!("GET /{} HTTP/1.0\r\n\r\n", seed % 10).into_bytes()]
+            }))
+            .scenario(
+                Scenario::fixed_requests(
+                    "double",
+                    vec![
+                        b"GET /a HTTP/1.0\r\n\r\n".to_vec(),
+                        b"GET /b HTTP/1.0\r\n\r\n".to_vec(),
+                    ],
+                )
+                .with_judge(|config, run| CellVerdict {
+                    observed: format!("{} served", run.exchanges.len()),
+                    expected: format!("{} served", if config.variant_count() > 0 { 2 } else { 0 }),
+                }),
+            )
+            .replicates(2)
+    }
+
+    #[test]
+    fn matrix_enumerates_cells_in_canonical_order() {
+        let campaign = two_config_campaign();
+        let cells = campaign.cells();
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        assert_eq!(cells[0].config_label, "Unmodified");
+        assert_eq!(cells[0].scenario_label, "ping");
+        assert_eq!(cells[0].replicate, 0);
+        assert_eq!(cells[1].replicate, 1);
+        assert_eq!(cells[2].scenario_label, "double");
+        assert_eq!(cells[4].config_label, "2-Variant UID");
+        // Replicates of the same pair get distinct seeds.
+        assert_ne!(cells[0].seed, cells[1].seed);
+    }
+
+    #[test]
+    fn campaign_runs_and_judges_cells() {
+        let report = two_config_campaign().run(2);
+        assert_eq!(report.cells.len(), 8);
+        assert!(report
+            .cells
+            .iter()
+            .all(|cell| cell.outcome.exited_normally()));
+        let judged: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|c| c.spec.scenario_label == "double")
+            .collect();
+        assert_eq!(judged.len(), 4);
+        assert!(judged
+            .iter()
+            .all(|c| c.verdict.as_ref().is_some_and(CellVerdict::matches)));
+        // Unjudged scenario cells carry no verdict.
+        assert!(report
+            .cells
+            .iter()
+            .filter(|c| c.spec.scenario_label == "ping")
+            .all(|c| c.verdict.is_none()));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_deterministic_content() {
+        let campaign = two_config_campaign();
+        let serial = campaign.run(1);
+        let parallel = campaign.run(4);
+        assert_eq!(serial.canonical_text(), parallel.canonical_text());
+    }
+}

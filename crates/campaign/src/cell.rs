@@ -1,0 +1,215 @@
+//! One cell of a campaign matrix: its coordinates, its observed result,
+//! and the derived per-cell summaries reports aggregate over.
+
+use crate::exchange::ServedRequest;
+use nvariant::SystemOutcome;
+use nvariant_transform::TransformStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// The coordinates and derived seed of one campaign cell.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Index of the configuration in the campaign's config list.
+    pub config_index: usize,
+    /// Index of the scenario in the campaign's scenario list.
+    pub scenario_index: usize,
+    /// Replicate number (0-based) of this (config, scenario) pair.
+    pub replicate: usize,
+    /// Label of the configuration.
+    pub config_label: String,
+    /// Label of the scenario.
+    pub scenario_label: String,
+    /// The deterministic seed this cell runs under.
+    pub seed: u64,
+}
+
+/// A scenario's classification of a cell, alongside the prediction it was
+/// expected to match (e.g. an attack's observed vs. predicted result).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellVerdict {
+    /// What was observed.
+    pub observed: String,
+    /// What the scenario predicted.
+    pub expected: String,
+}
+
+impl CellVerdict {
+    /// Returns `true` if the observation matches the prediction.
+    #[must_use]
+    pub fn matches(&self) -> bool {
+        self.observed == self.expected
+    }
+}
+
+/// Response status counts over a batch of served requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestTally {
+    /// Total request/response pairs observed.
+    pub total: usize,
+    /// 200 responses.
+    pub ok: usize,
+    /// 403 responses.
+    pub forbidden: usize,
+    /// 404 responses.
+    pub not_found: usize,
+    /// Anything else (other statuses, empty or malformed responses).
+    pub other: usize,
+}
+
+impl RequestTally {
+    /// Tallies a batch of served requests.
+    #[must_use]
+    pub fn from_exchanges(exchanges: &[ServedRequest]) -> Self {
+        let mut tally = RequestTally {
+            total: exchanges.len(),
+            ..RequestTally::default()
+        };
+        for exchange in exchanges {
+            match exchange.status_code() {
+                Some(200) => tally.ok += 1,
+                Some(403) => tally.forbidden += 1,
+                Some(404) => tally.not_found += 1,
+                _ => tally.other += 1,
+            }
+        }
+        tally
+    }
+
+    /// Merges another tally into this one.
+    pub fn absorb(&mut self, other: &RequestTally) {
+        self.total += other.total;
+        self.ok += other.ok;
+        self.forbidden += other.forbidden;
+        self.not_found += other.not_found;
+        self.other += other.other;
+    }
+}
+
+impl fmt::Display for RequestTally {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests ({} ok, {} forbidden, {} not-found, {} other)",
+            self.total, self.ok, self.forbidden, self.not_found, self.other
+        )
+    }
+}
+
+/// The complete observed result of one campaign cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The cell's coordinates and seed.
+    pub spec: CellSpec,
+    /// How the deployed system terminated.
+    pub outcome: SystemOutcome,
+    /// The request/response pairs, in arrival order.
+    pub exchanges: Vec<ServedRequest>,
+    /// The UID-transformation change counts of the compiled artifact the
+    /// cell instantiated.
+    pub transform_stats: TransformStats,
+    /// The scenario's verdict, when the scenario judges its cells.
+    pub verdict: Option<CellVerdict>,
+    /// Wall-clock time the cell took (instantiate + run + collect). This is
+    /// measurement metadata: it varies run to run and is deliberately
+    /// excluded from the deterministic canonical serialization.
+    pub wall: Duration,
+}
+
+impl CellResult {
+    /// Response status counts for this cell.
+    #[must_use]
+    pub fn tally(&self) -> RequestTally {
+        RequestTally::from_exchanges(&self.exchanges)
+    }
+
+    /// The deterministic canonical line for this cell: everything observed,
+    /// nothing wall-clock. Two runs of the same campaign at different
+    /// worker counts must produce byte-identical lines.
+    #[must_use]
+    pub fn canonical_line(&self) -> String {
+        let tally = self.tally();
+        let verdict = match &self.verdict {
+            Some(v) => format!("{}/{}", v.observed, v.expected),
+            None => "-".to_string(),
+        };
+        format!(
+            "config={:?} scenario={:?} rep={} seed={:#018x} exit={} alarm={} fault={} \
+             requests={}/{}/{}/{}/{} variants={} instructions={} syscalls={} checks={} \
+             detections={} io={} verdict={}",
+            self.spec.config_label,
+            self.spec.scenario_label,
+            self.spec.replicate,
+            self.spec.seed,
+            self.outcome
+                .exit_status
+                .map_or("-".to_string(), |s| s.to_string()),
+            self.outcome
+                .alarm
+                .as_ref()
+                .map_or("-".to_string(), |a| format!("{a:?}")),
+            self.outcome.fault.as_deref().unwrap_or("-"),
+            tally.total,
+            tally.ok,
+            tally.forbidden,
+            tally.not_found,
+            tally.other,
+            self.outcome.metrics.variants,
+            self.outcome.metrics.total_instructions,
+            self.outcome.metrics.syscalls,
+            self.outcome.metrics.monitor_checks,
+            self.outcome.metrics.detection_calls,
+            self.outcome.metrics.io_bytes,
+            verdict,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exchange(response: &[u8]) -> ServedRequest {
+        ServedRequest {
+            request: b"GET / HTTP/1.0\r\n\r\n".to_vec(),
+            response: response.to_vec(),
+        }
+    }
+
+    #[test]
+    fn tally_counts_statuses() {
+        let exchanges = vec![
+            exchange(b"HTTP/1.0 200 OK\r\n\r\nhi"),
+            exchange(b"HTTP/1.1 200 OK\r\n\r\nhi"),
+            exchange(b"HTTP/1.0 403 Forbidden\r\n\r\n"),
+            exchange(b"HTTP/1.0 404 Not Found\r\n\r\n"),
+            exchange(b""),
+        ];
+        let tally = RequestTally::from_exchanges(&exchanges);
+        assert_eq!(tally.total, 5);
+        assert_eq!(tally.ok, 2);
+        assert_eq!(tally.forbidden, 1);
+        assert_eq!(tally.not_found, 1);
+        assert_eq!(tally.other, 1);
+        let mut sum = RequestTally::default();
+        sum.absorb(&tally);
+        sum.absorb(&tally);
+        assert_eq!(sum.total, 10);
+        assert!(sum.to_string().contains("10 requests"));
+    }
+
+    #[test]
+    fn verdict_matching() {
+        let hit = CellVerdict {
+            observed: "detected".to_string(),
+            expected: "detected".to_string(),
+        };
+        assert!(hit.matches());
+        let miss = CellVerdict {
+            observed: "SUCCEEDED".to_string(),
+            expected: "detected".to_string(),
+        };
+        assert!(!miss.matches());
+    }
+}

@@ -1,0 +1,95 @@
+//! `nvariant_campaign` — the build-once/run-many campaign engine.
+//!
+//! The core crate's [`CompiledSystem`](nvariant::CompiledSystem) splits
+//! deployment into an expensive `compile()` (parse → transform → compile →
+//! provision) and a cheap `instantiate()`. This crate puts a **campaign**
+//! on top: a matrix of (deployment configuration × scenario × replicate)
+//! cells that shares one compiled artifact per configuration and executes
+//! the cells across a scoped worker pool, aggregating the results into a
+//! [`CampaignReport`].
+//!
+//! Determinism is a design invariant: each cell's seed is derived from the
+//! campaign's base seed and the cell's matrix coordinates alone
+//! ([`cell_seed`]), results are collected in canonical config-major order,
+//! and [`CampaignReport::canonical_text`] serializes only
+//! schedule-independent content — so the same campaign produces
+//! byte-identical canonical output at any worker count.
+//!
+//! # Example
+//!
+//! ```
+//! use nvariant::{DeploymentConfig, NVariantSystemBuilder};
+//! use nvariant_campaign::{Campaign, Scenario};
+//! use std::sync::Arc;
+//!
+//! let server = r#"
+//!     fn main() -> int {
+//!         var sock: int; var conn: int; var request: buf[128];
+//!         sock = socket(); bind(sock, 80); listen(sock); setuid(48);
+//!         conn = accept(sock);
+//!         while (conn >= 0) {
+//!             recv(conn, &request, 127);
+//!             send_str(conn, "HTTP/1.0 200 OK\r\n\r\nok");
+//!             close(conn);
+//!             conn = accept(sock);
+//!         }
+//!         return 0;
+//!     }
+//! "#;
+//! let compiled = Arc::new(
+//!     NVariantSystemBuilder::from_source(server)?
+//!         .config(DeploymentConfig::TwoVariantUid)
+//!         .compile()?,
+//! );
+//! let report = Campaign::new("smoke")
+//!     .config(compiled)
+//!     .scenario(Scenario::fixed_requests(
+//!         "ping",
+//!         vec![b"GET / HTTP/1.0\r\n\r\n".to_vec()],
+//!     ))
+//!     .replicates(3)
+//!     .run(2);
+//! assert_eq!(report.cells.len(), 3);
+//! assert!((report.survival_rate() - 1.0).abs() < 1e-9);
+//! # Ok::<(), nvariant::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod cell;
+pub mod engine;
+pub mod exchange;
+pub mod report;
+
+pub use campaign::{serve_requests, Campaign, CellRun, Scenario};
+pub use cell::{CellResult, CellSpec, CellVerdict, RequestTally};
+pub use engine::{cell_seed, run_parallel};
+pub use exchange::ServedRequest;
+pub use report::CampaignReport;
+
+#[cfg(test)]
+mod send_tests {
+    //! Compile-time proof that the building blocks of parallel campaigns
+    //! cross thread boundaries (the satellite "audit for incidental
+    //! non-`Send` state" check: `Rc`, raw pointers or thread-bound state in
+    //! any of these types would fail this module at compile time).
+
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    #[test]
+    fn parallel_instantiation_building_blocks_are_send() {
+        assert_send::<nvariant_vm::Process>();
+        assert_send::<nvariant_simos::OsKernel>();
+        assert_send::<nvariant_monitor::NVariantMonitor>();
+        assert_send::<nvariant::CompiledSystem>();
+        assert_send::<nvariant::RunnableSystem>();
+        assert_send::<crate::Campaign>();
+        assert_send::<crate::CampaignReport>();
+        // Shared read-only across the worker pool.
+        assert_sync::<nvariant::CompiledSystem>();
+        assert_sync::<crate::Campaign>();
+    }
+}

@@ -1,0 +1,328 @@
+//! Aggregated campaign results.
+
+use crate::cell::{CellResult, RequestTally};
+use nvariant::ExecutionMetrics;
+use nvariant_transform::TransformStats;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Everything a campaign run produced: per-cell results plus run metadata.
+///
+/// The deterministic content — every cell's spec, outcome, exchanges,
+/// verdict — is fixed by the campaign definition and base seed alone;
+/// [`canonical_text`](Self::canonical_text) serializes exactly that subset,
+/// so runs at different worker counts compare byte-identically. Wall-clock
+/// fields (`total_wall`, per-cell `wall`, `workers`) are measurement
+/// metadata and stay out of the canonical form.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The campaign's name.
+    pub name: String,
+    /// The campaign's base seed.
+    pub base_seed: u64,
+    /// Worker threads the run used.
+    pub workers: usize,
+    /// Per-cell results, in canonical (config-major) order.
+    pub cells: Vec<CellResult>,
+    /// Wall-clock time of the whole run.
+    pub total_wall: Duration,
+}
+
+impl CampaignReport {
+    /// Assembles a report (used by [`Campaign::run`](crate::Campaign::run)).
+    #[must_use]
+    pub fn new(
+        name: String,
+        base_seed: u64,
+        workers: usize,
+        cells: Vec<CellResult>,
+        total_wall: Duration,
+    ) -> Self {
+        CampaignReport {
+            name,
+            base_seed,
+            workers,
+            cells,
+            total_wall,
+        }
+    }
+
+    /// Fraction of cells in which the monitor raised an alarm.
+    #[must_use]
+    pub fn detection_rate(&self) -> f64 {
+        self.rate(|cell| cell.outcome.detected_attack())
+    }
+
+    /// Fraction of cells that ran to a normal, agreed exit.
+    #[must_use]
+    pub fn survival_rate(&self) -> f64 {
+        self.rate(|cell| cell.outcome.exited_normally())
+    }
+
+    fn rate(&self, predicate: impl Fn(&CellResult) -> bool) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells.iter().filter(|c| predicate(c)).count() as f64 / self.cells.len() as f64
+    }
+
+    /// Response status counts over every cell.
+    #[must_use]
+    pub fn request_tally(&self) -> RequestTally {
+        let mut tally = RequestTally::default();
+        for cell in &self.cells {
+            tally.absorb(&cell.tally());
+        }
+        tally
+    }
+
+    /// Execution counters summed over every cell.
+    #[must_use]
+    pub fn total_metrics(&self) -> ExecutionMetrics {
+        let mut total = ExecutionMetrics::default();
+        for cell in &self.cells {
+            total.absorb(&cell.outcome.metrics);
+        }
+        total
+    }
+
+    /// The transformation change counts per configuration (one row per
+    /// `config_index`, in matrix order: all cells of a configuration share
+    /// one compiled artifact; labels may repeat when two configurations
+    /// render the same label).
+    #[must_use]
+    pub fn transform_stats_by_config(&self) -> Vec<(String, TransformStats)> {
+        let mut seen: Vec<usize> = Vec::new();
+        let mut rows: Vec<(String, TransformStats)> = Vec::new();
+        for cell in &self.cells {
+            if !seen.contains(&cell.spec.config_index) {
+                seen.push(cell.spec.config_index);
+                rows.push((cell.spec.config_label.clone(), cell.transform_stats));
+            }
+        }
+        rows
+    }
+
+    /// The judged cells whose observation disagreed with the prediction.
+    #[must_use]
+    pub fn verdict_mismatches(&self) -> Vec<&CellResult> {
+        self.cells
+            .iter()
+            .filter(|cell| cell.verdict.as_ref().is_some_and(|v| !v.matches()))
+            .collect()
+    }
+
+    /// Number of judged cells.
+    #[must_use]
+    pub fn judged_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.verdict.is_some()).count()
+    }
+
+    /// The cells belonging to one configuration label, in canonical order.
+    /// Labels are not guaranteed unique across configurations (two `Custom`
+    /// configs can render identically); use
+    /// [`cells_for_config_index`](Self::cells_for_config_index) when the
+    /// matrix position is known.
+    #[must_use]
+    pub fn cells_for_config<'a>(&'a self, label: &str) -> Vec<&'a CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.spec.config_label == label)
+            .collect()
+    }
+
+    /// The cells belonging to the configuration at `config_index` in the
+    /// campaign's matrix, in canonical order.
+    #[must_use]
+    pub fn cells_for_config_index(&self, config_index: usize) -> Vec<&CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.spec.config_index == config_index)
+            .collect()
+    }
+
+    /// The cells belonging to one scenario label, in canonical order.
+    #[must_use]
+    pub fn cells_for_scenario<'a>(&'a self, label: &str) -> Vec<&'a CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.spec.scenario_label == label)
+            .collect()
+    }
+
+    /// The deterministic serialization of the run: campaign identity plus
+    /// one canonical line per cell. Byte-identical across worker counts.
+    #[must_use]
+    pub fn canonical_text(&self) -> String {
+        let mut out = format!(
+            "campaign={:?} seed={:#018x} cells={}\n",
+            self.name,
+            self.base_seed,
+            self.cells.len()
+        );
+        for cell in &self.cells {
+            out.push_str(&cell.canonical_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A human-oriented summary: rates, totals and timing.
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        let tally = self.request_tally();
+        let metrics = self.total_metrics();
+        let slowest = self
+            .cells
+            .iter()
+            .max_by_key(|c| c.wall)
+            .map_or(Duration::ZERO, |c| c.wall);
+        let mut out = format!(
+            "campaign '{}': {} cells on {} workers in {:.1?} (slowest cell {:.1?})\n",
+            self.name,
+            self.cells.len(),
+            self.workers,
+            self.total_wall,
+            slowest,
+        );
+        out.push_str(&format!(
+            "  survival rate {:.1}%, detection rate {:.1}%\n",
+            self.survival_rate() * 100.0,
+            self.detection_rate() * 100.0
+        ));
+        out.push_str(&format!("  {tally}\n"));
+        out.push_str(&format!("  {metrics}\n"));
+        let judged = self.judged_cells();
+        if judged > 0 {
+            out.push_str(&format!(
+                "  {} of {} judged cells match their prediction\n",
+                judged - self.verdict_mismatches().len(),
+                judged
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellSpec, CellVerdict};
+    use crate::exchange::ServedRequest;
+    use nvariant::SystemOutcome;
+
+    fn cell(config: &str, ok: bool, verdict: Option<CellVerdict>) -> CellResult {
+        CellResult {
+            spec: CellSpec {
+                config_index: usize::from(config.as_bytes()[0] - b'A'),
+                scenario_index: 0,
+                replicate: 0,
+                config_label: config.to_string(),
+                scenario_label: "s".to_string(),
+                seed: 1,
+            },
+            outcome: SystemOutcome {
+                exit_status: ok.then_some(0),
+                alarm: None,
+                fault: (!ok).then(|| "fault".to_string()),
+                metrics: ExecutionMetrics {
+                    variants: 1,
+                    total_instructions: 100,
+                    syscalls: 5,
+                    monitor_checks: 0,
+                    detection_calls: 0,
+                    io_bytes: 10,
+                },
+            },
+            exchanges: vec![ServedRequest {
+                request: vec![],
+                response: b"HTTP/1.1 200 OK\r\n\r\nok".to_vec(),
+            }],
+            transform_stats: TransformStats::default(),
+            verdict,
+            wall: Duration::from_millis(3),
+        }
+    }
+
+    fn report(cells: Vec<CellResult>) -> CampaignReport {
+        CampaignReport::new("t".to_string(), 7, 2, cells, Duration::from_millis(9))
+    }
+
+    #[test]
+    fn rates_and_tallies_aggregate() {
+        let report = report(vec![
+            cell("A", true, None),
+            cell("A", false, None),
+            cell("B", true, None),
+        ]);
+        assert!((report.survival_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(report.detection_rate(), 0.0);
+        assert_eq!(report.request_tally().ok, 3);
+        assert_eq!(report.total_metrics().total_instructions, 300);
+        assert_eq!(report.transform_stats_by_config().len(), 2);
+        assert_eq!(report.cells_for_config("A").len(), 2);
+        assert_eq!(report.cells_for_scenario("s").len(), 3);
+        assert!(report.render_summary().contains("3 cells"));
+    }
+
+    #[test]
+    fn aggregation_keys_on_config_index_not_label() {
+        // Two distinct matrix positions that happen to render the same
+        // label (possible with Custom configurations) must not conflate.
+        let a = cell("A", true, None);
+        let mut b = cell("A", true, None);
+        b.spec.config_index = 25;
+        b.transform_stats.uid_constants_reexpressed = 5;
+        let report = report(vec![a, b]);
+        let stats = report.transform_stats_by_config();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].0, "A");
+        assert_eq!(stats[1].0, "A");
+        assert_eq!(stats[1].1.uid_constants_reexpressed, 5);
+        assert_eq!(report.cells_for_config("A").len(), 2);
+        assert_eq!(report.cells_for_config_index(25).len(), 1);
+    }
+
+    #[test]
+    fn empty_report_rates_are_zero() {
+        let report = report(vec![]);
+        assert_eq!(report.survival_rate(), 0.0);
+        assert_eq!(report.detection_rate(), 0.0);
+    }
+
+    #[test]
+    fn mismatches_are_surfaced() {
+        let hit = CellVerdict {
+            observed: "x".to_string(),
+            expected: "x".to_string(),
+        };
+        let miss = CellVerdict {
+            observed: "x".to_string(),
+            expected: "y".to_string(),
+        };
+        let report = report(vec![
+            cell("A", true, Some(hit)),
+            cell("A", true, Some(miss)),
+            cell("A", true, None),
+        ]);
+        assert_eq!(report.judged_cells(), 2);
+        assert_eq!(report.verdict_mismatches().len(), 1);
+        assert!(report.render_summary().contains("1 of 2 judged"));
+    }
+
+    #[test]
+    fn canonical_text_excludes_wall_clock() {
+        let mut a = cell("A", true, None);
+        let mut b = a.clone();
+        b.wall = Duration::from_secs(1000);
+        let mut ra = report(vec![a.clone()]);
+        let mut rb = report(vec![b]);
+        ra.total_wall = Duration::from_millis(1);
+        rb.total_wall = Duration::from_secs(99);
+        ra.workers = 1;
+        rb.workers = 4;
+        assert_eq!(ra.canonical_text(), rb.canonical_text());
+        a.outcome.exit_status = Some(1);
+        assert_ne!(report(vec![a]).canonical_text(), ra.canonical_text());
+    }
+}

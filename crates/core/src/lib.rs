@@ -42,6 +42,28 @@
 //! assert!(!outcome.detected_attack());
 //! # Ok::<(), nvariant::BuildError>(())
 //! ```
+//!
+//! # Build once, run many
+//!
+//! `build()` is sugar for [`NVariantSystemBuilder::compile`] followed by
+//! [`CompiledSystem::instantiate`]. Callers that deploy the same
+//! configuration repeatedly (scenario sweeps, attack matrices, load tests)
+//! should compile once and instantiate per run — instantiation clones
+//! memory images only and is orders of magnitude cheaper than the full
+//! pipeline:
+//!
+//! ```
+//! # use nvariant::prelude::*;
+//! # let source = "fn main() -> int { return 0; }";
+//! let compiled = NVariantSystemBuilder::from_source(source)?
+//!     .config(DeploymentConfig::TwoVariantUid)
+//!     .compile()?;
+//! for _ in 0..3 {
+//!     // Each instantiation is an independent system from the same template.
+//!     assert_eq!(compiled.instantiate().run().exit_status, Some(0));
+//! }
+//! # Ok::<(), nvariant::BuildError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,14 +74,14 @@ pub mod system;
 
 pub use config::DeploymentConfig;
 pub use outcome::{ExecutionMetrics, SystemOutcome};
-pub use system::{BuildError, NVariantSystemBuilder, RunnableSystem};
+pub use system::{BuildError, CompiledSystem, NVariantSystemBuilder, RunnableSystem};
 
 /// Convenient glob-import of the most commonly used types across the
 /// workspace.
 pub mod prelude {
     pub use crate::config::DeploymentConfig;
     pub use crate::outcome::{ExecutionMetrics, SystemOutcome};
-    pub use crate::system::{BuildError, NVariantSystemBuilder, RunnableSystem};
+    pub use crate::system::{BuildError, CompiledSystem, NVariantSystemBuilder, RunnableSystem};
     pub use nvariant_diversity::{UidTransform, Variation};
     pub use nvariant_monitor::{Alarm, DivergenceKind, MonitorConfig};
     pub use nvariant_simos::{OsKernel, WorldBuilder};

@@ -8,7 +8,8 @@ use nvariant_simos::{OsKernel, WorldBuilder};
 use nvariant_transform::{TransformError, TransformOptions, TransformStats, UidTransformer};
 use nvariant_types::{Pid, Uid};
 use nvariant_vm::{
-    compile_program, CompileError, MemoryLayout, ParseError, Process, Program, RunLimits, Runner,
+    compile_program, CompileError, CompiledProgram, MemoryLayout, ParseError, Process, Program,
+    RunLimits, Runner,
 };
 use std::fmt;
 
@@ -172,13 +173,16 @@ impl NVariantSystemBuilder {
         }
     }
 
-    /// Builds the runnable system.
+    /// Runs the expensive half of deployment — parsing already happened,
+    /// so this transforms, compiles and provisions — and returns a
+    /// [`CompiledSystem`] artifact that can be cheaply
+    /// [instantiated](CompiledSystem::instantiate) many times.
     ///
     /// # Errors
     ///
     /// Returns a [`BuildError`] if the program fails to transform or
     /// compile, or the variation cannot be instantiated.
-    pub fn build(self) -> Result<RunnableSystem, BuildError> {
+    pub fn compile(self) -> Result<CompiledSystem, BuildError> {
         let mut kernel = self
             .world
             .clone()
@@ -195,17 +199,15 @@ impl NVariantSystemBuilder {
                 (self.program.clone(), TransformStats::default())
             };
             let compiled = compile_program(&program)?;
-            let process = Process::new(&compiled, self.base_layout);
-            let pid = kernel.spawn_process(self.initial_uid);
-            return Ok(RunnableSystem {
+            return Ok(CompiledSystem {
                 config: self.config,
                 transform_stats: stats,
-                inner: Deployment::Single {
-                    kernel: Box::new(kernel),
-                    pid,
-                    process: Box::new(process),
-                    limits: self.run_limits,
-                    finished: None,
+                kernel_template: kernel,
+                initial_uid: self.initial_uid,
+                run_limits: self.run_limits,
+                plan: CompiledPlan::Single {
+                    program: compiled,
+                    layout: self.base_layout,
                 },
             });
         }
@@ -230,15 +232,18 @@ impl NVariantSystemBuilder {
             (vec![self.program.clone(); n], TransformStats::default())
         };
 
-        // Compile and instantiate each variant.
-        let mut processes = Vec::with_capacity(n);
+        // Compile each variant.
+        let mut variants = Vec::with_capacity(n);
         for (spec, program) in specs.iter().zip(&variant_programs) {
             let compiled = compile_program(program)?;
-            let layout = self.layout_for(&spec.addr);
-            processes.push(Process::with_tag(&compiled, layout, spec.tag));
+            variants.push(CompiledVariant {
+                program: compiled,
+                layout: self.layout_for(&spec.addr),
+                tag: spec.tag,
+            });
         }
 
-        // Provision unshared files.
+        // Provision unshared files into the world template.
         let mut monitor_config = self.monitor_config.clone();
         if self.config.uses_unshared_account_files() {
             let db = kernel.passwd().clone();
@@ -272,20 +277,155 @@ impl NVariantSystemBuilder {
             }
         }
 
-        let monitor = NVariantMonitor::new(
-            kernel,
-            processes,
-            VariantSet::new(specs),
-            self.initial_uid,
-            monitor_config,
-        );
-        Ok(RunnableSystem {
+        Ok(CompiledSystem {
             config: self.config,
             transform_stats: stats,
-            inner: Deployment::Multi {
-                monitor: Box::new(monitor),
+            kernel_template: kernel,
+            initial_uid: self.initial_uid,
+            run_limits: self.run_limits,
+            plan: CompiledPlan::Multi {
+                variants,
+                specs: VariantSet::new(specs),
+                monitor_config,
             },
         })
+    }
+
+    /// Builds the runnable system (equivalent to
+    /// [`compile`](Self::compile) followed by
+    /// [`instantiate`](CompiledSystem::instantiate); callers that deploy the
+    /// same configuration more than once should hold on to the
+    /// [`CompiledSystem`] instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if the program fails to transform or
+    /// compile, or the variation cannot be instantiated.
+    pub fn build(self) -> Result<RunnableSystem, BuildError> {
+        Ok(self.compile()?.instantiate())
+    }
+}
+
+/// The per-variant output of compilation: bytecode plus the memory layout
+/// and instruction tag the variant runs under.
+#[derive(Clone, Debug)]
+struct CompiledVariant {
+    program: CompiledProgram,
+    layout: MemoryLayout,
+    tag: u8,
+}
+
+#[derive(Clone, Debug)]
+enum CompiledPlan {
+    Single {
+        program: CompiledProgram,
+        layout: MemoryLayout,
+    },
+    Multi {
+        variants: Vec<CompiledVariant>,
+        specs: VariantSet,
+        monitor_config: MonitorConfig,
+    },
+}
+
+/// A build-once artifact: the transformed and compiled variant programs
+/// plus the provisioned world template, for one [`DeploymentConfig`].
+///
+/// Producing a `CompiledSystem` (via [`NVariantSystemBuilder::compile`])
+/// pays the full parse → transform → compile → provision pipeline once;
+/// [`instantiate`](Self::instantiate) then stamps out independent
+/// [`RunnableSystem`]s by cloning memory images only, which is an order of
+/// magnitude cheaper. The artifact is immutable, `Send + Sync`, and is what
+/// campaign engines share across worker threads.
+#[derive(Clone, Debug)]
+pub struct CompiledSystem {
+    config: DeploymentConfig,
+    transform_stats: TransformStats,
+    kernel_template: OsKernel,
+    initial_uid: Uid,
+    run_limits: RunLimits,
+    plan: CompiledPlan,
+}
+
+impl CompiledSystem {
+    /// The deployment configuration this artifact was compiled for.
+    #[must_use]
+    pub fn config(&self) -> &DeploymentConfig {
+        &self.config
+    }
+
+    /// The change counts of the UID transformation applied at compile time
+    /// (all zeros for untransformed configurations).
+    #[must_use]
+    pub fn transform_stats(&self) -> &TransformStats {
+        &self.transform_stats
+    }
+
+    /// Number of variant processes an instantiation will run.
+    #[must_use]
+    pub fn variant_count(&self) -> usize {
+        match &self.plan {
+            CompiledPlan::Single { .. } => 1,
+            CompiledPlan::Multi { variants, .. } => variants.len(),
+        }
+    }
+
+    /// The provisioned world template instantiations start from.
+    #[must_use]
+    pub fn kernel_template(&self) -> &OsKernel {
+        &self.kernel_template
+    }
+
+    /// Stamps out a fresh, independent [`RunnableSystem`].
+    ///
+    /// This performs *no* parsing, transformation or compilation: it clones
+    /// the provisioned world template and the variant memory images, and
+    /// wires up a monitor. Every instantiation starts from identical state,
+    /// so two instantiations fed the same inputs run identically.
+    #[must_use]
+    pub fn instantiate(&self) -> RunnableSystem {
+        let mut kernel = self.kernel_template.clone();
+        match &self.plan {
+            CompiledPlan::Single { program, layout } => {
+                let process = Process::new(program, *layout);
+                let pid = kernel.spawn_process(self.initial_uid);
+                RunnableSystem {
+                    config: self.config.clone(),
+                    transform_stats: self.transform_stats,
+                    inner: Deployment::Single {
+                        kernel: Box::new(kernel),
+                        pid,
+                        process: Box::new(process),
+                        limits: self.run_limits,
+                        finished: None,
+                    },
+                }
+            }
+            CompiledPlan::Multi {
+                variants,
+                specs,
+                monitor_config,
+            } => {
+                let processes = variants
+                    .iter()
+                    .map(|v| Process::with_tag(&v.program, v.layout, v.tag))
+                    .collect();
+                let monitor = NVariantMonitor::new(
+                    kernel,
+                    processes,
+                    specs.clone(),
+                    self.initial_uid,
+                    monitor_config.clone(),
+                );
+                RunnableSystem {
+                    config: self.config.clone(),
+                    transform_stats: self.transform_stats,
+                    inner: Deployment::Multi {
+                        monitor: Box::new(monitor),
+                    },
+                }
+            }
+        }
     }
 }
 
@@ -545,6 +685,48 @@ mod tests {
         let outcome = outcome_for(config);
         assert_eq!(outcome.exit_status, Some(0), "{outcome}");
         assert_eq!(outcome.metrics.variants, 3);
+    }
+
+    #[test]
+    fn compiled_system_instantiates_independent_runs() {
+        let compiled = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(DeploymentConfig::TwoVariantUid)
+            .compile()
+            .unwrap();
+        assert_eq!(compiled.variant_count(), 2);
+        assert_eq!(compiled.config(), &DeploymentConfig::TwoVariantUid);
+        assert!(compiled.transform_stats().paper_change_total() > 0);
+        // The template is provisioned once, at compile time.
+        assert!(compiled.kernel_template().fs().exists("/etc/passwd-1"));
+
+        let mut first = compiled.instantiate();
+        let mut second = compiled.instantiate();
+        // Mutating one instantiation leaves its siblings untouched.
+        first.kernel_mut().fs_mut().create("/tmp/scratch", vec![1]);
+        assert!(!second.kernel().fs().exists("/tmp/scratch"));
+        assert!(!compiled.kernel_template().fs().exists("/tmp/scratch"));
+        let a = first.run();
+        let b = second.run();
+        assert_eq!(a, b);
+        assert_eq!(a.exit_status, Some(0));
+        // The artifact is still usable after its instantiations ran.
+        assert_eq!(compiled.instantiate().run(), a);
+    }
+
+    #[test]
+    fn single_process_artifacts_instantiate_fresh_processes() {
+        let compiled = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(DeploymentConfig::Unmodified)
+            .compile()
+            .unwrap();
+        assert_eq!(compiled.variant_count(), 1);
+        assert_eq!(compiled.transform_stats().total(), 0);
+        let a = compiled.instantiate().run();
+        let b = compiled.instantiate().run();
+        assert_eq!(a, b);
+        assert_eq!(a.exit_status, Some(0));
     }
 
     #[test]
