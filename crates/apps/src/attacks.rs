@@ -3,8 +3,8 @@
 //! classify the outcome.
 
 use crate::scenarios::{compiled_httpd_system, ScenarioOutcome, ServedRequest};
-use nvariant::{DeploymentConfig, RunnableSystem, SystemOutcome};
-use nvariant_campaign::{Campaign, CellRun, CellVerdict, Scenario};
+use nvariant::{DeploymentConfig, RunnableSystem};
+use nvariant_campaign::{CampaignPlan, CellOutcome, CellRun, CellVerdict, Scenario};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -146,18 +146,18 @@ impl Attack {
     /// the system outcome.
     #[must_use]
     pub fn evaluate(&self, scenario: &ScenarioOutcome) -> AttackResult {
-        self.evaluate_parts(&scenario.system, &scenario.requests)
+        self.evaluate_parts(scenario.system.detected_attack(), &scenario.requests)
     }
 
     /// Like [`evaluate`](Self::evaluate), from the raw parts a campaign
-    /// cell observes.
+    /// cell observes: whether the monitor alarmed, and the exchanges. The
+    /// leak needles are world-agnostic (the shadow hashes and the
+    /// `DocumentRoot` directive exist in every world template, wherever the
+    /// document tree actually lives), so the same judge serves every world
+    /// on a plan's environment axis.
     #[must_use]
-    pub fn evaluate_parts(
-        &self,
-        system: &SystemOutcome,
-        exchanges: &[ServedRequest],
-    ) -> AttackResult {
-        if system.detected_attack() {
+    pub fn evaluate_parts(&self, detected: bool, exchanges: &[ServedRequest]) -> AttackResult {
+        if detected {
             return AttackResult::Detected;
         }
         let leaked = |needle: &str| {
@@ -169,7 +169,10 @@ impl Attack {
             AttackClass::UidCorruptionRelative | AttackClass::UidCorruptionAbsolute => {
                 leaked("EncryptedRootPasswordHash")
             }
-            AttackClass::NonUidDataCorruption => leaked("DocumentRoot /var/www/html"),
+            // Success = the server leaked its own configuration file, which
+            // only the docroot truncation makes reachable. Match the
+            // directive, not a hardcoded path: worlds relocate the tree.
+            AttackClass::NonUidDataCorruption => leaked("DocumentRoot /"),
         };
         if succeeded {
             AttackResult::Succeeded
@@ -257,44 +260,46 @@ pub fn attack_scenario(attack: &Attack) -> Scenario {
         generator.requests(system)
     })
     .with_judge(move |config, run: CellRun<'_>| CellVerdict {
-        observed: judge.evaluate_parts(run.outcome, run.exchanges).to_string(),
+        observed: judge
+            .evaluate_parts(run.outcome.detected_attack(), run.exchanges)
+            .to_string(),
         expected: judge.expected_result(config).to_string(),
     })
 }
 
 /// Declares the full attack matrix — every attack of [`Attack::all`]
-/// against every supplied configuration — as a campaign over the cached
+/// against every supplied configuration — as a plan over the cached
 /// compiled artifacts.
 #[must_use]
-pub fn attack_campaign(configs: &[DeploymentConfig]) -> Campaign {
-    let mut campaign = crate::campaigns::httpd_campaign("attack-matrix", configs);
+pub fn attack_campaign(configs: &[DeploymentConfig]) -> CampaignPlan {
+    let mut plan = crate::campaigns::httpd_campaign("attack-matrix", configs);
     for attack in Attack::all() {
-        campaign = campaign.scenario(attack_scenario(&attack));
+        plan = plan.scenario(attack_scenario(&attack));
     }
-    campaign
+    plan
 }
 
 fn outcome_from_parts(
     attack: &Attack,
     config: &DeploymentConfig,
-    system: &SystemOutcome,
+    outcome: &CellOutcome,
     exchanges: &[ServedRequest],
 ) -> AttackOutcome {
     AttackOutcome {
         attack: attack.name.clone(),
         class: attack.class,
         config_label: config.label(),
-        result: attack.evaluate_parts(system, exchanges),
+        result: attack.evaluate_parts(outcome.detected_attack(), exchanges),
         expected: attack.expected_result(config),
-        alarm: system.alarm.as_ref().map(ToString::to_string),
+        alarm: outcome.alarm.clone(),
     }
 }
 
 /// Launches `attack` against the mini Apache deployed under `config`
-/// (a one-cell campaign over the cached compiled artifact).
+/// (a one-cell plan over the cached compiled artifact).
 #[must_use]
 pub fn run_attack(config: &DeploymentConfig, attack: &Attack) -> AttackOutcome {
-    let report = Campaign::new("attack")
+    let report = CampaignPlan::new("attack")
         .config(compiled_httpd_system(config))
         .scenario(attack_scenario(attack))
         .run(1);
@@ -341,12 +346,14 @@ pub fn attack_outcomes_from_report(
         "report does not match an attack campaign over these configs"
     );
     let mut rows = Vec::with_capacity(report.cells.len());
-    // Campaign cells are canonical config-major order with one replicate;
-    // the matrix reads attack-major, so transpose by direct indexing.
+    // Plan cells are canonical config-major order with one implicit world
+    // and one replicate; the matrix reads attack-major, so transpose by
+    // direct indexing.
     for (scenario_index, attack) in attacks.iter().enumerate() {
         for (config_index, config) in configs.iter().enumerate() {
             let cell = &report.cells[config_index * attacks.len() + scenario_index];
             assert_eq!(cell.spec.config_index, config_index);
+            assert_eq!(cell.spec.world_index, 0);
             assert_eq!(cell.spec.scenario_index, scenario_index);
             rows.push(outcome_from_parts(
                 attack,

@@ -1,16 +1,18 @@
-//! Ready-made campaigns over the mini Apache: benign workloads, the attack
-//! corpus, and the full security × workload sweep, all sharing the
-//! process-wide compiled-artifact cache.
+//! Ready-made experiment plans over the mini Apache: benign workloads, the
+//! attack corpus, and the full security × workload sweep across every world
+//! template, all sharing the process-wide compiled-artifact cache.
 
 use crate::attacks::{attack_scenario, Attack};
 use crate::scenarios::compiled_httpd_system;
 use crate::workload::WorkloadMix;
 use nvariant::DeploymentConfig;
-use nvariant_campaign::{Campaign, Scenario};
+use nvariant_campaign::{CampaignPlan, Scenario};
+use nvariant_simos::WorldTemplate;
 
 /// A scenario serving `count` requests drawn from `mix`, re-seeded per cell
-/// (replicates of the same pair see different request orders, but the same
-/// cell always sees the same order).
+/// (replicates of the same triple see different request orders, but the
+/// same cell always sees the same order — on any shard, at any worker
+/// count).
 #[must_use]
 pub fn benign_scenario(mix: &WorkloadMix, count: usize) -> Scenario {
     let mix = mix.clone();
@@ -19,17 +21,17 @@ pub fn benign_scenario(mix: &WorkloadMix, count: usize) -> Scenario {
     })
 }
 
-/// A campaign skeleton over the given configurations, with the compiled
+/// A plan skeleton over the given configurations, with the compiled
 /// artifacts taken from (or added to) the process-wide cache. Cache misses
 /// compile in parallel — the compile is the expensive half of deployment,
 /// so a cold campaign shouldn't pay it serially before the pool spins up.
 #[must_use]
-pub fn httpd_campaign(name: &str, configs: &[DeploymentConfig]) -> Campaign {
+pub fn httpd_campaign(name: &str, configs: &[DeploymentConfig]) -> CampaignPlan {
     let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let compiled = nvariant_campaign::run_parallel(configs.to_vec(), workers, |_, config| {
         compiled_httpd_system(&config)
     });
-    Campaign::new(name).configs(compiled)
+    CampaignPlan::new(name).configs(compiled)
 }
 
 /// The configurations the security evaluation sweeps: the paper's four plus
@@ -41,25 +43,35 @@ pub fn security_sweep_configs() -> Vec<DeploymentConfig> {
     configs
 }
 
-/// The full evaluation matrix as one campaign: every supplied
-/// configuration × (a benign workload scenario + every attack of
-/// [`Attack::all`]).
+/// The world templates the security evaluation sweeps as its environment
+/// axis: every built-in template ([`WorldTemplate::catalogue`]).
+#[must_use]
+pub fn security_sweep_worlds() -> Vec<WorldTemplate> {
+    WorldTemplate::catalogue()
+}
+
+/// The full evaluation matrix as one plan: every supplied configuration ×
+/// every supplied world × (a benign workload scenario + every attack of
+/// [`Attack::all`]). An empty `worlds` slice runs every cell in the
+/// artifacts' own compile-time template, the pre-world-axis behaviour.
 #[must_use]
 pub fn full_matrix_campaign(
     configs: &[DeploymentConfig],
+    worlds: &[WorldTemplate],
     benign_requests_per_cell: usize,
     replicates: usize,
-) -> Campaign {
-    let mut campaign = httpd_campaign("full-matrix", configs)
+) -> CampaignPlan {
+    let mut plan = httpd_campaign("full-matrix", configs)
+        .worlds(worlds.iter().cloned())
         .scenario(benign_scenario(
             &WorkloadMix::standard(),
             benign_requests_per_cell,
         ))
         .replicates(replicates);
     for attack in Attack::all() {
-        campaign = campaign.scenario(attack_scenario(&attack));
+        plan = plan.scenario(attack_scenario(&attack));
     }
-    campaign
+    plan
 }
 
 #[cfg(test)]
@@ -97,8 +109,8 @@ mod tests {
     #[test]
     fn full_matrix_campaign_matches_paper_predictions() {
         let configs = security_sweep_configs();
-        let report = full_matrix_campaign(&configs, 4, 1).run(4);
-        // 5 configs × (1 benign + 3 attacks).
+        let report = full_matrix_campaign(&configs, &[], 4, 1).run(4);
+        // 5 configs × 1 implicit world × (1 benign + 3 attacks).
         assert_eq!(report.cells.len(), 20);
         assert_eq!(report.judged_cells(), 15);
         assert!(
@@ -123,5 +135,51 @@ mod tests {
             .unwrap();
         assert!(overflow.outcome.detected_attack());
         assert!(overflow.verdict.as_ref().is_some_and(CellVerdict::matches));
+    }
+
+    #[test]
+    fn full_matrix_campaign_spans_the_world_axis() {
+        // One protected and one unprotected configuration across every
+        // world template: attack verdicts must match the paper's
+        // config-level predictions in *every* world, because the predictions
+        // are about the variant structure, not the environment.
+        let configs = [
+            DeploymentConfig::Unmodified,
+            DeploymentConfig::TwoVariantUid,
+        ];
+        let worlds = security_sweep_worlds();
+        let report = full_matrix_campaign(&configs, &worlds, 4, 1).run(4);
+        assert_eq!(report.cells.len(), 2 * 4 * 4);
+        assert_eq!(report.world_labels().len(), 4);
+        assert!(
+            report.verdict_mismatches().is_empty(),
+            "{:?}",
+            report
+                .verdict_mismatches()
+                .iter()
+                .map(|c| c.canonical_line())
+                .collect::<Vec<_>>()
+        );
+        // The faulty-fs world degrades benign service (news.html is on a
+        // bad sector) without ever causing a spurious alarm: the fault is
+        // shared kernel state, identical across variants.
+        let faulty = report.cells_for_world("faulty-fs");
+        assert_eq!(faulty.len(), 2 * 4);
+        assert!(faulty
+            .iter()
+            .filter(|c| c.spec.scenario_label == "benign-4")
+            .all(|c| c.outcome.exited_normally()));
+        // The alternate-accounts world really runs under the alternate UID:
+        // detection still works there for the protected configuration.
+        let alt_uid_overflow = report
+            .cells
+            .iter()
+            .find(|c| {
+                c.spec.world_label == "alt-accounts"
+                    && c.spec.config_label == "2-Variant UID"
+                    && c.spec.scenario_label == "uid-overflow"
+            })
+            .unwrap();
+        assert!(alt_uid_overflow.outcome.detected_attack());
     }
 }

@@ -15,9 +15,9 @@
 //! * [`scenarios`] — canned builders tying the server, the world and the
 //!   deployment configurations together, backed by a process-wide
 //!   build-once cache of compiled artifacts.
-//! * [`campaigns`] — ready-made [`nvariant_campaign`] matrices (benign
-//!   sweeps, the attack corpus, the full security × workload matrix) over
-//!   that cache.
+//! * [`campaigns`] — ready-made [`nvariant_campaign`] experiment plans
+//!   (benign sweeps, the attack corpus, the full security × world ×
+//!   workload matrix) over that cache.
 //!
 //! # Example
 //!

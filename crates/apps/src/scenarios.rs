@@ -7,10 +7,8 @@
 //! pays [`CompiledSystem::instantiate`].
 
 use crate::httpd::httpd_source;
-use nvariant::{
-    CompiledSystem, DeploymentConfig, NVariantSystemBuilder, RunnableSystem, SystemOutcome,
-};
-use nvariant_campaign::{Campaign, CellResult, Scenario};
+use nvariant::{CompiledSystem, DeploymentConfig, NVariantSystemBuilder, RunnableSystem};
+use nvariant_campaign::{CampaignPlan, CellOutcome, CellResult, Scenario};
 use nvariant_transform::TransformStats;
 use nvariant_types::Port;
 use serde::{Deserialize, Serialize};
@@ -24,8 +22,9 @@ pub use nvariant_campaign::ServedRequest;
 pub struct ScenarioOutcome {
     /// The configuration label the scenario ran under.
     pub config_label: String,
-    /// How the deployed system terminated.
-    pub system: SystemOutcome,
+    /// How the deployed system terminated (the flattened, report-side form;
+    /// the rendered alarm string is in [`CellOutcome::alarm`]).
+    pub system: CellOutcome,
     /// The request/response pairs, in arrival order.
     pub requests: Vec<ServedRequest>,
     /// The UID-transformation change counts applied at build time.
@@ -120,11 +119,11 @@ pub fn build_httpd_system(config: &DeploymentConfig) -> RunnableSystem {
 
 /// Deploys the mini Apache under `config`, stages `requests` on the HTTP
 /// port, runs the system to completion and pairs each request with its
-/// response. Implemented as a one-cell campaign over the cached compiled
+/// response. Implemented as a one-cell plan over the cached compiled
 /// artifact.
 #[must_use]
 pub fn run_requests(config: &DeploymentConfig, requests: &[Vec<u8>]) -> ScenarioOutcome {
-    let mut report = Campaign::new("run_requests")
+    let mut report = CampaignPlan::new("run_requests")
         .config(compiled_httpd_system(config))
         .scenario(Scenario::fixed_requests("requests", requests.to_vec()))
         .run(1);
@@ -143,7 +142,7 @@ pub fn run_requests_on(
     let (outcome, served) = nvariant_campaign::serve_requests(system, Port::HTTP, requests);
     ScenarioOutcome {
         config_label: config.label(),
-        system: outcome,
+        system: CellOutcome::from(&outcome),
         requests: served,
         transform_stats: *system.transform_stats(),
     }

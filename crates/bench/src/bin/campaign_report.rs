@@ -1,65 +1,172 @@
 //! The full-matrix campaign sweep: every deployment configuration of the
-//! security evaluation × (a benign workload + every attack class), executed
-//! in parallel over build-once compiled artifacts.
+//! security evaluation × every world template × (benign workloads + every
+//! attack class), executed in parallel over build-once compiled artifacts —
+//! runnable whole, or sharded across processes and merged.
 //!
-//! Usage: `campaign_report [--quick] [--workers N]`
+//! Usage:
 //!
-//! * `--quick` shrinks the matrix (fewer requests, one replicate) for CI
-//!   smoke runs;
-//! * `--workers N` overrides the worker count (default: all cores).
+//! * `campaign_report [--quick] [--workers N]` — run the whole matrix,
+//!   print the per-configuration/world table, and self-check determinism
+//!   (serial vs. parallel, and an in-process shard+merge round trip).
+//! * `campaign_report [--quick] --shard I/N --out FILE` — run only shard
+//!   `I` of `N` and write the report to `FILE` in the shard interchange
+//!   format.
+//! * `campaign_report [--quick] --merge FILE...` — merge shard files
+//!   written by `--shard`, then re-run the same plan unsharded in-process
+//!   and exit non-zero unless the merged canonical serialization is
+//!   **byte-identical** — the cross-process determinism contract.
 //!
-//! The binary always re-runs the campaign single-threaded and compares the
-//! canonical serializations, exiting non-zero if the parallel and serial
-//! runs disagree on any per-cell outcome — the determinism contract of the
-//! engine. It also times a full build against an instantiation of the
-//! heaviest configuration, pinning the build-once/run-many speedup.
+//! All processes of a sharded run must use the same `--quick` setting: the
+//! plan (and every per-cell seed) is derived from it.
 
 use nvariant::{DeploymentConfig, NVariantSystemBuilder};
-use nvariant_apps::campaigns::{benign_scenario, full_matrix_campaign, security_sweep_configs};
+use nvariant_apps::campaigns::{
+    benign_scenario, full_matrix_campaign, security_sweep_configs, security_sweep_worlds,
+};
 use nvariant_apps::httpd_source;
 use nvariant_apps::workload::WorkloadMix;
 use nvariant_bench::render_table;
-use nvariant_campaign::CampaignReport;
+use nvariant_campaign::{CampaignPlan, CampaignReport};
+use nvariant_simos::WorldTemplate;
 use std::time::Instant;
 
-fn parse_args() -> (bool, usize) {
-    let mut quick = false;
-    // At least 4 workers even on small machines, so the determinism check
-    // against the serial run always exercises a genuinely parallel schedule.
-    let mut workers = std::thread::available_parallelism()
-        .map_or(1, std::num::NonZeroUsize::get)
-        .max(4);
-    let mut args = std::env::args().skip(1);
+#[derive(Clone, Debug, Default)]
+struct Args {
+    quick: bool,
+    workers: usize,
+    shard: Option<(usize, usize)>,
+    out: Option<String>,
+    merge: Vec<String>,
+}
+
+fn usage_exit() -> ! {
+    eprintln!(
+        "usage: campaign_report [--quick] [--workers N] [--shard I/N --out FILE] [--merge FILE...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        // At least 4 workers even on small machines, so the determinism
+        // check against the serial run always exercises a genuinely
+        // parallel schedule.
+        workers: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .max(4),
+        ..Args::default()
+    };
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--quick" => quick = true,
+            "--quick" => parsed.quick = true,
             "--workers" => {
-                let value = args
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--workers expects a positive integer");
-                        std::process::exit(2);
-                    });
-                workers = value.max(1);
+                let value = args.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(value) = value else {
+                    eprintln!("--workers expects a positive integer");
+                    usage_exit();
+                };
+                parsed.workers = value.max(1);
+            }
+            "--shard" => {
+                let spec = args.next().unwrap_or_default();
+                let parts: Option<(usize, usize)> = spec
+                    .split_once('/')
+                    .and_then(|(i, n)| Some((i.parse().ok()?, n.parse().ok()?)));
+                match parts {
+                    Some((index, count)) if count > 0 && index < count => {
+                        parsed.shard = Some((index, count));
+                    }
+                    _ => {
+                        eprintln!("--shard expects I/N with I < N (got {spec:?})");
+                        usage_exit();
+                    }
+                }
+            }
+            "--out" => {
+                parsed.out = args.next();
+                if parsed.out.is_none() {
+                    eprintln!("--out expects a file path");
+                    usage_exit();
+                }
+            }
+            "--merge" => {
+                // Consume file paths up to the next flag, so `--merge a b
+                // --quick` still sees --quick as a flag.
+                while args.peek().is_some_and(|next| !next.starts_with("--")) {
+                    parsed.merge.push(args.next().expect("peeked"));
+                }
+                if parsed.merge.is_empty() {
+                    eprintln!("--merge expects one or more shard files");
+                    usage_exit();
+                }
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: campaign_report [--quick] [--workers N]");
-                std::process::exit(2);
+                usage_exit();
             }
         }
     }
-    (quick, workers)
+    if parsed.shard.is_some() && !parsed.merge.is_empty() {
+        eprintln!("--shard and --merge are mutually exclusive");
+        usage_exit();
+    }
+    if parsed.shard.is_some() && parsed.out.is_none() {
+        eprintln!("--shard requires --out FILE");
+        usage_exit();
+    }
+    parsed
 }
 
-fn per_config_table(report: &CampaignReport, configs: &[DeploymentConfig]) -> String {
-    let rows: Vec<Vec<String>> = configs
-        .iter()
-        .enumerate()
-        .map(|(config_index, config)| {
-            let label = config.label();
-            let cells = report.cells_for_config_index(config_index);
+/// The one plan every mode of this binary derives from: the full security ×
+/// world × workload matrix. Shard processes and the merging coordinator all
+/// rebuild it from the same `--quick` flag, which is what makes per-cell
+/// seeds agree across processes.
+fn build_plan(quick: bool) -> (CampaignPlan, Vec<DeploymentConfig>, Vec<WorldTemplate>) {
+    let configs = if quick {
+        vec![
+            DeploymentConfig::Unmodified,
+            DeploymentConfig::TwoVariantAddress,
+            DeploymentConfig::TwoVariantUid,
+        ]
+    } else {
+        security_sweep_configs()
+    };
+    let worlds = if quick {
+        vec![
+            WorldTemplate::standard(),
+            WorldTemplate::alternate_docroot(),
+            WorldTemplate::faulty_fs(),
+        ]
+    } else {
+        security_sweep_worlds()
+    };
+    let (benign_requests, replicates) = if quick { (4, 1) } else { (24, 2) };
+
+    // Replicates apply to the whole matrix; attack scenarios ignore the
+    // per-cell seed, so their replicated cells reproduce identical outcomes
+    // — cheap, and a standing stability check on the engine.
+    let plan = full_matrix_campaign(&configs, &worlds, benign_requests, replicates).scenario(
+        benign_scenario(&WorkloadMix::standard(), benign_requests * 2),
+    );
+    (plan, configs, worlds)
+}
+
+fn per_cell_table(report: &CampaignReport, configs: &[DeploymentConfig]) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (config_index, config) in configs.iter().enumerate() {
+        let config_cells = report.cells_for_config_index(config_index);
+        let mut world_labels: Vec<&str> = Vec::new();
+        for cell in &config_cells {
+            if !world_labels.contains(&cell.spec.world_label.as_str()) {
+                world_labels.push(&cell.spec.world_label);
+            }
+        }
+        for world in world_labels {
+            let cells: Vec<_> = config_cells
+                .iter()
+                .filter(|c| c.spec.world_label == world)
+                .collect();
             let detected = cells.iter().filter(|c| c.outcome.detected_attack()).count();
             let survived = cells.iter().filter(|c| c.outcome.exited_normally()).count();
             let judged: Vec<_> = cells.iter().filter(|c| c.verdict.is_some()).collect();
@@ -72,8 +179,9 @@ fn per_config_table(report: &CampaignReport, configs: &[DeploymentConfig]) -> St
                 tally.absorb(&cell.tally());
             }
             let wall: std::time::Duration = cells.iter().map(|c| c.wall).sum();
-            vec![
-                label,
+            rows.push(vec![
+                config.label(),
+                world.to_string(),
                 cells.len().to_string(),
                 format!("{detected}/{}", cells.len()),
                 format!("{survived}/{}", cells.len()),
@@ -83,12 +191,13 @@ fn per_config_table(report: &CampaignReport, configs: &[DeploymentConfig]) -> St
                     tally.ok, tally.forbidden, tally.not_found, tally.other
                 ),
                 format!("{wall:.1?}"),
-            ]
-        })
-        .collect();
+            ]);
+        }
+    }
     render_table(
         &[
             "Configuration",
+            "World",
             "Cells",
             "Alarmed",
             "Survived",
@@ -125,37 +234,103 @@ fn measure_build_once_speedup() {
     );
 }
 
-fn main() {
-    let (quick, workers) = parse_args();
-    let configs = if quick {
-        vec![
-            DeploymentConfig::Unmodified,
-            DeploymentConfig::TwoVariantAddress,
-            DeploymentConfig::TwoVariantUid,
-        ]
-    } else {
-        security_sweep_configs()
-    };
-    let (benign_requests, replicates) = if quick { (4, 1) } else { (24, 3) };
+/// `--shard I/N --out FILE`: run one shard, write the interchange file.
+fn run_shard_mode(plan: &CampaignPlan, index: usize, count: usize, workers: usize, out: &str) {
+    let cells = plan.shard(index, count).len();
+    println!(
+        "Shard {index}/{count}: {cells} of {} cells on {workers} worker(s)",
+        plan.cells().len()
+    );
+    let report = plan.run_shard(index, count, workers);
+    if let Err(error) = std::fs::write(out, report.to_shard_text()) {
+        eprintln!("cannot write shard file {out}: {error}");
+        std::process::exit(1);
+    }
+    println!("{}", report.render_summary());
+    println!("Wrote shard report to {out}");
+}
 
-    // Replicates apply to the whole matrix; attack scenarios ignore the
-    // per-cell seed, so their replicated cells reproduce identical outcomes
-    // — cheap, and a standing stability check on the engine.
+/// `--merge FILE...`: merge shard files, verify against an unsharded run.
+fn run_merge_mode(plan: &CampaignPlan, files: &[String], workers: usize) {
+    let mut shards = Vec::with_capacity(files.len());
+    for file in files {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|error| {
+            eprintln!("cannot read shard file {file}: {error}");
+            std::process::exit(1);
+        });
+        let report = CampaignReport::from_shard_text(&text).unwrap_or_else(|error| {
+            eprintln!("{file}: {error}");
+            std::process::exit(1);
+        });
+        println!(
+            "Read {file}: {} cells, {:.1?} of shard wall",
+            report.cells.len(),
+            report.total_wall
+        );
+        shards.push(report);
+    }
+    let merged = CampaignReport::merge(shards).unwrap_or_else(|error| {
+        eprintln!("merge failed: {error}");
+        std::process::exit(1);
+    });
+    println!("\nMerged report:");
+    println!("{}", merged.render_summary());
+
+    // The cross-process determinism contract: the merged shards must be
+    // byte-identical to a fresh unsharded run of the same plan.
+    let whole = plan.run(workers);
+    let identical = merged.canonical_text() == whole.canonical_text();
+    println!(
+        "Shard determinism check ({} shard file(s) vs unsharded run): {}",
+        files.len(),
+        if identical {
+            "byte-identical canonical reports"
+        } else {
+            "MISMATCH"
+        }
+    );
+    let mismatches = merged.verdict_mismatches().len();
+    if mismatches > 0 {
+        println!("VERDICT MISMATCHES: {mismatches}");
+    }
+    if !identical || mismatches > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (plan, configs, worlds) = build_plan(args.quick);
+
+    if let Some((index, count)) = args.shard {
+        run_shard_mode(
+            &plan,
+            index,
+            count,
+            args.workers,
+            args.out.as_deref().unwrap(),
+        );
+        return;
+    }
+    if !args.merge.is_empty() {
+        run_merge_mode(&plan, &args.merge, args.workers);
+        return;
+    }
+
     let attack_count = nvariant_apps::Attack::all().len();
     println!(
-        "Campaign sweep: {} configurations x (2 benign workloads + {} attacks), {} replicate(s), {} worker(s)",
+        "Campaign sweep: {} configurations x {} worlds x (2 benign workloads + {} attacks), \
+         {} cells total, {} worker(s)",
         configs.len(),
+        worlds.len(),
         attack_count,
-        replicates,
-        workers
+        plan.cells().len(),
+        args.workers
     );
     println!("==========================================================================\n");
 
-    let campaign = full_matrix_campaign(&configs, benign_requests, replicates).scenario(
-        benign_scenario(&WorkloadMix::standard(), benign_requests * 2),
-    );
-    let report = campaign.run(workers);
-    println!("{}", per_config_table(&report, &configs));
+    let report = plan.run(args.workers);
+    println!("{}", per_cell_table(&report, &configs));
     println!("{}", report.render_summary());
 
     let mismatches = report.verdict_mismatches();
@@ -166,13 +341,13 @@ fn main() {
         }
     }
 
-    // The determinism contract: the same campaign at 1 worker must produce
-    // byte-identical canonical output.
-    let serial = campaign.run(1);
+    // The determinism contract, part 1: the same plan at 1 worker must
+    // produce byte-identical canonical output.
+    let serial = plan.run(1);
     let deterministic = serial.canonical_text() == report.canonical_text();
     println!(
         "Determinism check ({} workers vs 1): {}",
-        workers,
+        args.workers,
         if deterministic {
             "identical per-cell outcomes"
         } else {
@@ -180,12 +355,30 @@ fn main() {
         }
     );
 
+    // Part 2: an in-process shard + merge round trip (through the shard
+    // interchange text format, exactly what separate processes exchange)
+    // must reassemble the same bytes.
+    let shard_texts: Vec<String> = (0..3)
+        .map(|index| plan.run_shard(index, 3, args.workers).to_shard_text())
+        .collect();
+    let reparsed: Vec<CampaignReport> = shard_texts
+        .iter()
+        .map(|text| CampaignReport::from_shard_text(text).expect("own shard text parses"))
+        .collect();
+    let merged = CampaignReport::merge(reparsed).expect("own shards merge");
+    let shard_deterministic = merged.canonical_text() == report.canonical_text();
+    println!(
+        "Shard determinism check (3 shards, codec round trip): {}",
+        if shard_deterministic {
+            "byte-identical canonical reports"
+        } else {
+            "MISMATCH"
+        }
+    );
+
     measure_build_once_speedup();
 
-    if !deterministic {
-        std::process::exit(1);
-    }
-    if !mismatches.is_empty() {
+    if !deterministic || !shard_deterministic || !mismatches.is_empty() {
         std::process::exit(1);
     }
 }

@@ -1,8 +1,9 @@
-//! One cell of a campaign matrix: its coordinates, its observed result,
-//! and the derived per-cell summaries reports aggregate over.
+//! One cell of an experiment plan: its coordinates in the
+//! (configuration × world × scenario × replicate) matrix, its observed
+//! result, and the derived per-cell summaries reports aggregate over.
 
 use crate::exchange::ServedRequest;
-use nvariant::SystemOutcome;
+use nvariant::{ExecutionMetrics, SystemOutcome};
 use nvariant_transform::TransformStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -11,18 +12,44 @@ use std::time::Duration;
 /// The coordinates and derived seed of one campaign cell.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CellSpec {
-    /// Index of the configuration in the campaign's config list.
+    /// Index of the configuration in the plan's config list.
     pub config_index: usize,
-    /// Index of the scenario in the campaign's scenario list.
+    /// Index of the world template in the plan's world axis (0 when the
+    /// plan has no explicit worlds and every cell runs in the artifact's
+    /// own compile-time template).
+    pub world_index: usize,
+    /// Index of the scenario in the plan's scenario list.
     pub scenario_index: usize,
-    /// Replicate number (0-based) of this (config, scenario) pair.
+    /// Replicate number (0-based) of this (config, world, scenario) triple.
     pub replicate: usize,
-    /// Label of the configuration.
+    /// Label of the configuration, disambiguated by the plan when two
+    /// configurations render the same label (`label`, `label#1`, ...).
     pub config_label: String,
+    /// Label of the world template (`"template"` when the plan has no
+    /// explicit world axis).
+    pub world_label: String,
     /// Label of the scenario.
     pub scenario_label: String,
     /// The deterministic seed this cell runs under.
     pub seed: u64,
+}
+
+impl CellSpec {
+    /// The canonical ordering key: cells sort config-major, then world,
+    /// scenario, replicate — the order [`CampaignPlan::cells`] emits and the
+    /// order [`CampaignReport::merge`] restores.
+    ///
+    /// [`CampaignPlan::cells`]: crate::CampaignPlan::cells
+    /// [`CampaignReport::merge`]: crate::CampaignReport::merge
+    #[must_use]
+    pub fn coordinates(&self) -> (usize, usize, usize, usize) {
+        (
+            self.config_index,
+            self.world_index,
+            self.scenario_index,
+            self.replicate,
+        )
+    }
 }
 
 /// A scenario's classification of a cell, alongside the prediction it was
@@ -40,6 +67,63 @@ impl CellVerdict {
     #[must_use]
     pub fn matches(&self) -> bool {
         self.observed == self.expected
+    }
+}
+
+/// How a cell's deployed system terminated, flattened to plain data.
+///
+/// This is the report-side counterpart of [`SystemOutcome`]: the live
+/// monitor alarm is rendered to its display string at collection time, so a
+/// report is self-contained — it can be serialized to a shard file,
+/// reassembled by [`CampaignReport::merge`](crate::CampaignReport::merge)
+/// and compared byte-for-byte without holding live monitor state.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellOutcome {
+    /// Exit status, if the program (or agreeing variant group) exited.
+    pub exit_status: Option<i32>,
+    /// The rendered alarm that terminated an N-variant group, if any.
+    pub alarm: Option<String>,
+    /// Human-readable description of a fault that terminated a
+    /// single-process run, if any.
+    pub fault: Option<String>,
+    /// Execution counters.
+    pub metrics: ExecutionMetrics,
+}
+
+impl CellOutcome {
+    /// Returns `true` if the monitor raised an alarm.
+    #[must_use]
+    pub fn detected_attack(&self) -> bool {
+        self.alarm.is_some()
+    }
+
+    /// Returns `true` if the run ended with a normal, agreed exit.
+    #[must_use]
+    pub fn exited_normally(&self) -> bool {
+        self.exit_status.is_some() && self.alarm.is_none() && self.fault.is_none()
+    }
+}
+
+impl From<&SystemOutcome> for CellOutcome {
+    fn from(outcome: &SystemOutcome) -> Self {
+        CellOutcome {
+            exit_status: outcome.exit_status,
+            alarm: outcome.alarm.as_ref().map(ToString::to_string),
+            fault: outcome.fault.clone(),
+            metrics: outcome.metrics,
+        }
+    }
+}
+
+impl fmt::Display for CellOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Same phrasing as `SystemOutcome`'s `Display`.
+        match (&self.alarm, &self.fault, self.exit_status) {
+            (Some(alarm), _, _) => write!(f, "attack detected: {alarm}"),
+            (None, Some(fault), _) => write!(f, "faulted: {fault}"),
+            (None, None, Some(status)) => write!(f, "exited with status {status}"),
+            (None, None, None) => write!(f, "did not terminate"),
+        }
     }
 }
 
@@ -103,7 +187,7 @@ pub struct CellResult {
     /// The cell's coordinates and seed.
     pub spec: CellSpec,
     /// How the deployed system terminated.
-    pub outcome: SystemOutcome,
+    pub outcome: CellOutcome,
     /// The request/response pairs, in arrival order.
     pub exchanges: Vec<ServedRequest>,
     /// The UID-transformation change counts of the compiled artifact the
@@ -125,8 +209,9 @@ impl CellResult {
     }
 
     /// The deterministic canonical line for this cell: everything observed,
-    /// nothing wall-clock. Two runs of the same campaign at different
-    /// worker counts must produce byte-identical lines.
+    /// nothing wall-clock. Two runs of the same plan — at different worker
+    /// counts, or sharded across processes and merged — must produce
+    /// byte-identical lines.
     #[must_use]
     pub fn canonical_line(&self) -> String {
         let tally = self.tally();
@@ -135,10 +220,11 @@ impl CellResult {
             None => "-".to_string(),
         };
         format!(
-            "config={:?} scenario={:?} rep={} seed={:#018x} exit={} alarm={} fault={} \
+            "config={:?} world={:?} scenario={:?} rep={} seed={:#018x} exit={} alarm={} fault={} \
              requests={}/{}/{}/{}/{} variants={} instructions={} syscalls={} checks={} \
              detections={} io={} verdict={}",
             self.spec.config_label,
+            self.spec.world_label,
             self.spec.scenario_label,
             self.spec.replicate,
             self.spec.seed,
@@ -211,5 +297,53 @@ mod tests {
             expected: "detected".to_string(),
         };
         assert!(!miss.matches());
+    }
+
+    #[test]
+    fn cell_outcome_flattens_a_system_outcome() {
+        let live = SystemOutcome {
+            exit_status: None,
+            alarm: Some(nvariant_monitor::Alarm::new(
+                nvariant_monitor::DivergenceKind::DetectionCheckFailed {
+                    sysno: nvariant_simos::Sysno::UidValue,
+                    canonical_values: vec![],
+                },
+                9,
+            )),
+            fault: None,
+            metrics: ExecutionMetrics::default(),
+        };
+        let flat = CellOutcome::from(&live);
+        assert!(flat.detected_attack());
+        assert!(!flat.exited_normally());
+        let alarm = flat.alarm.as_deref().unwrap();
+        assert!(alarm.contains("uid_value"), "{alarm}");
+        assert!(alarm.contains("point 9"), "{alarm}");
+        assert!(flat.to_string().contains("attack detected"));
+
+        let clean = SystemOutcome {
+            exit_status: Some(0),
+            alarm: None,
+            fault: None,
+            metrics: ExecutionMetrics::default(),
+        };
+        let flat = CellOutcome::from(&clean);
+        assert!(flat.exited_normally());
+        assert!(flat.to_string().contains("status 0"));
+    }
+
+    #[test]
+    fn coordinates_order_config_major() {
+        let spec = CellSpec {
+            config_index: 2,
+            world_index: 1,
+            scenario_index: 3,
+            replicate: 4,
+            config_label: "c".to_string(),
+            world_label: "w".to_string(),
+            scenario_label: "s".to_string(),
+            seed: 0,
+        };
+        assert_eq!(spec.coordinates(), (2, 1, 3, 4));
     }
 }

@@ -60,17 +60,25 @@ where
 }
 
 /// Deterministic per-cell seed derivation: a splitmix64 chain over the
-/// campaign's base seed and the cell's matrix coordinates.
+/// plan's base seed and the cell's matrix coordinates.
 ///
-/// The derived seed depends only on `(base, config, scenario, replicate)`,
-/// never on scheduling, so a campaign produces the same per-cell seeds at
-/// any worker count.
+/// The derived seed depends only on
+/// `(base, config, world, scenario, replicate)`, never on scheduling or
+/// sharding, so a plan produces the same per-cell seeds at any worker count
+/// and on any shard — the invariant that lets
+/// [`CampaignReport::merge`](crate::CampaignReport::merge) reassemble shard
+/// runs byte-for-byte.
 #[must_use]
-pub fn cell_seed(base: u64, config: usize, scenario: usize, replicate: usize) -> u64 {
+pub fn cell_seed(base: u64, config: usize, world: usize, scenario: usize, replicate: usize) -> u64 {
     let mut state = base
         .wrapping_add(0x9E37_79B9_7F4A_7C15)
         .wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    for coordinate in [config as u64, scenario as u64, replicate as u64] {
+    for coordinate in [
+        config as u64,
+        world as u64,
+        scenario as u64,
+        replicate as u64,
+    ] {
         state ^= coordinate.wrapping_add(0x9E37_79B9_7F4A_7C15);
         state = splitmix64(state);
     }
@@ -108,15 +116,17 @@ mod tests {
 
     #[test]
     fn cell_seeds_are_deterministic_and_distinct() {
-        let a = cell_seed(7, 0, 0, 0);
-        assert_eq!(a, cell_seed(7, 0, 0, 0));
+        let a = cell_seed(7, 0, 0, 0, 0);
+        assert_eq!(a, cell_seed(7, 0, 0, 0, 0));
         // Every coordinate perturbs the seed.
-        assert_ne!(a, cell_seed(8, 0, 0, 0));
-        assert_ne!(a, cell_seed(7, 1, 0, 0));
-        assert_ne!(a, cell_seed(7, 0, 1, 0));
-        assert_ne!(a, cell_seed(7, 0, 0, 1));
+        assert_ne!(a, cell_seed(8, 0, 0, 0, 0));
+        assert_ne!(a, cell_seed(7, 1, 0, 0, 0));
+        assert_ne!(a, cell_seed(7, 0, 1, 0, 0));
+        assert_ne!(a, cell_seed(7, 0, 0, 1, 0));
+        assert_ne!(a, cell_seed(7, 0, 0, 0, 1));
         // Coordinates are not interchangeable.
-        assert_ne!(cell_seed(7, 1, 0, 0), cell_seed(7, 0, 1, 0));
-        assert_ne!(cell_seed(7, 0, 1, 0), cell_seed(7, 0, 0, 1));
+        assert_ne!(cell_seed(7, 1, 0, 0, 0), cell_seed(7, 0, 1, 0, 0));
+        assert_ne!(cell_seed(7, 0, 1, 0, 0), cell_seed(7, 0, 0, 1, 0));
+        assert_ne!(cell_seed(7, 0, 0, 1, 0), cell_seed(7, 0, 0, 0, 1));
     }
 }

@@ -1,25 +1,34 @@
-//! `nvariant_campaign` — the build-once/run-many campaign engine.
+//! `nvariant_campaign` — experiment plans over the build-once/run-many
+//! engine.
 //!
 //! The core crate's [`CompiledSystem`](nvariant::CompiledSystem) splits
 //! deployment into an expensive `compile()` (parse → transform → compile →
-//! provision) and a cheap `instantiate()`. This crate puts a **campaign**
-//! on top: a matrix of (deployment configuration × scenario × replicate)
-//! cells that shares one compiled artifact per configuration and executes
-//! the cells across a scoped worker pool, aggregating the results into a
-//! [`CampaignReport`].
+//! provision) and a cheap `instantiate()`. This crate puts an explicit
+//! **experiment plan** on top: a [`CampaignPlan`] is a matrix of
+//! (deployment configuration × world × scenario × replicate) cells, where
+//! worlds are named [`WorldTemplate`](nvariant_simos::WorldTemplate)s —
+//! alternative environments (account databases, document roots, injected
+//! filesystem faults) the same compiled artifacts deploy into via
+//! [`CompiledSystem::instantiate_in`](nvariant::CompiledSystem::instantiate_in).
 //!
-//! Determinism is a design invariant: each cell's seed is derived from the
-//! campaign's base seed and the cell's matrix coordinates alone
-//! ([`cell_seed`]), results are collected in canonical config-major order,
-//! and [`CampaignReport::canonical_text`] serializes only
-//! schedule-independent content — so the same campaign produces
-//! byte-identical canonical output at any worker count.
+//! Determinism is a design invariant, and it now extends across process
+//! boundaries:
+//!
+//! * each cell's seed derives from the plan's base seed and the cell's
+//!   matrix coordinates alone ([`cell_seed`]);
+//! * [`CampaignPlan::cells`] is a *pure function* of the plan, so
+//!   [`CampaignPlan::shard`] can split the matrix round-robin across
+//!   processes that never communicate;
+//! * [`CampaignReport::merge`] reassembles shard reports — and
+//!   [`CampaignReport::canonical_text`] of the merged report is
+//!   byte-identical to an unsharded run at any worker count.
 //!
 //! # Example
 //!
 //! ```
 //! use nvariant::{DeploymentConfig, NVariantSystemBuilder};
-//! use nvariant_campaign::{Campaign, Scenario};
+//! use nvariant_campaign::{CampaignPlan, CampaignReport, Scenario};
+//! use nvariant_simos::WorldTemplate;
 //! use std::sync::Arc;
 //!
 //! let server = r#"
@@ -41,33 +50,51 @@
 //!         .config(DeploymentConfig::TwoVariantUid)
 //!         .compile()?,
 //! );
-//! let report = Campaign::new("smoke")
+//! let plan = CampaignPlan::new("smoke")
 //!     .config(compiled)
+//!     .world(WorldTemplate::standard())
+//!     .world(WorldTemplate::alternate_accounts())
 //!     .scenario(Scenario::fixed_requests(
 //!         "ping",
 //!         vec![b"GET / HTTP/1.0\r\n\r\n".to_vec()],
 //!     ))
-//!     .replicates(3)
-//!     .run(2);
-//! assert_eq!(report.cells.len(), 3);
-//! assert!((report.survival_rate() - 1.0).abs() < 1e-9);
-//! # Ok::<(), nvariant::BuildError>(())
+//!     .replicates(3);
+//!
+//! // 1 config x 2 worlds x 1 scenario x 3 replicates.
+//! assert_eq!(plan.cells().len(), 6);
+//! let whole = plan.run(2);
+//! assert!((whole.survival_rate() - 1.0).abs() < 1e-9);
+//!
+//! // Shard the same plan across two "processes" and merge: byte-identical.
+//! let merged = CampaignReport::merge([
+//!     plan.run_shard(0, 2, 1),
+//!     plan.run_shard(1, 2, 1),
+//! ])?;
+//! assert_eq!(merged.canonical_text(), whole.canonical_text());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod campaign;
 pub mod cell;
 pub mod engine;
 pub mod exchange;
+pub mod plan;
 pub mod report;
+pub mod shardio;
 
-pub use campaign::{serve_requests, Campaign, CellRun, Scenario};
-pub use cell::{CellResult, CellSpec, CellVerdict, RequestTally};
+pub use cell::{CellOutcome, CellResult, CellSpec, CellVerdict, RequestTally};
 pub use engine::{cell_seed, run_parallel};
 pub use exchange::ServedRequest;
-pub use report::CampaignReport;
+pub use plan::{serve_requests, CampaignPlan, CellRun, Scenario};
+pub use report::{CampaignReport, MergeError, WallPercentiles};
+pub use shardio::ShardParseError;
+
+/// The pre-plan name of [`CampaignPlan`], kept so the PR-2 examples and
+/// downstream sketches keep compiling while they migrate.
+#[deprecated(note = "renamed to CampaignPlan; campaigns are experiment plans now")]
+pub type Campaign = CampaignPlan;
 
 #[cfg(test)]
 mod send_tests {
@@ -83,13 +110,15 @@ mod send_tests {
     fn parallel_instantiation_building_blocks_are_send() {
         assert_send::<nvariant_vm::Process>();
         assert_send::<nvariant_simos::OsKernel>();
+        assert_send::<nvariant_simos::WorldTemplate>();
         assert_send::<nvariant_monitor::NVariantMonitor>();
         assert_send::<nvariant::CompiledSystem>();
         assert_send::<nvariant::RunnableSystem>();
-        assert_send::<crate::Campaign>();
+        assert_send::<crate::CampaignPlan>();
         assert_send::<crate::CampaignReport>();
         // Shared read-only across the worker pool.
         assert_sync::<nvariant::CompiledSystem>();
-        assert_sync::<crate::Campaign>();
+        assert_sync::<nvariant_simos::WorldTemplate>();
+        assert_sync::<crate::CampaignPlan>();
     }
 }

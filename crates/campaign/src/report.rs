@@ -1,35 +1,98 @@
-//! Aggregated campaign results.
+//! Aggregated campaign results: per-cell observations, summary statistics,
+//! and the merge operation that reassembles sharded runs.
 
 use crate::cell::{CellResult, RequestTally};
 use nvariant::ExecutionMetrics;
 use nvariant_transform::TransformStats;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::time::Duration;
+
+/// Why [`CampaignReport::merge`] refused to combine shard reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MergeError {
+    /// No reports were supplied.
+    Empty,
+    /// Two shards claim to come from differently named plans.
+    NameMismatch(String, String),
+    /// Two shards claim to come from plans with different base seeds.
+    SeedMismatch(u64, u64),
+    /// Two shards both contain the cell at these canonical coordinates
+    /// (config, world, scenario, replicate) — they do not partition a plan.
+    DuplicateCell(usize, usize, usize, usize),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "no shard reports to merge"),
+            MergeError::NameMismatch(a, b) => {
+                write!(f, "shards come from different plans: {a:?} vs {b:?}")
+            }
+            MergeError::SeedMismatch(a, b) => {
+                write!(f, "shards come from different base seeds: {a:#x} vs {b:#x}")
+            }
+            MergeError::DuplicateCell(c, w, s, r) => write!(
+                f,
+                "cell (config {c}, world {w}, scenario {s}, replicate {r}) appears in more \
+                 than one shard"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Nearest-rank latency percentiles over per-cell wall-clock times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WallPercentiles {
+    /// Median per-cell wall time.
+    pub p50: Duration,
+    /// 95th-percentile per-cell wall time.
+    pub p95: Duration,
+    /// 99th-percentile per-cell wall time.
+    pub p99: Duration,
+}
+
+impl fmt::Display for WallPercentiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50 {:.1?}, p95 {:.1?}, p99 {:.1?}",
+            self.p50, self.p95, self.p99
+        )
+    }
+}
 
 /// Everything a campaign run produced: per-cell results plus run metadata.
 ///
 /// The deterministic content — every cell's spec, outcome, exchanges,
-/// verdict — is fixed by the campaign definition and base seed alone;
+/// verdict — is fixed by the plan and base seed alone;
 /// [`canonical_text`](Self::canonical_text) serializes exactly that subset,
-/// so runs at different worker counts compare byte-identically. Wall-clock
-/// fields (`total_wall`, per-cell `wall`, `workers`) are measurement
-/// metadata and stay out of the canonical form.
+/// so runs at different worker counts, and sharded runs reassembled with
+/// [`merge`](Self::merge), compare byte-identically. Wall-clock fields
+/// (`total_wall`, per-cell `wall`, `workers`) are measurement metadata and
+/// stay out of the canonical form.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CampaignReport {
-    /// The campaign's name.
+    /// The plan's name.
     pub name: String,
-    /// The campaign's base seed.
+    /// The plan's base seed.
     pub base_seed: u64,
     /// Worker threads the run used.
     pub workers: usize,
-    /// Per-cell results, in canonical (config-major) order.
+    /// Per-cell results, in canonical (config-major) order for whole runs,
+    /// or in shard order for [`run_shard`](crate::CampaignPlan::run_shard)
+    /// reports (merging restores canonical order).
     pub cells: Vec<CellResult>,
-    /// Wall-clock time of the whole run.
+    /// Wall-clock time of the whole run (the sum of shard walls after a
+    /// merge).
     pub total_wall: Duration,
 }
 
 impl CampaignReport {
-    /// Assembles a report (used by [`Campaign::run`](crate::Campaign::run)).
+    /// Assembles a report (used by [`CampaignPlan::run`](crate::CampaignPlan::run)).
     #[must_use]
     pub fn new(
         name: String,
@@ -45,6 +108,41 @@ impl CampaignReport {
             cells,
             total_wall,
         }
+    }
+
+    /// Reassembles shard reports into the report an unsharded run produces:
+    /// cells are restored to canonical coordinate order, so the merged
+    /// [`canonical_text`](Self::canonical_text) is byte-identical to the
+    /// whole run's. Shard walls sum into `total_wall` (total compute spent),
+    /// and `workers` records the widest shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MergeError`] if no reports are supplied, the reports
+    /// disagree on plan name or base seed, or two reports contain the same
+    /// cell.
+    pub fn merge(shards: impl IntoIterator<Item = CampaignReport>) -> Result<Self, MergeError> {
+        let mut shards = shards.into_iter();
+        let mut merged = shards.next().ok_or(MergeError::Empty)?;
+        for shard in shards {
+            if shard.name != merged.name {
+                return Err(MergeError::NameMismatch(merged.name, shard.name));
+            }
+            if shard.base_seed != merged.base_seed {
+                return Err(MergeError::SeedMismatch(merged.base_seed, shard.base_seed));
+            }
+            merged.workers = merged.workers.max(shard.workers);
+            merged.total_wall += shard.total_wall;
+            merged.cells.extend(shard.cells);
+        }
+        merged.cells.sort_by_key(|cell| cell.spec.coordinates());
+        for pair in merged.cells.windows(2) {
+            if pair[0].spec.coordinates() == pair[1].spec.coordinates() {
+                let (c, w, s, r) = pair[0].spec.coordinates();
+                return Err(MergeError::DuplicateCell(c, w, s, r));
+            }
+        }
+        Ok(merged)
     }
 
     /// Fraction of cells in which the monitor raised an alarm.
@@ -86,10 +184,33 @@ impl CampaignReport {
         total
     }
 
+    /// Nearest-rank p50/p95/p99 of per-cell wall-clock times, or `None` for
+    /// an empty report. Wall times are measurement metadata (they vary run
+    /// to run), so the percentiles appear in
+    /// [`render_summary`](Self::render_summary) but never in the canonical
+    /// serialization.
+    #[must_use]
+    pub fn wall_percentiles(&self) -> Option<WallPercentiles> {
+        if self.cells.is_empty() {
+            return None;
+        }
+        let mut walls: Vec<Duration> = self.cells.iter().map(|c| c.wall).collect();
+        walls.sort_unstable();
+        let nearest_rank = |percent: usize| -> Duration {
+            // ceil(percent/100 * n) as a 1-based rank, clamped to the list.
+            let rank = (walls.len() * percent).div_ceil(100).max(1);
+            walls[rank - 1]
+        };
+        Some(WallPercentiles {
+            p50: nearest_rank(50),
+            p95: nearest_rank(95),
+            p99: nearest_rank(99),
+        })
+    }
+
     /// The transformation change counts per configuration (one row per
-    /// `config_index`, in matrix order: all cells of a configuration share
-    /// one compiled artifact; labels may repeat when two configurations
-    /// render the same label).
+    /// `config_index`, in matrix order; labels are already position-unique
+    /// because the plan disambiguates duplicates).
     #[must_use]
     pub fn transform_stats_by_config(&self) -> Vec<(String, TransformStats)> {
         let mut seen: Vec<usize> = Vec::new();
@@ -119,10 +240,11 @@ impl CampaignReport {
     }
 
     /// The cells belonging to one configuration label, in canonical order.
-    /// Labels are not guaranteed unique across configurations (two `Custom`
-    /// configs can render identically); use
+    /// Plan-produced labels are position-unique (duplicate configuration
+    /// labels are disambiguated with a `#<n>` suffix when the cell list is
+    /// built), so a label names exactly one matrix position; use
     /// [`cells_for_config_index`](Self::cells_for_config_index) when the
-    /// matrix position is known.
+    /// position itself is known.
     #[must_use]
     pub fn cells_for_config<'a>(&'a self, label: &str) -> Vec<&'a CellResult> {
         self.cells
@@ -132,12 +254,21 @@ impl CampaignReport {
     }
 
     /// The cells belonging to the configuration at `config_index` in the
-    /// campaign's matrix, in canonical order.
+    /// plan's matrix, in canonical order.
     #[must_use]
     pub fn cells_for_config_index(&self, config_index: usize) -> Vec<&CellResult> {
         self.cells
             .iter()
             .filter(|c| c.spec.config_index == config_index)
+            .collect()
+    }
+
+    /// The cells belonging to one world label, in canonical order.
+    #[must_use]
+    pub fn cells_for_world<'a>(&'a self, label: &str) -> Vec<&'a CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.spec.world_label == label)
             .collect()
     }
 
@@ -150,8 +281,23 @@ impl CampaignReport {
             .collect()
     }
 
-    /// The deterministic serialization of the run: campaign identity plus
-    /// one canonical line per cell. Byte-identical across worker counts.
+    /// The distinct world labels appearing in the report, in first-seen
+    /// (canonical) order.
+    #[must_use]
+    pub fn world_labels(&self) -> Vec<&str> {
+        let mut labels: Vec<&str> = Vec::new();
+        for cell in &self.cells {
+            if !labels.contains(&cell.spec.world_label.as_str()) {
+                labels.push(&cell.spec.world_label);
+            }
+        }
+        labels
+    }
+
+    /// The deterministic serialization of the run: plan identity plus one
+    /// canonical line per cell. Byte-identical across worker counts, and —
+    /// for a merged set of shards partitioning a plan — byte-identical to
+    /// the unsharded run.
     #[must_use]
     pub fn canonical_text(&self) -> String {
         let mut out = format!(
@@ -167,7 +313,8 @@ impl CampaignReport {
         out
     }
 
-    /// A human-oriented summary: rates, totals and timing.
+    /// A human-oriented summary: rates, totals, latency percentiles and
+    /// timing.
     #[must_use]
     pub fn render_summary(&self) -> String {
         let tally = self.request_tally();
@@ -192,6 +339,17 @@ impl CampaignReport {
         ));
         out.push_str(&format!("  {tally}\n"));
         out.push_str(&format!("  {metrics}\n"));
+        if let Some(percentiles) = self.wall_percentiles() {
+            out.push_str(&format!("  per-cell wall {percentiles}\n"));
+        }
+        let worlds = self.world_labels();
+        if worlds.len() > 1 {
+            out.push_str(&format!(
+                "  {} worlds on the environment axis: {}\n",
+                worlds.len(),
+                worlds.join(", ")
+            ));
+        }
         let judged = self.judged_cells();
         if judged > 0 {
             out.push_str(&format!(
@@ -207,21 +365,22 @@ impl CampaignReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cell::{CellSpec, CellVerdict};
+    use crate::cell::{CellOutcome, CellSpec, CellVerdict};
     use crate::exchange::ServedRequest;
-    use nvariant::SystemOutcome;
 
     fn cell(config: &str, ok: bool, verdict: Option<CellVerdict>) -> CellResult {
         CellResult {
             spec: CellSpec {
                 config_index: usize::from(config.as_bytes()[0] - b'A'),
+                world_index: 0,
                 scenario_index: 0,
                 replicate: 0,
                 config_label: config.to_string(),
+                world_label: "template".to_string(),
                 scenario_label: "s".to_string(),
                 seed: 1,
             },
-            outcome: SystemOutcome {
+            outcome: CellOutcome {
                 exit_status: ok.then_some(0),
                 alarm: None,
                 fault: (!ok).then(|| "fault".to_string()),
@@ -262,24 +421,29 @@ mod tests {
         assert_eq!(report.transform_stats_by_config().len(), 2);
         assert_eq!(report.cells_for_config("A").len(), 2);
         assert_eq!(report.cells_for_scenario("s").len(), 3);
+        assert_eq!(report.cells_for_world("template").len(), 3);
+        assert_eq!(report.world_labels(), vec!["template"]);
         assert!(report.render_summary().contains("3 cells"));
     }
 
     #[test]
     fn aggregation_keys_on_config_index_not_label() {
-        // Two distinct matrix positions that happen to render the same
-        // label (possible with Custom configurations) must not conflate.
+        // Two distinct matrix positions: the plan would have disambiguated
+        // their labels, but aggregation must key on the index regardless.
         let a = cell("A", true, None);
         let mut b = cell("A", true, None);
         b.spec.config_index = 25;
+        b.spec.config_label = "A#1".to_string();
         b.transform_stats.uid_constants_reexpressed = 5;
         let report = report(vec![a, b]);
         let stats = report.transform_stats_by_config();
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].0, "A");
-        assert_eq!(stats[1].0, "A");
+        assert_eq!(stats[1].0, "A#1");
         assert_eq!(stats[1].1.uid_constants_reexpressed, 5);
-        assert_eq!(report.cells_for_config("A").len(), 2);
+        // Disambiguated labels resolve to exactly one matrix position each.
+        assert_eq!(report.cells_for_config("A").len(), 1);
+        assert_eq!(report.cells_for_config("A#1").len(), 1);
         assert_eq!(report.cells_for_config_index(25).len(), 1);
     }
 
@@ -288,6 +452,7 @@ mod tests {
         let report = report(vec![]);
         assert_eq!(report.survival_rate(), 0.0);
         assert_eq!(report.detection_rate(), 0.0);
+        assert_eq!(report.wall_percentiles(), None);
     }
 
     #[test]
@@ -324,5 +489,82 @@ mod tests {
         assert_eq!(ra.canonical_text(), rb.canonical_text());
         a.outcome.exit_status = Some(1);
         assert_ne!(report(vec![a]).canonical_text(), ra.canonical_text());
+    }
+
+    #[test]
+    fn wall_percentiles_use_nearest_rank() {
+        let mut cells: Vec<CellResult> = (1..=100)
+            .map(|ms| {
+                let mut c = cell("A", true, None);
+                c.spec.replicate = ms as usize;
+                c.wall = Duration::from_millis(ms);
+                c
+            })
+            .collect();
+        // Shuffle-ish: percentiles must not depend on cell order.
+        cells.reverse();
+        let report = report(cells);
+        let p = report.wall_percentiles().unwrap();
+        assert_eq!(p.p50, Duration::from_millis(50));
+        assert_eq!(p.p95, Duration::from_millis(95));
+        assert_eq!(p.p99, Duration::from_millis(99));
+        assert!(report.render_summary().contains("per-cell wall p50"));
+
+        // A single cell is its own percentile everywhere.
+        let single = super::CampaignReport::new(
+            "t".to_string(),
+            7,
+            1,
+            vec![cell("A", true, None)],
+            Duration::ZERO,
+        );
+        let p = single.wall_percentiles().unwrap();
+        assert_eq!(p.p50, p.p99);
+    }
+
+    #[test]
+    fn merge_restores_canonical_order_and_sums_walls() {
+        let mut c0 = cell("A", true, None);
+        c0.spec.replicate = 0;
+        let mut c1 = cell("A", true, None);
+        c1.spec.replicate = 1;
+        let mut c2 = cell("A", true, None);
+        c2.spec.replicate = 2;
+        let whole = report(vec![c0.clone(), c1.clone(), c2.clone()]);
+        // Shards in round-robin order: {c0, c2} and {c1}.
+        let shard_a = report(vec![c0, c2]);
+        let mut shard_b = report(vec![c1]);
+        shard_b.workers = 7;
+        let merged = CampaignReport::merge([shard_a, shard_b]).unwrap();
+        assert_eq!(merged.canonical_text(), whole.canonical_text());
+        assert_eq!(merged.workers, 7);
+        assert_eq!(merged.total_wall, Duration::from_millis(18));
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_shards() {
+        assert!(matches!(
+            CampaignReport::merge(std::iter::empty()),
+            Err(MergeError::Empty)
+        ));
+        let a = report(vec![cell("A", true, None)]);
+        let mut renamed = report(vec![]);
+        renamed.name = "other".to_string();
+        assert!(matches!(
+            CampaignReport::merge([a.clone(), renamed]),
+            Err(MergeError::NameMismatch(..))
+        ));
+        let mut reseeded = report(vec![]);
+        reseeded.base_seed = 8;
+        assert!(matches!(
+            CampaignReport::merge([a.clone(), reseeded]),
+            Err(MergeError::SeedMismatch(7, 8))
+        ));
+        assert!(matches!(
+            CampaignReport::merge([a.clone(), a]),
+            Err(MergeError::DuplicateCell(0, 0, 0, 0))
+        ));
+        let mismatch = MergeError::DuplicateCell(0, 0, 0, 0);
+        assert!(mismatch.to_string().contains("more than one shard"));
     }
 }

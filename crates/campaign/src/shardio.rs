@@ -1,0 +1,577 @@
+//! A self-contained text codec for [`CampaignReport`]s, so shard runs in
+//! separate processes (or machines) can hand their reports to a merging
+//! coordinator as plain files.
+//!
+//! The workspace's vendored `serde` is a no-op stand-in (the build
+//! environment has no registry access), so this module implements the
+//! round-trip directly: a line-oriented format with Rust-`Debug`-quoted
+//! strings and hex-encoded request/response payloads. The format is
+//! loss-free for everything [`CampaignReport::canonical_text`] and
+//! [`CampaignReport::render_summary`] consume, which is what the
+//! shard-merge determinism contract needs:
+//! `from_shard_text(to_shard_text(r))` reproduces `r`'s canonical text and
+//! summaries byte-for-byte.
+
+use crate::cell::{CellOutcome, CellResult, CellSpec, CellVerdict};
+use crate::exchange::ServedRequest;
+use crate::report::CampaignReport;
+use nvariant::ExecutionMetrics;
+use nvariant_transform::TransformStats;
+use std::fmt;
+use std::time::Duration;
+
+const HEADER: &str = "nvariant-campaign-shard v1";
+
+/// Why a shard file failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardParseError {
+    /// 1-based line the error was detected on (0 for end-of-input errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ShardParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ShardParseError {}
+
+fn quote(s: &str) -> String {
+    format!("{s:?}")
+}
+
+/// Inverse of [`quote`]: parses a Rust-`Debug`-quoted string literal.
+fn unquote(token: &str) -> Result<String, String> {
+    let inner = token
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got {token}"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\'') => out.push('\''),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('0') => out.push('\0'),
+            Some('u') => {
+                let hex: String = chars
+                    .by_ref()
+                    .skip_while(|&c| c == '{')
+                    .take_while(|&c| c != '}')
+                    .collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| format!("bad \\u escape in {token}"))?;
+                out.push(char::from_u32(code).ok_or_else(|| format!("bad \\u escape in {token}"))?);
+            }
+            other => return Err(format!("bad escape \\{other:?} in {token}")),
+        }
+    }
+    Ok(out)
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    if bytes.is_empty() {
+        return "-".to_string();
+    }
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(DIGITS[usize::from(b >> 4)] as char);
+        out.push(DIGITS[usize::from(b & 0xf)] as char);
+    }
+    out
+}
+
+fn hex_decode(token: &str) -> Result<Vec<u8>, String> {
+    if token == "-" {
+        return Ok(Vec::new());
+    }
+    if !token.len().is_multiple_of(2) {
+        return Err(format!("odd-length hex payload ({} chars)", token.len()));
+    }
+    (0..token.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&token[i..i + 2], 16)
+                .map_err(|_| format!("bad hex byte {:?}", &token[i..i + 2]))
+        })
+        .collect()
+}
+
+fn render_cell(out: &mut String, cell: &CellResult) {
+    let spec = &cell.spec;
+    out.push_str(&format!(
+        "cell {} {} {} {} {:#018x} {}\n",
+        spec.config_index,
+        spec.world_index,
+        spec.scenario_index,
+        spec.replicate,
+        spec.seed,
+        cell.wall.as_nanos(),
+    ));
+    out.push_str(&format!("config_label {}\n", quote(&spec.config_label)));
+    out.push_str(&format!("world_label {}\n", quote(&spec.world_label)));
+    out.push_str(&format!("scenario_label {}\n", quote(&spec.scenario_label)));
+    out.push_str(&format!(
+        "exit {}\n",
+        cell.outcome
+            .exit_status
+            .map_or("-".to_string(), |s| s.to_string())
+    ));
+    if let Some(alarm) = &cell.outcome.alarm {
+        out.push_str(&format!("alarm {}\n", quote(alarm)));
+    }
+    if let Some(fault) = &cell.outcome.fault {
+        out.push_str(&format!("fault {}\n", quote(fault)));
+    }
+    let m = &cell.outcome.metrics;
+    out.push_str(&format!(
+        "metrics {} {} {} {} {} {}\n",
+        m.variants,
+        m.total_instructions,
+        m.syscalls,
+        m.monitor_checks,
+        m.detection_calls,
+        m.io_bytes
+    ));
+    let s = &cell.transform_stats;
+    out.push_str(&format!(
+        "stats {} {} {} {} {} {}\n",
+        s.uid_constants_reexpressed,
+        s.implicit_constants_made_explicit,
+        s.single_value_exposures,
+        s.comparison_exposures,
+        s.conditional_checks,
+        s.log_sinks_sanitized
+    ));
+    if let Some(verdict) = &cell.verdict {
+        out.push_str(&format!("observed {}\n", quote(&verdict.observed)));
+        out.push_str(&format!("expected {}\n", quote(&verdict.expected)));
+    }
+    for exchange in &cell.exchanges {
+        out.push_str(&format!(
+            "exchange {} {}\n",
+            hex_encode(&exchange.request),
+            hex_encode(&exchange.response)
+        ));
+    }
+    out.push_str("endcell\n");
+}
+
+impl CampaignReport {
+    /// Serializes the report to the shard interchange text format.
+    #[must_use]
+    pub fn to_shard_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("name {}\n", quote(&self.name)));
+        out.push_str(&format!("base_seed {:#018x}\n", self.base_seed));
+        out.push_str(&format!("workers {}\n", self.workers));
+        out.push_str(&format!(
+            "total_wall_nanos {}\n",
+            self.total_wall.as_nanos()
+        ));
+        for cell in &self.cells {
+            render_cell(&mut out, cell);
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a report from the shard interchange text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShardParseError`] naming the offending line if the text
+    /// is not a well-formed shard file.
+    pub fn from_shard_text(text: &str) -> Result<Self, ShardParseError> {
+        Parser::new(text).parse()
+    }
+}
+
+/// A line-cursor over the shard text, with error positions.
+struct Parser<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    current: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            lines: text.lines().enumerate(),
+            current: 0,
+        }
+    }
+
+    fn fail<T>(&self, message: impl Into<String>) -> Result<T, ShardParseError> {
+        Err(ShardParseError {
+            line: self.current,
+            message: message.into(),
+        })
+    }
+
+    fn next_line(&mut self) -> Result<&'a str, ShardParseError> {
+        match self.lines.next() {
+            Some((index, line)) => {
+                self.current = index + 1;
+                Ok(line)
+            }
+            None => {
+                self.current = 0;
+                Err(ShardParseError {
+                    line: 0,
+                    message: "unexpected end of shard file".to_string(),
+                })
+            }
+        }
+    }
+
+    /// Consumes a `key value...` line, returning the value part.
+    fn expect_field(&mut self, key: &str) -> Result<&'a str, ShardParseError> {
+        let line = self.next_line()?;
+        match line.strip_prefix(key).and_then(|r| r.strip_prefix(' ')) {
+            Some(rest) => Ok(rest),
+            None => self.fail(format!("expected {key:?} field, got {line:?}")),
+        }
+    }
+
+    fn parse_number<T: std::str::FromStr>(&self, token: &str) -> Result<T, ShardParseError> {
+        token.parse::<T>().map_err(|_| ShardParseError {
+            line: self.current,
+            message: format!("expected a number, got {token:?}"),
+        })
+    }
+
+    fn parse_seed(&self, token: &str) -> Result<u64, ShardParseError> {
+        token
+            .strip_prefix("0x")
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .ok_or_else(|| ShardParseError {
+                line: self.current,
+                message: format!("expected 0x-prefixed seed, got {token:?}"),
+            })
+    }
+
+    fn parse_quoted(&self, token: &str) -> Result<String, ShardParseError> {
+        unquote(token).map_err(|message| ShardParseError {
+            line: self.current,
+            message,
+        })
+    }
+
+    fn parse(mut self) -> Result<CampaignReport, ShardParseError> {
+        let header = self.next_line()?;
+        if header != HEADER {
+            return self.fail(format!("expected {HEADER:?}, got {header:?}"));
+        }
+        let name = {
+            let token = self.expect_field("name")?;
+            self.parse_quoted(token)?
+        };
+        let base_seed = {
+            let token = self.expect_field("base_seed")?;
+            self.parse_seed(token)?
+        };
+        let workers = {
+            let token = self.expect_field("workers")?;
+            self.parse_number::<usize>(token)?
+        };
+        let total_wall = {
+            let token = self.expect_field("total_wall_nanos")?;
+            Duration::from_nanos(self.parse_number::<u64>(token)?)
+        };
+
+        let mut cells = Vec::new();
+        loop {
+            let line = self.next_line()?;
+            if line == "end" {
+                break;
+            }
+            let Some(rest) = line.strip_prefix("cell ") else {
+                return self.fail(format!("expected \"cell\" or \"end\", got {line:?}"));
+            };
+            cells.push(self.parse_cell(rest)?);
+        }
+        Ok(CampaignReport::new(
+            name, base_seed, workers, cells, total_wall,
+        ))
+    }
+
+    fn parse_cell(&mut self, coordinates: &str) -> Result<CellResult, ShardParseError> {
+        let tokens: Vec<&str> = coordinates.split(' ').collect();
+        if tokens.len() != 6 {
+            return self.fail(format!(
+                "cell line needs 6 fields (coordinates, seed, wall), got {}",
+                tokens.len()
+            ));
+        }
+        let mut spec = CellSpec {
+            config_index: self.parse_number(tokens[0])?,
+            world_index: self.parse_number(tokens[1])?,
+            scenario_index: self.parse_number(tokens[2])?,
+            replicate: self.parse_number(tokens[3])?,
+            config_label: String::new(),
+            world_label: String::new(),
+            scenario_label: String::new(),
+            seed: self.parse_seed(tokens[4])?,
+        };
+        let wall = Duration::from_nanos(self.parse_number::<u64>(tokens[5])?);
+        spec.config_label = {
+            let token = self.expect_field("config_label")?;
+            self.parse_quoted(token)?
+        };
+        spec.world_label = {
+            let token = self.expect_field("world_label")?;
+            self.parse_quoted(token)?
+        };
+        spec.scenario_label = {
+            let token = self.expect_field("scenario_label")?;
+            self.parse_quoted(token)?
+        };
+        let exit_status = {
+            let token = self.expect_field("exit")?;
+            if token == "-" {
+                None
+            } else {
+                Some(self.parse_number::<i32>(token)?)
+            }
+        };
+
+        // The optional and repeated trailing fields, in fixed order:
+        // alarm? fault? metrics stats (observed expected)? exchange* endcell.
+        let mut alarm = None;
+        let mut fault = None;
+        let mut line = self.next_line()?;
+        if let Some(token) = line.strip_prefix("alarm ") {
+            alarm = Some(self.parse_quoted(token)?);
+            line = self.next_line()?;
+        }
+        if let Some(token) = line.strip_prefix("fault ") {
+            fault = Some(self.parse_quoted(token)?);
+            line = self.next_line()?;
+        }
+        let Some(metrics_rest) = line.strip_prefix("metrics ") else {
+            return self.fail(format!("expected \"metrics\" field, got {line:?}"));
+        };
+        let m: Vec<&str> = metrics_rest.split(' ').collect();
+        if m.len() != 6 {
+            return self.fail(format!("metrics needs 6 counters, got {}", m.len()));
+        }
+        let metrics = ExecutionMetrics {
+            variants: self.parse_number(m[0])?,
+            total_instructions: self.parse_number(m[1])?,
+            syscalls: self.parse_number(m[2])?,
+            monitor_checks: self.parse_number(m[3])?,
+            detection_calls: self.parse_number(m[4])?,
+            io_bytes: self.parse_number(m[5])?,
+        };
+        let stats_rest = self.expect_field("stats")?;
+        let s: Vec<&str> = stats_rest.split(' ').collect();
+        if s.len() != 6 {
+            return self.fail(format!("stats needs 6 counters, got {}", s.len()));
+        }
+        let transform_stats = TransformStats {
+            uid_constants_reexpressed: self.parse_number(s[0])?,
+            implicit_constants_made_explicit: self.parse_number(s[1])?,
+            single_value_exposures: self.parse_number(s[2])?,
+            comparison_exposures: self.parse_number(s[3])?,
+            conditional_checks: self.parse_number(s[4])?,
+            log_sinks_sanitized: self.parse_number(s[5])?,
+        };
+
+        let mut verdict = None;
+        let mut exchanges = Vec::new();
+        let mut line = self.next_line()?;
+        if let Some(token) = line.strip_prefix("observed ") {
+            let observed = self.parse_quoted(token)?;
+            let expected_token = self.expect_field("expected")?;
+            let expected = self.parse_quoted(expected_token)?;
+            verdict = Some(CellVerdict { observed, expected });
+            line = self.next_line()?;
+        }
+        loop {
+            if line == "endcell" {
+                break;
+            }
+            let Some(rest) = line.strip_prefix("exchange ") else {
+                return self.fail(format!(
+                    "expected \"exchange\" or \"endcell\", got {line:?}"
+                ));
+            };
+            let Some((request, response)) = rest.split_once(' ') else {
+                return self.fail("exchange needs request and response payloads");
+            };
+            let decode = |token: &str| {
+                hex_decode(token).map_err(|message| ShardParseError {
+                    line: self.current,
+                    message,
+                })
+            };
+            exchanges.push(ServedRequest {
+                request: decode(request)?,
+                response: decode(response)?,
+            });
+            line = self.next_line()?;
+        }
+
+        Ok(CellResult {
+            spec,
+            outcome: CellOutcome {
+                exit_status,
+                alarm,
+                fault,
+                metrics,
+            },
+            exchanges,
+            transform_stats,
+            verdict,
+            wall,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> CampaignReport {
+        let cell = |replicate: usize, alarmed: bool| CellResult {
+            spec: CellSpec {
+                config_index: 1,
+                world_index: 2,
+                scenario_index: 0,
+                replicate,
+                config_label: "2-Variant \"UID\"".to_string(),
+                world_label: "alt-docroot".to_string(),
+                scenario_label: "uid-overflow\nline2".to_string(),
+                seed: 0xDEAD_BEEF_0000_0001,
+            },
+            outcome: CellOutcome {
+                exit_status: (!alarmed).then_some(0),
+                alarm: alarmed
+                    .then(|| "ALARM at synchronization point 7: values [0, 1]".to_string()),
+                fault: None,
+                metrics: ExecutionMetrics {
+                    variants: 2,
+                    total_instructions: 12345,
+                    syscalls: 67,
+                    monitor_checks: 89,
+                    detection_calls: 4,
+                    io_bytes: 4096,
+                },
+            },
+            exchanges: vec![
+                ServedRequest {
+                    request: b"GET / HTTP/1.0\r\n\r\n".to_vec(),
+                    response: b"HTTP/1.0 200 OK\r\n\r\nok".to_vec(),
+                },
+                ServedRequest {
+                    request: vec![0, 255, 128],
+                    response: Vec::new(),
+                },
+            ],
+            transform_stats: TransformStats {
+                uid_constants_reexpressed: 5,
+                implicit_constants_made_explicit: 1,
+                single_value_exposures: 2,
+                comparison_exposures: 4,
+                conditional_checks: 3,
+                log_sinks_sanitized: 1,
+            },
+            verdict: alarmed.then(|| CellVerdict {
+                observed: "detected".to_string(),
+                expected: "detected".to_string(),
+            }),
+            wall: Duration::from_micros(1234),
+        };
+        CampaignReport::new(
+            "round \"trip\"".to_string(),
+            0x5EED,
+            4,
+            vec![cell(0, false), cell(1, true)],
+            Duration::from_millis(99),
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_canonical_text_and_summaries() {
+        let report = sample_report();
+        let text = report.to_shard_text();
+        let parsed = CampaignReport::from_shard_text(&text).unwrap();
+        assert_eq!(parsed.canonical_text(), report.canonical_text());
+        assert_eq!(parsed.render_summary(), report.render_summary());
+        assert_eq!(parsed.cells, report.cells);
+        assert_eq!(parsed.workers, report.workers);
+        assert_eq!(parsed.total_wall, report.total_wall);
+        // And the round trip is a fixed point.
+        assert_eq!(parsed.to_shard_text(), text);
+    }
+
+    #[test]
+    fn quoting_round_trips_awkward_strings() {
+        for s in [
+            "",
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "newline\nand\ttab and nul\0",
+            "unicode: héllo → 世界",
+        ] {
+            assert_eq!(unquote(&quote(s)).unwrap(), s, "{s:?}");
+        }
+        assert!(unquote("no quotes").is_err());
+        assert!(unquote("\"bad \\q escape\"").is_err());
+    }
+
+    #[test]
+    fn hex_round_trips_payloads() {
+        for payload in [vec![], vec![0u8], vec![0xff, 0x00, 0x7f], b"GET /".to_vec()] {
+            assert_eq!(hex_decode(&hex_encode(&payload)).unwrap(), payload);
+        }
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_name_the_offending_line() {
+        let err = CampaignReport::from_shard_text("not a shard file").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+
+        let report = sample_report();
+        let mut lines: Vec<String> = report.to_shard_text().lines().map(String::from).collect();
+        // Corrupt the metrics line of the first cell.
+        let metrics_line = lines.iter().position(|l| l.starts_with("metrics")).unwrap();
+        lines[metrics_line] = "metrics 1 2".to_string();
+        let err = CampaignReport::from_shard_text(&lines.join("\n")).unwrap_err();
+        assert_eq!(err.line, metrics_line + 1);
+        assert!(err.message.contains("6 counters"));
+
+        // Truncated file.
+        let err = CampaignReport::from_shard_text(HEADER).unwrap_err();
+        assert!(err.message.contains("unexpected end"));
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = CampaignReport::new("empty".to_string(), 1, 1, vec![], Duration::ZERO);
+        let parsed = CampaignReport::from_shard_text(&report.to_shard_text()).unwrap();
+        assert_eq!(parsed.canonical_text(), report.canonical_text());
+        assert!(parsed.cells.is_empty());
+    }
+}

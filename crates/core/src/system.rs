@@ -183,7 +183,7 @@ impl NVariantSystemBuilder {
     /// Returns a [`BuildError`] if the program fails to transform or
     /// compile, or the variation cannot be instantiated.
     pub fn compile(self) -> Result<CompiledSystem, BuildError> {
-        let mut kernel = self
+        let kernel = self
             .world
             .clone()
             .unwrap_or_else(|| WorldBuilder::standard().build());
@@ -205,6 +205,7 @@ impl NVariantSystemBuilder {
                 kernel_template: kernel,
                 initial_uid: self.initial_uid,
                 run_limits: self.run_limits,
+                extra_unshared: self.extra_unshared,
                 plan: CompiledPlan::Single {
                     program: compiled,
                     layout: self.base_layout,
@@ -243,27 +244,12 @@ impl NVariantSystemBuilder {
             });
         }
 
-        // Provision unshared files into the world template.
+        // Register the unshared paths with the monitor (the *set* of paths
+        // is a property of the configuration; the per-world file contents
+        // are provisioned below, and re-provisioned for every alternative
+        // world via `CompiledSystem::provision_world`).
         let mut monitor_config = self.monitor_config.clone();
         if self.config.uses_unshared_account_files() {
-            let db = kernel.passwd().clone();
-            for (index, spec) in specs.iter().enumerate() {
-                let uid_transform = spec.uid;
-                kernel.fs_mut().create(
-                    &format!("/etc/passwd-{index}"),
-                    db.render_passwd_with(|uid| uid_transform.apply(uid))
-                        .into_bytes(),
-                );
-                kernel.fs_mut().create(
-                    &format!("/etc/group-{index}"),
-                    db.render_group_with(|gid| {
-                        nvariant_types::Gid::new(
-                            uid_transform.apply(Uid::new(gid.as_u32())).as_u32(),
-                        )
-                    })
-                    .into_bytes(),
-                );
-            }
             for path in ["/etc/passwd", "/etc/group"] {
                 if !monitor_config.is_unshared(path) {
                     monitor_config = monitor_config.with_unshared_file(path);
@@ -271,24 +257,26 @@ impl NVariantSystemBuilder {
             }
         }
         for path in &self.extra_unshared {
-            provision_unshared_copies(&mut kernel, path, n, |_, data| data.to_vec());
             if !monitor_config.is_unshared(path) {
                 monitor_config = monitor_config.with_unshared_file(path);
             }
         }
 
-        Ok(CompiledSystem {
+        let mut system = CompiledSystem {
             config: self.config,
             transform_stats: stats,
             kernel_template: kernel,
             initial_uid: self.initial_uid,
             run_limits: self.run_limits,
+            extra_unshared: self.extra_unshared,
             plan: CompiledPlan::Multi {
                 variants,
                 specs: VariantSet::new(specs),
                 monitor_config,
             },
-        })
+        };
+        system.kernel_template = system.provision_world(&system.kernel_template);
+        Ok(system)
     }
 
     /// Builds the runnable system (equivalent to
@@ -344,6 +332,7 @@ pub struct CompiledSystem {
     kernel_template: OsKernel,
     initial_uid: Uid,
     run_limits: RunLimits,
+    extra_unshared: Vec<String>,
     plan: CompiledPlan,
 }
 
@@ -376,6 +365,50 @@ impl CompiledSystem {
         &self.kernel_template
     }
 
+    /// Provisions an alternative world for this artifact: clones `base` and
+    /// re-derives every per-variant unshared file from *that world's* state
+    /// (the `/etc/passwd-N` / `/etc/group-N` copies are rendered from the
+    /// base world's account database through each variant's reexpression
+    /// function, and any extra unshared files are copied per variant).
+    ///
+    /// The returned kernel is what [`instantiate_in`](Self::instantiate_in)
+    /// expects: provision once per (artifact, world) pair, then instantiate
+    /// per run. The artifact's own [`kernel_template`](Self::kernel_template)
+    /// is exactly `provision_world` applied to the builder's world at
+    /// compile time.
+    #[must_use]
+    pub fn provision_world(&self, base: &OsKernel) -> OsKernel {
+        let mut kernel = base.clone();
+        let CompiledPlan::Multi { specs, .. } = &self.plan else {
+            return kernel;
+        };
+        if self.config.uses_unshared_account_files() {
+            let db = kernel.passwd().clone();
+            for (variant, spec) in specs.iter() {
+                let index = variant.index();
+                let uid_transform = spec.uid;
+                kernel.fs_mut().create(
+                    &format!("/etc/passwd-{index}"),
+                    db.render_passwd_with(|uid| uid_transform.apply(uid))
+                        .into_bytes(),
+                );
+                kernel.fs_mut().create(
+                    &format!("/etc/group-{index}"),
+                    db.render_group_with(|gid| {
+                        nvariant_types::Gid::new(
+                            uid_transform.apply(Uid::new(gid.as_u32())).as_u32(),
+                        )
+                    })
+                    .into_bytes(),
+                );
+            }
+        }
+        for path in &self.extra_unshared {
+            provision_unshared_copies(&mut kernel, path, specs.len(), |_, data| data.to_vec());
+        }
+        kernel
+    }
+
     /// Stamps out a fresh, independent [`RunnableSystem`].
     ///
     /// This performs *no* parsing, transformation or compilation: it clones
@@ -384,7 +417,21 @@ impl CompiledSystem {
     /// so two instantiations fed the same inputs run identically.
     #[must_use]
     pub fn instantiate(&self) -> RunnableSystem {
-        let mut kernel = self.kernel_template.clone();
+        self.instantiate_in(&self.kernel_template)
+    }
+
+    /// Stamps out a fresh [`RunnableSystem`] deployed into `world` instead
+    /// of the artifact's own compile-time template — the world axis of a
+    /// campaign matrix.
+    ///
+    /// `world` must be a kernel provisioned for this artifact (the
+    /// artifact's [`kernel_template`](Self::kernel_template), or the result
+    /// of [`provision_world`](Self::provision_world) on an alternative base
+    /// world); deployments that rely on unshared per-variant files read them
+    /// from the world they are instantiated into.
+    #[must_use]
+    pub fn instantiate_in(&self, world: &OsKernel) -> RunnableSystem {
+        let mut kernel = world.clone();
         match &self.plan {
             CompiledPlan::Single { program, layout } => {
                 let process = Process::new(program, *layout);
@@ -712,6 +759,77 @@ mod tests {
         assert_eq!(a.exit_status, Some(0));
         // The artifact is still usable after its instantiations ran.
         assert_eq!(compiled.instantiate().run(), a);
+    }
+
+    #[test]
+    fn provision_world_rederives_unshared_files_from_the_new_world() {
+        use nvariant_simos::WorldTemplate;
+        let compiled = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(DeploymentConfig::TwoVariantUid)
+            .compile()
+            .unwrap();
+        let alt = WorldTemplate::alternate_accounts();
+        let provisioned = compiled.provision_world(alt.kernel());
+        // The per-variant copies exist and reflect the *alternate* accounts:
+        // httpd is 61 in that world, re-expressed in variant 1's copy.
+        let text = String::from_utf8(
+            provisioned
+                .fs()
+                .get("/etc/passwd-1")
+                .expect("unshared copy provisioned")
+                .data
+                .clone(),
+        )
+        .unwrap();
+        assert!(text.contains(&format!("{}", 61u32 ^ 0x7FFF_FFFF)), "{text}");
+        assert!(
+            !text.contains(&format!("{}", 48u32 ^ 0x7FFF_FFFF)),
+            "{text}"
+        );
+        // The template never learns about the alternate world.
+        assert!(!alt.kernel().fs().exists("/etc/passwd-1"));
+        // And the base world passed in is untouched (provision clones).
+        let template_text = String::from_utf8(
+            compiled
+                .kernel_template()
+                .fs()
+                .get("/etc/passwd-1")
+                .unwrap()
+                .data
+                .clone(),
+        )
+        .unwrap();
+        assert!(template_text.contains(&format!("{}", 48u32 ^ 0x7FFF_FFFF)));
+    }
+
+    #[test]
+    fn instantiate_in_deploys_into_the_given_world() {
+        use nvariant_simos::WorldTemplate;
+        let compiled = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(DeploymentConfig::TwoVariantUid)
+            .compile()
+            .unwrap();
+        let provisioned = compiled.provision_world(WorldTemplate::alternate_accounts().kernel());
+        let mut system = compiled.instantiate_in(&provisioned);
+        assert_eq!(
+            system
+                .kernel()
+                .passwd()
+                .lookup_user("httpd")
+                .unwrap()
+                .uid
+                .as_u32(),
+            61
+        );
+        let outcome = system.run();
+        assert_eq!(outcome.exit_status, Some(0), "{outcome}");
+        assert!(!outcome.detected_attack());
+        // instantiate() is instantiate_in() on the artifact's own template.
+        let a = compiled.instantiate().run();
+        let b = compiled.instantiate_in(compiled.kernel_template()).run();
+        assert_eq!(a, b);
     }
 
     #[test]

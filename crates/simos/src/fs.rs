@@ -255,15 +255,16 @@ impl Inode {
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FileSystem {
     files: BTreeMap<String, Inode>,
+    /// Paths whose reads deterministically fail with `EIO` — the
+    /// fault-injection hook behind the `faulty-fs` world template.
+    read_faults: std::collections::BTreeSet<String>,
 }
 
 impl FileSystem {
     /// Creates an empty filesystem.
     #[must_use]
     pub fn new() -> Self {
-        FileSystem {
-            files: BTreeMap::new(),
-        }
+        FileSystem::default()
     }
 
     /// Normalizes a path: collapses `//`, resolves `.` and `..` components,
@@ -388,6 +389,31 @@ impl FileSystem {
         } else {
             Err(Errno::Eacces)
         }
+    }
+
+    /// Marks `path` as read-faulty: every subsequent attempt to open it for
+    /// reading fails with [`Errno::Eio`], as if the file sat on a bad disk
+    /// sector. The fault is part of the filesystem state, so it survives
+    /// cloning into provisioned world templates and is fully deterministic.
+    pub fn inject_read_fault(&mut self, path: &str) {
+        self.read_faults.insert(Self::normalize(path));
+    }
+
+    /// Clears a previously injected read fault. Returns `true` if one was
+    /// present.
+    pub fn clear_read_fault(&mut self, path: &str) -> bool {
+        self.read_faults.remove(&Self::normalize(path))
+    }
+
+    /// Returns `true` if reads of `path` have been marked faulty.
+    #[must_use]
+    pub fn is_read_faulty(&self, path: &str) -> bool {
+        self.read_faults.contains(&Self::normalize(path))
+    }
+
+    /// The paths currently marked read-faulty, in path order.
+    pub fn read_faulty_paths(&self) -> impl Iterator<Item = &str> {
+        self.read_faults.iter().map(String::as_str)
     }
 
     /// Changes the ownership of a file.
@@ -549,6 +575,25 @@ mod tests {
         assert!(f.creates());
         assert!(f.appends());
         assert!(!f.truncates());
+    }
+
+    #[test]
+    fn injected_read_faults_are_tracked_and_clearable() {
+        let mut fs = FileSystem::new();
+        fs.create("/var/www/html/news.html", b"<html>".to_vec());
+        assert!(!fs.is_read_faulty("/var/www/html/news.html"));
+        fs.inject_read_fault("/var/www/html/news.html");
+        // Normalized lookups hit the same fault entry.
+        assert!(fs.is_read_faulty("/var/www//html/./news.html"));
+        assert_eq!(
+            fs.read_faulty_paths().collect::<Vec<_>>(),
+            vec!["/var/www/html/news.html"]
+        );
+        // Faults survive cloning (the world-template path).
+        assert!(fs.clone().is_read_faulty("/var/www/html/news.html"));
+        assert!(fs.clear_read_fault("/var/www/html/news.html"));
+        assert!(!fs.clear_read_fault("/var/www/html/news.html"));
+        assert!(!fs.is_read_faulty("/var/www/html/news.html"));
     }
 
     #[test]

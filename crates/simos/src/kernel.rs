@@ -344,6 +344,8 @@ impl OsKernel {
     ///
     /// * [`Errno::Enoent`] if the file is missing and `O_CREAT` is not set.
     /// * [`Errno::Eacces`] if the permission bits deny the requested access.
+    /// * [`Errno::Eio`] if the file has an injected read fault
+    ///   ([`FileSystem::inject_read_fault`]) and the flags request reading.
     /// * [`Errno::Emfile`] if the descriptor table is full.
     pub fn open(&mut self, pid: Pid, path: &str, flags: OpenFlags) -> Result<Fd, Errno> {
         let cred = self.proc_ref(pid)?.cred;
@@ -367,6 +369,9 @@ impl OsKernel {
         } else {
             if flags.wants_read() {
                 self.fs.check_access(&normalized, &cred, AccessMode::Read)?;
+                if self.fs.is_read_faulty(&normalized) {
+                    return Err(Errno::Eio);
+                }
             }
             if flags.wants_write() {
                 self.fs
@@ -653,6 +658,34 @@ mod tests {
         );
         let root = k.spawn_process(Uid::ROOT);
         assert!(k.open(root, "/etc/shadow", OpenFlags::RDONLY).is_ok());
+    }
+
+    #[test]
+    fn open_reports_injected_read_faults_as_eio() {
+        let mut k = kernel_with_file(
+            "/var/www/html/news.html",
+            b"<html>",
+            FileMode::PUBLIC,
+            Uid::ROOT,
+        );
+        let pid = k.spawn_process(Uid::ROOT);
+        assert!(k
+            .open(pid, "/var/www/html/news.html", OpenFlags::RDONLY)
+            .is_ok());
+        k.fs_mut().inject_read_fault("/var/www/html/news.html");
+        assert_eq!(
+            k.open(pid, "/var/www/html/news.html", OpenFlags::RDONLY),
+            Err(Errno::Eio)
+        );
+        // Even root hits the bad sector: faults are not permission checks.
+        assert_eq!(
+            k.open(pid, "/var/www/html/../html/news.html", OpenFlags::RDONLY),
+            Err(Errno::Eio)
+        );
+        k.fs_mut().clear_read_fault("/var/www/html/news.html");
+        assert!(k
+            .open(pid, "/var/www/html/news.html", OpenFlags::RDONLY)
+            .is_ok());
     }
 
     #[test]

@@ -61,4 +61,4 @@ pub use kernel::{FdEntry, OsKernel, ProcessMem};
 pub use net::{Connection, Listener, SimNetwork};
 pub use passwd::{GroupEntry, PasswdDb, PasswdEntry};
 pub use syscall::{SyscallRequest, Sysno};
-pub use world::{UserSpec, WorldBuilder};
+pub use world::{UserSpec, WorldBuilder, WorldTemplate};

@@ -96,37 +96,46 @@ impl WorldBuilder {
     ///   log file the server must escalate to append to.
     #[must_use]
     pub fn standard() -> Self {
-        let mut b = WorldBuilder::new();
-        b = b
+        WorldBuilder::new()
             .user(UserSpec::new("root", 0, 0))
             .user(UserSpec::new("httpd", HTTPD_UID, HTTPD_UID))
-            .user(UserSpec::new("alice", 1000, 100));
+            .user(UserSpec::new("alice", 1000, 100))
+            .standard_shadow()
+            .standard_pages()
+        // `/etc/httpd.conf` and the log file are materialized by `build()`,
+        // so overrides applied after `standard()` still take effect.
+    }
 
-        b = b.file_with(
+    /// Adds the standard root-only `/etc/shadow` whose hashes are the
+    /// attacker's prize (attack judges grep the responses for its contents).
+    #[must_use]
+    pub fn standard_shadow(self) -> Self {
+        self.file_with(
             "/etc/shadow",
             b"root:$6$rEdUnDaNt$EncryptedRootPasswordHash:19000:0:99999:7:::\nhttpd:!!:19000::::::\nalice:$6$aLiCe$AnotherHash:19000:0:99999:7:::\n".to_vec(),
             Uid::ROOT,
             Gid::ROOT,
             FileMode::PRIVATE,
-        );
-        // `/etc/httpd.conf` and the log file are materialized by `build()`,
-        // so overrides applied after `standard()` still take effect.
+        )
+    }
 
-        // WebBench-style static page mix.
-        b = b.page("index.html", &WorldBuilder::html_page("Welcome", 16));
-        b = b.page("about.html", &WorldBuilder::html_page("About Us", 24));
-        b = b.page("products.html", &WorldBuilder::html_page("Products", 48));
-        b = b.page("contact.html", &WorldBuilder::html_page("Contact", 8));
-        b = b.page("news.html", &WorldBuilder::html_page("News Archive", 96));
-        b = b.page(
-            "logo.png",
-            &String::from_utf8(vec![b'P'; 4096]).expect("ascii fill is valid utf-8"),
-        );
-        b = b.page(
-            "admin/status.html",
-            &WorldBuilder::html_page("Server Status", 12),
-        );
-        b
+    /// Adds the WebBench-style static page mix under the current document
+    /// root (small and medium HTML pages plus an image and an admin page).
+    #[must_use]
+    pub fn standard_pages(self) -> Self {
+        self.page("index.html", &WorldBuilder::html_page("Welcome", 16))
+            .page("about.html", &WorldBuilder::html_page("About Us", 24))
+            .page("products.html", &WorldBuilder::html_page("Products", 48))
+            .page("contact.html", &WorldBuilder::html_page("Contact", 8))
+            .page("news.html", &WorldBuilder::html_page("News Archive", 96))
+            .page(
+                "logo.png",
+                &String::from_utf8(vec![b'P'; 4096]).expect("ascii fill is valid utf-8"),
+            )
+            .page(
+                "admin/status.html",
+                &WorldBuilder::html_page("Server Status", 12),
+            )
     }
 
     fn html_page(title: &str, paragraphs: usize) -> String {
@@ -188,6 +197,15 @@ impl WorldBuilder {
     #[must_use]
     pub fn server_user(mut self, name: &str) -> Self {
         self.server_user = name.to_string();
+        self
+    }
+
+    /// Overrides the document root rendered into `/etc/httpd.conf`. Pages
+    /// added via [`WorldBuilder::page`] *after* this call land under the new
+    /// root (the path is resolved when the page is added).
+    #[must_use]
+    pub fn with_document_root(mut self, path: &str) -> Self {
+        self.document_root = path.to_string();
         self
     }
 
@@ -283,6 +301,132 @@ impl WorldBuilder {
                 .create_with(&f.path, f.data.clone(), f.owner, f.group, f.mode);
         }
         kernel
+    }
+}
+
+/// A named, pre-built world a campaign can deploy compiled systems into:
+/// the *environment axis* of the evaluation matrix.
+///
+/// The paper evaluates deployments against one fixed Apache environment;
+/// related work on quantifying diversity effectiveness measures security as
+/// a function of the environment as well as the variant set. A
+/// `WorldTemplate` makes the environment an explicit, labelled coordinate:
+/// the same compiled artifact can be provisioned into the standard world, a
+/// world with a different account database, a different document root, or a
+/// world with injected filesystem faults — and a campaign cell records which
+/// one it ran in.
+///
+/// Templates are immutable once built; deployments clone the kernel, never
+/// mutate the template.
+///
+/// # Example
+///
+/// ```
+/// use nvariant_simos::WorldTemplate;
+///
+/// let world = WorldTemplate::alternate_accounts();
+/// assert_eq!(world.name(), "alt-accounts");
+/// // The service account exists, but under a different UID than the
+/// // standard world's 48.
+/// assert_eq!(world.kernel().passwd().lookup_user("httpd").unwrap().uid.as_u32(), 61);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WorldTemplate {
+    name: String,
+    kernel: OsKernel,
+}
+
+impl WorldTemplate {
+    /// Wraps an already-built kernel as a named template.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kernel: OsKernel) -> Self {
+        WorldTemplate {
+            name: name.into(),
+            kernel,
+        }
+    }
+
+    /// Builds a template from a [`WorldBuilder`].
+    #[must_use]
+    pub fn from_builder(name: impl Into<String>, builder: &WorldBuilder) -> Self {
+        WorldTemplate::new(name, builder.build())
+    }
+
+    /// The standard case-study world ([`WorldBuilder::standard`]).
+    #[must_use]
+    pub fn standard() -> Self {
+        WorldTemplate::from_builder("standard", &WorldBuilder::standard())
+    }
+
+    /// The standard world layout with a different account database: the
+    /// service account keeps its name (`/etc/httpd.conf` still says
+    /// `User httpd`) but maps to UID 61 instead of 48, the ordinary user
+    /// moves to UID 1500, and an extra `backup` system account exists.
+    /// Exercises every UID-carrying path — passwd parsing, privilege drops,
+    /// unshared per-variant account files — with concrete values that never
+    /// appear in the standard world.
+    #[must_use]
+    pub fn alternate_accounts() -> Self {
+        let builder = WorldBuilder::new()
+            .user(UserSpec::new("root", 0, 0))
+            .user(UserSpec::new("httpd", 61, 61))
+            .user(UserSpec::new("alice", 1500, 150))
+            .user(UserSpec::new("backup", 34, 34))
+            .standard_shadow()
+            .standard_pages();
+        WorldTemplate::from_builder("alt-accounts", &builder)
+    }
+
+    /// The standard world with the document tree rooted at `/srv/webroot`
+    /// instead of `/var/www/html` (same accounts, same page names, so the
+    /// same workload mix applies; `/etc/httpd.conf` points the server at the
+    /// new root).
+    #[must_use]
+    pub fn alternate_docroot() -> Self {
+        let builder = WorldBuilder::new()
+            .with_document_root("/srv/webroot")
+            .user(UserSpec::new("root", 0, 0))
+            .user(UserSpec::new("httpd", HTTPD_UID, HTTPD_UID))
+            .user(UserSpec::new("alice", 1000, 100))
+            .standard_shadow()
+            .standard_pages();
+        WorldTemplate::from_builder("alt-docroot", &builder)
+    }
+
+    /// The standard world with a deterministic filesystem fault injected:
+    /// `news.html` sits on a bad sector, so every attempt to serve it fails
+    /// with `EIO` (the server answers 404). The fault is shared kernel
+    /// state, identical for every variant of a deployment, so it degrades
+    /// service without ever inducing cross-variant divergence.
+    #[must_use]
+    pub fn faulty_fs() -> Self {
+        let mut kernel = WorldBuilder::standard().build();
+        kernel.fs_mut().inject_read_fault("/var/www/html/news.html");
+        WorldTemplate::new("faulty-fs", kernel)
+    }
+
+    /// Every built-in world template, standard first — the full environment
+    /// axis the report binaries sweep.
+    #[must_use]
+    pub fn catalogue() -> Vec<WorldTemplate> {
+        vec![
+            WorldTemplate::standard(),
+            WorldTemplate::alternate_accounts(),
+            WorldTemplate::alternate_docroot(),
+            WorldTemplate::faulty_fs(),
+        ]
+    }
+
+    /// The template's name (the label campaign cells record).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pre-built kernel deployments clone from.
+    #[must_use]
+    pub fn kernel(&self) -> &OsKernel {
+        &self.kernel
     }
 }
 
@@ -385,6 +529,59 @@ mod tests {
         assert!(kernel.open(root, "/etc/shadow", OpenFlags::RDONLY).is_ok());
         let www = kernel.spawn_process(Uid::new(HTTPD_UID));
         assert!(kernel.open(www, "/etc/shadow", OpenFlags::RDONLY).is_err());
+    }
+
+    #[test]
+    fn world_template_catalogue_is_distinctly_labelled() {
+        let catalogue = WorldTemplate::catalogue();
+        assert_eq!(catalogue.len(), 4);
+        let names: Vec<&str> = catalogue.iter().map(WorldTemplate::name).collect();
+        assert_eq!(
+            names,
+            vec!["standard", "alt-accounts", "alt-docroot", "faulty-fs"]
+        );
+        // Every world serves the same page names and keeps the shadow prize.
+        for world in &catalogue {
+            let conf = world.kernel().fs().get("/etc/httpd.conf").unwrap();
+            let text = String::from_utf8(conf.data.clone()).unwrap();
+            let docroot = text
+                .lines()
+                .find_map(|l| l.strip_prefix("DocumentRoot "))
+                .unwrap();
+            assert!(
+                world.kernel().fs().exists(&format!("{docroot}/index.html")),
+                "{}",
+                world.name()
+            );
+            assert!(
+                world.kernel().fs().exists("/etc/shadow"),
+                "{}",
+                world.name()
+            );
+        }
+    }
+
+    #[test]
+    fn alternate_docroot_moves_the_page_tree() {
+        let world = WorldTemplate::alternate_docroot();
+        assert!(world.kernel().fs().exists("/srv/webroot/index.html"));
+        assert!(!world.kernel().fs().exists("/var/www/html/index.html"));
+        let conf = world.kernel().fs().get("/etc/httpd.conf").unwrap();
+        assert!(String::from_utf8_lossy(&conf.data).contains("DocumentRoot /srv/webroot"));
+    }
+
+    #[test]
+    fn faulty_fs_world_injects_a_read_fault() {
+        let world = WorldTemplate::faulty_fs();
+        assert!(world
+            .kernel()
+            .fs()
+            .is_read_faulty("/var/www/html/news.html"));
+        // Only the faulted page is affected.
+        assert!(!world
+            .kernel()
+            .fs()
+            .is_read_faulty("/var/www/html/index.html"));
     }
 
     #[test]

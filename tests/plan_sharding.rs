@@ -1,0 +1,136 @@
+//! Seed-derivation and sharding guarantees of the experiment-plan engine.
+//!
+//! `cell_seed` is the root of the determinism story: every cell's behaviour
+//! is a function of its seed, so two distinct matrix coordinates colliding
+//! would silently run identical workloads where the plan promises
+//! independent replicates. These tests pin that property over the exact
+//! matrices the report binaries sweep, and over randomly drawn bases and
+//! matrix shapes.
+
+use nvariant::DeploymentConfig;
+use nvariant_apps::campaigns::{
+    full_matrix_campaign, security_sweep_configs, security_sweep_worlds,
+};
+use nvariant_campaign::{cell_seed, CampaignPlan, CellSpec};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn assert_all_seeds_distinct(cells: &[CellSpec], context: &str) {
+    let mut seen: HashSet<u64> = HashSet::with_capacity(cells.len());
+    for cell in cells {
+        assert!(
+            seen.insert(cell.seed),
+            "{context}: seed collision at {:?}",
+            cell.coordinates()
+        );
+    }
+}
+
+#[test]
+fn full_matrix_report_plan_has_collision_free_seeds() {
+    // The exact plan `campaign_report` (full mode) runs: 5 configurations ×
+    // 4 worlds × (benign + 3 attacks) × 2 replicates.
+    let plan = full_matrix_campaign(&security_sweep_configs(), &security_sweep_worlds(), 24, 2);
+    let cells = plan.cells();
+    assert_eq!(cells.len(), 5 * 4 * 4 * 2);
+    assert_all_seeds_distinct(&cells, "campaign_report full matrix");
+}
+
+#[test]
+fn attack_matrix_and_webbench_plans_have_collision_free_seeds() {
+    // The attack matrix: every sweep configuration × 3 attacks.
+    let attack_cells = nvariant_apps::attack_campaign(&security_sweep_configs()).cells();
+    assert_eq!(attack_cells.len(), 5 * 3);
+    assert_all_seeds_distinct(&attack_cells, "attack matrix");
+
+    // The Table 3 matrix: the paper's 4 configurations × 2 load levels
+    // (scenario-per-load, as `WebBench::measure_matrix` declares it).
+    let webbench = nvariant_apps::campaigns::httpd_campaign(
+        "webbench",
+        &DeploymentConfig::paper_configurations(),
+    )
+    .scenario(nvariant_campaign::Scenario::fixed_requests(
+        "load-1x36",
+        vec![],
+    ))
+    .scenario(nvariant_campaign::Scenario::fixed_requests(
+        "load-15x6",
+        vec![],
+    ));
+    let cells = webbench.cells();
+    assert_eq!(cells.len(), 4 * 2);
+    assert_all_seeds_distinct(&cells, "webbench matrix");
+}
+
+#[test]
+fn seeds_are_stable_across_replicate_and_axis_growth() {
+    // Growing the matrix along a later axis must not re-seed earlier cells:
+    // coordinates, not enumeration order, drive the derivation. This is
+    // what lets a coordinator extend a sweep without invalidating cached
+    // cell results.
+    let config = nvariant_apps::compiled_httpd_system(&DeploymentConfig::Unmodified);
+    let small = CampaignPlan::new("grow")
+        .config(config.clone())
+        .scenario(nvariant_campaign::Scenario::fixed_requests("a", vec![]))
+        .replicates(2);
+    let large = small
+        .clone()
+        .scenario(nvariant_campaign::Scenario::fixed_requests("b", vec![]))
+        .replicates(3);
+    let small_cells = small.cells();
+    let large_cells = large.cells();
+    for cell in &small_cells {
+        let twin = large_cells
+            .iter()
+            .find(|c| c.coordinates() == cell.coordinates())
+            .expect("small matrix embeds in the large one");
+        assert_eq!(twin.seed, cell.seed, "{:?}", cell.coordinates());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Over random base seeds and matrix shapes, every coordinate in the
+    /// matrix draws a distinct seed (an exhaustive check per drawn shape).
+    #[test]
+    fn cell_seeds_never_collide_within_a_matrix(
+        base in any::<u64>(),
+        configs in 1usize..7,
+        worlds in 1usize..5,
+        scenarios in 1usize..7,
+        replicates in 1usize..5,
+    ) {
+        let mut seen: HashSet<u64> =
+            HashSet::with_capacity(configs * worlds * scenarios * replicates);
+        for c in 0..configs {
+            for w in 0..worlds {
+                for s in 0..scenarios {
+                    for r in 0..replicates {
+                        let seed = cell_seed(base, c, w, s, r);
+                        prop_assert!(
+                            seen.insert(seed),
+                            "collision at ({c}, {w}, {s}, {r}) under base {base:#x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transposed coordinates draw different seeds: the axes are not
+    /// interchangeable, so a (config, world) swap cannot silently reuse a
+    /// cell's workload.
+    #[test]
+    fn cell_seed_axes_are_position_sensitive(
+        base in any::<u64>(),
+        a in 0usize..32,
+        b in 0usize..32,
+    ) {
+        if a != b {
+            prop_assert_ne!(cell_seed(base, a, b, 0, 0), cell_seed(base, b, a, 0, 0));
+            prop_assert_ne!(cell_seed(base, 0, a, b, 0), cell_seed(base, 0, b, a, 0));
+            prop_assert_ne!(cell_seed(base, 0, 0, a, b), cell_seed(base, 0, 0, b, a));
+        }
+    }
+}
