@@ -50,6 +50,49 @@ pub fn security_sweep_worlds() -> Vec<WorldTemplate> {
     WorldTemplate::catalogue()
 }
 
+/// The one plan every mode of the `campaign_report` binary — and every
+/// worker the `campaignd` coordinator spawns — derives from: the full
+/// security × world × workload matrix, shrunk by `quick` for smoke runs.
+///
+/// Shard workers and the merging coordinator all rebuild the plan from the
+/// same `quick` flag, which is what makes per-cell seeds *and the plan
+/// hash* agree across processes: a worker invoked with the wrong flag
+/// produces shards whose [`CampaignPlan::plan_hash`] differs, and the
+/// coordinator rejects them up front instead of blending incompatible
+/// matrices.
+#[must_use]
+pub fn report_matrix_plan(
+    quick: bool,
+) -> (CampaignPlan, Vec<DeploymentConfig>, Vec<WorldTemplate>) {
+    let configs = if quick {
+        vec![
+            DeploymentConfig::Unmodified,
+            DeploymentConfig::TwoVariantAddress,
+            DeploymentConfig::TwoVariantUid,
+        ]
+    } else {
+        security_sweep_configs()
+    };
+    let worlds = if quick {
+        vec![
+            WorldTemplate::standard(),
+            WorldTemplate::alternate_docroot(),
+            WorldTemplate::faulty_fs(),
+        ]
+    } else {
+        security_sweep_worlds()
+    };
+    let (benign_requests, replicates) = if quick { (4, 1) } else { (24, 2) };
+
+    // Replicates apply to the whole matrix; attack scenarios ignore the
+    // per-cell seed, so their replicated cells reproduce identical outcomes
+    // — cheap, and a standing stability check on the engine.
+    let plan = full_matrix_campaign(&configs, &worlds, benign_requests, replicates).scenario(
+        benign_scenario(&WorkloadMix::standard(), benign_requests * 2),
+    );
+    (plan, configs, worlds)
+}
+
 /// The full evaluation matrix as one plan: every supplied configuration ×
 /// every supplied world × (a benign workload scenario + every attack of
 /// [`Attack::all`]). An empty `worlds` slice runs every cell in the

@@ -12,22 +12,23 @@
 //!   `I` of `N` and write the report to `FILE` in the shard interchange
 //!   format.
 //! * `campaign_report [--quick] --merge FILE...` — merge shard files
-//!   written by `--shard`, then re-run the same plan unsharded in-process
-//!   and exit non-zero unless the merged canonical serialization is
-//!   **byte-identical** — the cross-process determinism contract.
+//!   written by `--shard`. Merging is **validation-only**: every shard must
+//!   carry this plan's canonical hash, and the merged cell set must cover
+//!   the plan's full matrix (missing or duplicated cells are named
+//!   exactly) — no cell is ever re-run. Pass `--verify-rerun` to
+//!   additionally re-run the whole plan unsharded in-process and assert
+//!   the merged canonical serialization is **byte-identical** (the
+//!   original O(full-campaign) cross-check, now opt-in).
 //!
 //! All processes of a sharded run must use the same `--quick` setting: the
-//! plan (and every per-cell seed) is derived from it.
+//! plan — its per-cell seeds *and* its plan hash, which gates the merge —
+//! is derived from it.
 
 use nvariant::{DeploymentConfig, NVariantSystemBuilder};
-use nvariant_apps::campaigns::{
-    benign_scenario, full_matrix_campaign, security_sweep_configs, security_sweep_worlds,
-};
+use nvariant_apps::campaigns::report_matrix_plan;
 use nvariant_apps::httpd_source;
-use nvariant_apps::workload::WorkloadMix;
 use nvariant_bench::render_table;
 use nvariant_campaign::{CampaignPlan, CampaignReport};
-use nvariant_simos::WorldTemplate;
 use std::time::Instant;
 
 #[derive(Clone, Debug, Default)]
@@ -37,11 +38,13 @@ struct Args {
     shard: Option<(usize, usize)>,
     out: Option<String>,
     merge: Vec<String>,
+    verify_rerun: bool,
 }
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: campaign_report [--quick] [--workers N] [--shard I/N --out FILE] [--merge FILE...]"
+        "usage: campaign_report [--quick] [--workers N] [--shard I/N --out FILE] \
+         [--merge FILE... [--verify-rerun]]"
     );
     std::process::exit(2);
 }
@@ -101,6 +104,7 @@ fn parse_args() -> Args {
                     usage_exit();
                 }
             }
+            "--verify-rerun" => parsed.verify_rerun = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 usage_exit();
@@ -115,41 +119,11 @@ fn parse_args() -> Args {
         eprintln!("--shard requires --out FILE");
         usage_exit();
     }
+    if parsed.verify_rerun && parsed.merge.is_empty() {
+        eprintln!("--verify-rerun only applies to --merge");
+        usage_exit();
+    }
     parsed
-}
-
-/// The one plan every mode of this binary derives from: the full security ×
-/// world × workload matrix. Shard processes and the merging coordinator all
-/// rebuild it from the same `--quick` flag, which is what makes per-cell
-/// seeds agree across processes.
-fn build_plan(quick: bool) -> (CampaignPlan, Vec<DeploymentConfig>, Vec<WorldTemplate>) {
-    let configs = if quick {
-        vec![
-            DeploymentConfig::Unmodified,
-            DeploymentConfig::TwoVariantAddress,
-            DeploymentConfig::TwoVariantUid,
-        ]
-    } else {
-        security_sweep_configs()
-    };
-    let worlds = if quick {
-        vec![
-            WorldTemplate::standard(),
-            WorldTemplate::alternate_docroot(),
-            WorldTemplate::faulty_fs(),
-        ]
-    } else {
-        security_sweep_worlds()
-    };
-    let (benign_requests, replicates) = if quick { (4, 1) } else { (24, 2) };
-
-    // Replicates apply to the whole matrix; attack scenarios ignore the
-    // per-cell seed, so their replicated cells reproduce identical outcomes
-    // — cheap, and a standing stability check on the engine.
-    let plan = full_matrix_campaign(&configs, &worlds, benign_requests, replicates).scenario(
-        benign_scenario(&WorkloadMix::standard(), benign_requests * 2),
-    );
-    (plan, configs, worlds)
 }
 
 fn per_cell_table(report: &CampaignReport, configs: &[DeploymentConfig]) -> String {
@@ -238,8 +212,9 @@ fn measure_build_once_speedup() {
 fn run_shard_mode(plan: &CampaignPlan, index: usize, count: usize, workers: usize, out: &str) {
     let cells = plan.shard(index, count).len();
     println!(
-        "Shard {index}/{count}: {cells} of {} cells on {workers} worker(s)",
-        plan.cells().len()
+        "Shard {index}/{count}: {cells} of {} cells on {workers} worker(s), plan hash {:#018x}",
+        plan.cells().len(),
+        plan.plan_hash()
     );
     let report = plan.run_shard(index, count, workers);
     if let Err(error) = std::fs::write(out, report.to_shard_text()) {
@@ -250,8 +225,12 @@ fn run_shard_mode(plan: &CampaignPlan, index: usize, count: usize, workers: usiz
     println!("Wrote shard report to {out}");
 }
 
-/// `--merge FILE...`: merge shard files, verify against an unsharded run.
-fn run_merge_mode(plan: &CampaignPlan, files: &[String], workers: usize) {
+/// `--merge FILE...`: validate and merge shard files. Validation-only by
+/// default — the plan hash gates the merge and the plan's cell matrix is
+/// checked for coverage, so no cell is ever re-run. `--verify-rerun`
+/// additionally re-runs the plan unsharded and byte-compares.
+fn run_merge_mode(plan: &CampaignPlan, files: &[String], workers: usize, verify_rerun: bool) {
+    let expected_hash = plan.plan_hash();
     let mut shards = Vec::with_capacity(files.len());
     for file in files {
         let text = std::fs::read_to_string(file).unwrap_or_else(|error| {
@@ -262,6 +241,29 @@ fn run_merge_mode(plan: &CampaignPlan, files: &[String], workers: usize) {
             eprintln!("{file}: {error}");
             std::process::exit(1);
         });
+        // Gate on this coordinator's own plan before any aggregation: a
+        // shard from a differently-shaped plan (or the wrong --quick
+        // setting) is rejected here even if every *shard file* agrees.
+        if report.plan_hash != expected_hash {
+            eprintln!(
+                "{file}: shard plan hash {:#018x} does not match this plan ({expected_hash:#018x}); \
+                 was the worker run with a different --quick setting or plan version?",
+                report.plan_hash
+            );
+            std::process::exit(1);
+        }
+        // The shape must be this plan's too: merge validates coverage
+        // against the *declared* shape, so a tampered shape line could
+        // otherwise shrink the expected matrix and pass a subset off as
+        // complete.
+        if report.shape != plan.shape() {
+            eprintln!(
+                "{file}: shard declares matrix shape {} but this plan is {}",
+                report.shape,
+                plan.shape()
+            );
+            std::process::exit(1);
+        }
         println!(
             "Read {file}: {} cells, {:.1?} of shard wall",
             report.cells.len(),
@@ -273,34 +275,44 @@ fn run_merge_mode(plan: &CampaignPlan, files: &[String], workers: usize) {
         eprintln!("merge failed: {error}");
         std::process::exit(1);
     });
-    println!("\nMerged report:");
+    println!("\nMerged report (plan hash {:#018x}):", merged.plan_hash);
     println!("{}", merged.render_summary());
 
-    // The cross-process determinism contract: the merged shards must be
-    // byte-identical to a fresh unsharded run of the same plan.
-    let whole = plan.run(workers);
-    let identical = merged.canonical_text() == whole.canonical_text();
-    println!(
-        "Shard determinism check ({} shard file(s) vs unsharded run): {}",
-        files.len(),
-        if identical {
-            "byte-identical canonical reports"
-        } else {
-            "MISMATCH"
-        }
-    );
     let mismatches = merged.verdict_mismatches().len();
     if mismatches > 0 {
         println!("VERDICT MISMATCHES: {mismatches}");
-    }
-    if !identical || mismatches > 0 {
         std::process::exit(1);
+    }
+
+    if verify_rerun {
+        // The belt-and-braces cross-check: re-run the whole plan unsharded
+        // in-process and demand byte identity.
+        let whole = plan.run(workers);
+        let identical = merged.canonical_text() == whole.canonical_text();
+        println!(
+            "Shard determinism check ({} shard file(s) vs unsharded re-run): {}",
+            files.len(),
+            if identical {
+                "byte-identical canonical reports"
+            } else {
+                "MISMATCH"
+            }
+        );
+        if !identical {
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "Validated {} shard file(s) against plan hash and cell matrix (no re-run; \
+             pass --verify-rerun for the in-process byte-identity cross-check)",
+            files.len()
+        );
     }
 }
 
 fn main() {
     let args = parse_args();
-    let (plan, configs, worlds) = build_plan(args.quick);
+    let (plan, configs, worlds) = report_matrix_plan(args.quick);
 
     if let Some((index, count)) = args.shard {
         run_shard_mode(
@@ -313,7 +325,7 @@ fn main() {
         return;
     }
     if !args.merge.is_empty() {
-        run_merge_mode(&plan, &args.merge, args.workers);
+        run_merge_mode(&plan, &args.merge, args.workers, args.verify_rerun);
         return;
     }
 

@@ -1,0 +1,489 @@
+//! `campaignd` — the distributed campaign coordinator.
+//!
+//! Turns the single-process shard/merge proof into actual distribution:
+//! the coordinator computes the canonical plan hash of the full security ×
+//! world × workload matrix, spawns one `campaign_report --shard I/N --out
+//! FILE` worker **process** per shard, collects the shard interchange
+//! files, retries workers that crash, are killed, time out, or hand back
+//! unusable files (per-shard attempt cap), and merges the collected
+//! reports **validation-only** — the plan hash gates every shard and the
+//! merged cell set is checked against the plan's expected matrix, so a
+//! wrong-but-plausible report is structurally impossible and no cell is
+//! ever re-run by the coordinator.
+//!
+//! Usage:
+//!
+//! ```text
+//! campaignd [--quick] [--shards N] [--workers N] [--attempts K]
+//!           [--timeout-secs T] [--dir DIR] [--out FILE]
+//!           [--worker-bin PATH] [--kill-shard I] [--verify-rerun]
+//! ```
+//!
+//! * `--shards N` — worker process count (default 3); shard `I` runs
+//!   `campaign_report --shard I/N`.
+//! * `--workers N` — threads per worker process (default: cores/shards).
+//! * `--attempts K` — per-shard attempt cap (default 3). A shard that
+//!   exhausts its attempts fails the whole run with a non-zero exit.
+//! * `--timeout-secs T` — per-attempt wall budget (default 600); a worker
+//!   over budget is killed and the shard retried.
+//! * `--dir DIR` — where shard files are written (default: a fresh
+//!   directory under the system temp dir; kept for post-mortems).
+//! * `--out FILE` — additionally write the merged report in the shard
+//!   interchange format.
+//! * `--worker-bin PATH` — the worker binary (default: the
+//!   `campaign_report` next to this executable).
+//! * `--kill-shard I` — fault injection for tests/CI: kill shard `I`'s
+//!   first attempt right after spawn, exercising the retry path.
+//! * `--verify-rerun` — after the merge, re-run the plan unsharded
+//!   in-process and assert byte-identical canonical output.
+
+use nvariant_apps::campaigns::report_matrix_plan;
+use nvariant_campaign::{CampaignPlan, CampaignReport};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug)]
+struct Args {
+    quick: bool,
+    shards: usize,
+    workers: usize,
+    attempts: usize,
+    timeout: Duration,
+    dir: Option<PathBuf>,
+    out: Option<PathBuf>,
+    worker_bin: Option<PathBuf>,
+    kill_shard: Option<usize>,
+    verify_rerun: bool,
+}
+
+fn usage_exit() -> ! {
+    eprintln!(
+        "usage: campaignd [--quick] [--shards N] [--workers N] [--attempts K] \
+         [--timeout-secs T] [--dir DIR] [--out FILE] [--worker-bin PATH] \
+         [--kill-shard I] [--verify-rerun]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        quick: false,
+        shards: 3,
+        workers: 0,
+        attempts: 3,
+        timeout: Duration::from_secs(600),
+        dir: None,
+        out: None,
+        worker_bin: None,
+        kill_shard: None,
+        verify_rerun: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let number = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+        match args.next().and_then(|v| v.parse::<usize>().ok()) {
+            Some(value) => value,
+            None => {
+                eprintln!("{flag} expects a non-negative integer");
+                usage_exit();
+            }
+        }
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => parsed.quick = true,
+            "--shards" => parsed.shards = number(&mut args, "--shards").max(1),
+            "--workers" => parsed.workers = number(&mut args, "--workers").max(1),
+            "--attempts" => parsed.attempts = number(&mut args, "--attempts").max(1),
+            "--timeout-secs" => {
+                parsed.timeout = Duration::from_secs(number(&mut args, "--timeout-secs") as u64);
+            }
+            "--dir" => {
+                parsed.dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage_exit())))
+            }
+            "--out" => {
+                parsed.out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage_exit())))
+            }
+            "--worker-bin" => {
+                parsed.worker_bin =
+                    Some(PathBuf::from(args.next().unwrap_or_else(|| usage_exit())));
+            }
+            "--kill-shard" => parsed.kill_shard = Some(number(&mut args, "--kill-shard")),
+            "--verify-rerun" => parsed.verify_rerun = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage_exit();
+            }
+        }
+    }
+    if parsed
+        .kill_shard
+        .is_some_and(|index| index >= parsed.shards)
+    {
+        eprintln!(
+            "--kill-shard index out of range for {} shards",
+            parsed.shards
+        );
+        usage_exit();
+    }
+    parsed
+}
+
+/// The worker binary: `campaign_report` next to this executable (both are
+/// bin targets of the same crate, so any build that produced `campaignd`
+/// also knows how to produce its worker).
+fn default_worker_bin() -> PathBuf {
+    let mut path = std::env::current_exe().unwrap_or_else(|error| {
+        eprintln!("cannot locate this executable: {error}");
+        std::process::exit(1);
+    });
+    path.set_file_name(format!("campaign_report{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+/// One worker attempt: state of a spawned `campaign_report --shard` child.
+struct Attempt {
+    child: Child,
+    started: Instant,
+}
+
+/// The coordinator's bookkeeping for one shard of the plan.
+struct ShardJob {
+    index: usize,
+    out_file: PathBuf,
+    attempts_used: usize,
+    running: Option<Attempt>,
+    report: Option<CampaignReport>,
+    /// Why each failed attempt failed, for the final error message.
+    failures: Vec<String>,
+}
+
+struct Coordinator<'a> {
+    plan: &'a CampaignPlan,
+    expected_hash: u64,
+    worker_bin: PathBuf,
+    args: &'a Args,
+}
+
+impl Coordinator<'_> {
+    fn spawn(&self, job: &mut ShardJob) {
+        let mut command = Command::new(&self.worker_bin);
+        if self.args.quick {
+            command.arg("--quick");
+        }
+        command
+            .arg("--shard")
+            .arg(format!("{}/{}", job.index, self.args.shards))
+            .arg("--out")
+            .arg(&job.out_file)
+            .arg("--workers")
+            .arg(self.args.workers.to_string())
+            // Worker chatter stays out of the coordinator's report stream;
+            // stderr passes through so real worker errors surface.
+            .stdout(Stdio::null());
+        job.attempts_used += 1;
+        match command.spawn() {
+            Ok(mut child) => {
+                // Fault injection: kill the first attempt of the chosen
+                // shard before it can write its report, so the retry path
+                // runs under test instead of only in production incidents.
+                if self.args.kill_shard == Some(job.index) && job.attempts_used == 1 {
+                    let _ = child.kill();
+                    println!(
+                        "shard {}: attempt 1 killed by --kill-shard fault injection",
+                        job.index
+                    );
+                }
+                job.running = Some(Attempt {
+                    child,
+                    started: Instant::now(),
+                });
+            }
+            Err(error) => {
+                job.failures.push(format!(
+                    "attempt {}: spawn failed: {error}",
+                    job.attempts_used
+                ));
+                job.running = None;
+            }
+        }
+    }
+
+    /// Polls a running attempt: records a collected report, a failure to
+    /// retry, or a timeout kill; does nothing while the worker is still
+    /// healthy and within budget.
+    fn poll(&self, job: &mut ShardJob) {
+        let Some(attempt) = job.running.as_mut() else {
+            return;
+        };
+        match attempt.child.try_wait() {
+            Ok(Some(status)) if status.success() => {
+                job.running = None;
+                match self.collect(job) {
+                    Ok(report) => {
+                        println!(
+                            "shard {}: collected {} cells (attempt {})",
+                            job.index,
+                            report.cells.len(),
+                            job.attempts_used
+                        );
+                        job.report = Some(report);
+                    }
+                    Err(reason) => job
+                        .failures
+                        .push(format!("attempt {}: {reason}", job.attempts_used)),
+                }
+            }
+            Ok(Some(status)) => {
+                job.running = None;
+                job.failures.push(format!(
+                    "attempt {}: worker exited with {status}",
+                    job.attempts_used
+                ));
+            }
+            Ok(None) => {
+                if attempt.started.elapsed() > self.args.timeout {
+                    let _ = attempt.child.kill();
+                    let _ = attempt.child.wait();
+                    job.running = None;
+                    job.failures.push(format!(
+                        "attempt {}: timed out after {:?} and was killed",
+                        job.attempts_used, self.args.timeout
+                    ));
+                }
+            }
+            Err(error) => {
+                job.running = None;
+                job.failures.push(format!(
+                    "attempt {}: wait failed: {error}",
+                    job.attempts_used
+                ));
+            }
+        }
+    }
+
+    /// Reads and validates a finished worker's shard file. Any failure here
+    /// (missing/truncated/corrupt file, foreign plan hash, wrong cell set)
+    /// counts against the shard's attempt cap exactly like a crash.
+    fn collect(&self, job: &ShardJob) -> Result<CampaignReport, String> {
+        let text = std::fs::read_to_string(&job.out_file)
+            .map_err(|error| format!("cannot read {}: {error}", job.out_file.display()))?;
+        let report = CampaignReport::from_shard_text(&text)
+            .map_err(|error| format!("{}: {error}", job.out_file.display()))?;
+        if report.plan_hash != self.expected_hash {
+            return Err(format!(
+                "shard plan hash {:#018x} does not match coordinator plan {:#018x}",
+                report.plan_hash, self.expected_hash
+            ));
+        }
+        // A corrupt or tampered shape header is an unusable file like any
+        // other: count it against the attempt cap here instead of letting
+        // it abort the whole campaign at the final merge.
+        if report.shape != self.plan.shape() {
+            return Err(format!(
+                "shard declares matrix shape {} but the coordinator plan is {}",
+                report.shape,
+                self.plan.shape()
+            ));
+        }
+        let expected: Vec<_> = self
+            .plan
+            .shard(job.index, self.args.shards)
+            .iter()
+            .map(|spec| spec.coordinates())
+            .collect();
+        let got: Vec<_> = report
+            .cells
+            .iter()
+            .map(|cell| cell.spec.coordinates())
+            .collect();
+        if got != expected {
+            let first_diff = expected
+                .iter()
+                .zip(&got)
+                .find(|(e, g)| e != g)
+                .map(|(e, g)| format!("; first divergence: expected {e:?}, got {g:?}"))
+                .unwrap_or_default();
+            return Err(format!(
+                "shard cell set mismatch: expected {} cells, got {}{first_diff}",
+                expected.len(),
+                got.len()
+            ));
+        }
+        Ok(report)
+    }
+}
+
+fn main() {
+    let started = Instant::now();
+    let args = parse_args();
+
+    // Building the plan compiles the matrix's artifacts (cached
+    // process-wide) but runs zero cells: the coordinator needs the plan
+    // only for its hash, shape and shard cell sets.
+    let (plan, configs, worlds) = report_matrix_plan(args.quick);
+    let expected_hash = plan.plan_hash();
+    let total_cells = plan.cells().len();
+    let per_worker_threads = if args.workers > 0 {
+        args.workers
+    } else {
+        (std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) / args.shards)
+            .max(1)
+    };
+    let args = Args {
+        workers: per_worker_threads,
+        ..args
+    };
+
+    let dir = args
+        .dir
+        .clone()
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("campaignd-{}", std::process::id())));
+    if let Err(error) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create shard directory {}: {error}", dir.display());
+        std::process::exit(1);
+    }
+    let worker_bin = args.worker_bin.clone().unwrap_or_else(default_worker_bin);
+    if !worker_bin.is_file() {
+        eprintln!(
+            "worker binary {} not found; build it first (cargo build --release -p nvariant_bench) \
+             or pass --worker-bin",
+            worker_bin.display()
+        );
+        std::process::exit(1);
+    }
+
+    println!(
+        "campaignd: {} configurations x {} worlds, {total_cells} cells, plan hash {expected_hash:#018x}",
+        configs.len(),
+        worlds.len(),
+    );
+    println!(
+        "spawning {} worker process(es) x {} thread(s) ({} attempt(s) per shard, {:?} timeout), \
+         shard files in {}",
+        args.shards,
+        args.workers,
+        args.attempts,
+        args.timeout,
+        dir.display()
+    );
+
+    let coordinator = Coordinator {
+        plan: &plan,
+        expected_hash,
+        worker_bin,
+        args: &args,
+    };
+    let mut jobs: Vec<ShardJob> = (0..args.shards)
+        .map(|index| ShardJob {
+            index,
+            out_file: dir.join(format!("shard-{index}-of-{}.txt", args.shards)),
+            attempts_used: 0,
+            running: None,
+            report: None,
+            failures: Vec::new(),
+        })
+        .collect();
+    for job in &mut jobs {
+        coordinator.spawn(job);
+    }
+
+    // The supervision loop: poll every running worker, respawn failed
+    // shards while attempts remain, stop when every shard is collected or
+    // some shard is exhausted.
+    loop {
+        for job in &mut jobs {
+            coordinator.poll(job);
+            if job.report.is_none() && job.running.is_none() && job.attempts_used < args.attempts {
+                println!(
+                    "shard {}: retrying (attempt {}): {}",
+                    job.index,
+                    job.attempts_used + 1,
+                    job.failures.last().map_or("unknown failure", |f| f)
+                );
+                coordinator.spawn(job);
+            }
+        }
+        let exhausted: Vec<usize> = jobs
+            .iter()
+            .filter(|job| {
+                job.report.is_none() && job.running.is_none() && job.attempts_used >= args.attempts
+            })
+            .map(|job| job.index)
+            .collect();
+        if !exhausted.is_empty() {
+            for &index in &exhausted {
+                let job = &jobs[index];
+                eprintln!(
+                    "shard {}: exhausted {} attempt(s): {}",
+                    job.index,
+                    args.attempts,
+                    job.failures.join("; ")
+                );
+            }
+            // Don't leave orphan workers behind the failing coordinator.
+            for job in &mut jobs {
+                if let Some(attempt) = job.running.as_mut() {
+                    let _ = attempt.child.kill();
+                    let _ = attempt.child.wait();
+                }
+            }
+            std::process::exit(1);
+        }
+        if jobs.iter().all(|job| job.report.is_some()) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let retries: usize = jobs.iter().map(|job| job.attempts_used - 1).sum();
+    let merged = CampaignReport::merge(jobs.into_iter().map(|job| {
+        job.report
+            .expect("loop exits only when every shard is collected")
+    }))
+    .unwrap_or_else(|error| {
+        eprintln!("merge failed: {error}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "\nMerged report ({} shards, {retries} retr{}, plan hash {:#018x}, coordinator wall {:.1?}):",
+        args.shards,
+        if retries == 1 { "y" } else { "ies" },
+        merged.plan_hash,
+        started.elapsed()
+    );
+    println!("{}", merged.render_summary());
+
+    if let Some(out) = &args.out {
+        if let Err(error) = std::fs::write(out, merged.to_shard_text()) {
+            eprintln!("cannot write merged report {}: {error}", out.display());
+            std::process::exit(1);
+        }
+        println!("Wrote merged report to {}", out.display());
+    }
+
+    let mismatches = merged.verdict_mismatches().len();
+    if mismatches > 0 {
+        println!("VERDICT MISMATCHES: {mismatches}");
+        std::process::exit(1);
+    }
+
+    if args.verify_rerun {
+        let whole =
+            plan.run(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
+        let identical = merged.canonical_text() == whole.canonical_text();
+        println!(
+            "Distributed determinism check ({} worker processes vs unsharded in-process run): {}",
+            args.shards,
+            if identical {
+                "byte-identical canonical reports"
+            } else {
+                "MISMATCH"
+            }
+        );
+        if !identical {
+            std::process::exit(1);
+        }
+    }
+}

@@ -19,8 +19,12 @@
 //! * [`CampaignPlan::cells`] is a *pure function* of the plan, so
 //!   [`CampaignPlan::shard`] can split the matrix round-robin across
 //!   processes that never communicate;
-//! * [`CampaignReport::merge`] reassembles shard reports — and
-//!   [`CampaignReport::canonical_text`] of the merged report is
+//! * every report carries the plan's canonical hash
+//!   ([`CampaignPlan::plan_hash`]: name + seed + full axes) and matrix
+//!   shape, so [`CampaignReport::merge`] is *validation-only*: it rejects
+//!   shards from differently-shaped plans and incomplete shard sets
+//!   (naming the exact missing cells) without re-running anything — and
+//!   [`CampaignReport::canonical_text`] of a merged report is
 //!   byte-identical to an unsharded run at any worker count.
 //!
 //! # Example
@@ -88,13 +92,8 @@ pub use cell::{CellOutcome, CellResult, CellSpec, CellVerdict, RequestTally};
 pub use engine::{cell_seed, run_parallel};
 pub use exchange::ServedRequest;
 pub use plan::{serve_requests, CampaignPlan, CellRun, Scenario};
-pub use report::{CampaignReport, MergeError, WallPercentiles};
+pub use report::{CampaignReport, MergeError, PlanShape, WallPercentiles};
 pub use shardio::ShardParseError;
-
-/// The pre-plan name of [`CampaignPlan`], kept so the PR-2 examples and
-/// downstream sketches keep compiling while they migrate.
-#[deprecated(note = "renamed to CampaignPlan; campaigns are experiment plans now")]
-pub type Campaign = CampaignPlan;
 
 #[cfg(test)]
 mod send_tests {

@@ -6,7 +6,7 @@
 use crate::cell::{CellOutcome, CellResult, CellSpec, CellVerdict};
 use crate::engine::{cell_seed, run_parallel};
 use crate::exchange::ServedRequest;
-use crate::report::CampaignReport;
+use crate::report::{CampaignReport, PlanShape};
 use nvariant::{CompiledSystem, DeploymentConfig, RunnableSystem, SystemOutcome};
 use nvariant_simos::{OsKernel, WorldTemplate};
 use nvariant_types::Port;
@@ -274,6 +274,74 @@ impl CampaignPlan {
         }
     }
 
+    /// The dimensions of the plan's cell matrix.
+    #[must_use]
+    pub fn shape(&self) -> PlanShape {
+        PlanShape {
+            configs: self.configs.len(),
+            worlds: self.world_count(),
+            scenarios: self.scenarios.len(),
+            replicates: self.replicates,
+        }
+    }
+
+    /// The canonical plan descriptor: a line-oriented rendering of
+    /// everything that identifies the experiment — name, base seed, matrix
+    /// shape, and the full contents of every axis (configuration labels
+    /// plus deployment options and compile-time transformation counts,
+    /// world template labels, scenario labels with port and judging mode).
+    ///
+    /// Two plans with equal descriptors enumerate the same cells with the
+    /// same seeds and run them under the same deployments, so the
+    /// descriptor (via [`plan_hash`](Self::plan_hash)) is what a
+    /// coordinator uses to decide whether two shard reports belong to the
+    /// same experiment. Scenario *behaviour* (the request-generator and
+    /// judge closures) cannot be hashed; scenarios are identified by label,
+    /// port and whether they judge — reusing a scenario label for different
+    /// behaviour within one plan name is the caller's bug, just as it is in
+    /// the rendered reports.
+    #[must_use]
+    pub fn descriptor(&self) -> String {
+        let mut out = format!(
+            "plan {:?}\nseed {:#018x}\nshape {}\n",
+            self.name,
+            self.base_seed,
+            self.shape()
+        );
+        for (index, (compiled, label)) in self.configs.iter().zip(self.config_labels()).enumerate()
+        {
+            out.push_str(&format!(
+                "config {index} {label:?} deployment={:?} stats={:?}\n",
+                compiled.config(),
+                compiled.transform_stats()
+            ));
+        }
+        for (index, label) in self.world_labels().iter().enumerate() {
+            out.push_str(&format!("world {index} {label:?}\n"));
+        }
+        for (index, scenario) in self.scenarios.iter().enumerate() {
+            out.push_str(&format!(
+                "scenario {index} {:?} port={} judged={}\n",
+                scenario.label,
+                scenario.port.as_u16(),
+                scenario.judge.is_some()
+            ));
+        }
+        out
+    }
+
+    /// The canonical plan hash: FNV-1a 64 over
+    /// [`descriptor`](Self::descriptor). Deterministic across processes and
+    /// machines, which is what lets a coordinator gate shard merges up
+    /// front: a worker that rebuilt a differently-shaped plan (different
+    /// configurations, worlds, scenarios or replicates) under the same name
+    /// and seed produces a different hash and its shards are rejected
+    /// before any aggregation happens.
+    #[must_use]
+    pub fn plan_hash(&self) -> u64 {
+        fnv1a_64(self.descriptor().as_bytes())
+    }
+
     /// The full cell list, in canonical order (config-major, then world,
     /// scenario, replicate).
     ///
@@ -402,6 +470,8 @@ impl CampaignPlan {
         CampaignReport::new(
             self.name.clone(),
             self.base_seed,
+            self.plan_hash(),
+            self.shape(),
             workers.max(1),
             results,
             started.elapsed(),
@@ -448,6 +518,19 @@ impl CampaignPlan {
 
 fn saturating_elapsed(started: Instant) -> Duration {
     Instant::now().saturating_duration_since(started)
+}
+
+/// FNV-1a 64: tiny, dependency-free, and stable across platforms and
+/// processes — unlike `std`'s `DefaultHasher`, whose output is explicitly
+/// allowed to vary between releases and is therefore useless as a
+/// cross-process plan identity.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 /// Suffixes repeated labels with their occurrence number (`label`,
@@ -646,6 +729,60 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn shard_index_must_be_in_range() {
         let _ = two_config_plan().shard(2, 2);
+    }
+
+    #[test]
+    fn plan_hash_is_stable_and_axis_sensitive() {
+        let plan = two_config_plan();
+        // Stable: the same plan always hashes identically, and the hash is
+        // what every report of the plan carries.
+        assert_eq!(plan.plan_hash(), plan.clone().plan_hash());
+        assert_eq!(plan.run(1).plan_hash, plan.plan_hash());
+        assert_eq!(plan.run_shard(0, 2, 1).plan_hash, plan.plan_hash());
+        // Sensitive: every axis (and the identity fields) perturbs it.
+        let base = plan.plan_hash();
+        assert_ne!(base, plan.clone().seed(99).plan_hash());
+        assert_ne!(base, plan.clone().replicates(3).plan_hash());
+        assert_ne!(
+            base,
+            plan.clone().world(WorldTemplate::standard()).plan_hash()
+        );
+        assert_ne!(
+            base,
+            plan.clone()
+                .scenario(Scenario::fixed_requests("extra", vec![]))
+                .plan_hash()
+        );
+        assert_ne!(
+            base,
+            plan.clone()
+                .config(compiled(DeploymentConfig::TwoVariantAddress))
+                .plan_hash()
+        );
+        // A scenario's port and judging mode are part of its identity.
+        let with_port = CampaignPlan::new("p")
+            .config(compiled(DeploymentConfig::Unmodified))
+            .scenario(Scenario::fixed_requests("s", vec![]).on_port(nvariant_types::Port::new(81)));
+        let without_port = CampaignPlan::new("p")
+            .config(compiled(DeploymentConfig::Unmodified))
+            .scenario(Scenario::fixed_requests("s", vec![]));
+        assert_ne!(with_port.plan_hash(), without_port.plan_hash());
+    }
+
+    #[test]
+    fn shape_matches_the_cell_list() {
+        let plan = two_config_plan().world(WorldTemplate::standard());
+        let shape = plan.shape();
+        assert_eq!(shape.configs, 2);
+        assert_eq!(shape.worlds, 1);
+        assert_eq!(shape.scenarios, 2);
+        assert_eq!(shape.replicates, 2);
+        assert_eq!(shape.cell_count(), plan.cells().len());
+        // The shape's coordinate enumeration is exactly the cell list's.
+        let coords: Vec<_> = plan.cells().iter().map(CellSpec::coordinates).collect();
+        assert_eq!(shape.coordinates(), coords);
+        // A world-less plan still has the implicit template world.
+        assert_eq!(two_config_plan().shape().worlds, 1);
     }
 
     #[test]

@@ -8,6 +8,88 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
 
+/// The dimensions of a plan's cell matrix: how many positions each axis
+/// has.
+///
+/// Every [`CampaignReport`] records the shape of the plan it came from, so
+/// [`CampaignReport::merge`] can enumerate the plan's expected coordinate
+/// set and detect missing or foreign cells *without re-running the plan* —
+/// the shape, together with the plan hash, is what turns merging from
+/// "trust the shards" into validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanShape {
+    /// Number of configurations on the deployment axis.
+    pub configs: usize,
+    /// Number of worlds on the environment axis (1 when the plan has only
+    /// the implicit template world).
+    pub worlds: usize,
+    /// Number of scenarios.
+    pub scenarios: usize,
+    /// Replicates per (configuration, world, scenario) triple.
+    pub replicates: usize,
+}
+
+impl PlanShape {
+    /// Total number of cells in the matrix.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.configs * self.worlds * self.scenarios * self.replicates
+    }
+
+    /// Total number of cells, or `None` when the product overflows `usize`
+    /// — possible only for hand-crafted or corrupted shapes, which is
+    /// exactly when a parser-fed [`CampaignReport::merge`] must reject the
+    /// shape instead of trusting it with arithmetic or allocations.
+    #[must_use]
+    pub fn checked_cell_count(&self) -> Option<usize> {
+        self.configs
+            .checked_mul(self.worlds)?
+            .checked_mul(self.scenarios)?
+            .checked_mul(self.replicates)
+    }
+
+    /// Whether the coordinates fall inside the matrix.
+    #[must_use]
+    pub fn contains(
+        &self,
+        (config, world, scenario, replicate): (usize, usize, usize, usize),
+    ) -> bool {
+        config < self.configs
+            && world < self.worlds
+            && scenario < self.scenarios
+            && replicate < self.replicates
+    }
+
+    /// Every coordinate of the matrix, in canonical (config-major) order —
+    /// the exact cell set a complete merge must cover. Allocates
+    /// [`cell_count`](Self::cell_count) entries, so call it on shapes from
+    /// trusted plans, not on shapes parsed from untrusted shard files.
+    #[must_use]
+    pub fn coordinates(&self) -> Vec<(usize, usize, usize, usize)> {
+        let mut out = Vec::with_capacity(self.cell_count());
+        for config in 0..self.configs {
+            for world in 0..self.worlds {
+                for scenario in 0..self.scenarios {
+                    for replicate in 0..self.replicates {
+                        out.push((config, world, scenario, replicate));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for PlanShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}x{}x{}",
+            self.configs, self.worlds, self.scenarios, self.replicates
+        )
+    }
+}
+
 /// Why [`CampaignReport::merge`] refused to combine shard reports.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -18,9 +100,41 @@ pub enum MergeError {
     NameMismatch(String, String),
     /// Two shards claim to come from plans with different base seeds.
     SeedMismatch(u64, u64),
+    /// Two shards agree on name and base seed but carry different plan
+    /// hashes: their plans differ somewhere on the axes (configurations,
+    /// worlds, scenarios or replicates), so their cells are not comparable.
+    PlanMismatch {
+        /// Plan hash the merge started from.
+        merged: u64,
+        /// The disagreeing shard's plan hash.
+        shard: u64,
+    },
+    /// Two shards carry different matrix shapes (possible only for
+    /// hand-assembled reports — plan-produced shards with equal hashes
+    /// always agree on shape).
+    ShapeMismatch(PlanShape, PlanShape),
     /// Two shards both contain the cell at these canonical coordinates
     /// (config, world, scenario, replicate) — they do not partition a plan.
     DuplicateCell(usize, usize, usize, usize),
+    /// A shard contains a cell whose coordinates fall outside the plan's
+    /// matrix shape.
+    UnexpectedCell(usize, usize, usize, usize),
+    /// The merged shards do not cover the plan's full cell matrix: the
+    /// shard set is incomplete (a worker's report is missing or was
+    /// truncated).
+    MissingCells {
+        /// The first uncovered coordinates, in canonical order (capped, so
+        /// a near-empty merge of a huge plan stays cheap to report).
+        missing: Vec<(usize, usize, usize, usize)>,
+        /// How many cells the merged shards actually covered.
+        covered: usize,
+        /// How many cells the plan's matrix expects in total.
+        expected: usize,
+    },
+    /// The reports declare a matrix shape whose cell count overflows —
+    /// impossible for a real plan (its cell list exists in memory), so the
+    /// shape can only come from a corrupted or adversarial shard file.
+    ImplausibleShape(PlanShape),
 }
 
 impl fmt::Display for MergeError {
@@ -33,11 +147,50 @@ impl fmt::Display for MergeError {
             MergeError::SeedMismatch(a, b) => {
                 write!(f, "shards come from different base seeds: {a:#x} vs {b:#x}")
             }
+            MergeError::PlanMismatch { merged, shard } => write!(
+                f,
+                "shards come from differently shaped plans (plan hash {merged:#018x} vs \
+                 {shard:#018x}): same name and seed, but the axes differ"
+            ),
+            MergeError::ShapeMismatch(a, b) => {
+                write!(f, "shards disagree on the matrix shape: {a} vs {b}")
+            }
             MergeError::DuplicateCell(c, w, s, r) => write!(
                 f,
                 "cell (config {c}, world {w}, scenario {s}, replicate {r}) appears in more \
                  than one shard"
             ),
+            MergeError::UnexpectedCell(c, w, s, r) => write!(
+                f,
+                "cell (config {c}, world {w}, scenario {s}, replicate {r}) falls outside \
+                 the plan's matrix"
+            ),
+            MergeError::MissingCells {
+                missing,
+                covered,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "merged shards cover {covered} of {expected} cells; missing"
+                )?;
+                let shown = missing.len().min(8);
+                for (i, (c, w, s, r)) in missing.iter().take(shown).enumerate() {
+                    let sep = if i == 0 { ' ' } else { ',' };
+                    write!(
+                        f,
+                        "{sep}(config {c}, world {w}, scenario {s}, replicate {r})"
+                    )?;
+                }
+                let unshown = expected - covered - shown;
+                if unshown > 0 {
+                    write!(f, " and {unshown} more")?;
+                }
+                Ok(())
+            }
+            MergeError::ImplausibleShape(shape) => {
+                write!(f, "shards declare an implausible matrix shape {shape}")
+            }
         }
     }
 }
@@ -80,6 +233,15 @@ pub struct CampaignReport {
     pub name: String,
     /// The plan's base seed.
     pub base_seed: u64,
+    /// The canonical hash of the plan this report came from
+    /// ([`CampaignPlan::plan_hash`](crate::CampaignPlan::plan_hash)):
+    /// name, base seed and the full axes. [`merge`](Self::merge) refuses to
+    /// combine reports with different hashes, so shards from
+    /// differently-shaped plans can never silently blend into one report.
+    pub plan_hash: u64,
+    /// The dimensions of the plan's cell matrix, recorded so
+    /// [`merge`](Self::merge) can validate coverage without the plan.
+    pub shape: PlanShape,
     /// Worker threads the run used.
     pub workers: usize,
     /// Per-cell results, in canonical (config-major) order for whole runs,
@@ -97,6 +259,8 @@ impl CampaignReport {
     pub fn new(
         name: String,
         base_seed: u64,
+        plan_hash: u64,
+        shape: PlanShape,
         workers: usize,
         cells: Vec<CellResult>,
         total_wall: Duration,
@@ -104,6 +268,8 @@ impl CampaignReport {
         CampaignReport {
             name,
             base_seed,
+            plan_hash,
+            shape,
             workers,
             cells,
             total_wall,
@@ -116,11 +282,20 @@ impl CampaignReport {
     /// whole run's. Shard walls sum into `total_wall` (total compute spent),
     /// and `workers` records the widest shard.
     ///
+    /// Merging is **validation-only** — it never re-runs cells. The shards'
+    /// plan hashes gate the merge (shards from differently-shaped plans are
+    /// rejected even when they agree on name and seed), and the merged cell
+    /// set is checked against the plan's expected coordinate matrix, so an
+    /// incomplete shard set (a lost or truncated worker report) fails with
+    /// the exact missing coordinates instead of producing a
+    /// wrong-but-plausible report.
+    ///
     /// # Errors
     ///
     /// Returns a [`MergeError`] if no reports are supplied, the reports
-    /// disagree on plan name or base seed, or two reports contain the same
-    /// cell.
+    /// disagree on plan name, base seed, plan hash or shape, two reports
+    /// contain the same cell, a cell falls outside the plan's matrix, or
+    /// the merged cells do not cover the full matrix.
     pub fn merge(shards: impl IntoIterator<Item = CampaignReport>) -> Result<Self, MergeError> {
         let mut shards = shards.into_iter();
         let mut merged = shards.next().ok_or(MergeError::Empty)?;
@@ -130,6 +305,15 @@ impl CampaignReport {
             }
             if shard.base_seed != merged.base_seed {
                 return Err(MergeError::SeedMismatch(merged.base_seed, shard.base_seed));
+            }
+            if shard.plan_hash != merged.plan_hash {
+                return Err(MergeError::PlanMismatch {
+                    merged: merged.plan_hash,
+                    shard: shard.plan_hash,
+                });
+            }
+            if shard.shape != merged.shape {
+                return Err(MergeError::ShapeMismatch(merged.shape, shard.shape));
             }
             merged.workers = merged.workers.max(shard.workers);
             merged.total_wall += shard.total_wall;
@@ -141,6 +325,53 @@ impl CampaignReport {
                 let (c, w, s, r) = pair[0].spec.coordinates();
                 return Err(MergeError::DuplicateCell(c, w, s, r));
             }
+        }
+        for cell in &merged.cells {
+            if !merged.shape.contains(cell.spec.coordinates()) {
+                let (c, w, s, r) = cell.spec.coordinates();
+                return Err(MergeError::UnexpectedCell(c, w, s, r));
+            }
+        }
+        // The shape reaches this point straight from shard files, so treat
+        // it as untrusted: a cell count that overflows cannot belong to any
+        // plan that ever enumerated its cells in memory.
+        let expected = merged
+            .shape
+            .checked_cell_count()
+            .ok_or(MergeError::ImplausibleShape(merged.shape))?;
+        // Cells are deduplicated and verified in-shape, so coverage reduces
+        // to a count: the matrix is covered iff every expected coordinate
+        // has a cell. On failure, walk the canonical coordinate order in
+        // lockstep with the sorted cells to name the gaps — lazily and
+        // capped, so even an absurd declared shape costs at most
+        // cells + cap iterations and a tiny allocation.
+        if merged.cells.len() != expected {
+            const CAP: usize = 64;
+            let mut cells = merged.cells.iter().map(|cell| cell.spec.coordinates());
+            let mut next = cells.next();
+            let mut missing = Vec::new();
+            'matrix: for config in 0..merged.shape.configs {
+                for world in 0..merged.shape.worlds {
+                    for scenario in 0..merged.shape.scenarios {
+                        for replicate in 0..merged.shape.replicates {
+                            let coordinate = (config, world, scenario, replicate);
+                            if next == Some(coordinate) {
+                                next = cells.next();
+                            } else {
+                                missing.push(coordinate);
+                                if missing.len() == CAP {
+                                    break 'matrix;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            return Err(MergeError::MissingCells {
+                missing,
+                covered: merged.cells.len(),
+                expected,
+            });
         }
         Ok(merged)
     }
@@ -301,9 +532,11 @@ impl CampaignReport {
     #[must_use]
     pub fn canonical_text(&self) -> String {
         let mut out = format!(
-            "campaign={:?} seed={:#018x} cells={}\n",
+            "campaign={:?} seed={:#018x} plan={:#018x} shape={} cells={}\n",
             self.name,
             self.base_seed,
+            self.plan_hash,
+            self.shape,
             self.cells.len()
         );
         for cell in &self.cells {
@@ -403,8 +636,28 @@ mod tests {
         }
     }
 
+    /// A matrix shape wide enough for every hand-built cell these tests
+    /// use: the config axis spans the A..Z labels, the replicate axis the
+    /// wall-percentile test's 100 replicates.
+    fn test_shape() -> PlanShape {
+        PlanShape {
+            configs: 26,
+            worlds: 1,
+            scenarios: 1,
+            replicates: 101,
+        }
+    }
+
     fn report(cells: Vec<CellResult>) -> CampaignReport {
-        CampaignReport::new("t".to_string(), 7, 2, cells, Duration::from_millis(9))
+        CampaignReport::new(
+            "t".to_string(),
+            7,
+            0xABCD,
+            test_shape(),
+            2,
+            cells,
+            Duration::from_millis(9),
+        )
     }
 
     #[test]
@@ -514,6 +767,8 @@ mod tests {
         let single = super::CampaignReport::new(
             "t".to_string(),
             7,
+            0xABCD,
+            test_shape(),
             1,
             vec![cell("A", true, None)],
             Duration::ZERO,
@@ -522,18 +777,35 @@ mod tests {
         assert_eq!(p.p50, p.p99);
     }
 
+    /// A report whose shape exactly covers `replicates` replicates of one
+    /// (config 0, world 0, scenario 0) cell — the shape merge validates
+    /// coverage against.
+    fn shard(cells: Vec<CellResult>, replicates: usize) -> CampaignReport {
+        let mut report = report(cells);
+        report.shape = PlanShape {
+            configs: 1,
+            worlds: 1,
+            scenarios: 1,
+            replicates,
+        };
+        report
+    }
+
+    fn replicate_cell(replicate: usize) -> CellResult {
+        let mut c = cell("A", true, None);
+        c.spec.replicate = replicate;
+        c
+    }
+
     #[test]
     fn merge_restores_canonical_order_and_sums_walls() {
-        let mut c0 = cell("A", true, None);
-        c0.spec.replicate = 0;
-        let mut c1 = cell("A", true, None);
-        c1.spec.replicate = 1;
-        let mut c2 = cell("A", true, None);
-        c2.spec.replicate = 2;
-        let whole = report(vec![c0.clone(), c1.clone(), c2.clone()]);
+        let whole = shard(
+            vec![replicate_cell(0), replicate_cell(1), replicate_cell(2)],
+            3,
+        );
         // Shards in round-robin order: {c0, c2} and {c1}.
-        let shard_a = report(vec![c0, c2]);
-        let mut shard_b = report(vec![c1]);
+        let shard_a = shard(vec![replicate_cell(0), replicate_cell(2)], 3);
+        let mut shard_b = shard(vec![replicate_cell(1)], 3);
         shard_b.workers = 7;
         let merged = CampaignReport::merge([shard_a, shard_b]).unwrap();
         assert_eq!(merged.canonical_text(), whole.canonical_text());
@@ -547,14 +819,14 @@ mod tests {
             CampaignReport::merge(std::iter::empty()),
             Err(MergeError::Empty)
         ));
-        let a = report(vec![cell("A", true, None)]);
-        let mut renamed = report(vec![]);
+        let a = shard(vec![replicate_cell(0)], 1);
+        let mut renamed = shard(vec![], 1);
         renamed.name = "other".to_string();
         assert!(matches!(
             CampaignReport::merge([a.clone(), renamed]),
             Err(MergeError::NameMismatch(..))
         ));
-        let mut reseeded = report(vec![]);
+        let mut reseeded = shard(vec![], 1);
         reseeded.base_seed = 8;
         assert!(matches!(
             CampaignReport::merge([a.clone(), reseeded]),
@@ -566,5 +838,136 @@ mod tests {
         ));
         let mismatch = MergeError::DuplicateCell(0, 0, 0, 0);
         assert!(mismatch.to_string().contains("more than one shard"));
+    }
+
+    #[test]
+    fn merge_rejects_shards_from_differently_shaped_plans() {
+        // Same name, same base seed — the pre-hash merge accepted this
+        // pair and produced a wrong-but-plausible blended report. The plan
+        // hash (covering the axes) now gates the merge.
+        let a = shard(vec![replicate_cell(0)], 2);
+        let mut b = shard(vec![replicate_cell(1)], 2);
+        b.plan_hash = a.plan_hash ^ 1;
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.base_seed, b.base_seed);
+        let err = CampaignReport::merge([a.clone(), b]).unwrap_err();
+        assert!(matches!(err, MergeError::PlanMismatch { .. }), "{err:?}");
+        assert!(err.to_string().contains("differently shaped plans"));
+
+        // Hand-assembled reports with equal hashes but disagreeing shapes
+        // are still rejected.
+        let mut c = shard(vec![replicate_cell(1)], 3);
+        c.shape.replicates = 5;
+        assert!(matches!(
+            CampaignReport::merge([a, c]),
+            Err(MergeError::ShapeMismatch(..))
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_shard_sets_naming_the_missing_cells() {
+        // A strict subset of the plan's cells used to merge silently; now
+        // the gap is named exactly.
+        let a = shard(vec![replicate_cell(0)], 3);
+        let b = shard(vec![replicate_cell(2)], 3);
+        let err = CampaignReport::merge([a, b]).unwrap_err();
+        match err {
+            MergeError::MissingCells {
+                missing,
+                covered,
+                expected,
+            } => {
+                assert_eq!(covered, 2);
+                assert_eq!(expected, 3);
+                assert_eq!(missing, vec![(0, 0, 0, 1)]);
+            }
+            other => panic!("expected MissingCells, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_rejects_overflowing_shapes_without_enumerating_them() {
+        // A shape straight out of a tampered shard file: the cell count
+        // overflows usize, which no real plan can produce. The merge must
+        // reject it cheaply instead of panicking or allocating.
+        let mut a = shard(vec![replicate_cell(0)], 1);
+        a.shape = PlanShape {
+            configs: usize::MAX,
+            worlds: 2,
+            scenarios: 1,
+            replicates: 1,
+        };
+        let err = CampaignReport::merge([a]).unwrap_err();
+        assert!(matches!(err, MergeError::ImplausibleShape(_)), "{err:?}");
+        assert!(err.to_string().contains("implausible"));
+
+        // A huge-but-representable shape is reported as missing cells with
+        // a capped listing — again without enumerating the whole matrix.
+        let mut b = shard(vec![replicate_cell(0)], 1);
+        b.shape = PlanShape {
+            configs: 1,
+            worlds: 1,
+            scenarios: 1,
+            replicates: usize::MAX,
+        };
+        match CampaignReport::merge([b]).unwrap_err() {
+            MergeError::MissingCells {
+                missing,
+                covered,
+                expected,
+            } => {
+                assert_eq!(covered, 1);
+                assert_eq!(expected, usize::MAX);
+                assert_eq!(missing.len(), 64);
+                assert_eq!(missing[0], (0, 0, 0, 1));
+            }
+            other => panic!("expected MissingCells, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_rejects_cells_outside_the_plan_matrix() {
+        let a = shard(vec![replicate_cell(0), replicate_cell(1)], 1);
+        assert!(matches!(
+            CampaignReport::merge([a]),
+            Err(MergeError::UnexpectedCell(0, 0, 0, 1))
+        ));
+    }
+
+    #[test]
+    fn missing_cells_display_caps_the_listing() {
+        let missing: Vec<_> = (0..12).map(|r| (0, 0, 0, r)).collect();
+        let rendered = MergeError::MissingCells {
+            missing,
+            covered: 8,
+            expected: 20,
+        }
+        .to_string();
+        assert!(rendered.contains("8 of 20 cells"), "{rendered}");
+        // 20 expected - 8 covered - 8 shown = 4 unshown.
+        assert!(rendered.contains("and 4 more"), "{rendered}");
+    }
+
+    #[test]
+    fn plan_shape_enumerates_its_matrix() {
+        let shape = PlanShape {
+            configs: 2,
+            worlds: 3,
+            scenarios: 2,
+            replicates: 2,
+        };
+        assert_eq!(shape.cell_count(), 24);
+        let coords = shape.coordinates();
+        assert_eq!(coords.len(), 24);
+        assert_eq!(coords[0], (0, 0, 0, 0));
+        assert_eq!(coords[23], (1, 2, 1, 1));
+        // Canonical (config-major) order, matching `CellSpec::coordinates`
+        // sort order.
+        let mut sorted = coords.clone();
+        sorted.sort_unstable();
+        assert_eq!(coords, sorted);
+        assert!(shape.contains((1, 2, 1, 1)));
+        assert!(!shape.contains((2, 0, 0, 0)));
+        assert_eq!(shape.to_string(), "2x3x2x2");
     }
 }

@@ -14,13 +14,17 @@
 
 use crate::cell::{CellOutcome, CellResult, CellSpec, CellVerdict};
 use crate::exchange::ServedRequest;
-use crate::report::CampaignReport;
+use crate::report::{CampaignReport, PlanShape};
 use nvariant::ExecutionMetrics;
 use nvariant_transform::TransformStats;
 use std::fmt;
 use std::time::Duration;
 
-const HEADER: &str = "nvariant-campaign-shard v1";
+/// Format version 2: v1 plus the `plan_hash` and `shape` header fields
+/// that gate merges. v1 files (which predate plan hashing) are rejected at
+/// the header line — a pre-hash shard cannot prove which plan it belongs
+/// to, so silently accepting it would reopen the mismatched-merge hole.
+const HEADER: &str = "nvariant-campaign-shard v2";
 
 /// Why a shard file failed to parse.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -102,14 +106,26 @@ fn hex_decode(token: &str) -> Result<Vec<u8>, String> {
         return Ok(Vec::new());
     }
     if !token.len().is_multiple_of(2) {
-        return Err(format!("odd-length hex payload ({} chars)", token.len()));
+        return Err(format!("odd-length hex payload ({} bytes)", token.len()));
     }
-    (0..token.len())
-        .step_by(2)
-        .map(|i| {
-            u8::from_str_radix(&token[i..i + 2], 16)
-                .map_err(|_| format!("bad hex byte {:?}", &token[i..i + 2]))
-        })
+    // Decode nibble-by-nibble over the raw bytes: byte-offset string
+    // slicing would panic on corrupt multi-byte UTF-8 payloads, and a
+    // parser of untrusted shard files must report, never panic.
+    let nibble = |b: u8| -> Result<u8, String> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            // The encoder emits lowercase, but the previous
+            // from_str_radix-based decoder accepted uppercase too; keep
+            // accepting it so externally produced interchange files parse.
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(format!("bad hex digit {:?}", char::from(b))),
+        }
+    };
+    token
+        .as_bytes()
+        .chunks_exact(2)
+        .map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?))
         .collect()
 }
 
@@ -182,6 +198,11 @@ impl CampaignReport {
         out.push('\n');
         out.push_str(&format!("name {}\n", quote(&self.name)));
         out.push_str(&format!("base_seed {:#018x}\n", self.base_seed));
+        out.push_str(&format!("plan_hash {:#018x}\n", self.plan_hash));
+        out.push_str(&format!(
+            "shape {} {} {} {}\n",
+            self.shape.configs, self.shape.worlds, self.shape.scenarios, self.shape.replicates
+        ));
         out.push_str(&format!("workers {}\n", self.workers));
         out.push_str(&format!(
             "total_wall_nanos {}\n",
@@ -288,6 +309,25 @@ impl<'a> Parser<'a> {
             let token = self.expect_field("base_seed")?;
             self.parse_seed(token)?
         };
+        let plan_hash = {
+            let token = self.expect_field("plan_hash")?;
+            self.parse_seed(token)?
+        };
+        let shape = {
+            let tokens: Vec<&str> = self.expect_field("shape")?.split(' ').collect();
+            if tokens.len() != 4 {
+                return self.fail(format!(
+                    "shape needs 4 axis sizes (configs, worlds, scenarios, replicates), got {}",
+                    tokens.len()
+                ));
+            }
+            PlanShape {
+                configs: self.parse_number(tokens[0])?,
+                worlds: self.parse_number(tokens[1])?,
+                scenarios: self.parse_number(tokens[2])?,
+                replicates: self.parse_number(tokens[3])?,
+            }
+        };
         let workers = {
             let token = self.expect_field("workers")?;
             self.parse_number::<usize>(token)?
@@ -308,8 +348,19 @@ impl<'a> Parser<'a> {
             };
             cells.push(self.parse_cell(rest)?);
         }
+        // "end" must really end the file: trailing content would mean a
+        // concatenated or corrupted shard whose tail silently vanishes.
+        // Blank lines are tolerated — an extra trailing newline from an
+        // editor or a text-mode transfer doesn't change the report.
+        for (index, line) in self.lines.by_ref() {
+            if line.is_empty() {
+                continue;
+            }
+            self.current = index + 1;
+            return self.fail(format!("unexpected content after \"end\": {line:?}"));
+        }
         Ok(CampaignReport::new(
-            name, base_seed, workers, cells, total_wall,
+            name, base_seed, plan_hash, shape, workers, cells, total_wall,
         ))
     }
 
@@ -503,6 +554,13 @@ mod tests {
         CampaignReport::new(
             "round \"trip\"".to_string(),
             0x5EED,
+            0xFEED_FACE_CAFE_F00D,
+            PlanShape {
+                configs: 2,
+                worlds: 3,
+                scenarios: 1,
+                replicates: 2,
+            },
             4,
             vec![cell(0, false), cell(1, true)],
             Duration::from_millis(99),
@@ -519,8 +577,22 @@ mod tests {
         assert_eq!(parsed.cells, report.cells);
         assert_eq!(parsed.workers, report.workers);
         assert_eq!(parsed.total_wall, report.total_wall);
+        // The merge-gating identity survives the trip.
+        assert_eq!(parsed.plan_hash, report.plan_hash);
+        assert_eq!(parsed.shape, report.shape);
         // And the round trip is a fixed point.
         assert_eq!(parsed.to_shard_text(), text);
+    }
+
+    #[test]
+    fn v1_shard_files_are_rejected_at_the_header() {
+        // A pre-hash shard cannot prove which plan it belongs to.
+        let v1 = sample_report()
+            .to_shard_text()
+            .replace("shard v2", "shard v1");
+        let err = CampaignReport::from_shard_text(&v1).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("v2"), "{err}");
     }
 
     #[test]
@@ -545,6 +617,9 @@ mod tests {
         }
         assert!(hex_decode("abc").is_err());
         assert!(hex_decode("zz").is_err());
+        // The encoder emits lowercase, but uppercase input (accepted by the
+        // format since v1) still decodes.
+        assert_eq!(hex_decode("AbFf").unwrap(), vec![0xab, 0xff]);
     }
 
     #[test]
@@ -565,11 +640,81 @@ mod tests {
         // Truncated file.
         let err = CampaignReport::from_shard_text(HEADER).unwrap_err();
         assert!(err.message.contains("unexpected end"));
+
+        // A duplicated metrics line is caught where "stats" was expected.
+        let mut lines: Vec<String> = report.to_shard_text().lines().map(String::from).collect();
+        let metrics_line = lines.iter().position(|l| l.starts_with("metrics")).unwrap();
+        lines.insert(metrics_line + 1, lines[metrics_line].clone());
+        let err = CampaignReport::from_shard_text(&lines.join("\n")).unwrap_err();
+        assert_eq!(err.line, metrics_line + 2);
+        assert!(err.message.contains("stats"), "{err}");
+
+        // Corrupted hex names the exchange line, and non-ASCII corruption
+        // (which would split a UTF-8 char under byte slicing) reports
+        // instead of panicking.
+        for corruption in ["zz", "é!"] {
+            let mut lines: Vec<String> = report.to_shard_text().lines().map(String::from).collect();
+            let exchange_line = lines
+                .iter()
+                .position(|l| l.starts_with("exchange"))
+                .unwrap();
+            lines[exchange_line] = {
+                let line = &lines[exchange_line];
+                format!("{}{corruption}", &line[..line.len() - 2])
+            };
+            let err = CampaignReport::from_shard_text(&lines.join("\n")).unwrap_err();
+            assert_eq!(err.line, exchange_line + 1, "{corruption}: {err}");
+            assert!(err.message.contains("hex"), "{corruption}: {err}");
+        }
+    }
+
+    #[test]
+    fn trailing_content_after_end_is_rejected() {
+        // Two concatenated shard files must not silently parse as the
+        // first one.
+        let text = sample_report().to_shard_text();
+        let doubled = format!("{text}{text}");
+        let err = CampaignReport::from_shard_text(&doubled).unwrap_err();
+        assert_eq!(err.line, text.lines().count() + 1);
+        assert!(err.message.contains("after \"end\""), "{err}");
+        // But harmless trailing blank lines (an editor's or a text-mode
+        // transfer's extra newlines) still parse.
+        let padded = format!("{text}\n\n");
+        let parsed = CampaignReport::from_shard_text(&padded).unwrap();
+        assert_eq!(parsed.to_shard_text(), text);
+    }
+
+    #[test]
+    fn truncation_at_any_line_boundary_is_a_clean_error() {
+        let text = sample_report().to_shard_text();
+        let total = text.lines().count();
+        for keep in 0..total {
+            let truncated: String = text.lines().take(keep).map(|l| format!("{l}\n")).collect();
+            let err = CampaignReport::from_shard_text(&truncated).unwrap_err();
+            assert!(
+                err.line <= keep + 1,
+                "kept {keep} lines but error names line {}",
+                err.line
+            );
+        }
     }
 
     #[test]
     fn empty_report_round_trips() {
-        let report = CampaignReport::new("empty".to_string(), 1, 1, vec![], Duration::ZERO);
+        let report = CampaignReport::new(
+            "empty".to_string(),
+            1,
+            2,
+            PlanShape {
+                configs: 0,
+                worlds: 1,
+                scenarios: 0,
+                replicates: 1,
+            },
+            1,
+            vec![],
+            Duration::ZERO,
+        );
         let parsed = CampaignReport::from_shard_text(&report.to_shard_text()).unwrap();
         assert_eq!(parsed.canonical_text(), report.canonical_text());
         assert!(parsed.cells.is_empty());

@@ -32,10 +32,18 @@ fn main() {
         plan.world_count()
     );
     println!(
-        "matrix: {} configs x {} worlds x 1 scenario x 2 replicates = {} cells\n",
+        "matrix: {} configs x {} worlds x 1 scenario x 2 replicates = {} cells",
         plan.compiled_configs().len(),
         plan.world_count(),
         plan.cells().len()
+    );
+    // The canonical plan hash (name + seed + full axes) travels in every
+    // report and shard file; merges are gated on it, so shards from a
+    // differently-shaped plan can never blend in silently.
+    println!(
+        "plan hash: {:#018x} (shape {})\n",
+        plan.plan_hash(),
+        plan.shape()
     );
 
     // Run the whole matrix on a worker pool.

@@ -1,0 +1,123 @@
+//! The plan-hash merge gate, end to end over the real case-study server.
+//!
+//! PR 3's `CampaignReport::merge` checked only `name` and `base_seed`:
+//! shards from differently-shaped plans (different config/world/scenario
+//! axes under the same name), or a strict subset of a plan's shards,
+//! merged silently into a wrong-but-plausible report. These tests pin the
+//! fix: every report carries its plan's canonical hash and matrix shape,
+//! and merging is validation-only against them.
+
+use nvariant::DeploymentConfig;
+use nvariant_apps::campaigns::report_matrix_plan;
+use nvariant_apps::scenarios::compiled_httpd_system;
+use nvariant_campaign::{CampaignPlan, CampaignReport, MergeError, Scenario};
+use nvariant_simos::WorldTemplate;
+
+fn one_cell_scenario(label: &str) -> Scenario {
+    Scenario::fixed_requests(label, vec![b"GET / HTTP/1.0\r\n\r\n".to_vec()])
+}
+
+fn base_plan(name: &str) -> CampaignPlan {
+    CampaignPlan::new(name)
+        .config(compiled_httpd_system(&DeploymentConfig::Unmodified))
+        .scenario(one_cell_scenario("ping"))
+}
+
+#[test]
+fn merge_rejects_shards_from_differently_shaped_plans() {
+    // Regression for the PR 3 hole: same plan name, same base seed — but
+    // one plan grew a second scenario. The old merge combined these into
+    // one report whenever the cell coordinates happened not to collide.
+    let narrow = base_plan("sweep");
+    let wide = base_plan("sweep").scenario(one_cell_scenario("extra"));
+    let narrow_report = narrow.run(1);
+    // Shard 1 of the wide plan holds only its second scenario's cell, so
+    // its coordinates are disjoint from the narrow report's — exactly the
+    // shape of accident the name+seed check used to wave through.
+    let wide_shard = wide.run_shard(1, 2, 1);
+    assert_eq!(narrow_report.name, wide_shard.name);
+    assert_eq!(narrow_report.base_seed, wide_shard.base_seed);
+    let err = CampaignReport::merge([narrow_report, wide_shard]).unwrap_err();
+    assert!(
+        matches!(err, MergeError::PlanMismatch { .. }),
+        "expected PlanMismatch, got {err:?}"
+    );
+    assert!(err.to_string().contains("differently shaped plans"));
+}
+
+#[test]
+fn merge_rejects_strict_subsets_and_names_every_missing_cell() {
+    // Regression: merging 2 of 3 shards used to succeed silently.
+    let plan = base_plan("subset").replicates(3);
+    let whole = plan.run(1);
+    let err =
+        CampaignReport::merge([plan.run_shard(0, 3, 1), plan.run_shard(2, 3, 1)]).unwrap_err();
+    match err {
+        MergeError::MissingCells {
+            missing,
+            covered,
+            expected,
+        } => {
+            assert_eq!(covered, 2);
+            assert_eq!(expected, 3);
+            // Shard 1 of 3 holds exactly the middle replicate.
+            assert_eq!(missing, vec![(0, 0, 0, 1)]);
+        }
+        other => panic!("expected MissingCells, got {other:?}"),
+    }
+    // The complete shard set still merges byte-identically.
+    let merged = CampaignReport::merge((0..3).map(|index| plan.run_shard(index, 3, 1)))
+        .expect("complete shard sets merge");
+    assert_eq!(merged.canonical_text(), whole.canonical_text());
+}
+
+#[test]
+fn plan_hash_separates_quick_and_full_report_matrices() {
+    // The report binaries' own footgun: the quick and full matrices share
+    // the plan name ("full-matrix") and base seed, differing only on the
+    // axes. Their hashes must differ so a coordinator can reject a worker
+    // that was invoked with the wrong --quick setting.
+    let (quick, _, _) = report_matrix_plan(true);
+    let (full, _, _) = report_matrix_plan(false);
+    assert_eq!(quick.name(), full.name());
+    assert_ne!(quick.plan_hash(), full.plan_hash());
+    // And the hash is reproducible across independently built plans — the
+    // property that lets separate processes agree on it.
+    assert_eq!(quick.plan_hash(), report_matrix_plan(true).0.plan_hash());
+    assert_eq!(quick.descriptor(), report_matrix_plan(true).0.descriptor());
+}
+
+#[test]
+fn reports_carry_their_plan_identity_through_the_codec() {
+    let plan = base_plan("codec")
+        .world(WorldTemplate::standard())
+        .replicates(2);
+    let report = plan.run(2);
+    assert_eq!(report.plan_hash, plan.plan_hash());
+    assert_eq!(report.shape, plan.shape());
+    let parsed = CampaignReport::from_shard_text(&report.to_shard_text()).unwrap();
+    assert_eq!(parsed.plan_hash, plan.plan_hash());
+    assert_eq!(parsed.shape, plan.shape());
+    // The canonical serialization embeds the identity, so two reports of
+    // differently-shaped plans can never compare byte-identical.
+    assert!(report
+        .canonical_text()
+        .starts_with(&format!("campaign=\"codec\" seed={:#018x}", 0x5EED)));
+    assert!(report
+        .canonical_text()
+        .contains(&format!("plan={:#018x}", plan.plan_hash())));
+}
+
+#[test]
+fn world_axis_membership_changes_the_plan_hash() {
+    // A world template axis with the same *number* of worlds but different
+    // membership must not collide: shard seeds agree (seeds hash
+    // coordinates, not labels) and the old merge would have blended them.
+    let docroot = base_plan("worlds").world(WorldTemplate::alternate_docroot());
+    let faulty = base_plan("worlds").world(WorldTemplate::faulty_fs());
+    assert_eq!(docroot.shape(), faulty.shape());
+    assert_ne!(docroot.plan_hash(), faulty.plan_hash());
+    let err =
+        CampaignReport::merge([docroot.run_shard(0, 2, 1), faulty.run_shard(1, 2, 1)]).unwrap_err();
+    assert!(matches!(err, MergeError::PlanMismatch { .. }), "{err:?}");
+}
