@@ -1,6 +1,8 @@
 //! Ready-made experiment plans over the mini Apache: benign workloads, the
 //! attack corpus, and the full security × workload sweep across every world
-//! template, all sharing the process-wide compiled-artifact cache.
+//! template, all sharing the process-wide content-addressed
+//! [`artifact_store`](crate::scenarios::artifact_store) (and, when it has a
+//! disk layer, skipping recompilation across processes too).
 
 use crate::attacks::{attack_scenario, Attack};
 use crate::scenarios::compiled_httpd_system;
@@ -22,9 +24,10 @@ pub fn benign_scenario(mix: &WorkloadMix, count: usize) -> Scenario {
 }
 
 /// A plan skeleton over the given configurations, with the compiled
-/// artifacts taken from (or added to) the process-wide cache. Cache misses
-/// compile in parallel — the compile is the expensive half of deployment,
-/// so a cold campaign shouldn't pay it serially before the pool spins up.
+/// artifacts taken from (or added to) the process-wide artifact store.
+/// Cache misses compile in parallel — the compile is the expensive half of
+/// deployment, so a cold campaign shouldn't pay it serially before the pool
+/// spins up.
 #[must_use]
 pub fn httpd_campaign(name: &str, configs: &[DeploymentConfig]) -> CampaignPlan {
     let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);

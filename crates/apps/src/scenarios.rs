@@ -3,17 +3,21 @@
 //!
 //! Since the build-once/run-many split, every entry point here runs on top
 //! of the campaign engine: the httpd is compiled **once per configuration**
-//! (a process-wide [`CompiledSystem`] cache) and each scenario run only
-//! pays [`CompiledSystem::instantiate`].
+//! through the process-wide content-addressed [`artifact_store`] (memory
+//! layer always; disk layer across processes when a cache directory is
+//! configured) and each scenario run only pays
+//! [`CompiledSystem::instantiate`].
 
 use crate::httpd::httpd_source;
-use nvariant::{CompiledSystem, DeploymentConfig, NVariantSystemBuilder, RunnableSystem};
+use nvariant::{
+    ArtifactStore, CompiledSystem, DeploymentConfig, NVariantSystemBuilder, RunnableSystem,
+};
 use nvariant_campaign::{CampaignPlan, CellOutcome, CellResult, Scenario};
 use nvariant_transform::TransformStats;
 use nvariant_types::Port;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
 
 pub use nvariant_campaign::ServedRequest;
 
@@ -58,16 +62,38 @@ impl ScenarioOutcome {
     }
 }
 
-/// The process-wide build-once cache: one compiled httpd artifact per
-/// deployment configuration, shared by every scenario, attack and
-/// benchmark run in this process.
-fn compiled_cache() -> &'static Mutex<HashMap<String, Arc<CompiledSystem>>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, Arc<CompiledSystem>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+static ARTIFACT_STORE: OnceLock<ArtifactStore> = OnceLock::new();
+
+/// Configures the process-wide [`ArtifactStore`] before its first use:
+/// `Some(root)` persists compiled artifacts under `<root>/artifacts/` so
+/// later *processes* skip recompilation too; `None` forces memory-only
+/// caching (overriding any `NVARIANT_CACHE_DIR` in the environment).
+///
+/// Returns `false` — and changes nothing — if the store was already
+/// initialized (by an earlier call or a first [`artifact_store`] use);
+/// binaries should call this before compiling anything.
+pub fn init_artifact_store(root: Option<PathBuf>) -> bool {
+    let store = match root {
+        Some(root) => ArtifactStore::at(root),
+        None => ArtifactStore::memory_only(),
+    };
+    ARTIFACT_STORE.set(store).is_ok()
+}
+
+/// The process-wide content-addressed artifact store every scenario, attack
+/// and benchmark run compiles through. Defaults to the environment
+/// configuration ([`ArtifactStore::from_env`]: a disk layer under
+/// `NVARIANT_CACHE_DIR` when set, memory-only otherwise) unless
+/// [`init_artifact_store`] ran first.
+#[must_use]
+pub fn artifact_store() -> &'static ArtifactStore {
+    ARTIFACT_STORE.get_or_init(ArtifactStore::from_env)
 }
 
 /// Compiles the mini Apache for `config` — or returns the cached artifact
-/// if this process already compiled that configuration. The artifact is
+/// from the process-wide content-addressed [`artifact_store`] (the memory
+/// layer, or the disk layer when one is configured, so a warm cache
+/// directory skips recompilation across processes). The artifact is
 /// `Send + Sync` and cheap to instantiate, so callers can fan out over it.
 ///
 /// # Panics
@@ -76,33 +102,13 @@ fn compiled_cache() -> &'static Mutex<HashMap<String, Arc<CompiledSystem>>> {
 /// bug in this crate, not in the caller.
 #[must_use]
 pub fn compiled_httpd_system(config: &DeploymentConfig) -> Arc<CompiledSystem> {
-    let key = format!("{config:?}");
-    if let Some(compiled) = compiled_cache()
-        .lock()
-        .expect("compiled-httpd cache poisoned")
-        .get(&key)
-    {
-        return Arc::clone(compiled);
-    }
-    // Compile outside the lock: first-time compilations of different
-    // configurations proceed in parallel, and a compile panic cannot poison
-    // the cache. Two racing compiles of the same config are harmless — the
-    // loser's artifact is dropped in favour of the cached one.
-    let compiled = Arc::new(
-        NVariantSystemBuilder::from_source(httpd_source())
-            .expect("bundled httpd source parses")
-            .config(config.clone())
-            .initial_uid(nvariant_types::Uid::ROOT)
-            .compile()
-            .expect("bundled httpd source compiles under every configuration"),
-    );
-    Arc::clone(
-        compiled_cache()
-            .lock()
-            .expect("compiled-httpd cache poisoned")
-            .entry(key)
-            .or_insert(compiled),
-    )
+    let builder = NVariantSystemBuilder::from_source(httpd_source())
+        .expect("bundled httpd source parses")
+        .config(config.clone())
+        .initial_uid(nvariant_types::Uid::ROOT);
+    artifact_store()
+        .get_or_compile(builder)
+        .expect("bundled httpd source compiles under every configuration")
 }
 
 /// Builds the mini Apache deployed under `config`, in the standard world

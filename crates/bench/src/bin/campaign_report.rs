@@ -20,6 +20,16 @@
 //!   the merged canonical serialization is **byte-identical** (the
 //!   original O(full-campaign) cross-check, now opt-in).
 //!
+//! Caching: `--cache-dir DIR` enables the two-level result cache under
+//! `DIR` — compiled artifacts (`DIR/artifacts/`, skipping the parse →
+//! transform → compile pipeline across processes) and completed campaign
+//! cells (`DIR/cells/<plan_hash>/`, turning re-runs of identical plans
+//! into file reads). Without the flag, the `NVARIANT_CACHE_DIR`
+//! environment variable is honoured; `--no-cache` disables both layers'
+//! disk side regardless. Caching never changes report content: a warm run
+//! is byte-identical to a cold one (the canonical serialization can be
+//! captured with `--canonical-out FILE` to prove it).
+//!
 //! All processes of a sharded run must use the same `--quick` setting: the
 //! plan — its per-cell seeds *and* its plan hash, which gates the merge —
 //! is derived from it.
@@ -27,8 +37,10 @@
 use nvariant::{DeploymentConfig, NVariantSystemBuilder};
 use nvariant_apps::campaigns::report_matrix_plan;
 use nvariant_apps::httpd_source;
-use nvariant_bench::render_table;
+use nvariant_apps::scenarios::{artifact_store, init_artifact_store};
+use nvariant_bench::{render_table, resolve_cache_dir};
 use nvariant_campaign::{CampaignPlan, CampaignReport};
+use std::path::PathBuf;
 use std::time::Instant;
 
 #[derive(Clone, Debug, Default)]
@@ -39,11 +51,15 @@ struct Args {
     out: Option<String>,
     merge: Vec<String>,
     verify_rerun: bool,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
+    canonical_out: Option<PathBuf>,
 }
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: campaign_report [--quick] [--workers N] [--shard I/N --out FILE] \
+        "usage: campaign_report [--quick] [--workers N] [--cache-dir DIR | --no-cache] \
+         [--canonical-out FILE] [--shard I/N --out FILE] \
          [--merge FILE... [--verify-rerun]]"
     );
     std::process::exit(2);
@@ -76,15 +92,45 @@ fn parse_args() -> Args {
                 let parts: Option<(usize, usize)> = spec
                     .split_once('/')
                     .and_then(|(i, n)| Some((i.parse().ok()?, n.parse().ok()?)));
+                // Reject degenerate shard specs explicitly: N == 0 would
+                // divide the plan into nothing and I >= N would run an
+                // undefined (empty) shard whose "report" could poison a
+                // merge; neither may silently produce output.
                 match parts {
                     Some((index, count)) if count > 0 && index < count => {
                         parsed.shard = Some((index, count));
                     }
-                    _ => {
+                    Some((_, 0)) => {
+                        eprintln!("--shard {spec}: shard count must be positive (N >= 1)");
+                        usage_exit();
+                    }
+                    Some((index, count)) => {
+                        eprintln!(
+                            "--shard {spec}: shard index {index} out of range for {count} \
+                             shard(s); valid indices are 0..{count}"
+                        );
+                        usage_exit();
+                    }
+                    None => {
                         eprintln!("--shard expects I/N with I < N (got {spec:?})");
                         usage_exit();
                     }
                 }
+            }
+            "--cache-dir" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--cache-dir expects a directory path");
+                    usage_exit();
+                };
+                parsed.cache_dir = Some(PathBuf::from(dir));
+            }
+            "--no-cache" => parsed.no_cache = true,
+            "--canonical-out" => {
+                let Some(file) = args.next() else {
+                    eprintln!("--canonical-out expects a file path");
+                    usage_exit();
+                };
+                parsed.canonical_out = Some(PathBuf::from(file));
             }
             "--out" => {
                 parsed.out = args.next();
@@ -121,6 +167,14 @@ fn parse_args() -> Args {
     }
     if parsed.verify_rerun && parsed.merge.is_empty() {
         eprintln!("--verify-rerun only applies to --merge");
+        usage_exit();
+    }
+    if parsed.no_cache && parsed.cache_dir.is_some() {
+        eprintln!("--cache-dir and --no-cache are mutually exclusive");
+        usage_exit();
+    }
+    if parsed.canonical_out.is_some() && (parsed.shard.is_some() || !parsed.merge.is_empty()) {
+        eprintln!("--canonical-out only applies to the full-matrix run");
         usage_exit();
     }
     parsed
@@ -222,6 +276,7 @@ fn run_shard_mode(plan: &CampaignPlan, index: usize, count: usize, workers: usiz
         std::process::exit(1);
     }
     println!("{}", report.render_summary());
+    print_artifact_store_stats();
     println!("Wrote shard report to {out}");
 }
 
@@ -310,9 +365,28 @@ fn run_merge_mode(plan: &CampaignPlan, files: &[String], workers: usize, verify_
     }
 }
 
+/// One line of artifact-store effectiveness for operators (and the CI
+/// cold/warm assertions).
+fn print_artifact_store_stats() {
+    let store = artifact_store();
+    match store.disk_root() {
+        Some(root) => println!("Artifact store ({}): {}", root.display(), store.stats()),
+        None => println!("Artifact store (memory-only): {}", store.stats()),
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let (plan, configs, worlds) = report_matrix_plan(args.quick);
+    // Resolve and install the cache configuration *before* the plan is
+    // built — building it compiles the matrix's artifacts through the
+    // process-wide store.
+    let cache_dir = resolve_cache_dir(args.cache_dir.clone(), args.no_cache);
+    init_artifact_store(cache_dir.clone());
+    let (uncached_plan, configs, worlds) = report_matrix_plan(args.quick);
+    let plan = match &cache_dir {
+        Some(dir) => uncached_plan.clone().with_cache_dir(dir),
+        None => uncached_plan.clone(),
+    };
 
     if let Some((index, count)) = args.shard {
         run_shard_mode(
@@ -325,7 +399,11 @@ fn main() {
         return;
     }
     if !args.merge.is_empty() {
-        run_merge_mode(&plan, &args.merge, args.workers, args.verify_rerun);
+        // Merge mode validates without executing cells; its opt-in
+        // --verify-rerun is the *independent* recomputation cross-check, so
+        // it runs on the uncached plan — a poisoned cache cannot vouch for
+        // itself.
+        run_merge_mode(&uncached_plan, &args.merge, args.workers, args.verify_rerun);
         return;
     }
 
@@ -344,6 +422,15 @@ fn main() {
     let report = plan.run(args.workers);
     println!("{}", per_cell_table(&report, &configs));
     println!("{}", report.render_summary());
+    print_artifact_store_stats();
+
+    if let Some(file) = &args.canonical_out {
+        if let Err(error) = std::fs::write(file, report.canonical_text()) {
+            eprintln!("cannot write canonical report {}: {error}", file.display());
+            std::process::exit(1);
+        }
+        println!("Wrote canonical report to {}", file.display());
+    }
 
     let mismatches = report.verdict_mismatches();
     if !mismatches.is_empty() {
@@ -354,7 +441,10 @@ fn main() {
     }
 
     // The determinism contract, part 1: the same plan at 1 worker must
-    // produce byte-identical canonical output.
+    // produce byte-identical canonical output. (With caching enabled this
+    // re-run is served from the cache the first run just wrote, so the
+    // byte-identity assertion doubles as a cache-correctness check: a hit
+    // must reproduce the cold cell exactly.)
     let serial = plan.run(1);
     let deterministic = serial.canonical_text() == report.canonical_text();
     println!(

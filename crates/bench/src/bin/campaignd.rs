@@ -16,6 +16,7 @@
 //! ```text
 //! campaignd [--quick] [--shards N] [--workers N] [--attempts K]
 //!           [--timeout-secs T] [--dir DIR] [--out FILE]
+//!           [--cache-dir DIR | --no-cache] [--canonical-out FILE]
 //!           [--worker-bin PATH] [--kill-shard I] [--verify-rerun]
 //! ```
 //!
@@ -32,12 +33,24 @@
 //!   interchange format.
 //! * `--worker-bin PATH` — the worker binary (default: the
 //!   `campaign_report` next to this executable).
+//! * `--cache-dir DIR` — the shared result cache (artifact store + cell
+//!   memoization), forwarded to every worker. A shard whose cells are all
+//!   already cached is **served warm**: the coordinator assembles its
+//!   report from file reads without spawning a worker process — in
+//!   particular, the retry of a killed shard becomes file reads once a
+//!   previous run populated the cache. Without the flag
+//!   `NVARIANT_CACHE_DIR` is honoured; `--no-cache` disables caching.
+//! * `--canonical-out FILE` — write the merged report's canonical (wall-
+//!   clock-free) serialization, for byte-identity comparisons across runs.
 //! * `--kill-shard I` — fault injection for tests/CI: kill shard `I`'s
-//!   first attempt right after spawn, exercising the retry path.
+//!   first attempt right after spawn, exercising the retry path (the first
+//!   attempt is never served warm, so the injection always fires).
 //! * `--verify-rerun` — after the merge, re-run the plan unsharded
 //!   in-process and assert byte-identical canonical output.
 
 use nvariant_apps::campaigns::report_matrix_plan;
+use nvariant_apps::scenarios::{artifact_store, init_artifact_store};
+use nvariant_bench::resolve_cache_dir;
 use nvariant_campaign::{CampaignPlan, CampaignReport};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -55,13 +68,17 @@ struct Args {
     worker_bin: Option<PathBuf>,
     kill_shard: Option<usize>,
     verify_rerun: bool,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
+    canonical_out: Option<PathBuf>,
 }
 
 fn usage_exit() -> ! {
     eprintln!(
         "usage: campaignd [--quick] [--shards N] [--workers N] [--attempts K] \
-         [--timeout-secs T] [--dir DIR] [--out FILE] [--worker-bin PATH] \
-         [--kill-shard I] [--verify-rerun]"
+         [--timeout-secs T] [--dir DIR] [--out FILE] \
+         [--cache-dir DIR | --no-cache] [--canonical-out FILE] \
+         [--worker-bin PATH] [--kill-shard I] [--verify-rerun]"
     );
     std::process::exit(2);
 }
@@ -78,6 +95,9 @@ fn parse_args() -> Args {
         worker_bin: None,
         kill_shard: None,
         verify_rerun: false,
+        cache_dir: None,
+        no_cache: false,
+        canonical_out: None,
     };
     let mut args = std::env::args().skip(1);
     let number = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
@@ -110,6 +130,14 @@ fn parse_args() -> Args {
             }
             "--kill-shard" => parsed.kill_shard = Some(number(&mut args, "--kill-shard")),
             "--verify-rerun" => parsed.verify_rerun = true,
+            "--cache-dir" => {
+                parsed.cache_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage_exit())));
+            }
+            "--no-cache" => parsed.no_cache = true,
+            "--canonical-out" => {
+                parsed.canonical_out =
+                    Some(PathBuf::from(args.next().unwrap_or_else(|| usage_exit())));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 usage_exit();
@@ -124,6 +152,10 @@ fn parse_args() -> Args {
             "--kill-shard index out of range for {} shards",
             parsed.shards
         );
+        usage_exit();
+    }
+    if parsed.no_cache && parsed.cache_dir.is_some() {
+        eprintln!("--cache-dir and --no-cache are mutually exclusive");
         usage_exit();
     }
     parsed
@@ -158,6 +190,14 @@ struct ShardJob {
     failures: Vec<String>,
 }
 
+/// How many shards (and cells) the coordinator served from the cell cache
+/// without spawning a worker process.
+#[derive(Clone, Copy, Debug, Default)]
+struct WarmServing {
+    shards: usize,
+    cells: usize,
+}
+
 struct Coordinator<'a> {
     plan: &'a CampaignPlan,
     expected_hash: u64,
@@ -166,6 +206,32 @@ struct Coordinator<'a> {
 }
 
 impl Coordinator<'_> {
+    /// Starts (or restarts) a shard: served warm from the cell cache when
+    /// every one of its cells is already there, otherwise as a worker
+    /// process. The `--kill-shard` fault injection targets the first
+    /// attempt, which is therefore never served warm — so the injection
+    /// always fires, and it is the *retry* that demonstrates
+    /// warm-from-cache recovery.
+    fn start(&self, job: &mut ShardJob, warm: &mut WarmServing) {
+        let fault_injected = self.args.kill_shard == Some(job.index) && job.attempts_used == 0;
+        if !fault_injected {
+            if let Some(report) = self.plan.cached_shard_report(job.index, self.args.shards) {
+                job.attempts_used += 1;
+                println!(
+                    "shard {}: served warm from cache ({} cells as file reads, attempt {})",
+                    job.index,
+                    report.cells.len(),
+                    job.attempts_used
+                );
+                warm.shards += 1;
+                warm.cells += report.cells.len();
+                job.report = Some(report);
+                return;
+            }
+        }
+        self.spawn(job);
+    }
+
     fn spawn(&self, job: &mut ShardJob) {
         let mut command = Command::new(&self.worker_bin);
         if self.args.quick {
@@ -181,6 +247,19 @@ impl Coordinator<'_> {
             // Worker chatter stays out of the coordinator's report stream;
             // stderr passes through so real worker errors surface.
             .stdout(Stdio::null());
+        // Workers share the coordinator's result cache: their cells become
+        // reusable by later runs (and retries), and a partially warm shard
+        // only executes its missing cells.
+        match &self.args.cache_dir {
+            Some(dir) => {
+                command.arg("--cache-dir").arg(dir);
+            }
+            None => {
+                // The coordinator resolved the environment already; a
+                // worker must not re-apply it differently.
+                command.arg("--no-cache");
+            }
+        }
         job.attempts_used += 1;
         match command.spawn() {
             Ok(mut child) => {
@@ -316,12 +395,23 @@ impl Coordinator<'_> {
 
 fn main() {
     let started = Instant::now();
-    let args = parse_args();
+    let mut args = parse_args();
+    // Resolve the cache configuration before the plan is built (building
+    // it compiles the matrix's artifacts through the process-wide store)
+    // and pin the resolution into `args`, so workers inherit exactly it.
+    args.cache_dir = resolve_cache_dir(args.cache_dir.take(), args.no_cache);
+    init_artifact_store(args.cache_dir.clone());
+    let args = args;
 
     // Building the plan compiles the matrix's artifacts (cached
-    // process-wide) but runs zero cells: the coordinator needs the plan
-    // only for its hash, shape and shard cell sets.
-    let (plan, configs, worlds) = report_matrix_plan(args.quick);
+    // process-wide, and across processes when a cache directory is
+    // configured) but runs zero cells: the coordinator needs the plan only
+    // for its hash, shape and shard cell sets.
+    let (uncached_plan, configs, worlds) = report_matrix_plan(args.quick);
+    let plan = match &args.cache_dir {
+        Some(dir) => uncached_plan.clone().with_cache_dir(dir),
+        None => uncached_plan.clone(),
+    };
     let expected_hash = plan.plan_hash();
     let total_cells = plan.cells().len();
     let per_worker_threads = if args.workers > 0 {
@@ -374,6 +464,7 @@ fn main() {
         worker_bin,
         args: &args,
     };
+    let mut warm = WarmServing::default();
     let mut jobs: Vec<ShardJob> = (0..args.shards)
         .map(|index| ShardJob {
             index,
@@ -385,7 +476,7 @@ fn main() {
         })
         .collect();
     for job in &mut jobs {
-        coordinator.spawn(job);
+        coordinator.start(job, &mut warm);
     }
 
     // The supervision loop: poll every running worker, respawn failed
@@ -401,7 +492,7 @@ fn main() {
                     job.attempts_used + 1,
                     job.failures.last().map_or("unknown failure", |f| f)
                 );
-                coordinator.spawn(job);
+                coordinator.start(job, &mut warm);
             }
         }
         let exhausted: Vec<usize> = jobs
@@ -454,6 +545,28 @@ fn main() {
         started.elapsed()
     );
     println!("{}", merged.render_summary());
+    // Cache + retry effectiveness, for operators watching repeated or
+    // retried campaigns turn into file reads.
+    match &args.cache_dir {
+        Some(cache_dir) => {
+            let cold = total_cells - warm.cells;
+            println!(
+                "cache ({}): {}/{} shards served warm from cache ({} cell hits, {} cells \
+                 delegated to workers), {retries} shard retr{}; artifact store: {}",
+                cache_dir.display(),
+                warm.shards,
+                args.shards,
+                warm.cells,
+                cold,
+                if retries == 1 { "y" } else { "ies" },
+                artifact_store().stats()
+            );
+        }
+        None => println!(
+            "cache: disabled (0 shards served warm), {retries} shard retr{}",
+            if retries == 1 { "y" } else { "ies" }
+        ),
+    }
 
     if let Some(out) = &args.out {
         if let Err(error) = std::fs::write(out, merged.to_shard_text()) {
@@ -461,6 +574,13 @@ fn main() {
             std::process::exit(1);
         }
         println!("Wrote merged report to {}", out.display());
+    }
+    if let Some(out) = &args.canonical_out {
+        if let Err(error) = std::fs::write(out, merged.canonical_text()) {
+            eprintln!("cannot write canonical report {}: {error}", out.display());
+            std::process::exit(1);
+        }
+        println!("Wrote canonical report to {}", out.display());
     }
 
     let mismatches = merged.verdict_mismatches().len();
@@ -470,8 +590,10 @@ fn main() {
     }
 
     if args.verify_rerun {
-        let whole =
-            plan.run(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
+        // The independent cross-check must actually recompute: it runs on
+        // the *uncached* plan, so a poisoned cache cannot vouch for itself.
+        let whole = uncached_plan
+            .run(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
         let identical = merged.canonical_text() == whole.canonical_text();
         println!(
             "Distributed determinism check ({} worker processes vs unsharded in-process run): {}",

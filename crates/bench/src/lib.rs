@@ -6,6 +6,24 @@
 
 use nvariant::DeploymentConfig;
 use nvariant_apps::workload::{BenchmarkResult, LoadLevel, WebBench};
+use std::path::PathBuf;
+
+/// Resolves the result-cache directory for a report binary from its flags
+/// and the environment: an explicit `--cache-dir` wins, `--no-cache`
+/// disables caching even when the environment configures it, and otherwise
+/// the [`NVARIANT_CACHE_DIR`](nvariant::store::CACHE_DIR_ENV) variable
+/// decides. `None` means both cache layers stay memory-/process-local.
+#[must_use]
+pub fn resolve_cache_dir(explicit: Option<PathBuf>, no_cache: bool) -> Option<PathBuf> {
+    if no_cache {
+        return None;
+    }
+    explicit.or_else(|| {
+        std::env::var_os(nvariant::store::CACHE_DIR_ENV)
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    })
+}
 
 /// Renders a list of rows as a fixed-width text table.
 #[must_use]

@@ -81,6 +81,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cell;
 pub mod engine;
 pub mod exchange;
@@ -88,9 +89,11 @@ pub mod plan;
 pub mod report;
 pub mod shardio;
 
+pub use cache::CellCache;
 pub use cell::{CellOutcome, CellResult, CellSpec, CellVerdict, RequestTally};
 pub use engine::{cell_seed, run_parallel};
 pub use exchange::ServedRequest;
+pub use nvariant::CacheStats;
 pub use plan::{serve_requests, CampaignPlan, CellRun, Scenario};
 pub use report::{CampaignReport, MergeError, PlanShape, WallPercentiles};
 pub use shardio::ShardParseError;

@@ -3,6 +3,7 @@
 //! [`WorldTemplate`]s, enumerable as a pure cell list, shardable across
 //! processes, and executable on a scoped worker pool.
 
+use crate::cache::CellCache;
 use crate::cell::{CellOutcome, CellResult, CellSpec, CellVerdict};
 use crate::engine::{cell_seed, run_parallel};
 use crate::exchange::ServedRequest;
@@ -11,7 +12,8 @@ use nvariant::{CompiledSystem, DeploymentConfig, RunnableSystem, SystemOutcome};
 use nvariant_simos::{OsKernel, WorldTemplate};
 use nvariant_types::Port;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// What a scenario's judge sees: the terminated system plus the served
@@ -155,6 +157,7 @@ pub struct CampaignPlan {
     scenarios: Vec<Scenario>,
     replicates: usize,
     base_seed: u64,
+    cache_root: Option<PathBuf>,
 }
 
 impl CampaignPlan {
@@ -168,6 +171,7 @@ impl CampaignPlan {
             scenarios: Vec::new(),
             replicates: 1,
             base_seed: 0x5EED,
+            cache_root: None,
         }
     }
 
@@ -221,10 +225,39 @@ impl CampaignPlan {
         self
     }
 
+    /// Memoizes completed cells under `root` (the shared cache directory;
+    /// cell entries live in `<root>/cells/<plan_hash>/`): every executed
+    /// cell is persisted, and later runs of an identical plan — in this
+    /// process or another — read it back instead of re-running. Corrupt or
+    /// mismatched entries are recomputed, never surfaced as errors, and the
+    /// per-run [`CacheStats`](nvariant::CacheStats) appear on the report.
+    ///
+    /// Caching never changes a report's deterministic content: a cache hit
+    /// is the byte-identical cell the cold run serialized. The cache
+    /// directory is *not* part of the plan's identity
+    /// ([`descriptor`](Self::descriptor) / [`plan_hash`](Self::plan_hash)).
+    #[must_use]
+    pub fn with_cache_dir(mut self, root: impl Into<PathBuf>) -> Self {
+        self.cache_root = Some(root.into());
+        self
+    }
+
+    /// The cell-cache root directory, when caching is enabled.
+    #[must_use]
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_root.as_deref()
+    }
+
     /// The plan's name.
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The plan's base seed.
+    #[must_use]
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
     }
 
     /// The compiled configurations in the matrix.
@@ -288,8 +321,11 @@ impl CampaignPlan {
     /// The canonical plan descriptor: a line-oriented rendering of
     /// everything that identifies the experiment — name, base seed, matrix
     /// shape, and the full contents of every axis (configuration labels
-    /// plus deployment options and compile-time transformation counts,
-    /// world template labels, scenario labels with port and judging mode).
+    /// plus deployment options, compile-time transformation counts and the
+    /// compiled artifact's content
+    /// [fingerprint](nvariant::CompiledSystem::fingerprint) — which covers
+    /// the program source, so editing the program re-keys the plan; world
+    /// template labels; scenario labels with port and judging mode).
     ///
     /// Two plans with equal descriptors enumerate the same cells with the
     /// same seeds and run them under the same deployments, so the
@@ -310,10 +346,17 @@ impl CampaignPlan {
         );
         for (index, (compiled, label)) in self.configs.iter().zip(self.config_labels()).enumerate()
         {
+            // The artifact fingerprint covers the program source and every
+            // builder knob, so editing the program (or limits, monitor
+            // config, ...) re-keys the plan even when the deployment options
+            // and transform counters happen to be unchanged — without it,
+            // cached cells computed from an older program would be served
+            // as hits for the new one.
             out.push_str(&format!(
-                "config {index} {label:?} deployment={:?} stats={:?}\n",
+                "config {index} {label:?} deployment={:?} stats={:?} artifact={:#018x}\n",
                 compiled.config(),
-                compiled.transform_stats()
+                compiled.transform_stats(),
+                compiled.fingerprint()
             ));
         }
         for (index, label) in self.world_labels().iter().enumerate() {
@@ -450,8 +493,15 @@ impl CampaignPlan {
     #[must_use]
     pub fn run_cells(&self, cells: Vec<CellSpec>, workers: usize) -> CampaignReport {
         let started = Instant::now();
+        let cache = self.cell_cache();
+        // Provision only the (configuration, world) pairs that actually
+        // have to execute: a fully cached shard provisions nothing.
         let pairs: BTreeSet<(usize, usize)> = cells
             .iter()
+            .filter(|spec| match &cache {
+                Some(cache) => !cache.entry_path(spec).is_file(),
+                None => true,
+            })
             .map(|spec| (spec.config_index, spec.world_index))
             .collect();
         let provisioned: BTreeMap<(usize, usize), OsKernel> = pairs
@@ -463,11 +513,54 @@ impl CampaignPlan {
                 )
             })
             .collect();
+        // Cache entries can vanish or turn out corrupt between the
+        // provisioning probe above and the lookup below; pairs provisioned
+        // on demand for that case are memoized so a whole directory of
+        // damaged entries still provisions each pair only about once
+        // instead of once per cell.
+        let fallback: Mutex<BTreeMap<(usize, usize), Arc<OsKernel>>> = Mutex::new(BTreeMap::new());
         let results = run_parallel(cells, workers, |_, spec| {
-            let world = &provisioned[&(spec.config_index, spec.world_index)];
-            self.run_cell_in(spec, world)
+            if let Some(cache) = &cache {
+                if let Some(hit) = cache.lookup(&spec) {
+                    return hit;
+                }
+            }
+            let pair = (spec.config_index, spec.world_index);
+            let result = match provisioned.get(&pair) {
+                Some(world) => self.run_cell_in(spec, world),
+                None => {
+                    // Double-checked so the expensive provisioning happens
+                    // outside the lock: racing workers may provision the
+                    // same pair twice (identical deterministic kernels, the
+                    // loser's is dropped), but no worker ever blocks behind
+                    // another pair's provisioning.
+                    let cached = fallback
+                        .lock()
+                        .expect("fallback provisioning map poisoned")
+                        .get(&pair)
+                        .cloned();
+                    let world = match cached {
+                        Some(world) => world,
+                        None => {
+                            let world = Arc::new(self.provisioned_kernel(pair.0, pair.1));
+                            Arc::clone(
+                                fallback
+                                    .lock()
+                                    .expect("fallback provisioning map poisoned")
+                                    .entry(pair)
+                                    .or_insert(world),
+                            )
+                        }
+                    };
+                    self.run_cell_in(spec, &world)
+                }
+            };
+            if let Some(cache) = &cache {
+                cache.insert(&result);
+            }
+            result
         });
-        CampaignReport::new(
+        let report = CampaignReport::new(
             self.name.clone(),
             self.base_seed,
             self.plan_hash(),
@@ -475,6 +568,57 @@ impl CampaignPlan {
             workers.max(1),
             results,
             started.elapsed(),
+        );
+        match cache {
+            Some(cache) => report.with_cache_stats(cache.stats()),
+            None => report,
+        }
+    }
+
+    /// The cell cache handle for this plan's identity, when a cache
+    /// directory is configured.
+    #[must_use]
+    pub fn cell_cache(&self) -> Option<CellCache> {
+        self.cache_root.as_ref().map(|root| {
+            CellCache::open(
+                root,
+                self.name.clone(),
+                self.base_seed,
+                self.plan_hash(),
+                self.shape(),
+            )
+        })
+    }
+
+    /// Assembles the report for shard `index` of `count` entirely from the
+    /// cell cache, executing nothing. Returns `None` — without running any
+    /// cell — unless caching is configured *and* every cell of the shard
+    /// has a valid cache entry. This is what lets a coordinator serve a
+    /// retried shard as file reads instead of a worker process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `index >= count`.
+    #[must_use]
+    pub fn cached_shard_report(&self, index: usize, count: usize) -> Option<CampaignReport> {
+        let cache = self.cell_cache()?;
+        let specs = self.shard(index, count);
+        let mut cells = Vec::with_capacity(specs.len());
+        for spec in specs {
+            cells.push(cache.lookup(&spec)?);
+        }
+        let total_wall = cells.iter().map(|cell| cell.wall).sum();
+        Some(
+            CampaignReport::new(
+                self.name.clone(),
+                self.base_seed,
+                self.plan_hash(),
+                self.shape(),
+                1,
+                cells,
+                total_wall,
+            )
+            .with_cache_stats(cache.stats()),
         )
     }
 

@@ -2,7 +2,7 @@
 //! and the merge operation that reassembles sharded runs.
 
 use crate::cell::{CellResult, RequestTally};
-use nvariant::ExecutionMetrics;
+use nvariant::{CacheStats, ExecutionMetrics};
 use nvariant_transform::TransformStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -251,6 +251,13 @@ pub struct CampaignReport {
     /// Wall-clock time of the whole run (the sum of shard walls after a
     /// merge).
     pub total_wall: Duration,
+    /// Cell-cache effectiveness counters of the run that produced this
+    /// report, when it ran with a cache. Like `workers` and the wall-clock
+    /// fields this is measurement metadata: it stays out of the canonical
+    /// serialization *and* the shard interchange format (each process
+    /// reports its own counters; [`merge`](Self::merge) sums the ones it is
+    /// handed in-memory).
+    pub cache: Option<CacheStats>,
 }
 
 impl CampaignReport {
@@ -273,7 +280,16 @@ impl CampaignReport {
             workers,
             cells,
             total_wall,
+            cache: None,
         }
+    }
+
+    /// Attaches the cell-cache counters of the run that produced this
+    /// report (shown by [`render_summary`](Self::render_summary)).
+    #[must_use]
+    pub fn with_cache_stats(mut self, stats: CacheStats) -> Self {
+        self.cache = Some(stats);
+        self
     }
 
     /// Reassembles shard reports into the report an unsharded run produces:
@@ -317,6 +333,10 @@ impl CampaignReport {
             }
             merged.workers = merged.workers.max(shard.workers);
             merged.total_wall += shard.total_wall;
+            merged.cache = match (merged.cache, shard.cache) {
+                (None, None) => None,
+                (a, b) => Some(a.unwrap_or_default().merged(b.unwrap_or_default())),
+            };
             merged.cells.extend(shard.cells);
         }
         merged.cells.sort_by_key(|cell| cell.spec.coordinates());
@@ -574,6 +594,9 @@ impl CampaignReport {
         out.push_str(&format!("  {metrics}\n"));
         if let Some(percentiles) = self.wall_percentiles() {
             out.push_str(&format!("  per-cell wall {percentiles}\n"));
+        }
+        if let Some(stats) = &self.cache {
+            out.push_str(&format!("  cell cache: {stats}\n"));
         }
         let worlds = self.world_labels();
         if worlds.len() > 1 {

@@ -70,10 +70,12 @@
 
 pub mod config;
 pub mod outcome;
+pub mod store;
 pub mod system;
 
 pub use config::DeploymentConfig;
 pub use outcome::{ExecutionMetrics, SystemOutcome};
+pub use store::{ArtifactStore, CacheStats};
 pub use system::{BuildError, CompiledSystem, NVariantSystemBuilder, RunnableSystem};
 
 /// Convenient glob-import of the most commonly used types across the

@@ -1,0 +1,1547 @@
+//! The content-addressed artifact store: compiled systems cached on disk,
+//! keyed by their canonical [fingerprint](crate::CompiledSystem::fingerprint),
+//! so report binaries and CI skip the parse → transform → compile pipeline
+//! across processes.
+//!
+//! The workspace's vendored `serde` is a no-op stand-in (the build
+//! environment has no registry access), so artifacts are serialized with a
+//! hand-rolled line-oriented text codec, the same style as the campaign
+//! shard codec: Rust-`Debug`-quoted strings, hex-encoded byte images, and
+//! explicit element counts so truncation is always detected.
+//!
+//! What is stored is exactly the *world-independent* half of a
+//! [`CompiledSystem`]: the compiled variant images, memory layouts, variant
+//! specifications, monitor configuration and transformation counters. The
+//! provisioned kernel template is deliberately **not** stored — it is
+//! re-derived at load time from the caller's base world through
+//! [`CompiledSystem::provision_world`], which is cheap and is what already
+//! makes one artifact deployable into every world of a campaign's
+//! environment axis.
+//!
+//! Robustness contract: a corrupted, truncated or foreign cache entry is
+//! *never* an error for the caller — [`ArtifactStore::get_or_compile`]
+//! falls back to compiling (and atomically overwrites the bad entry), and
+//! counts the event in its [`CacheStats`]. Writes go through a
+//! write-then-rename so concurrent processes can never observe a torn
+//! entry.
+
+use crate::config::DeploymentConfig;
+use crate::system::{BuildError, CompiledPlan, CompiledSystem, CompiledVariant};
+use nvariant_diversity::{AddressTransform, UidTransform, VariantSet, VariantSpec, Variation};
+use nvariant_monitor::{DivergencePolicy, MonitorConfig};
+use nvariant_simos::{OsKernel, WorldBuilder};
+use nvariant_transform::TransformStats;
+use nvariant_types::Uid;
+use nvariant_vm::{CompiledProgram, FunctionSig, MemoryLayout, RunLimits, Type, TypeInfo};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Format version of the on-disk artifact files.
+const HEADER: &str = "nvariant-artifact v1";
+
+/// FNV-1a 64: tiny, dependency-free, and stable across platforms and
+/// processes — the same construction the campaign plan hash uses, because
+/// cache keys must survive process and machine boundaries (unlike `std`'s
+/// `DefaultHasher`, whose output may change between releases).
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A point-in-time snapshot of cache effectiveness counters, shared by the
+/// artifact store and the campaign cell cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Entries served from the cache.
+    pub hits: u64,
+    /// Keys that had no cache entry (and were computed fresh).
+    pub misses: u64,
+    /// Entries that existed but were unusable — corrupt, truncated, or
+    /// keyed to different content — and were recomputed and overwritten.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Component-wise sum (used when merging per-shard reports).
+    #[must_use]
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            invalidations: self.invalidations + other.invalidations,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses, {} invalidations",
+            self.hits, self.misses, self.invalidations
+        )
+    }
+}
+
+/// Thread-safe live counters behind a [`CacheStats`] snapshot.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl CacheCounters {
+    /// Records a cache hit.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cache miss.
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an unusable (corrupt or mismatched) entry.
+    pub fn invalidation(&self) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The environment variable naming the shared cache directory, honoured by
+/// every binary that doesn't receive an explicit `--cache-dir`.
+pub const CACHE_DIR_ENV: &str = "NVARIANT_CACHE_DIR";
+
+/// Writes `text` to `path` atomically: the content lands in a unique
+/// sibling temp file first and is renamed into place, so a reader (in this
+/// process or another) either sees the previous entry or the complete new
+/// one — never a torn write. Two concurrent writers of the same key are
+/// harmless: both rename complete files, and last-rename-wins.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the directory cannot be created or
+/// the file cannot be written or renamed.
+pub fn atomic_write_text(path: &Path, text: &str) -> std::io::Result<()> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let directory = path.parent().unwrap_or_else(|| Path::new("."));
+    std::fs::create_dir_all(directory)?;
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(format!(".tmp-{}-{unique}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    // Any failure past this point removes the temp file: a full disk must
+    // degrade to recomputing, not to .tmp litter compounding the pressure.
+    std::fs::write(&tmp, text)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+}
+
+/// Why an artifact file failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArtifactParseError {
+    /// 1-based line the error was detected on (0 for end-of-input errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ArtifactParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "artifact parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ArtifactParseError {}
+
+/// The two-level compiled-artifact cache: an in-process memory map of
+/// `Arc<CompiledSystem>` plus an optional disk layer under
+/// `<root>/artifacts/<fingerprint>.txt`.
+///
+/// The store is keyed purely by content
+/// ([`NVariantSystemBuilder::fingerprint`](crate::NVariantSystemBuilder::fingerprint)),
+/// so entries never go stale: changing the source, the deployment
+/// configuration, the transformation options or any other builder knob
+/// changes the key, and the old entry is simply never looked up again.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: Option<PathBuf>,
+    memory: Mutex<HashMap<u64, MemoryEntry>>,
+    counters: CacheCounters,
+}
+
+/// A memory-layer entry: the cached artifact plus whether its kernel
+/// template was provisioned from the *default* (standard) world. The
+/// fingerprint deliberately excludes the world, so a hit may come from a
+/// caller with a different world — the flag is what lets
+/// [`ArtifactStore::get_or_compile`] decide whether the cached template can
+/// be shared as-is or must be re-provisioned for the current caller.
+#[derive(Clone, Debug)]
+struct MemoryEntry {
+    system: Arc<CompiledSystem>,
+    standard_world: bool,
+}
+
+impl ArtifactStore {
+    /// A store with no disk layer: artifacts are cached per process only
+    /// (the pre-store behaviour of the process-wide compiled-httpd cache).
+    #[must_use]
+    pub fn memory_only() -> Self {
+        ArtifactStore {
+            root: None,
+            memory: Mutex::new(HashMap::new()),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// A store persisting artifacts under `<root>/artifacts/`.
+    #[must_use]
+    pub fn at(root: impl Into<PathBuf>) -> Self {
+        ArtifactStore {
+            root: Some(root.into()),
+            memory: Mutex::new(HashMap::new()),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// A store configured from the environment: the directory named by
+    /// [`CACHE_DIR_ENV`] when set and non-empty, otherwise memory-only.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var_os(CACHE_DIR_ENV).filter(|v| !v.is_empty()) {
+            Some(dir) => ArtifactStore::at(PathBuf::from(dir)),
+            None => ArtifactStore::memory_only(),
+        }
+    }
+
+    /// The disk layer's root directory, if the store has one.
+    #[must_use]
+    pub fn disk_root(&self) -> Option<&Path> {
+        self.root.as_deref()
+    }
+
+    /// The on-disk path of one fingerprint's entry (whether or not it
+    /// exists), or `None` for a memory-only store.
+    #[must_use]
+    pub fn entry_path(&self, fingerprint: u64) -> Option<PathBuf> {
+        self.root.as_ref().map(|root| {
+            root.join("artifacts")
+                .join(format!("{fingerprint:016x}.txt"))
+        })
+    }
+
+    /// Cache-effectiveness counters since this store was created.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.counters.snapshot()
+    }
+
+    /// The artifact for `builder`, from cache or freshly compiled, always
+    /// with its kernel template provisioned from the **builder's** world.
+    ///
+    /// Lookup order: the in-process memory map, then the disk layer, then
+    /// [`compile`](crate::NVariantSystemBuilder::compile). A fresh compile
+    /// is inserted into both layers. Corrupt or mismatched disk entries are
+    /// recompiled over, never surfaced as errors.
+    ///
+    /// The fingerprint excludes the world (the stored half of an artifact
+    /// is world-independent), so a hit may have been cached by a caller
+    /// with a *different* world; whenever the worlds cannot be proven to
+    /// match — either side set an explicit world — the hit is returned as a
+    /// fresh `Arc` whose template is re-provisioned from this builder's
+    /// world ([`CompiledSystem::provision_world`], the cheap half of
+    /// deployment). Default-world callers share one `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BuildError`] of the fallback compilation; cache-layer
+    /// failures are absorbed (a broken cache degrades to compiling).
+    pub fn get_or_compile(
+        &self,
+        builder: crate::NVariantSystemBuilder,
+    ) -> Result<Arc<CompiledSystem>, BuildError> {
+        let fingerprint = builder.fingerprint();
+        let standard_world = builder.world.is_none();
+        let reprovisioned_for = |cached: &CompiledSystem, base: &OsKernel| {
+            let mut system = cached.clone();
+            system.kernel_template = system.provision_world(base);
+            Arc::new(system)
+        };
+        // Clone the entry out under a short-lived lock: the upgrade path
+        // below re-locks the map, and `if let` would otherwise keep the
+        // guard temporary alive across it.
+        let cached_entry = {
+            self.memory
+                .lock()
+                .expect("artifact store memory layer poisoned")
+                .get(&fingerprint)
+                .cloned()
+        };
+        if let Some(entry) = cached_entry {
+            self.counters.hit();
+            if standard_world && entry.standard_world {
+                return Ok(entry.system);
+            }
+            let base = builder
+                .world
+                .clone()
+                .unwrap_or_else(|| WorldBuilder::standard().build());
+            let system = reprovisioned_for(&entry.system, &base);
+            if standard_world {
+                // Upgrade the slot to the shareable standard-world
+                // template, so later default-world callers share this Arc
+                // instead of re-provisioning every time.
+                self.memory
+                    .lock()
+                    .expect("artifact store memory layer poisoned")
+                    .insert(
+                        fingerprint,
+                        MemoryEntry {
+                            system: Arc::clone(&system),
+                            standard_world: true,
+                        },
+                    );
+            }
+            return Ok(system);
+        }
+
+        let base_world = builder
+            .world
+            .clone()
+            .unwrap_or_else(|| WorldBuilder::standard().build());
+        if let Some(path) = self.entry_path(fingerprint) {
+            match std::fs::read_to_string(&path) {
+                Ok(text) => match from_artifact_text(&text, &base_world) {
+                    Ok(loaded) if loaded.fingerprint == fingerprint => {
+                        self.counters.hit();
+                        return Ok(self.insert_memory(fingerprint, loaded, standard_world));
+                    }
+                    // A parse failure or a foreign fingerprint in the right
+                    // slot: unusable either way — recompile and overwrite.
+                    Ok(_) | Err(_) => self.counters.invalidation(),
+                },
+                Err(_) => self.counters.miss(),
+            }
+        } else {
+            self.counters.miss();
+        }
+
+        let compiled = builder.compile()?;
+        debug_assert_eq!(compiled.fingerprint, fingerprint);
+        if let Some(path) = self.entry_path(fingerprint) {
+            if let Some(text) = to_artifact_text(&compiled) {
+                // A full disk or read-only cache dir degrades to
+                // memory-only caching; it must never fail the build.
+                let _ = atomic_write_text(&path, &text);
+            }
+        }
+        Ok(self.insert_memory(fingerprint, compiled, standard_world))
+    }
+
+    /// Inserts a freshly obtained artifact into the memory layer and
+    /// returns the caller's copy. A racing insert of the same fingerprint
+    /// keeps the first entry — both were provisioned for their respective
+    /// callers, and the returned `Arc` is always the caller's own.
+    fn insert_memory(
+        &self,
+        fingerprint: u64,
+        system: CompiledSystem,
+        standard_world: bool,
+    ) -> Arc<CompiledSystem> {
+        let system = Arc::new(system);
+        let mut memory = self
+            .memory
+            .lock()
+            .expect("artifact store memory layer poisoned");
+        match memory.get(&fingerprint) {
+            // Keep an existing standard-world entry (the shareable kind);
+            // otherwise this caller's copy becomes (or replaces) the entry,
+            // preferring a standard-world template in the slot so future
+            // default-world callers can share it.
+            Some(entry) if entry.standard_world && !standard_world => {}
+            _ => {
+                memory.insert(
+                    fingerprint,
+                    MemoryEntry {
+                        system: Arc::clone(&system),
+                        standard_world,
+                    },
+                );
+            }
+        }
+        system
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn quote(s: &str) -> String {
+    format!("{s:?}")
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    if bytes.is_empty() {
+        return "-".to_string();
+    }
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(DIGITS[usize::from(b >> 4)] as char);
+        out.push(DIGITS[usize::from(b & 0xf)] as char);
+    }
+    out
+}
+
+fn type_token(ty: Type) -> Option<String> {
+    Some(match ty {
+        Type::Int => "int".to_string(),
+        Type::UidT => "uid".to_string(),
+        Type::GidT => "gid".to_string(),
+        Type::Ptr => "ptr".to_string(),
+        Type::Void => "void".to_string(),
+        Type::Buf(n) => format!("buf:{n}"),
+    })
+}
+
+fn uid_transform_token(transform: UidTransform) -> Option<String> {
+    Some(match transform {
+        UidTransform::Identity => "id".to_string(),
+        UidTransform::Xor(mask) => format!("xor:{mask:#010x}"),
+    })
+}
+
+fn addr_transform_token(transform: AddressTransform) -> Option<String> {
+    Some(match transform {
+        AddressTransform::Identity => "id".to_string(),
+        AddressTransform::PartitionHigh => "part".to_string(),
+        AddressTransform::PartitionHighWithOffset(offset) => format!("part:{offset:#010x}"),
+    })
+}
+
+/// A variation as a single space-free token, so it embeds in one line:
+/// `addr`, `addrext:<offset>`, `tag`, `uid:<mask>`, or
+/// `composed(a,b,...)` (recursively). Returns `None` for variation kinds
+/// this codec version does not know (the enum is `#[non_exhaustive]`);
+/// callers skip disk caching for those instead of storing something lossy.
+fn variation_token(variation: &Variation) -> Option<String> {
+    Some(match variation {
+        Variation::AddressPartitioning => "addr".to_string(),
+        Variation::ExtendedAddressPartitioning { offset } => format!("addrext:{offset:#010x}"),
+        Variation::InstructionTagging => "tag".to_string(),
+        Variation::UidDiversity { mask } => format!("uid:{mask:#010x}"),
+        Variation::Composed(parts) => {
+            let tokens: Option<Vec<String>> = parts.iter().map(variation_token).collect();
+            format!("composed({})", tokens?.join(","))
+        }
+        _ => return None,
+    })
+}
+
+fn config_line(config: &DeploymentConfig) -> Option<String> {
+    Some(match config {
+        DeploymentConfig::Unmodified => "unmodified".to_string(),
+        DeploymentConfig::TransformedSingle => "transformed-single".to_string(),
+        DeploymentConfig::TwoVariantAddress => "two-variant-address".to_string(),
+        DeploymentConfig::TwoVariantUid => "two-variant-uid".to_string(),
+        DeploymentConfig::Custom {
+            variation,
+            variants,
+            transform_uids,
+        } => format!(
+            "custom {variants} {} {}",
+            u8::from(*transform_uids),
+            variation_token(variation)?
+        ),
+    })
+}
+
+fn render_program(out: &mut String, program: &CompiledProgram) -> Option<()> {
+    out.push_str(&format!("program {}\n", program.entry_offset));
+    out.push_str(&format!("code {}\n", hex_encode(&program.code)));
+    out.push_str(&format!("data {}\n", hex_encode(&program.globals_image)));
+    out.push_str(&format!("globals {}\n", program.globals_map.len()));
+    for (name, (offset, ty)) in &program.globals_map {
+        out.push_str(&format!(
+            "g {} {offset} {}\n",
+            quote(name),
+            type_token(*ty)?
+        ));
+    }
+    out.push_str(&format!("funcs {}\n", program.functions.len()));
+    for (name, offset) in &program.functions {
+        out.push_str(&format!("f {} {offset}\n", quote(name)));
+    }
+    let info = &program.type_info;
+    out.push_str(&format!("tglobals {}\n", info.globals.len()));
+    for (name, ty) in &info.globals {
+        out.push_str(&format!("tg {} {}\n", quote(name), type_token(*ty)?));
+    }
+    out.push_str(&format!("tfns {}\n", info.functions.len()));
+    for (name, sig) in &info.functions {
+        let params: Option<Vec<String>> = sig.params.iter().map(|&t| type_token(t)).collect();
+        let mut line = format!("tf {} {}", quote(name), type_token(sig.ret)?);
+        for param in params? {
+            line.push(' ');
+            line.push_str(&param);
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&format!("tlocals {}\n", info.locals.len()));
+    for (function, table) in &info.locals {
+        out.push_str(&format!("tl {} {}\n", quote(function), table.len()));
+        for (name, ty) in table {
+            out.push_str(&format!("tlv {} {}\n", quote(name), type_token(*ty)?));
+        }
+    }
+    out.push_str("endprogram\n");
+    Some(())
+}
+
+/// Serializes the world-independent half of a compiled system to the
+/// artifact text format. Returns `None` if the artifact uses an enum
+/// variant this codec version cannot represent (possible only for
+/// `#[non_exhaustive]` enums grown after this version shipped); such
+/// artifacts simply stay memory-cached.
+///
+/// The second line is a FNV-1a checksum of everything after it. The
+/// fingerprint cannot play that role — it is derived from the *builder's
+/// inputs*, not from the serialized bytes — so without the checksum a
+/// flipped bit inside a code image could still parse and then run, and
+/// every consumer (including a `--verify-rerun` that compiles through the
+/// same store) would agree on the wrong artifact.
+#[must_use]
+pub fn to_artifact_text(system: &CompiledSystem) -> Option<String> {
+    let mut out = String::new();
+    out.push_str(&format!("fingerprint {:#018x}\n", system.fingerprint));
+    out.push_str(&format!("config {}\n", config_line(&system.config)?));
+    let s = &system.transform_stats;
+    out.push_str(&format!(
+        "stats {} {} {} {} {} {}\n",
+        s.uid_constants_reexpressed,
+        s.implicit_constants_made_explicit,
+        s.single_value_exposures,
+        s.comparison_exposures,
+        s.conditional_checks,
+        s.log_sinks_sanitized
+    ));
+    out.push_str(&format!("initial_uid {}\n", system.initial_uid.as_u32()));
+    out.push_str(&format!(
+        "run_limits {} {}\n",
+        system.run_limits.max_steps_per_slice, system.run_limits.max_syscalls
+    ));
+    out.push_str(&format!("xfiles {}\n", system.extra_unshared.len()));
+    for path in &system.extra_unshared {
+        out.push_str(&format!("xfile {}\n", quote(path)));
+    }
+    match &system.plan {
+        CompiledPlan::Single { program, layout } => {
+            out.push_str("plan single\n");
+            out.push_str(&format!(
+                "layout {} {} {} {}\n",
+                layout.code_base, layout.globals_base, layout.stack_top, layout.stack_size
+            ));
+            render_program(&mut out, program)?;
+        }
+        CompiledPlan::Multi {
+            variants,
+            specs,
+            monitor_config,
+        } => {
+            out.push_str(&format!("plan multi {}\n", variants.len()));
+            for (index, variant) in variants.iter().enumerate() {
+                out.push_str(&format!(
+                    "variant {index} {} {} {} {} {}\n",
+                    variant.tag,
+                    variant.layout.code_base,
+                    variant.layout.globals_base,
+                    variant.layout.stack_top,
+                    variant.layout.stack_size
+                ));
+                render_program(&mut out, &variant.program)?;
+            }
+            out.push_str(&format!("specs {}\n", specs.len()));
+            for (_, spec) in specs.iter() {
+                out.push_str(&format!(
+                    "spec {} {} {}\n",
+                    uid_transform_token(spec.uid)?,
+                    addr_transform_token(spec.addr)?,
+                    spec.tag
+                ));
+            }
+            out.push_str(&format!(
+                "monitor {} {} {}\n",
+                monitor_config.max_steps_per_slice,
+                monitor_config.max_syscalls,
+                match monitor_config.policy {
+                    DivergencePolicy::KillAndReport => "kill",
+                    DivergencePolicy::ReportAndContinue => "continue",
+                }
+            ));
+            out.push_str(&format!("mfiles {}\n", monitor_config.unshared_files.len()));
+            for path in &monitor_config.unshared_files {
+                out.push_str(&format!("mfile {}\n", quote(path)));
+            }
+        }
+    }
+    out.push_str("end\n");
+    Some(format!(
+        "{HEADER}\nchecksum {:#018x}\n{out}",
+        fnv1a_64(out.trim_end_matches('\n').as_bytes())
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Inverse of [`quote`]: parses a Rust-`Debug`-quoted string literal at the
+/// *start* of `input`, returning the string and the remainder after the
+/// closing quote (with one separating space consumed, if present).
+fn take_quoted(input: &str) -> Result<(String, &str), String> {
+    let inner = input
+        .strip_prefix('"')
+        .ok_or_else(|| format!("expected a quoted string, got {input:?}"))?;
+    let mut out = String::new();
+    let mut chars = inner.char_indices();
+    while let Some((index, c)) = chars.next() {
+        match c {
+            '"' => {
+                let rest = &inner[index + 1..];
+                return Ok((out, rest.strip_prefix(' ').unwrap_or(rest)));
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\'')) => out.push('\''),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, '0')) => out.push('\0'),
+                Some((_, 'u')) => {
+                    let hex: String = chars
+                        .by_ref()
+                        .map(|(_, c)| c)
+                        .skip_while(|&c| c == '{')
+                        .take_while(|&c| c != '}')
+                        .collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape in {input:?}"))?;
+                    out.push(char::from_u32(code).ok_or_else(|| "bad \\u escape".to_string())?);
+                }
+                other => return Err(format!("bad escape \\{other:?} in {input:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(format!("unterminated quoted string in {input:?}"))
+}
+
+fn hex_decode(token: &str) -> Result<Vec<u8>, String> {
+    if token == "-" {
+        return Ok(Vec::new());
+    }
+    if !token.len().is_multiple_of(2) {
+        return Err(format!("odd-length hex payload ({} bytes)", token.len()));
+    }
+    let nibble = |b: u8| -> Result<u8, String> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(format!("bad hex digit {:?}", char::from(b))),
+        }
+    };
+    token
+        .as_bytes()
+        .chunks_exact(2)
+        .map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?))
+        .collect()
+}
+
+fn parse_type(token: &str) -> Result<Type, String> {
+    Ok(match token {
+        "int" => Type::Int,
+        "uid" => Type::UidT,
+        "gid" => Type::GidT,
+        "ptr" => Type::Ptr,
+        "void" => Type::Void,
+        _ => {
+            let n = token
+                .strip_prefix("buf:")
+                .and_then(|n| n.parse::<u32>().ok())
+                .ok_or_else(|| format!("unknown type token {token:?}"))?;
+            Type::Buf(n)
+        }
+    })
+}
+
+fn parse_hex_u32(token: &str) -> Option<u32> {
+    let hex = token.strip_prefix("0x")?;
+    u32::from_str_radix(hex, 16).ok()
+}
+
+fn parse_uid_transform(token: &str) -> Result<UidTransform, String> {
+    match token {
+        "id" => Ok(UidTransform::Identity),
+        _ => token
+            .strip_prefix("xor:")
+            .and_then(parse_hex_u32)
+            .map(UidTransform::Xor)
+            .ok_or_else(|| format!("unknown UID transform token {token:?}")),
+    }
+}
+
+fn parse_addr_transform(token: &str) -> Result<AddressTransform, String> {
+    match token {
+        "id" => Ok(AddressTransform::Identity),
+        "part" => Ok(AddressTransform::PartitionHigh),
+        _ => token
+            .strip_prefix("part:")
+            .and_then(parse_hex_u32)
+            .map(AddressTransform::PartitionHighWithOffset)
+            .ok_or_else(|| format!("unknown address transform token {token:?}")),
+    }
+}
+
+/// Recursive-descent inverse of [`variation_token`].
+fn parse_variation(token: &str) -> Result<Variation, String> {
+    match token {
+        "addr" => return Ok(Variation::AddressPartitioning),
+        "tag" => return Ok(Variation::InstructionTagging),
+        _ => {}
+    }
+    if let Some(mask) = token.strip_prefix("uid:").and_then(parse_hex_u32) {
+        return Ok(Variation::UidDiversity { mask });
+    }
+    if let Some(offset) = token.strip_prefix("addrext:").and_then(parse_hex_u32) {
+        return Ok(Variation::ExtendedAddressPartitioning { offset });
+    }
+    let inner = token
+        .strip_prefix("composed(")
+        .and_then(|t| t.strip_suffix(')'))
+        .ok_or_else(|| format!("unknown variation token {token:?}"))?;
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (index, c) in inner.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(parse_variation(&inner[start..index])?);
+                start = index + 1;
+            }
+            _ => {}
+        }
+    }
+    if !inner.is_empty() {
+        parts.push(parse_variation(&inner[start..])?);
+    }
+    Ok(Variation::Composed(parts))
+}
+
+fn parse_config(rest: &str) -> Result<DeploymentConfig, String> {
+    match rest {
+        "unmodified" => return Ok(DeploymentConfig::Unmodified),
+        "transformed-single" => return Ok(DeploymentConfig::TransformedSingle),
+        "two-variant-address" => return Ok(DeploymentConfig::TwoVariantAddress),
+        "two-variant-uid" => return Ok(DeploymentConfig::TwoVariantUid),
+        _ => {}
+    }
+    let tokens: Vec<&str> = rest.split(' ').collect();
+    if tokens.len() != 4 || tokens[0] != "custom" {
+        return Err(format!("unknown configuration {rest:?}"));
+    }
+    let variants: usize = tokens[1]
+        .parse()
+        .map_err(|_| format!("bad variant count {:?}", tokens[1]))?;
+    let transform_uids = match tokens[2] {
+        "0" => false,
+        "1" => true,
+        other => return Err(format!("bad transform_uids flag {other:?}")),
+    };
+    Ok(DeploymentConfig::Custom {
+        variation: parse_variation(tokens[3])?,
+        variants,
+        transform_uids,
+    })
+}
+
+/// A line-cursor over the artifact text, with error positions.
+struct Parser<'a> {
+    text: &'a str,
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    current: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            text,
+            lines: text.lines().enumerate(),
+            current: 0,
+        }
+    }
+
+    fn fail<T>(&self, message: impl Into<String>) -> Result<T, ArtifactParseError> {
+        Err(ArtifactParseError {
+            line: self.current,
+            message: message.into(),
+        })
+    }
+
+    fn lift<T>(&self, result: Result<T, String>) -> Result<T, ArtifactParseError> {
+        result.map_err(|message| ArtifactParseError {
+            line: self.current,
+            message,
+        })
+    }
+
+    fn next_line(&mut self) -> Result<&'a str, ArtifactParseError> {
+        match self.lines.next() {
+            Some((index, line)) => {
+                self.current = index + 1;
+                Ok(line)
+            }
+            None => {
+                self.current = 0;
+                Err(ArtifactParseError {
+                    line: 0,
+                    message: "unexpected end of artifact file".to_string(),
+                })
+            }
+        }
+    }
+
+    fn expect_field(&mut self, key: &str) -> Result<&'a str, ArtifactParseError> {
+        let line = self.next_line()?;
+        match line.strip_prefix(key).and_then(|r| r.strip_prefix(' ')) {
+            Some(rest) => Ok(rest),
+            None => self.fail(format!("expected {key:?} field, got {line:?}")),
+        }
+    }
+
+    fn parse_number<T: std::str::FromStr>(&self, token: &str) -> Result<T, ArtifactParseError> {
+        token.parse::<T>().map_err(|_| ArtifactParseError {
+            line: self.current,
+            message: format!("expected a number, got {token:?}"),
+        })
+    }
+
+    fn expect_number<T: std::str::FromStr>(&mut self, key: &str) -> Result<T, ArtifactParseError> {
+        let token = self.expect_field(key)?;
+        self.parse_number(token)
+    }
+
+    fn numbers<const N: usize>(&mut self, key: &str) -> Result<[u64; N], ArtifactParseError> {
+        let rest = self.expect_field(key)?;
+        let tokens: Vec<&str> = rest.split(' ').collect();
+        if tokens.len() != N {
+            return self.fail(format!("{key} needs {N} fields, got {}", tokens.len()));
+        }
+        let mut out = [0u64; N];
+        for (slot, token) in out.iter_mut().zip(tokens) {
+            *slot = self.parse_number(token)?;
+        }
+        Ok(out)
+    }
+
+    fn parse_layout(&self, rest: &str) -> Result<MemoryLayout, ArtifactParseError> {
+        let tokens: Vec<&str> = rest.split(' ').collect();
+        if tokens.len() != 4 {
+            return self.fail(format!("layout needs 4 fields, got {}", tokens.len()));
+        }
+        Ok(MemoryLayout {
+            code_base: self.parse_number(tokens[0])?,
+            globals_base: self.parse_number(tokens[1])?,
+            stack_top: self.parse_number(tokens[2])?,
+            stack_size: self.parse_number(tokens[3])?,
+        })
+    }
+
+    fn quoted_list(
+        &mut self,
+        count_key: &str,
+        item_key: &str,
+    ) -> Result<Vec<String>, ArtifactParseError> {
+        let count: usize = self.expect_number(count_key)?;
+        let mut out = Vec::new();
+        for _ in 0..checked_count(count, self)? {
+            let rest = self.expect_field(item_key)?;
+            let (value, trailing) = self.lift(take_quoted(rest))?;
+            if !trailing.is_empty() {
+                return self.fail(format!("unexpected trailing content {trailing:?}"));
+            }
+            out.push(value);
+        }
+        Ok(out)
+    }
+
+    fn parse_program(&mut self) -> Result<CompiledProgram, ArtifactParseError> {
+        let entry_offset: u32 = self.expect_number("program")?;
+        let code = {
+            let token = self.expect_field("code")?;
+            self.lift(hex_decode(token))?
+        };
+        let globals_image = {
+            let token = self.expect_field("data")?;
+            self.lift(hex_decode(token))?
+        };
+
+        let mut globals_map = std::collections::BTreeMap::new();
+        for _ in 0..checked_count(self.expect_number("globals")?, self)? {
+            let rest = self.expect_field("g")?;
+            let (name, rest) = self.lift(take_quoted(rest))?;
+            let Some((offset, ty)) = rest.split_once(' ') else {
+                return self.fail("global needs offset and type");
+            };
+            let offset: u32 = self.parse_number(offset)?;
+            let ty = self.lift(parse_type(ty))?;
+            globals_map.insert(name, (offset, ty));
+        }
+
+        let mut functions = std::collections::BTreeMap::new();
+        for _ in 0..checked_count(self.expect_number("funcs")?, self)? {
+            let rest = self.expect_field("f")?;
+            let (name, offset) = self.lift(take_quoted(rest))?;
+            functions.insert(name, self.parse_number(offset)?);
+        }
+
+        let mut type_info = TypeInfo::default();
+        for _ in 0..checked_count(self.expect_number("tglobals")?, self)? {
+            let rest = self.expect_field("tg")?;
+            let (name, ty) = self.lift(take_quoted(rest))?;
+            type_info.globals.insert(name, self.lift(parse_type(ty))?);
+        }
+        for _ in 0..checked_count(self.expect_number("tfns")?, self)? {
+            let rest = self.expect_field("tf")?;
+            let (name, rest) = self.lift(take_quoted(rest))?;
+            let mut tokens = rest.split(' ').filter(|t| !t.is_empty());
+            let ret = {
+                let token = tokens
+                    .next()
+                    .ok_or(())
+                    .or_else(|()| self.fail("function signature needs a return type"))?;
+                self.lift(parse_type(token))?
+            };
+            let params: Result<Vec<Type>, ArtifactParseError> =
+                tokens.map(|t| self.lift(parse_type(t))).collect();
+            type_info.functions.insert(
+                name,
+                FunctionSig {
+                    params: params?,
+                    ret,
+                },
+            );
+        }
+        for _ in 0..checked_count(self.expect_number("tlocals")?, self)? {
+            let rest = self.expect_field("tl")?;
+            let (function, count) = self.lift(take_quoted(rest))?;
+            let count: usize = self.parse_number(count)?;
+            let mut table = std::collections::BTreeMap::new();
+            for _ in 0..checked_count(count, self)? {
+                let rest = self.expect_field("tlv")?;
+                let (name, ty) = self.lift(take_quoted(rest))?;
+                table.insert(name, self.lift(parse_type(ty))?);
+            }
+            type_info.locals.insert(function, table);
+        }
+
+        let line = self.next_line()?;
+        if line != "endprogram" {
+            return self.fail(format!("expected \"endprogram\", got {line:?}"));
+        }
+        Ok(CompiledProgram {
+            code,
+            globals_image,
+            globals_map,
+            functions,
+            entry_offset,
+            type_info,
+        })
+    }
+
+    fn parse(mut self, base_world: &OsKernel) -> Result<CompiledSystem, ArtifactParseError> {
+        let header = self.next_line()?;
+        if header != HEADER {
+            return self.fail(format!("expected {HEADER:?}, got {header:?}"));
+        }
+        // The whole-body checksum must hold before anything is trusted: the
+        // fingerprint is derived from the builder's inputs, not from these
+        // bytes, so it cannot detect a flipped bit inside a code image that
+        // still parses. Trailing newlines are excluded on both sides, so an
+        // editor's or a text-mode transfer's extra blank lines stay
+        // harmless (the structural parser tolerates them too).
+        let declared = {
+            let token = self.expect_field("checksum")?;
+            token
+                .strip_prefix("0x")
+                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                .ok_or(())
+                .or_else(|()| self.fail(format!("expected 0x-prefixed checksum, got {token:?}")))?
+        };
+        let body = {
+            let mut offset = 0;
+            for _ in 0..2 {
+                offset += match self.text[offset..].find('\n') {
+                    Some(position) => position + 1,
+                    None => return self.fail("artifact ends before its body"),
+                };
+            }
+            self.text[offset..].trim_end_matches('\n')
+        };
+        if fnv1a_64(body.as_bytes()) != declared {
+            return self.fail("artifact checksum mismatch: the entry is corrupt".to_string());
+        }
+        let fingerprint = {
+            let token = self.expect_field("fingerprint")?;
+            token
+                .strip_prefix("0x")
+                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                .ok_or(())
+                .or_else(|()| {
+                    self.fail(format!("expected 0x-prefixed fingerprint, got {token:?}"))
+                })?
+        };
+        let config = {
+            let rest = self.expect_field("config")?;
+            self.lift(parse_config(rest))?
+        };
+        let [a, b, c, d, e, f] = self.numbers::<6>("stats")?;
+        let transform_stats = TransformStats {
+            uid_constants_reexpressed: a as usize,
+            implicit_constants_made_explicit: b as usize,
+            single_value_exposures: c as usize,
+            comparison_exposures: d as usize,
+            conditional_checks: e as usize,
+            log_sinks_sanitized: f as usize,
+        };
+        let initial_uid = Uid::new(self.expect_number::<u32>("initial_uid")?);
+        let [max_steps_per_slice, max_syscalls] = self.numbers::<2>("run_limits")?;
+        let run_limits = RunLimits {
+            max_steps_per_slice,
+            max_syscalls,
+        };
+        let extra_unshared = self.quoted_list("xfiles", "xfile")?;
+
+        let plan = match self.expect_field("plan")? {
+            "single" => {
+                let layout = {
+                    let rest = self.expect_field("layout")?;
+                    self.parse_layout(rest)?
+                };
+                let program = self.parse_program()?;
+                CompiledPlan::Single { program, layout }
+            }
+            rest => {
+                let count: usize = match rest.strip_prefix("multi ") {
+                    Some(count) => self.parse_number(count)?,
+                    None => {
+                        return self
+                            .fail(format!("expected \"single\" or \"multi N\", got {rest:?}"))
+                    }
+                };
+                let count = checked_count(count, &self)?;
+                let mut variants = Vec::with_capacity(count);
+                for index in 0..count {
+                    let rest = self.expect_field("variant")?;
+                    let tokens: Vec<&str> = rest.split(' ').collect();
+                    if tokens.len() != 6 || tokens[0] != index.to_string() {
+                        return self.fail(format!("expected variant {index} header, got {rest:?}"));
+                    }
+                    let tag: u8 = self.parse_number(tokens[1])?;
+                    let layout = self.parse_layout(&tokens[2..].join(" "))?;
+                    let program = self.parse_program()?;
+                    variants.push(CompiledVariant {
+                        program,
+                        layout,
+                        tag,
+                    });
+                }
+                let spec_count: usize = self.expect_number("specs")?;
+                if spec_count != count {
+                    return self.fail(format!(
+                        "artifact declares {count} variants but {spec_count} specs"
+                    ));
+                }
+                let mut specs = Vec::with_capacity(spec_count);
+                for _ in 0..spec_count {
+                    let rest = self.expect_field("spec")?;
+                    let tokens: Vec<&str> = rest.split(' ').collect();
+                    if tokens.len() != 3 {
+                        return self.fail(format!("spec needs 3 fields, got {}", tokens.len()));
+                    }
+                    specs.push(
+                        VariantSpec::identity()
+                            .with_uid(self.lift(parse_uid_transform(tokens[0]))?)
+                            .with_addr(self.lift(parse_addr_transform(tokens[1]))?)
+                            .with_tag(self.parse_number(tokens[2])?),
+                    );
+                }
+                let monitor_rest = self.expect_field("monitor")?;
+                let tokens: Vec<&str> = monitor_rest.split(' ').collect();
+                if tokens.len() != 3 {
+                    return self.fail(format!("monitor needs 3 fields, got {}", tokens.len()));
+                }
+                let policy = match tokens[2] {
+                    "kill" => DivergencePolicy::KillAndReport,
+                    "continue" => DivergencePolicy::ReportAndContinue,
+                    other => return self.fail(format!("unknown divergence policy {other:?}")),
+                };
+                let unshared_files = self.quoted_list("mfiles", "mfile")?;
+                let monitor_config = MonitorConfig {
+                    unshared_files,
+                    max_steps_per_slice: self.parse_number(tokens[0])?,
+                    max_syscalls: self.parse_number(tokens[1])?,
+                    policy,
+                };
+                CompiledPlan::Multi {
+                    variants,
+                    specs: VariantSet::new(specs),
+                    monitor_config,
+                }
+            }
+        };
+
+        let line = self.next_line()?;
+        if line != "end" {
+            return self.fail(format!("expected \"end\", got {line:?}"));
+        }
+        for (index, line) in self.lines.by_ref() {
+            if line.is_empty() {
+                continue;
+            }
+            self.current = index + 1;
+            return self.fail(format!("unexpected content after \"end\": {line:?}"));
+        }
+
+        // The stored half is world-independent; re-derive the provisioned
+        // kernel template from the caller's base world, exactly as
+        // `compile()` does for the builder's world.
+        let mut system = CompiledSystem {
+            fingerprint,
+            config,
+            transform_stats,
+            kernel_template: base_world.clone(),
+            initial_uid,
+            run_limits,
+            extra_unshared,
+            plan,
+        };
+        system.kernel_template = system.provision_world(base_world);
+        Ok(system)
+    }
+}
+
+/// Caps parsed element counts: an artifact file is finite, so any declared
+/// count beyond a generous bound is corruption, not data — reject it before
+/// the loop allocates or starves on a truncated file.
+fn checked_count(count: usize, parser: &Parser<'_>) -> Result<usize, ArtifactParseError> {
+    const CAP: usize = 1 << 20;
+    if count > CAP {
+        return Err(ArtifactParseError {
+            line: parser.current,
+            message: format!("implausible element count {count}"),
+        });
+    }
+    Ok(count)
+}
+
+/// Parses an artifact file and re-provisions its kernel template from
+/// `base_world`.
+///
+/// # Errors
+///
+/// Returns an [`ArtifactParseError`] naming the offending line if the text
+/// is not a well-formed artifact file.
+pub fn from_artifact_text(
+    text: &str,
+    base_world: &OsKernel,
+) -> Result<CompiledSystem, ArtifactParseError> {
+    Parser::new(text).parse(base_world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NVariantSystemBuilder;
+
+    const SERVER: &str = r#"
+        var greeting: buf[16];
+        fn main() -> int {
+            var uid: uid_t;
+            uid = getuid();
+            if (uid == 0) { return setuid(48); }
+            return 0;
+        }
+    "#;
+
+    fn builder(config: DeploymentConfig) -> NVariantSystemBuilder {
+        NVariantSystemBuilder::from_source(SERVER)
+            .unwrap()
+            .config(config)
+    }
+
+    fn all_configs() -> Vec<DeploymentConfig> {
+        let mut configs = DeploymentConfig::paper_configurations();
+        configs.push(DeploymentConfig::composed_uid_and_address());
+        configs.push(DeploymentConfig::two_variant_instruction_tagging());
+        configs
+    }
+
+    #[test]
+    fn artifact_text_round_trips_every_configuration() {
+        let world = WorldBuilder::standard().build();
+        for config in all_configs() {
+            let label = config.label();
+            let compiled = builder(config).compile().unwrap();
+            let text = to_artifact_text(&compiled).expect("codec covers built-in configs");
+            let loaded =
+                from_artifact_text(&text, &world).unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(loaded.fingerprint(), compiled.fingerprint(), "{label}");
+            assert_eq!(loaded.config(), compiled.config(), "{label}");
+            assert_eq!(
+                loaded.transform_stats(),
+                compiled.transform_stats(),
+                "{label}"
+            );
+            assert_eq!(loaded.variant_count(), compiled.variant_count(), "{label}");
+            // The re-provisioned template behaves identically: instantiate
+            // and run both artifacts and compare outcomes.
+            assert_eq!(
+                loaded.instantiate().run(),
+                compiled.instantiate().run(),
+                "{label}"
+            );
+            // And the serialization is a fixed point.
+            assert_eq!(to_artifact_text(&loaded).unwrap(), text, "{label}");
+        }
+    }
+
+    #[test]
+    fn loaded_artifacts_expose_the_same_symbol_addresses() {
+        // Attack payload generators read symbol addresses from the
+        // instantiated system; the codec must preserve the globals map.
+        let compiled = builder(DeploymentConfig::TwoVariantUid).compile().unwrap();
+        let text = to_artifact_text(&compiled).unwrap();
+        let world = WorldBuilder::standard().build();
+        let loaded = from_artifact_text(&text, &world).unwrap();
+        let a = compiled.instantiate().global_addr("greeting");
+        let b = loaded.instantiate().global_addr("greeting");
+        assert!(a.is_some());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let base = builder(DeploymentConfig::TwoVariantUid).fingerprint();
+        // Stable across builder clones and across compile.
+        assert_eq!(base, builder(DeploymentConfig::TwoVariantUid).fingerprint());
+        assert_eq!(
+            base,
+            builder(DeploymentConfig::TwoVariantUid)
+                .compile()
+                .unwrap()
+                .fingerprint()
+        );
+        // Every input perturbs it.
+        assert_ne!(
+            base,
+            builder(DeploymentConfig::TwoVariantAddress).fingerprint()
+        );
+        assert_ne!(
+            base,
+            NVariantSystemBuilder::from_source("fn main() -> int { return 1; }")
+                .unwrap()
+                .config(DeploymentConfig::TwoVariantUid)
+                .fingerprint()
+        );
+        assert_ne!(
+            base,
+            builder(DeploymentConfig::TwoVariantUid)
+                .initial_uid(Uid::new(48))
+                .fingerprint()
+        );
+        assert_ne!(
+            base,
+            builder(DeploymentConfig::TwoVariantUid)
+                .transform_options(nvariant_transform::TransformOptions {
+                    insert_detection_calls: false,
+                    ..Default::default()
+                })
+                .fingerprint()
+        );
+        assert_ne!(
+            base,
+            builder(DeploymentConfig::TwoVariantUid)
+                .unshared_file("/etc/motd")
+                .fingerprint()
+        );
+        assert_ne!(
+            base,
+            builder(DeploymentConfig::TwoVariantUid)
+                .run_limits(RunLimits {
+                    max_steps_per_slice: 1,
+                    max_syscalls: 1,
+                })
+                .fingerprint()
+        );
+        // The world is *not* part of the fingerprint: artifacts are
+        // world-independent and re-provisioned at load.
+        assert_eq!(
+            base,
+            builder(DeploymentConfig::TwoVariantUid)
+                .world(WorldBuilder::standard().listen_port(8080).build())
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn variation_tokens_round_trip() {
+        let variations = [
+            Variation::AddressPartitioning,
+            Variation::ExtendedAddressPartitioning { offset: 0x40 },
+            Variation::InstructionTagging,
+            Variation::uid_diversity(),
+            Variation::uid_diversity_full_mask(),
+            Variation::composed(vec![
+                Variation::uid_diversity(),
+                Variation::composed(vec![
+                    Variation::AddressPartitioning,
+                    Variation::InstructionTagging,
+                ]),
+            ]),
+            Variation::Composed(vec![]),
+        ];
+        for variation in variations {
+            let token = variation_token(&variation).unwrap();
+            assert!(!token.contains(' '), "{token}");
+            assert_eq!(parse_variation(&token).unwrap(), variation, "{token}");
+        }
+        assert!(parse_variation("nonsense").is_err());
+        assert!(parse_variation("composed(addr,nonsense)").is_err());
+    }
+
+    #[test]
+    fn store_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("nvariant-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::at(&dir);
+        let first = store
+            .get_or_compile(builder(DeploymentConfig::TwoVariantUid))
+            .unwrap();
+        assert_eq!(store.stats().misses, 1);
+        assert_eq!(store.stats().hits, 0);
+        let entry = store.entry_path(first.fingerprint()).unwrap();
+        assert!(entry.is_file(), "{}", entry.display());
+
+        // Memory hit in the same store.
+        let second = store
+            .get_or_compile(builder(DeploymentConfig::TwoVariantUid))
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(store.stats().hits, 1);
+
+        // A fresh store (a "new process") hits the disk layer.
+        let other = ArtifactStore::at(&dir);
+        let loaded = store_loaded(&other, DeploymentConfig::TwoVariantUid);
+        assert_eq!(other.stats().hits, 1);
+        assert_eq!(other.stats().misses, 0);
+        assert_eq!(loaded.instantiate().run(), first.instantiate().run());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn store_loaded(store: &ArtifactStore, config: DeploymentConfig) -> Arc<CompiledSystem> {
+        store.get_or_compile(builder(config)).unwrap()
+    }
+
+    #[test]
+    fn corrupt_disk_entries_fall_back_to_recompile_and_are_overwritten() {
+        let dir =
+            std::env::temp_dir().join(format!("nvariant-store-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let seed_store = ArtifactStore::at(&dir);
+        let compiled = store_loaded(&seed_store, DeploymentConfig::TwoVariantUid);
+        let entry = seed_store.entry_path(compiled.fingerprint()).unwrap();
+
+        for corruption in [
+            "garbage".to_string(),
+            String::new(),
+            // Truncation at half the file.
+            {
+                let text = std::fs::read_to_string(&entry).unwrap();
+                text[..text.len() / 2].to_string()
+            },
+            // A valid file claiming a different fingerprint in the slot.
+            std::fs::read_to_string(&entry).unwrap().replacen(
+                "fingerprint 0x",
+                "fingerprint 0xf",
+                1,
+            ),
+            // One flipped hex digit inside a code image: structurally a
+            // perfectly valid file — only the body checksum catches it.
+            {
+                let text = std::fs::read_to_string(&entry).unwrap();
+                let at = text.find("\ncode ").unwrap() + "\ncode ".len() + 10;
+                let mut bytes = text.into_bytes();
+                bytes[at] = if bytes[at] == b'0' { b'1' } else { b'0' };
+                String::from_utf8(bytes).unwrap()
+            },
+        ] {
+            std::fs::write(&entry, &corruption).unwrap();
+            let fresh = ArtifactStore::at(&dir);
+            let loaded = store_loaded(&fresh, DeploymentConfig::TwoVariantUid);
+            assert_eq!(fresh.stats().invalidations, 1, "{corruption:?}");
+            assert_eq!(loaded.instantiate().run(), compiled.instantiate().run());
+            // The bad entry was overwritten with a good one.
+            let reread = ArtifactStore::at(&dir);
+            let again = store_loaded(&reread, DeploymentConfig::TwoVariantUid);
+            assert_eq!(reread.stats().hits, 1);
+            assert_eq!(again.instantiate().run(), compiled.instantiate().run());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hits_are_reprovisioned_for_the_callers_world() {
+        use nvariant_simos::WorldTemplate;
+        // The fingerprint excludes the world, so two builders differing
+        // only in their world share one cache key — but each caller must
+        // get a template provisioned from *its* world, not whoever filled
+        // the cache first.
+        let store = ArtifactStore::memory_only();
+        let with_world = |world: Option<OsKernel>| {
+            let mut b = builder(DeploymentConfig::TwoVariantUid);
+            if let Some(world) = world {
+                b = b.world(world);
+            }
+            b
+        };
+        let alt = || WorldTemplate::alternate_accounts().kernel().clone();
+
+        // Filled by an explicit-world caller first...
+        let first = store.get_or_compile(with_world(Some(alt()))).unwrap();
+        assert_eq!(
+            first
+                .kernel_template()
+                .passwd()
+                .lookup_user("httpd")
+                .unwrap()
+                .uid
+                .as_u32(),
+            61
+        );
+        // ...a default-world hit must NOT inherit the alternate accounts.
+        let standard = store.get_or_compile(with_world(None)).unwrap();
+        assert_eq!(
+            standard
+                .kernel_template()
+                .passwd()
+                .lookup_user("httpd")
+                .unwrap()
+                .uid
+                .as_u32(),
+            48
+        );
+        // And an explicit-world hit gets its own world back.
+        let again = store.get_or_compile(with_world(Some(alt()))).unwrap();
+        assert_eq!(
+            again
+                .kernel_template()
+                .passwd()
+                .lookup_user("httpd")
+                .unwrap()
+                .uid
+                .as_u32(),
+            61
+        );
+        assert_eq!(store.stats().hits, 2);
+        assert_eq!(store.stats().misses, 1);
+        // Default-world callers still share one Arc once a default-world
+        // entry occupies the slot.
+        let shared_a = store.get_or_compile(with_world(None)).unwrap();
+        let shared_b = store.get_or_compile(with_world(None)).unwrap();
+        assert!(Arc::ptr_eq(&shared_a, &shared_b));
+    }
+
+    #[test]
+    fn memory_only_store_never_touches_disk() {
+        let store = ArtifactStore::memory_only();
+        assert!(store.disk_root().is_none());
+        assert!(store.entry_path(1).is_none());
+        let first = store_loaded(&store, DeploymentConfig::Unmodified);
+        let second = store_loaded(&store, DeploymentConfig::Unmodified);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(store.stats().misses, 1);
+        assert_eq!(store.stats().hits, 1);
+    }
+
+    #[test]
+    fn atomic_writes_replace_complete_files() {
+        let dir = std::env::temp_dir().join(format!("nvariant-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("entry.txt");
+        atomic_write_text(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        atomic_write_text(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        // No temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_line() {
+        let world = WorldBuilder::standard().build();
+        let err = from_artifact_text("not an artifact", &world).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+
+        let compiled = builder(DeploymentConfig::TwoVariantUid).compile().unwrap();
+        let text = to_artifact_text(&compiled).unwrap();
+        // Truncation at every line boundary is a clean error.
+        let total = text.lines().count();
+        for keep in 0..total {
+            let truncated: String = text.lines().take(keep).map(|l| format!("{l}\n")).collect();
+            let err = from_artifact_text(&truncated, &world)
+                .expect_err("a proper prefix can never be a complete artifact");
+            assert!(err.line <= keep + 1, "kept {keep}, error line {}", err.line);
+        }
+        // Trailing content after `end` is rejected; blank lines tolerated.
+        assert!(from_artifact_text(&format!("{text}{text}"), &world).is_err());
+        assert!(from_artifact_text(&format!("{text}\n\n"), &world).is_ok());
+    }
+}

@@ -65,7 +65,7 @@ impl From<TransformError> for BuildError {
 #[derive(Clone, Debug)]
 pub struct NVariantSystemBuilder {
     program: Program,
-    world: Option<OsKernel>,
+    pub(crate) world: Option<OsKernel>,
     initial_uid: Uid,
     config: DeploymentConfig,
     monitor_config: MonitorConfig,
@@ -173,6 +173,35 @@ impl NVariantSystemBuilder {
         }
     }
 
+    /// The canonical content fingerprint of the artifact this builder would
+    /// [`compile`](Self::compile): FNV-1a 64 over the program source (in its
+    /// canonical pretty-printed form) plus every builder knob that shapes
+    /// the compiled images — deployment configuration, transformation
+    /// options, initial UID, monitor configuration, base memory layout,
+    /// execution limits and the extra unshared files.
+    ///
+    /// The builder's *world* is deliberately excluded: compiled artifacts
+    /// are world-independent (worlds are re-provisioned from any base via
+    /// [`CompiledSystem::provision_world`]), so the same fingerprint is
+    /// valid across every world an artifact deploys into. Two builders with
+    /// equal fingerprints compile byte-identical variant images, which is
+    /// what lets the [`ArtifactStore`](crate::ArtifactStore) reuse compiled
+    /// artifacts across processes.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut descriptor = String::from("nvariant-artifact-fingerprint v1\n");
+        descriptor.push_str(&format!("config {:?}\n", self.config));
+        descriptor.push_str(&format!("transform_options {:?}\n", self.transform_options));
+        descriptor.push_str(&format!("initial_uid {}\n", self.initial_uid.as_u32()));
+        descriptor.push_str(&format!("monitor_config {:?}\n", self.monitor_config));
+        descriptor.push_str(&format!("base_layout {:?}\n", self.base_layout));
+        descriptor.push_str(&format!("run_limits {:?}\n", self.run_limits));
+        descriptor.push_str(&format!("extra_unshared {:?}\n", self.extra_unshared));
+        descriptor.push_str("source\n");
+        descriptor.push_str(&nvariant_vm::pretty_print(&self.program));
+        crate::store::fnv1a_64(descriptor.as_bytes())
+    }
+
     /// Runs the expensive half of deployment — parsing already happened,
     /// so this transforms, compiles and provisions — and returns a
     /// [`CompiledSystem`] artifact that can be cheaply
@@ -183,6 +212,7 @@ impl NVariantSystemBuilder {
     /// Returns a [`BuildError`] if the program fails to transform or
     /// compile, or the variation cannot be instantiated.
     pub fn compile(self) -> Result<CompiledSystem, BuildError> {
+        let fingerprint = self.fingerprint();
         let kernel = self
             .world
             .clone()
@@ -200,6 +230,7 @@ impl NVariantSystemBuilder {
             };
             let compiled = compile_program(&program)?;
             return Ok(CompiledSystem {
+                fingerprint,
                 config: self.config,
                 transform_stats: stats,
                 kernel_template: kernel,
@@ -263,6 +294,7 @@ impl NVariantSystemBuilder {
         }
 
         let mut system = CompiledSystem {
+            fingerprint,
             config: self.config,
             transform_stats: stats,
             kernel_template: kernel,
@@ -297,14 +329,14 @@ impl NVariantSystemBuilder {
 /// The per-variant output of compilation: bytecode plus the memory layout
 /// and instruction tag the variant runs under.
 #[derive(Clone, Debug)]
-struct CompiledVariant {
-    program: CompiledProgram,
-    layout: MemoryLayout,
-    tag: u8,
+pub(crate) struct CompiledVariant {
+    pub(crate) program: CompiledProgram,
+    pub(crate) layout: MemoryLayout,
+    pub(crate) tag: u8,
 }
 
 #[derive(Clone, Debug)]
-enum CompiledPlan {
+pub(crate) enum CompiledPlan {
     Single {
         program: CompiledProgram,
         layout: MemoryLayout,
@@ -327,13 +359,14 @@ enum CompiledPlan {
 /// campaign engines share across worker threads.
 #[derive(Clone, Debug)]
 pub struct CompiledSystem {
-    config: DeploymentConfig,
-    transform_stats: TransformStats,
-    kernel_template: OsKernel,
-    initial_uid: Uid,
-    run_limits: RunLimits,
-    extra_unshared: Vec<String>,
-    plan: CompiledPlan,
+    pub(crate) fingerprint: u64,
+    pub(crate) config: DeploymentConfig,
+    pub(crate) transform_stats: TransformStats,
+    pub(crate) kernel_template: OsKernel,
+    pub(crate) initial_uid: Uid,
+    pub(crate) run_limits: RunLimits,
+    pub(crate) extra_unshared: Vec<String>,
+    pub(crate) plan: CompiledPlan,
 }
 
 impl CompiledSystem {
@@ -341,6 +374,16 @@ impl CompiledSystem {
     #[must_use]
     pub fn config(&self) -> &DeploymentConfig {
         &self.config
+    }
+
+    /// The canonical content fingerprint the builder computed for this
+    /// artifact ([`NVariantSystemBuilder::fingerprint`]): FNV-1a 64 over the
+    /// canonical source text and every builder knob that shapes the compiled
+    /// images. Stable across processes and machines, and the key under which
+    /// the [`ArtifactStore`](crate::ArtifactStore) caches the artifact.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The change counts of the UID transformation applied at compile time

@@ -78,4 +78,4 @@ pub use pretty::pretty_print;
 pub use process::{MemoryLayout, Process, ProcessState};
 pub use runner::{RunLimits, RunOutcome, Runner};
 pub use stdlib::{parse_with_stdlib, stdlib_source};
-pub use typecheck::{typecheck_program, TypeError};
+pub use typecheck::{typecheck_program, FunctionSig, TypeError, TypeInfo};
