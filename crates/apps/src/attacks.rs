@@ -118,7 +118,9 @@ impl Attack {
                 requests
             }
             AttackClass::UidCorruptionAbsolute => {
-                let addr = system.global_addr("server_uid").map_or(0, |a| a.as_u32());
+                let addr = system
+                    .global_addr("server_uid")
+                    .map_or(0, nvariant_types::VirtAddr::as_u32);
                 vec![
                     format!(
                         "GET /debug/poke/{addr}/0 HTTP/1.0\r\nHost: victim\r\nUser-Agent: curl\r\n\r\n"
@@ -129,7 +131,9 @@ impl Attack {
                 ]
             }
             AttackClass::NonUidDataCorruption => {
-                let addr = system.global_addr("docroot").map_or(0, |a| a.as_u32());
+                let addr = system
+                    .global_addr("docroot")
+                    .map_or(0, nvariant_types::VirtAddr::as_u32);
                 vec![
                     format!(
                         "GET /debug/poke/{addr}/0 HTTP/1.0\r\nHost: victim\r\nUser-Agent: curl\r\n\r\n"

@@ -18,6 +18,10 @@
 //! * [`campaigns`] — ready-made [`nvariant_campaign`] experiment plans
 //!   (benign sweeps, the attack corpus, the full security × world ×
 //!   workload matrix) over that cache.
+//! * [`checks`] — bounded model-checking entry points: per-configuration
+//!   attacker models, ready-made [`nvariant_check`] targets for the paper
+//!   matrix, the weakened-monitor regression build, and a campaign whose
+//!   cells carry check summaries.
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@
 
 pub mod attacks;
 pub mod campaigns;
+pub mod checks;
 pub mod httpd;
 pub mod scenarios;
 pub mod workload;
@@ -50,6 +55,10 @@ pub use attacks::{
 };
 pub use campaigns::{
     benign_scenario, full_matrix_campaign, httpd_campaign, security_sweep_configs,
+};
+pub use checks::{
+    check_paper_matrix, check_summary, check_worlds, checked_httpd_campaign, httpd_attacker,
+    httpd_check_target, weakened_httpd_check_target, weakened_httpd_system,
 };
 pub use httpd::httpd_source;
 pub use scenarios::{

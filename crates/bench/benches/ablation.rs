@@ -48,7 +48,7 @@ fn bench_ablation(c: &mut Criterion) {
                 TransformOptions::default(),
                 Variation::uid_diversity(),
             ))
-        })
+        });
     });
     group.bench_function("uid_variation_syscall_boundary_only", |b| {
         b.iter(|| {
@@ -59,7 +59,7 @@ fn bench_ablation(c: &mut Criterion) {
                 },
                 Variation::uid_diversity(),
             ))
-        })
+        });
     });
     group.bench_function("uid_variation_full_mask", |b| {
         b.iter(|| {
@@ -67,7 +67,7 @@ fn bench_ablation(c: &mut Criterion) {
                 TransformOptions::default(),
                 Variation::uid_diversity_full_mask(),
             ))
-        })
+        });
     });
     group.bench_function("composed_uid_plus_address", |b| {
         b.iter(|| {
@@ -78,7 +78,7 @@ fn bench_ablation(c: &mut Criterion) {
                     Variation::address_partitioning(),
                 ]),
             ))
-        })
+        });
     });
     group.finish();
 }

@@ -22,21 +22,21 @@ fn bench_attacks(c: &mut Criterion) {
             let outcome = run_attack(&DeploymentConfig::Unmodified, uid_overflow);
             assert_eq!(outcome.result, AttackResult::Succeeded);
             black_box(outcome)
-        })
+        });
     });
     group.bench_function("uid_overflow_vs_two_variant_uid", |b| {
         b.iter(|| {
             let outcome = run_attack(&DeploymentConfig::TwoVariantUid, uid_overflow);
             assert_eq!(outcome.result, AttackResult::Detected);
             black_box(outcome)
-        })
+        });
     });
     group.bench_function("uid_poke_vs_two_variant_address", |b| {
         b.iter(|| {
             let outcome = run_attack(&DeploymentConfig::TwoVariantAddress, uid_poke);
             assert_eq!(outcome.result, AttackResult::Detected);
             black_box(outcome)
-        })
+        });
     });
     group.finish();
 }

@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use nvariant::prelude::*;
 use std::time::Duration;
 
-const POINTER_CHASE: &str = r#"
+const POINTER_CHASE: &str = r"
     var table: buf[256];
     fn main() -> int {
         var i: int = 0;
@@ -18,9 +18,9 @@ const POINTER_CHASE: &str = r#"
         }
         return p[10];
     }
-"#;
+";
 
-const ABSOLUTE_ADDRESS_ATTACK: &str = r#"
+const ABSOLUTE_ADDRESS_ATTACK: &str = r"
     var target: int = 5;
     fn main() -> int {
         var p: ptr;
@@ -28,7 +28,7 @@ const ABSOLUTE_ADDRESS_ATTACK: &str = r#"
         *p = 7;
         return target;
     }
-"#;
+";
 
 fn run_under(source: &str, config: DeploymentConfig) -> SystemOutcome {
     let mut system = NVariantSystemBuilder::from_source(source)
@@ -47,7 +47,7 @@ fn bench_fig1(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("pointer_chase_single_process", |b| {
-        b.iter(|| black_box(run_under(POINTER_CHASE, DeploymentConfig::Unmodified)))
+        b.iter(|| black_box(run_under(POINTER_CHASE, DeploymentConfig::Unmodified)));
     });
     group.bench_function("pointer_chase_two_variant_partitioned", |b| {
         b.iter(|| {
@@ -55,14 +55,14 @@ fn bench_fig1(c: &mut Criterion) {
                 POINTER_CHASE,
                 DeploymentConfig::TwoVariantAddress,
             ))
-        })
+        });
     });
     group.bench_function("detect_absolute_address_injection", |b| {
         b.iter(|| {
             let outcome = run_under(ABSOLUTE_ADDRESS_ATTACK, DeploymentConfig::TwoVariantAddress);
             assert!(outcome.detected_attack());
             black_box(outcome)
-        })
+        });
     });
     group.finish();
 }

@@ -16,7 +16,7 @@ fn bench_reexpression(c: &mut Criterion) {
         b.iter(|| {
             let reexpressed = uid.apply(black_box(Uid::new(48)));
             black_box(uid.invert(reexpressed))
-        })
+        });
     });
 
     let addr = AddressTransform::PartitionHigh;
@@ -24,7 +24,7 @@ fn bench_reexpression(c: &mut Criterion) {
         b.iter(|| {
             let reexpressed = addr.apply(black_box(VirtAddr::new(0x0010_0040)));
             black_box(addr.invert(reexpressed))
-        })
+        });
     });
 
     let extended = AddressTransform::PartitionHighWithOffset(0x40);
@@ -32,11 +32,11 @@ fn bench_reexpression(c: &mut Criterion) {
         b.iter(|| {
             let reexpressed = extended.apply(black_box(VirtAddr::new(0x0010_0040)));
             black_box(extended.invert(reexpressed))
-        })
+        });
     });
 
     group.bench_function("verify_uid_variation_properties", |b| {
-        b.iter(|| black_box(verify_variation(&Variation::uid_diversity(), 2)))
+        b.iter(|| black_box(verify_variation(&Variation::uid_diversity(), 2)));
     });
     group.bench_function("verify_composed_variation_properties", |b| {
         b.iter(|| {
@@ -47,7 +47,7 @@ fn bench_reexpression(c: &mut Criterion) {
                 ]),
                 2,
             ))
-        })
+        });
     });
     group.finish();
 }

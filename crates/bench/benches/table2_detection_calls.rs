@@ -11,7 +11,7 @@ use std::time::Duration;
 /// cond_chk per iteration).
 fn detection_heavy_source(count: u32) -> String {
     format!(
-        r#"
+        r"
         fn main() -> int {{
             var uid: uid_t;
             var i: int = 0;
@@ -26,14 +26,14 @@ fn detection_heavy_source(count: u32) -> String {
             }}
             return 0;
         }}
-        "#
+        "
     )
 }
 
 /// The same loop without any detection calls.
 fn plain_source(count: u32) -> String {
     format!(
-        r#"
+        r"
         fn main() -> int {{
             var uid: uid_t;
             var i: int = 0;
@@ -43,7 +43,7 @@ fn plain_source(count: u32) -> String {
             }}
             return 0;
         }}
-        "#
+        "
     )
 }
 
@@ -71,10 +71,10 @@ fn bench_detection_calls(c: &mut Criterion) {
     let without_checks = plain_source(50);
 
     group.bench_function("50_iterations_with_detection_calls", |b| {
-        b.iter(|| black_box(run_two_variant(&with_checks)))
+        b.iter(|| black_box(run_two_variant(&with_checks)));
     });
     group.bench_function("50_iterations_without_detection_calls", |b| {
-        b.iter(|| black_box(run_two_variant(&without_checks)))
+        b.iter(|| black_box(run_two_variant(&without_checks)));
     });
     group.finish();
 }

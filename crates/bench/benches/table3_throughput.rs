@@ -26,7 +26,7 @@ fn bench_configurations(c: &mut Criterion) {
                     let outcome = run_requests(config, &requests);
                     assert!(outcome.system.exited_normally());
                     black_box(outcome.total_response_bytes())
-                })
+                });
             },
         );
     }

@@ -200,7 +200,11 @@ fn per_cell_table(report: &CampaignReport, configs: &[DeploymentConfig]) -> Stri
             let judged: Vec<_> = cells.iter().filter(|c| c.verdict.is_some()).collect();
             let matched = judged
                 .iter()
-                .filter(|c| c.verdict.as_ref().is_some_and(|v| v.matches()))
+                .filter(|c| {
+                    c.verdict
+                        .as_ref()
+                        .is_some_and(nvariant_campaign::CellVerdict::matches)
+                })
                 .count();
             let mut tally = nvariant_campaign::RequestTally::default();
             for cell in &cells {

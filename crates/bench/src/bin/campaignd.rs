@@ -89,7 +89,7 @@ fn parse_args() -> Args {
         shards: 3,
         workers: 0,
         attempts: 3,
-        timeout: Duration::from_secs(600),
+        timeout: Duration::from_mins(10),
         dir: None,
         out: None,
         worker_bin: None,
@@ -101,12 +101,11 @@ fn parse_args() -> Args {
     };
     let mut args = std::env::args().skip(1);
     let number = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
-        match args.next().and_then(|v| v.parse::<usize>().ok()) {
-            Some(value) => value,
-            None => {
-                eprintln!("{flag} expects a non-negative integer");
-                usage_exit();
-            }
+        if let Some(value) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+            value
+        } else {
+            eprintln!("{flag} expects a non-negative integer");
+            usage_exit();
         }
     };
     while let Some(arg) = args.next() {
@@ -119,10 +118,10 @@ fn parse_args() -> Args {
                 parsed.timeout = Duration::from_secs(number(&mut args, "--timeout-secs") as u64);
             }
             "--dir" => {
-                parsed.dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage_exit())))
+                parsed.dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage_exit())));
             }
             "--out" => {
-                parsed.out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage_exit())))
+                parsed.out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage_exit())));
             }
             "--worker-bin" => {
                 parsed.worker_bin =
@@ -369,7 +368,7 @@ impl Coordinator<'_> {
             .plan
             .shard(job.index, self.args.shards)
             .iter()
-            .map(|spec| spec.coordinates())
+            .map(nvariant_campaign::CellSpec::coordinates)
             .collect();
         let got: Vec<_> = report
             .cells

@@ -44,7 +44,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         line.trim_end().to_string()
     };
-    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let header_cells: Vec<String> = headers
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     out.push_str(&render_row(&header_cells, &widths));
     out.push('\n');
     let mut separator = String::from("|");

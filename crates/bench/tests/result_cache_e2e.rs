@@ -107,14 +107,12 @@ fn corrupted_cache_entries_recover_by_recomputing() {
     let cells_root = cache.join("cells");
     let cell_dir = std::fs::read_dir(&cells_root)
         .expect("cell cache populated")
-        .filter_map(Result::ok)
-        .next()
+        .find_map(Result::ok)
         .expect("one plan hash dir")
         .path();
     let cell_entry = std::fs::read_dir(&cell_dir)
         .unwrap()
-        .filter_map(Result::ok)
-        .next()
+        .find_map(Result::ok)
         .expect("one cell entry")
         .path();
     let text = std::fs::read_to_string(&cell_entry).unwrap();
@@ -122,8 +120,7 @@ fn corrupted_cache_entries_recover_by_recomputing() {
 
     let artifact_entry = std::fs::read_dir(cache.join("artifacts"))
         .expect("artifact store populated")
-        .filter_map(Result::ok)
-        .next()
+        .find_map(Result::ok)
         .expect("one artifact entry")
         .path();
     std::fs::write(&artifact_entry, "garbage").unwrap();

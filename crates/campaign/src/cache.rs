@@ -178,6 +178,7 @@ mod tests {
             }],
             transform_stats: TransformStats::default(),
             verdict: None,
+            checked: None,
             wall: Duration::from_millis(3),
         }
     }

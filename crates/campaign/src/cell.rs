@@ -70,6 +70,33 @@ impl CellVerdict {
     }
 }
 
+/// A flattened summary of a model-check verdict attached to a cell by a
+/// scenario's check hook (see
+/// [`Scenario::with_check`](crate::Scenario::with_check)). Plain strings
+/// and counters so shards and merged reports stay self-contained without
+/// the campaign crate depending on the checker.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckSummary {
+    /// Property key (`P1`/`P2`/`P3`).
+    pub property: String,
+    /// Verdict (`pass` or `FAIL`).
+    pub status: String,
+    /// States the bounded exploration visited.
+    pub states: u64,
+    /// The depth bound the check ran at.
+    pub depth: u64,
+}
+
+impl fmt::Display for CheckSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} states={} depth={}",
+            self.property, self.status, self.states, self.depth
+        )
+    }
+}
+
 /// How a cell's deployed system terminated, flattened to plain data.
 ///
 /// This is the report-side counterpart of [`SystemOutcome`]: the live
@@ -195,6 +222,8 @@ pub struct CellResult {
     pub transform_stats: TransformStats,
     /// The scenario's verdict, when the scenario judges its cells.
     pub verdict: Option<CellVerdict>,
+    /// A model-check summary, when the scenario checks its cells.
+    pub checked: Option<CheckSummary>,
     /// Wall-clock time the cell took (instantiate + run + collect). This is
     /// measurement metadata: it varies run to run and is deliberately
     /// excluded from the deterministic canonical serialization.
@@ -219,10 +248,14 @@ impl CellResult {
             Some(v) => format!("{}/{}", v.observed, v.expected),
             None => "-".to_string(),
         };
+        let checked = match &self.checked {
+            Some(c) => format!("{}:{}:{}:{}", c.property, c.status, c.states, c.depth),
+            None => "-".to_string(),
+        };
         format!(
             "config={:?} world={:?} scenario={:?} rep={} seed={:#018x} exit={} alarm={} fault={} \
              requests={}/{}/{}/{}/{} variants={} instructions={} syscalls={} checks={} \
-             detections={} io={} verdict={}",
+             detections={} io={} verdict={} checked={}",
             self.spec.config_label,
             self.spec.world_label,
             self.spec.scenario_label,
@@ -248,6 +281,7 @@ impl CellResult {
             self.outcome.metrics.detection_calls,
             self.outcome.metrics.io_bytes,
             verdict,
+            checked,
         )
     }
 }

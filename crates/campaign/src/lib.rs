@@ -90,7 +90,7 @@ pub mod report;
 pub mod shardio;
 
 pub use cache::CellCache;
-pub use cell::{CellOutcome, CellResult, CellSpec, CellVerdict, RequestTally};
+pub use cell::{CellOutcome, CellResult, CellSpec, CellVerdict, CheckSummary, RequestTally};
 pub use engine::{cell_seed, run_parallel};
 pub use exchange::ServedRequest;
 pub use nvariant::CacheStats;

@@ -4,13 +4,13 @@
 //! processes, and executable on a scoped worker pool.
 
 use crate::cache::CellCache;
-use crate::cell::{CellOutcome, CellResult, CellSpec, CellVerdict};
+use crate::cell::{CellOutcome, CellResult, CellSpec, CellVerdict, CheckSummary};
 use crate::engine::{cell_seed, run_parallel};
 use crate::exchange::ServedRequest;
 use crate::report::{CampaignReport, PlanShape};
 use nvariant::{CompiledSystem, DeploymentConfig, RunnableSystem, SystemOutcome};
 use nvariant_simos::{OsKernel, WorldTemplate};
-use nvariant_types::Port;
+use nvariant_types::{fnv1a_64, Port};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -57,6 +57,9 @@ pub fn serve_requests(
 
 type RequestFn = dyn Fn(&RunnableSystem, u64) -> Vec<Vec<u8>> + Send + Sync;
 type JudgeFn = dyn Fn(&DeploymentConfig, CellRun<'_>) -> CellVerdict + Send + Sync;
+type CheckFn = dyn Fn(&Arc<CompiledSystem>, Option<&WorldTemplate>, &CellSpec) -> Option<CheckSummary>
+    + Send
+    + Sync;
 
 /// One scenario of a plan: a labelled request generator plus an optional
 /// judge that classifies what each cell achieved.
@@ -70,6 +73,7 @@ pub struct Scenario {
     port: Port,
     requests: Arc<RequestFn>,
     judge: Option<Arc<JudgeFn>>,
+    check: Option<Arc<CheckFn>>,
 }
 
 impl Scenario {
@@ -83,6 +87,7 @@ impl Scenario {
             port: Port::HTTP,
             requests: Arc::new(requests),
             judge: None,
+            check: None,
         }
     }
 
@@ -108,6 +113,24 @@ impl Scenario {
         self
     }
 
+    /// Attaches a static check hook: per cell it receives the compiled
+    /// artifact, the cell's world template (when the plan has explicit
+    /// worlds) and the cell spec, and returns a summary of a model-checking
+    /// pass to attach to the cell. The campaign crate does not know *how*
+    /// the check runs — callers typically close over
+    /// `nvariant_check::BoundedChecker`.
+    #[must_use]
+    pub fn with_check(
+        mut self,
+        check: impl Fn(&Arc<CompiledSystem>, Option<&WorldTemplate>, &CellSpec) -> Option<CheckSummary>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        self.check = Some(Arc::new(check));
+        self
+    }
+
     /// The scenario's label.
     #[must_use]
     pub fn label(&self) -> &str {
@@ -121,6 +144,7 @@ impl std::fmt::Debug for Scenario {
             .field("label", &self.label)
             .field("port", &self.port)
             .field("judged", &self.judge.is_some())
+            .field("checked", &self.check.is_some())
             .finish()
     }
 }
@@ -364,10 +388,11 @@ impl CampaignPlan {
         }
         for (index, scenario) in self.scenarios.iter().enumerate() {
             out.push_str(&format!(
-                "scenario {index} {:?} port={} judged={}\n",
+                "scenario {index} {:?} port={} judged={} checked={}\n",
                 scenario.label,
                 scenario.port.as_u16(),
-                scenario.judge.is_some()
+                scenario.judge.is_some(),
+                scenario.check.is_some()
             ));
         }
         out
@@ -526,34 +551,32 @@ impl CampaignPlan {
                 }
             }
             let pair = (spec.config_index, spec.world_index);
-            let result = match provisioned.get(&pair) {
-                Some(world) => self.run_cell_in(spec, world),
-                None => {
-                    // Double-checked so the expensive provisioning happens
-                    // outside the lock: racing workers may provision the
-                    // same pair twice (identical deterministic kernels, the
-                    // loser's is dropped), but no worker ever blocks behind
-                    // another pair's provisioning.
-                    let cached = fallback
-                        .lock()
-                        .expect("fallback provisioning map poisoned")
-                        .get(&pair)
-                        .cloned();
-                    let world = match cached {
-                        Some(world) => world,
-                        None => {
-                            let world = Arc::new(self.provisioned_kernel(pair.0, pair.1));
-                            Arc::clone(
-                                fallback
-                                    .lock()
-                                    .expect("fallback provisioning map poisoned")
-                                    .entry(pair)
-                                    .or_insert(world),
-                            )
-                        }
-                    };
-                    self.run_cell_in(spec, &world)
-                }
+            let result = if let Some(world) = provisioned.get(&pair) {
+                self.run_cell_in(spec, world)
+            } else {
+                // Double-checked so the expensive provisioning happens
+                // outside the lock: racing workers may provision the
+                // same pair twice (identical deterministic kernels, the
+                // loser's is dropped), but no worker ever blocks behind
+                // another pair's provisioning.
+                let cached = fallback
+                    .lock()
+                    .expect("fallback provisioning map poisoned")
+                    .get(&pair)
+                    .cloned();
+                let world = if let Some(world) = cached {
+                    world
+                } else {
+                    let world = Arc::new(self.provisioned_kernel(pair.0, pair.1));
+                    Arc::clone(
+                        fallback
+                            .lock()
+                            .expect("fallback provisioning map poisoned")
+                            .entry(pair)
+                            .or_insert(world),
+                    )
+                };
+                self.run_cell_in(spec, &world)
             };
             if let Some(cache) = &cache {
                 cache.insert(&result);
@@ -649,12 +672,17 @@ impl CampaignPlan {
                 },
             )
         });
+        let checked = scenario
+            .check
+            .as_ref()
+            .and_then(|check| check(compiled, self.worlds.get(spec.world_index), &spec));
         CellResult {
             spec,
             outcome: CellOutcome::from(&outcome),
             exchanges,
             transform_stats: *compiled.transform_stats(),
             verdict,
+            checked,
             wall: saturating_elapsed(started),
         }
     }
@@ -662,19 +690,6 @@ impl CampaignPlan {
 
 fn saturating_elapsed(started: Instant) -> Duration {
     Instant::now().saturating_duration_since(started)
-}
-
-/// FNV-1a 64: tiny, dependency-free, and stable across platforms and
-/// processes — unlike `std`'s `DefaultHasher`, whose output is explicitly
-/// allowed to vary between releases and is therefore useless as a
-/// cross-process plan identity.
-fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &byte in bytes {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
 }
 
 /// Suffixes repeated labels with their occurrence number (`label`,

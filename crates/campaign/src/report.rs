@@ -655,6 +655,7 @@ mod tests {
             }],
             transform_stats: TransformStats::default(),
             verdict,
+            checked: None,
             wall: Duration::from_millis(3),
         }
     }

@@ -12,7 +12,7 @@
 //! `from_shard_text(to_shard_text(r))` reproduces `r`'s canonical text and
 //! summaries byte-for-byte.
 
-use crate::cell::{CellOutcome, CellResult, CellSpec, CellVerdict};
+use crate::cell::{CellOutcome, CellResult, CellSpec, CellVerdict, CheckSummary};
 use crate::exchange::ServedRequest;
 use crate::report::{CampaignReport, PlanShape};
 use nvariant::ExecutionMetrics;
@@ -20,11 +20,12 @@ use nvariant_transform::TransformStats;
 use std::fmt;
 use std::time::Duration;
 
-/// Format version 2: v1 plus the `plan_hash` and `shape` header fields
-/// that gate merges. v1 files (which predate plan hashing) are rejected at
-/// the header line — a pre-hash shard cannot prove which plan it belongs
-/// to, so silently accepting it would reopen the mismatched-merge hole.
-const HEADER: &str = "nvariant-campaign-shard v2";
+/// Format version 3: v2 plus the optional per-cell `checked` line carrying
+/// a model-checking summary. Older files are rejected at the header line:
+/// v1 predates the plan hashing that gates merges, and a v2 shard merged
+/// into a checked campaign would silently drop the check column from the
+/// canonical text, so both must be regenerated rather than reinterpreted.
+const HEADER: &str = "nvariant-campaign-shard v3";
 
 /// Why a shard file failed to parse.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -179,6 +180,14 @@ fn render_cell(out: &mut String, cell: &CellResult) {
         out.push_str(&format!("observed {}\n", quote(&verdict.observed)));
         out.push_str(&format!("expected {}\n", quote(&verdict.expected)));
     }
+    if let Some(checked) = &cell.checked {
+        // Property keys ("P1") and statuses ("pass"/"FAIL") are single
+        // tokens by construction, so the line splits on spaces.
+        out.push_str(&format!(
+            "checked {} {} {} {}\n",
+            checked.property, checked.status, checked.states, checked.depth
+        ));
+    }
     for exchange in &cell.exchanges {
         out.push_str(&format!(
             "exchange {} {}\n",
@@ -248,18 +257,15 @@ impl<'a> Parser<'a> {
     }
 
     fn next_line(&mut self) -> Result<&'a str, ShardParseError> {
-        match self.lines.next() {
-            Some((index, line)) => {
-                self.current = index + 1;
-                Ok(line)
-            }
-            None => {
-                self.current = 0;
-                Err(ShardParseError {
-                    line: 0,
-                    message: "unexpected end of shard file".to_string(),
-                })
-            }
+        if let Some((index, line)) = self.lines.next() {
+            self.current = index + 1;
+            Ok(line)
+        } else {
+            self.current = 0;
+            Err(ShardParseError {
+                line: 0,
+                message: "unexpected end of shard file".to_string(),
+            })
         }
     }
 
@@ -405,7 +411,8 @@ impl<'a> Parser<'a> {
         };
 
         // The optional and repeated trailing fields, in fixed order:
-        // alarm? fault? metrics stats (observed expected)? exchange* endcell.
+        // alarm? fault? metrics stats (observed expected)? checked?
+        // exchange* endcell.
         let mut alarm = None;
         let mut fault = None;
         let mut line = self.next_line()?;
@@ -456,6 +463,23 @@ impl<'a> Parser<'a> {
             verdict = Some(CellVerdict { observed, expected });
             line = self.next_line()?;
         }
+        let mut checked = None;
+        if let Some(rest) = line.strip_prefix("checked ") {
+            let c: Vec<&str> = rest.split(' ').collect();
+            if c.len() != 4 {
+                return self.fail(format!(
+                    "checked needs 4 fields (property, status, states, depth), got {}",
+                    c.len()
+                ));
+            }
+            checked = Some(CheckSummary {
+                property: c[0].to_string(),
+                status: c[1].to_string(),
+                states: self.parse_number(c[2])?,
+                depth: self.parse_number(c[3])?,
+            });
+            line = self.next_line()?;
+        }
         loop {
             if line == "endcell" {
                 break;
@@ -492,6 +516,7 @@ impl<'a> Parser<'a> {
             exchanges,
             transform_stats,
             verdict,
+            checked,
             wall,
         })
     }
@@ -549,6 +574,12 @@ mod tests {
                 observed: "detected".to_string(),
                 expected: "detected".to_string(),
             }),
+            checked: alarmed.then(|| CheckSummary {
+                property: "P1".to_string(),
+                status: "pass".to_string(),
+                states: 1234,
+                depth: 24,
+            }),
             wall: Duration::from_micros(1234),
         };
         CampaignReport::new(
@@ -585,14 +616,15 @@ mod tests {
     }
 
     #[test]
-    fn v1_shard_files_are_rejected_at_the_header() {
-        // A pre-hash shard cannot prove which plan it belongs to.
-        let v1 = sample_report()
-            .to_shard_text()
-            .replace("shard v2", "shard v1");
-        let err = CampaignReport::from_shard_text(&v1).unwrap_err();
-        assert_eq!(err.line, 1);
-        assert!(err.message.contains("v2"), "{err}");
+    fn older_shard_files_are_rejected_at_the_header() {
+        // v1 predates plan hashing; v2 predates the checked column. Either
+        // merged into a current campaign would silently lose information.
+        for old in ["shard v1", "shard v2"] {
+            let text = sample_report().to_shard_text().replace("shard v3", old);
+            let err = CampaignReport::from_shard_text(&text).unwrap_err();
+            assert_eq!(err.line, 1);
+            assert!(err.message.contains("v3"), "{err}");
+        }
     }
 
     #[test]

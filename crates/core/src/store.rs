@@ -43,19 +43,12 @@ use std::sync::{Arc, Mutex};
 /// Format version of the on-disk artifact files.
 const HEADER: &str = "nvariant-artifact v1";
 
-/// FNV-1a 64: tiny, dependency-free, and stable across platforms and
-/// processes — the same construction the campaign plan hash uses, because
-/// cache keys must survive process and machine boundaries (unlike `std`'s
-/// `DefaultHasher`, whose output may change between releases).
-#[must_use]
-pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &byte in bytes {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
+/// FNV-1a 64: the workspace's one stable cross-process hash, re-exported
+/// from [`nvariant_types::fnv`] — the same construction the campaign plan
+/// hash uses, because cache keys must survive process and machine
+/// boundaries (unlike `std`'s `DefaultHasher`, whose output may change
+/// between releases).
+pub use nvariant_types::fnv::fnv1a_64;
 
 /// A point-in-time snapshot of cache effectiveness counters, shared by the
 /// artifact store and the campaign cell cache.
@@ -419,30 +412,30 @@ fn hex_encode(bytes: &[u8]) -> String {
     out
 }
 
-fn type_token(ty: Type) -> Option<String> {
-    Some(match ty {
+fn type_token(ty: Type) -> String {
+    match ty {
         Type::Int => "int".to_string(),
         Type::UidT => "uid".to_string(),
         Type::GidT => "gid".to_string(),
         Type::Ptr => "ptr".to_string(),
         Type::Void => "void".to_string(),
         Type::Buf(n) => format!("buf:{n}"),
-    })
+    }
 }
 
-fn uid_transform_token(transform: UidTransform) -> Option<String> {
-    Some(match transform {
+fn uid_transform_token(transform: UidTransform) -> String {
+    match transform {
         UidTransform::Identity => "id".to_string(),
         UidTransform::Xor(mask) => format!("xor:{mask:#010x}"),
-    })
+    }
 }
 
-fn addr_transform_token(transform: AddressTransform) -> Option<String> {
-    Some(match transform {
+fn addr_transform_token(transform: AddressTransform) -> String {
+    match transform {
         AddressTransform::Identity => "id".to_string(),
         AddressTransform::PartitionHigh => "part".to_string(),
         AddressTransform::PartitionHighWithOffset(offset) => format!("part:{offset:#010x}"),
-    })
+    }
 }
 
 /// A variation as a single space-free token, so it embeds in one line:
@@ -482,17 +475,13 @@ fn config_line(config: &DeploymentConfig) -> Option<String> {
     })
 }
 
-fn render_program(out: &mut String, program: &CompiledProgram) -> Option<()> {
+fn render_program(out: &mut String, program: &CompiledProgram) {
     out.push_str(&format!("program {}\n", program.entry_offset));
     out.push_str(&format!("code {}\n", hex_encode(&program.code)));
     out.push_str(&format!("data {}\n", hex_encode(&program.globals_image)));
     out.push_str(&format!("globals {}\n", program.globals_map.len()));
     for (name, (offset, ty)) in &program.globals_map {
-        out.push_str(&format!(
-            "g {} {offset} {}\n",
-            quote(name),
-            type_token(*ty)?
-        ));
+        out.push_str(&format!("g {} {offset} {}\n", quote(name), type_token(*ty)));
     }
     out.push_str(&format!("funcs {}\n", program.functions.len()));
     for (name, offset) in &program.functions {
@@ -501,13 +490,12 @@ fn render_program(out: &mut String, program: &CompiledProgram) -> Option<()> {
     let info = &program.type_info;
     out.push_str(&format!("tglobals {}\n", info.globals.len()));
     for (name, ty) in &info.globals {
-        out.push_str(&format!("tg {} {}\n", quote(name), type_token(*ty)?));
+        out.push_str(&format!("tg {} {}\n", quote(name), type_token(*ty)));
     }
     out.push_str(&format!("tfns {}\n", info.functions.len()));
     for (name, sig) in &info.functions {
-        let params: Option<Vec<String>> = sig.params.iter().map(|&t| type_token(t)).collect();
-        let mut line = format!("tf {} {}", quote(name), type_token(sig.ret)?);
-        for param in params? {
+        let mut line = format!("tf {} {}", quote(name), type_token(sig.ret));
+        for param in sig.params.iter().map(|&t| type_token(t)) {
             line.push(' ');
             line.push_str(&param);
         }
@@ -518,11 +506,10 @@ fn render_program(out: &mut String, program: &CompiledProgram) -> Option<()> {
     for (function, table) in &info.locals {
         out.push_str(&format!("tl {} {}\n", quote(function), table.len()));
         for (name, ty) in table {
-            out.push_str(&format!("tlv {} {}\n", quote(name), type_token(*ty)?));
+            out.push_str(&format!("tlv {} {}\n", quote(name), type_token(*ty)));
         }
     }
     out.push_str("endprogram\n");
-    Some(())
 }
 
 /// Serializes the world-independent half of a compiled system to the
@@ -568,7 +555,7 @@ pub fn to_artifact_text(system: &CompiledSystem) -> Option<String> {
                 "layout {} {} {} {}\n",
                 layout.code_base, layout.globals_base, layout.stack_top, layout.stack_size
             ));
-            render_program(&mut out, program)?;
+            render_program(&mut out, program);
         }
         CompiledPlan::Multi {
             variants,
@@ -585,24 +572,29 @@ pub fn to_artifact_text(system: &CompiledSystem) -> Option<String> {
                     variant.layout.stack_top,
                     variant.layout.stack_size
                 ));
-                render_program(&mut out, &variant.program)?;
+                render_program(&mut out, &variant.program);
             }
             out.push_str(&format!("specs {}\n", specs.len()));
             for (_, spec) in specs.iter() {
                 out.push_str(&format!(
                     "spec {} {} {}\n",
-                    uid_transform_token(spec.uid)?,
-                    addr_transform_token(spec.addr)?,
+                    uid_transform_token(spec.uid),
+                    addr_transform_token(spec.addr),
                     spec.tag
                 ));
             }
             out.push_str(&format!(
-                "monitor {} {} {}\n",
+                "monitor {} {} {} {}\n",
                 monitor_config.max_steps_per_slice,
                 monitor_config.max_syscalls,
                 match monitor_config.policy {
                     DivergencePolicy::KillAndReport => "kill",
                     DivergencePolicy::ReportAndContinue => "continue",
+                },
+                if monitor_config.detection_checks {
+                    "checks"
+                } else {
+                    "nochecks"
                 }
             ));
             out.push_str(&format!("mfiles {}\n", monitor_config.unshared_files.len()));
@@ -826,18 +818,15 @@ impl<'a> Parser<'a> {
     }
 
     fn next_line(&mut self) -> Result<&'a str, ArtifactParseError> {
-        match self.lines.next() {
-            Some((index, line)) => {
-                self.current = index + 1;
-                Ok(line)
-            }
-            None => {
-                self.current = 0;
-                Err(ArtifactParseError {
-                    line: 0,
-                    message: "unexpected end of artifact file".to_string(),
-                })
-            }
+        if let Some((index, line)) = self.lines.next() {
+            self.current = index + 1;
+            Ok(line)
+        } else {
+            self.current = 0;
+            Err(ArtifactParseError {
+                line: 0,
+                message: "unexpected end of artifact file".to_string(),
+            })
         }
     }
 
@@ -1108,13 +1097,18 @@ impl<'a> Parser<'a> {
                 }
                 let monitor_rest = self.expect_field("monitor")?;
                 let tokens: Vec<&str> = monitor_rest.split(' ').collect();
-                if tokens.len() != 3 {
-                    return self.fail(format!("monitor needs 3 fields, got {}", tokens.len()));
+                if tokens.len() != 4 {
+                    return self.fail(format!("monitor needs 4 fields, got {}", tokens.len()));
                 }
                 let policy = match tokens[2] {
                     "kill" => DivergencePolicy::KillAndReport,
                     "continue" => DivergencePolicy::ReportAndContinue,
                     other => return self.fail(format!("unknown divergence policy {other:?}")),
+                };
+                let detection_checks = match tokens[3] {
+                    "checks" => true,
+                    "nochecks" => false,
+                    other => return self.fail(format!("unknown detection mode {other:?}")),
                 };
                 let unshared_files = self.quoted_list("mfiles", "mfile")?;
                 let monitor_config = MonitorConfig {
@@ -1122,6 +1116,7 @@ impl<'a> Parser<'a> {
                     max_steps_per_slice: self.parse_number(tokens[0])?,
                     max_syscalls: self.parse_number(tokens[1])?,
                     policy,
+                    detection_checks,
                 };
                 CompiledPlan::Multi {
                     variants,
@@ -1194,7 +1189,7 @@ mod tests {
     use super::*;
     use crate::NVariantSystemBuilder;
 
-    const SERVER: &str = r#"
+    const SERVER: &str = r"
         var greeting: buf[16];
         fn main() -> int {
             var uid: uid_t;
@@ -1202,7 +1197,7 @@ mod tests {
             if (uid == 0) { return setuid(48); }
             return 0;
         }
-    "#;
+    ";
 
     fn builder(config: DeploymentConfig) -> NVariantSystemBuilder {
         NVariantSystemBuilder::from_source(SERVER)

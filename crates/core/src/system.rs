@@ -12,6 +12,7 @@ use nvariant_vm::{
     RunLimits, Runner,
 };
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Errors raised while building a deployable system.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -73,6 +74,11 @@ pub struct NVariantSystemBuilder {
     base_layout: MemoryLayout,
     run_limits: RunLimits,
     extra_unshared: Vec<String>,
+    /// Lazily computed [`fingerprint`](Self::fingerprint), invalidated by
+    /// every setter that shapes the compiled artifact. Deriving the
+    /// fingerprint walks the canonical pretty-printed source, so store
+    /// lookups that probe it repeatedly should not pay that per probe.
+    fingerprint_cache: OnceLock<u64>,
 }
 
 impl NVariantSystemBuilder {
@@ -100,6 +106,7 @@ impl NVariantSystemBuilder {
             base_layout: MemoryLayout::default(),
             run_limits: RunLimits::default(),
             extra_unshared: Vec::new(),
+            fingerprint_cache: OnceLock::new(),
         }
     }
 
@@ -115,6 +122,7 @@ impl NVariantSystemBuilder {
     #[must_use]
     pub fn initial_uid(mut self, uid: Uid) -> Self {
         self.initial_uid = uid;
+        self.fingerprint_cache = OnceLock::new();
         self
     }
 
@@ -123,6 +131,7 @@ impl NVariantSystemBuilder {
     #[must_use]
     pub fn config(mut self, config: DeploymentConfig) -> Self {
         self.config = config;
+        self.fingerprint_cache = OnceLock::new();
         self
     }
 
@@ -130,6 +139,7 @@ impl NVariantSystemBuilder {
     #[must_use]
     pub fn monitor_config(mut self, config: MonitorConfig) -> Self {
         self.monitor_config = config;
+        self.fingerprint_cache = OnceLock::new();
         self
     }
 
@@ -137,6 +147,7 @@ impl NVariantSystemBuilder {
     #[must_use]
     pub fn transform_options(mut self, options: TransformOptions) -> Self {
         self.transform_options = options;
+        self.fingerprint_cache = OnceLock::new();
         self
     }
 
@@ -144,6 +155,7 @@ impl NVariantSystemBuilder {
     #[must_use]
     pub fn base_layout(mut self, layout: MemoryLayout) -> Self {
         self.base_layout = layout;
+        self.fingerprint_cache = OnceLock::new();
         self
     }
 
@@ -151,6 +163,7 @@ impl NVariantSystemBuilder {
     #[must_use]
     pub fn run_limits(mut self, limits: RunLimits) -> Self {
         self.run_limits = limits;
+        self.fingerprint_cache = OnceLock::new();
         self
     }
 
@@ -160,15 +173,16 @@ impl NVariantSystemBuilder {
     #[must_use]
     pub fn unshared_file(mut self, path: &str) -> Self {
         self.extra_unshared.push(path.to_string());
+        self.fingerprint_cache = OnceLock::new();
         self
     }
 
-    fn layout_for(&self, addr: &AddressTransform) -> MemoryLayout {
+    fn layout_for(&self, addr: AddressTransform) -> MemoryLayout {
         match addr {
             AddressTransform::Identity => self.base_layout,
             AddressTransform::PartitionHigh => self.base_layout.with_partition_bit(),
             AddressTransform::PartitionHighWithOffset(offset) => {
-                self.base_layout.with_partition_bit().with_offset(*offset)
+                self.base_layout.with_partition_bit().with_offset(offset)
             }
         }
     }
@@ -187,8 +201,20 @@ impl NVariantSystemBuilder {
     /// equal fingerprints compile byte-identical variant images, which is
     /// what lets the [`ArtifactStore`](crate::ArtifactStore) reuse compiled
     /// artifacts across processes.
+    ///
+    /// The value is computed once per builder state and cached; every
+    /// setter that shapes the artifact resets the cache, so repeated store
+    /// lookups do not re-render the canonical source each time.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
+        *self
+            .fingerprint_cache
+            .get_or_init(|| self.compute_fingerprint())
+    }
+
+    /// The uncached fingerprint derivation behind
+    /// [`fingerprint`](Self::fingerprint).
+    fn compute_fingerprint(&self) -> u64 {
         let mut descriptor = String::from("nvariant-artifact-fingerprint v1\n");
         descriptor.push_str(&format!("config {:?}\n", self.config));
         descriptor.push_str(&format!("transform_options {:?}\n", self.transform_options));
@@ -270,7 +296,7 @@ impl NVariantSystemBuilder {
             let compiled = compile_program(program)?;
             variants.push(CompiledVariant {
                 program: compiled,
-                layout: self.layout_for(&spec.addr),
+                layout: self.layout_for(spec.addr),
                 tag: spec.tag,
             });
         }
@@ -517,6 +543,38 @@ impl CompiledSystem {
             }
         }
     }
+
+    /// Stamps out a bare [`NVariantMonitor`] deployed into `world`, for
+    /// callers that need step-wise control over the group (the model
+    /// checker). Single-plan systems are wrapped in a one-variant identity
+    /// monitor, which behaves exactly like a plain runner.
+    #[must_use]
+    pub fn instantiate_monitor_in(&self, world: &OsKernel) -> NVariantMonitor {
+        let kernel = world.clone();
+        match &self.plan {
+            CompiledPlan::Single { program, layout } => NVariantMonitor::new(
+                kernel,
+                vec![Process::new(program, *layout)],
+                VariantSet::new(vec![nvariant_diversity::VariantSpec::identity()]),
+                self.initial_uid,
+                MonitorConfig::default(),
+            ),
+            CompiledPlan::Multi {
+                variants,
+                specs,
+                monitor_config,
+            } => NVariantMonitor::new(
+                kernel,
+                variants
+                    .iter()
+                    .map(|v| Process::with_tag(&v.program, v.layout, v.tag))
+                    .collect(),
+                specs.clone(),
+                self.initial_uid,
+                monitor_config.clone(),
+            ),
+        }
+    }
 }
 
 enum Deployment {
@@ -653,7 +711,7 @@ mod tests {
 
     /// A minimal privilege-dropping server fragment exercising UID syscalls,
     /// file I/O and the account database.
-    const DROP_PRIVILEGES: &str = r#"
+    const DROP_PRIVILEGES: &str = r"
         var server_uid: uid_t;
         fn main() -> int {
             var rc: int;
@@ -665,7 +723,7 @@ mod tests {
             if (geteuid() == 0) { return 3; }
             return 0;
         }
-    "#;
+    ";
 
     fn outcome_for(config: DeploymentConfig) -> SystemOutcome {
         let mut system = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
@@ -888,6 +946,22 @@ mod tests {
         let b = compiled.instantiate().run();
         assert_eq!(a, b);
         assert_eq!(a.exit_status, Some(0));
+    }
+
+    #[test]
+    fn fingerprint_is_cached_and_setter_invalidated() {
+        let builder = NVariantSystemBuilder::from_source(DROP_PRIVILEGES).unwrap();
+        let base = builder.fingerprint();
+        assert_eq!(base, builder.fingerprint());
+        // A clone of an unchanged builder keeps the same fingerprint.
+        assert_eq!(builder.clone().fingerprint(), base);
+        // Every artifact-shaping setter re-keys it.
+        let changed = builder.clone().config(DeploymentConfig::Unmodified);
+        assert_ne!(changed.fingerprint(), base);
+        // The world is deliberately excluded from the fingerprint, so
+        // setting it changes nothing.
+        let worldly = builder.world(WorldBuilder::standard().build());
+        assert_eq!(worldly.fingerprint(), base);
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub struct MonitorConfig {
     pub max_syscalls: u64,
     /// Divergence policy.
     pub policy: DivergencePolicy,
+    /// Whether the per-argument canonicalization equivalence checks raise
+    /// alarms. Disabling this deliberately *weakens* the monitor — corrupted
+    /// but structurally identical syscalls sail through — and exists so the
+    /// model checker can demonstrate the detection gap as a counterexample.
+    pub detection_checks: bool,
 }
 
 impl Default for MonitorConfig {
@@ -39,6 +44,7 @@ impl Default for MonitorConfig {
             max_steps_per_slice: 20_000_000,
             max_syscalls: 1_000_000,
             policy: DivergencePolicy::KillAndReport,
+            detection_checks: true,
         }
     }
 }
@@ -55,6 +61,15 @@ impl MonitorConfig {
     #[must_use]
     pub fn with_policy(mut self, policy: DivergencePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Disables the canonicalization equivalence checks (see
+    /// [`MonitorConfig::detection_checks`]). Only useful for demonstrating
+    /// what the monitor would miss without them.
+    #[must_use]
+    pub fn without_detection_checks(mut self) -> Self {
+        self.detection_checks = false;
         self
     }
 

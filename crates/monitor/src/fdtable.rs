@@ -7,7 +7,7 @@
 //! variant's copy of the file). Variants only ever see the virtual slot
 //! number.
 
-use nvariant_types::{Errno, Fd};
+use nvariant_types::{Errno, Fd, Fnv1a};
 use serde::{Deserialize, Serialize};
 
 /// A virtual descriptor as seen by the variants.
@@ -154,6 +154,29 @@ impl VirtualFdTable {
     #[must_use]
     pub fn open_count(&self) -> usize {
         self.slots.iter().flatten().count()
+    }
+
+    /// Folds the table's full state into `digest` (used by the model
+    /// checker's visited-state pruning).
+    pub fn digest_into(&self, digest: &mut Fnv1a) {
+        digest.write_usize(self.variants);
+        digest.write_usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                None => digest.write_u8(0),
+                Some(VfdEntry::Shared(fd)) => {
+                    digest.write_u8(1);
+                    digest.write_u32(fd.as_u32());
+                }
+                Some(VfdEntry::Unshared(fds)) => {
+                    digest.write_u8(2);
+                    digest.write_usize(fds.len());
+                    for fd in fds {
+                        digest.write_u32(fd.as_u32());
+                    }
+                }
+            }
+        }
     }
 }
 

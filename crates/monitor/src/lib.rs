@@ -64,5 +64,5 @@ pub use alarm::{Alarm, DivergenceKind};
 pub use config::{DivergencePolicy, MonitorConfig};
 pub use fdtable::{VirtualFd, VirtualFdTable};
 pub use metrics::MonitorMetrics;
-pub use monitor::{NVariantMonitor, NVariantOutcome};
+pub use monitor::{NVariantMonitor, NVariantOutcome, StepEvent, StepObservation};
 pub use provision::provision_unshared_copies;

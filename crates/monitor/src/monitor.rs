@@ -7,7 +7,7 @@ use crate::fdtable::VirtualFdTable;
 use crate::metrics::MonitorMetrics;
 use nvariant_diversity::{Canonicalizer, DataClass, VariantSet};
 use nvariant_simos::{OpenFlags, OsKernel, SyscallRequest, Sysno};
-use nvariant_types::{Errno, Fd, Gid, Pid, Port, Uid, VariantId, Word};
+use nvariant_types::{Errno, Fd, Fnv1a, Gid, Pid, Port, Uid, VariantId, Word};
 use nvariant_vm::{Fault, Process, TrapReason};
 use serde::{Deserialize, Serialize};
 
@@ -36,13 +36,48 @@ impl NVariantOutcome {
     }
 }
 
+#[derive(Clone)]
 struct VariantRuntime {
     process: Process,
     canon: Canonicalizer,
 }
 
+/// One observed synchronization step that did *not* terminate the group
+/// (see [`NVariantMonitor::step`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepObservation {
+    /// The syscall processed at this synchronization point, if the step
+    /// reached one (`None` when the step only raised a pre-syscall alarm
+    /// under [`DivergencePolicy::ReportAndContinue`]).
+    pub sysno: Option<Sysno>,
+    /// Alarms raised during this step.
+    pub alarms_raised: usize,
+    /// Bytes of externally visible output (console or network) produced by
+    /// this step.
+    pub output_delta: u64,
+    /// `true` if the canonicalized arguments disagreed across variants at
+    /// this synchronization point — the monitor's divergence evidence,
+    /// reported even when [`MonitorConfig::detection_checks`] is disabled
+    /// (that is what lets a model checker observe what a weakened monitor
+    /// silently ignores).
+    pub divergent_args: bool,
+}
+
+/// Result of a single monitor step (see [`NVariantMonitor::step`]).
+#[derive(Clone, Debug)]
+pub enum StepEvent {
+    /// The group advanced one synchronization point and keeps running.
+    Progress(StepObservation),
+    /// The group terminated (normal exit or alarm-induced kill).
+    Done(NVariantOutcome),
+}
+
 /// The N-variant monitor: owns the kernel, the variant processes and the
 /// synchronized descriptor table, and drives the group to completion.
+///
+/// The monitor is `Clone`: the model checker snapshots whole monitors to
+/// branch over syscall interleavings and attacker moves.
+#[derive(Clone)]
 pub struct NVariantMonitor {
     kernel: OsKernel,
     group_pid: Pid,
@@ -51,6 +86,12 @@ pub struct NVariantMonitor {
     config: MonitorConfig,
     metrics: MonitorMetrics,
     alarms: Vec<Alarm>,
+    /// Syscall processed by the most recent synchronization point (reported
+    /// through [`StepEvent::Progress`]).
+    last_sysno: Option<Sysno>,
+    /// Whether the most recent synchronization point saw canonically
+    /// divergent arguments.
+    last_divergent_args: bool,
 }
 
 impl NVariantMonitor {
@@ -63,6 +104,7 @@ impl NVariantMonitor {
     /// Panics if no variants are supplied or if the number of processes does
     /// not match the number of specifications.
     #[must_use]
+    #[allow(clippy::needless_pass_by_value)] // the monitor owns its specs for its lifetime
     pub fn new(
         mut kernel: OsKernel,
         processes: Vec<Process>,
@@ -97,6 +139,8 @@ impl NVariantMonitor {
             config,
             metrics: MonitorMetrics::new(count),
             alarms: Vec::new(),
+            last_sysno: None,
+            last_divergent_args: false,
         }
     }
 
@@ -150,6 +194,14 @@ impl NVariantMonitor {
         self.variants.len()
     }
 
+    /// The syscall processed at the most recent synchronization point, if
+    /// that point reached one (also carried by [`StepEvent::Progress`]; this
+    /// accessor additionally covers steps that terminated the group).
+    #[must_use]
+    pub fn last_sysno(&self) -> Option<Sysno> {
+        self.last_sysno
+    }
+
     /// Runs the group until it exits or an alarm terminates it.
     pub fn run_to_completion(&mut self) -> NVariantOutcome {
         loop {
@@ -157,6 +209,46 @@ impl NVariantMonitor {
                 return outcome;
             }
         }
+    }
+
+    /// Advances the group by exactly one synchronization point, reporting
+    /// what happened. This is the model checker's stepping primitive: it
+    /// exposes which syscall was processed and whether alarms or external
+    /// output occurred, without running to completion.
+    pub fn step(&mut self) -> StepEvent {
+        let alarms_before = self.alarms.len();
+        let output_before = self.metrics.output_bytes;
+        self.last_sysno = None;
+        self.last_divergent_args = false;
+        match self.step_group() {
+            Some(outcome) => StepEvent::Done(outcome),
+            None => StepEvent::Progress(StepObservation {
+                sysno: self.last_sysno,
+                alarms_raised: self.alarms.len() - alarms_before,
+                output_delta: self.metrics.output_bytes - output_before,
+                divergent_args: self.last_divergent_args,
+            }),
+        }
+    }
+
+    /// A canonical digest of the group's full semantic state: kernel (time,
+    /// accounts, filesystem, network, processes), every variant's machine
+    /// state, the virtual descriptor table and the alarm count. Monotone
+    /// execution counters ([`MonitorMetrics`]) are deliberately excluded so
+    /// the model checker's visited-state pruning identifies states that are
+    /// behaviourally identical but were reached by different paths.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut digest = Fnv1a::new();
+        self.kernel.digest_into(&mut digest);
+        digest.write_u32(self.group_pid.as_u32());
+        digest.write_usize(self.variants.len());
+        for variant in &self.variants {
+            variant.process.digest_into(&mut digest);
+        }
+        self.vfds.digest_into(&mut digest);
+        digest.write_usize(self.alarms.len());
+        digest.finish()
     }
 
     // ----- the synchronization loop -------------------------------------------
@@ -296,6 +388,7 @@ impl NVariantMonitor {
 
     fn handle_syscall(&mut self, requests: &[SyscallRequest]) -> Option<NVariantOutcome> {
         let sysno = requests[0].sysno;
+        self.last_sysno = Some(sysno);
         self.metrics.syscalls += 1;
         if sysno.is_detection_call() {
             self.metrics.detection_calls += 1;
@@ -318,6 +411,7 @@ impl NVariantMonitor {
             self.metrics.equivalence_checks += 1;
             let first = canonical_args[0][index];
             if canonical_args.iter().any(|args| args[index] != first) {
+                self.last_divergent_args = true;
                 let values = canonical_args.iter().map(|args| args[index]).collect();
                 let kind = if sysno.is_detection_call() {
                     DivergenceKind::DetectionCheckFailed {
@@ -331,9 +425,14 @@ impl NVariantMonitor {
                         canonical_values: values,
                     }
                 };
-                let alarm = Alarm::new(kind, self.metrics.syscalls);
-                if let Some(outcome) = self.raise(alarm) {
-                    return Some(outcome);
+                // With detection checks disabled (a deliberately weakened
+                // monitor, used to demonstrate counterexamples) the mismatch
+                // is observed but never alarmed.
+                if self.config.detection_checks {
+                    let alarm = Alarm::new(kind, self.metrics.syscalls);
+                    if let Some(outcome) = self.raise(alarm) {
+                        return Some(outcome);
+                    }
                 }
             }
         }
@@ -749,7 +848,7 @@ mod tests {
 
     #[test]
     fn clean_program_exits_normally_under_every_variation() {
-        let source = r#"
+        let source = r"
             fn main() -> int {
                 var total: int = 0;
                 var i: int = 0;
@@ -757,7 +856,7 @@ mod tests {
                 if (total == 4950) { return 0; }
                 return 1;
             }
-        "#;
+        ";
         for variation in [
             Variation::uid_diversity(),
             Variation::address_partitioning(),
@@ -776,13 +875,13 @@ mod tests {
         // The program only passes the UID straight back to the kernel, so
         // each variant holds a different concrete value but the canonical
         // meanings agree.
-        let source = r#"
+        let source = r"
             fn main() -> int {
                 var uid: uid_t;
                 uid = getuid();
                 return setuid(uid);
             }
-        "#;
+        ";
         let mut monitor = monitor_for(source, &Variation::uid_diversity(), Uid::new(48));
         let outcome = monitor.run_to_completion();
         assert_eq!(outcome.exit_status, Some(0));
@@ -832,7 +931,7 @@ mod tests {
         // only stay equivalent if each variant's text has been re-expressed
         // by the transformer (covered by the integration tests). Here the
         // detection calls compare two kernel-provided UIDs.
-        let source = r#"
+        let source = r"
             fn main() -> int {
                 var uid: uid_t;
                 var euid: uid_t;
@@ -842,7 +941,7 @@ mod tests {
                 if (cond_chk(cc_leq(uid, euid))) { return 2; }
                 return 0;
             }
-        "#;
+        ";
         // Running as uid 48: uid == euid, and cc_leq is true -> exit 2.
         let mut monitor = monitor_for(source, &Variation::uid_diversity(), Uid::new(48));
         let outcome = monitor.run_to_completion();
@@ -857,7 +956,7 @@ mod tests {
         // the UID variable in *both* variants with the same concrete value
         // (the attacker sends one payload to the replicated input, so both
         // variants receive identical bytes).
-        let source = r#"
+        let source = r"
             var server_uid: uid_t;
             fn main() -> int {
                 server_uid = getuid();
@@ -865,7 +964,7 @@ mod tests {
                 server_uid = uid_value(server_uid);
                 return 0;
             }
-        "#;
+        ";
         let program = parse_with_stdlib(source).unwrap();
         let compiled = compile_program(&program).unwrap();
         let specs = VariantSet::from_variation(&Variation::uid_diversity(), 2);
@@ -989,7 +1088,7 @@ mod tests {
         // The Figure 1 attack: the program dereferences an absolute address
         // (as injected attack data would make it do); the partitioned
         // variant faults and the monitor raises an alarm.
-        let source = r#"
+        let source = r"
             var target: int = 5;
             fn main() -> int {
                 var p: ptr;
@@ -997,7 +1096,7 @@ mod tests {
                 *p = 7;
                 return 0;
             }
-        "#;
+        ";
         let mut monitor = monitor_for(source, &Variation::address_partitioning(), Uid::ROOT);
         let outcome = monitor.run_to_completion();
         assert!(outcome.detected_attack());
@@ -1020,7 +1119,7 @@ mod tests {
         // A program that writes a variant-dependent value (its own UID
         // representation) to a shared descriptor: the un-sanitized logging
         // pitfall of §4.
-        let source = r#"
+        let source = r"
             fn main() -> int {
                 var uid: uid_t;
                 var line: buf[16];
@@ -1029,7 +1128,7 @@ mod tests {
                 write(1, &line, 4);
                 return 0;
             }
-        "#;
+        ";
         let mut monitor = monitor_for(source, &Variation::uid_diversity(), Uid::new(48));
         let outcome = monitor.run_to_completion();
         assert!(outcome.detected_attack());
@@ -1044,14 +1143,14 @@ mod tests {
         // A program whose exit status depends on the raw UID representation
         // (comparing against a constant that was *not* re-expressed, i.e. an
         // untransformed program run under the UID variation).
-        let source = r#"
+        let source = r"
             fn main() -> int {
                 var uid: uid_t;
                 uid = getuid();
                 if (uid == 48) { return 0; }
                 return 7;
             }
-        "#;
+        ";
         let mut monitor = monitor_for(source, &Variation::uid_diversity(), Uid::new(48));
         let outcome = monitor.run_to_completion();
         assert!(outcome.detected_attack());
@@ -1070,7 +1169,7 @@ mod tests {
 
     #[test]
     fn report_and_continue_policy_records_but_does_not_stop() {
-        let source = r#"
+        let source = r"
             fn main() -> int {
                 var uid: uid_t;
                 var line: buf[16];
@@ -1079,7 +1178,7 @@ mod tests {
                 write(1, &line, 4);
                 return 0;
             }
-        "#;
+        ";
         let program = parse_with_stdlib(source).unwrap();
         let compiled = compile_program(&program).unwrap();
         let specs = VariantSet::from_variation(&Variation::uid_diversity(), 2);
@@ -1104,14 +1203,14 @@ mod tests {
         // bytes the attacker placed in data memory. Under instruction-set
         // tagging the injected bytes carry the wrong tag for at least one
         // variant, so the group alarms.
-        let source = r#"
+        let source = r"
             var scratch: buf[64];
             fn main() -> int {
                 var i: int = 0;
                 while (i < 10) { i = i + 1; }
                 return 0;
             }
-        "#;
+        ";
         let program = parse_with_stdlib(source).unwrap();
         let compiled = compile_program(&program).unwrap();
         let specs = VariantSet::from_variation(&Variation::instruction_tagging(), 2);
@@ -1196,7 +1295,7 @@ mod tests {
             Variation::address_partitioning(),
         ]);
         // Absolute-address attack: detected via the address class.
-        let source = r#"
+        let source = r"
             var target: int = 5;
             fn main() -> int {
                 var p: ptr;
@@ -1204,18 +1303,18 @@ mod tests {
                 *p = 7;
                 return 0;
             }
-        "#;
+        ";
         let mut monitor = monitor_for(source, &composed, Uid::ROOT);
         assert!(monitor.run_to_completion().detected_attack());
         // Clean program (no raw UID constants, UID used only via syscalls):
         // still exits normally.
-        let clean = r#"
+        let clean = r"
             fn main() -> int {
                 var u: uid_t;
                 u = getuid();
                 return setuid(u);
             }
-        "#;
+        ";
         let mut monitor = monitor_for(clean, &composed, Uid::ROOT);
         let outcome = monitor.run_to_completion();
         assert_eq!(outcome.exit_status, Some(0), "alarm: {:?}", outcome.alarm);

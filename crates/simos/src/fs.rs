@@ -6,7 +6,7 @@
 //! checked against the effective UID of the calling process.
 
 use crate::cred::Credentials;
-use nvariant_types::{Errno, Gid, Uid};
+use nvariant_types::{Errno, Fnv1a, Gid, Uid};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -152,7 +152,7 @@ impl OpenFlags {
     /// Returns `true` if the access mode includes reading.
     #[must_use]
     pub const fn wants_read(self) -> bool {
-        self.0 & 0o3 == 0 || self.0 & 0o3 == 2
+        matches!(self.0 & 0o3, 0 | 2)
     }
 
     /// Returns `true` if the access mode includes writing.
@@ -414,6 +414,27 @@ impl FileSystem {
     /// The paths currently marked read-faulty, in path order.
     pub fn read_faulty_paths(&self) -> impl Iterator<Item = &str> {
         self.read_faults.iter().map(String::as_str)
+    }
+
+    /// Folds the complete filesystem state — every inode's path, contents,
+    /// ownership and mode, plus the injected read faults — into `digest`.
+    /// `BTreeMap`/`BTreeSet` iteration order makes the digest canonical:
+    /// two equal filesystems always fold identically, which is what the
+    /// model checker's visited-state pruning relies on.
+    pub fn digest_into(&self, digest: &mut Fnv1a) {
+        digest.write_usize(self.files.len());
+        for (path, inode) in &self.files {
+            digest.write_str(path);
+            digest.write_usize(inode.data.len());
+            digest.write(&inode.data);
+            digest.write_u32(inode.owner.as_u32());
+            digest.write_u32(inode.group.as_u32());
+            digest.write_u32(u32::from(inode.mode.bits()));
+        }
+        digest.write_usize(self.read_faults.len());
+        for path in &self.read_faults {
+            digest.write_str(path);
+        }
     }
 
     /// Changes the ownership of a file.

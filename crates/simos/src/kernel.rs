@@ -12,7 +12,7 @@ use crate::cred::Credentials;
 use crate::fs::{AccessMode, FileMode, FileSystem, OpenFlags};
 use crate::net::SimNetwork;
 use crate::passwd::PasswdDb;
-use nvariant_types::{ConnId, Errno, Fd, Gid, Pid, Port, Uid};
+use nvariant_types::{ConnId, Errno, Fd, Fnv1a, Gid, Pid, Port, Uid};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -350,23 +350,7 @@ impl OsKernel {
     pub fn open(&mut self, pid: Pid, path: &str, flags: OpenFlags) -> Result<Fd, Errno> {
         let cred = self.proc_ref(pid)?.cred;
         let normalized = FileSystem::normalize(path);
-        if !self.fs.exists(&normalized) {
-            if flags.creates() {
-                if flags.wants_write() {
-                    self.fs.create_with(
-                        &normalized,
-                        Vec::new(),
-                        cred.euid(),
-                        cred.egid(),
-                        FileMode::new(0o644),
-                    );
-                } else {
-                    return Err(Errno::Eacces);
-                }
-            } else {
-                return Err(Errno::Enoent);
-            }
-        } else {
+        if self.fs.exists(&normalized) {
             if flags.wants_read() {
                 self.fs.check_access(&normalized, &cred, AccessMode::Read)?;
                 if self.fs.is_read_faulty(&normalized) {
@@ -382,6 +366,20 @@ impl OsKernel {
                     inode.data.clear();
                 }
             }
+        } else if flags.creates() {
+            if flags.wants_write() {
+                self.fs.create_with(
+                    &normalized,
+                    Vec::new(),
+                    cred.euid(),
+                    cred.egid(),
+                    FileMode::new(0o644),
+                );
+            } else {
+                return Err(Errno::Eacces);
+            }
+        } else {
+            return Err(Errno::Enoent);
         }
         let offset = if flags.appends() {
             self.fs.get(&normalized).map_or(0, |i| i.data.len())
@@ -597,6 +595,76 @@ impl OsKernel {
         match self.proc_ref(pid)?.fd(fd)? {
             FdEntry::Conn(conn) => self.net.send(*conn, data),
             _ => Err(Errno::Enotsock),
+        }
+    }
+
+    // ----- state digest -------------------------------------------------------
+
+    /// Folds the complete kernel state — clock, account database,
+    /// filesystem, network, and every process' credentials, descriptor
+    /// table, console buffer and exit status — into `digest`, in canonical
+    /// order. Two equal kernels always fold identically, which is what the
+    /// model checker's visited-state pruning relies on.
+    pub fn digest_into(&self, digest: &mut Fnv1a) {
+        digest.write_u64(self.sim_seconds);
+        self.passwd.digest_into(digest);
+        self.fs.digest_into(digest);
+        self.net.digest_into(digest);
+        digest.write_u32(self.next_pid);
+        digest.write_usize(self.procs.len());
+        for (pid, proc) in &self.procs {
+            digest.write_u32(*pid);
+            for id in [
+                proc.cred.ruid().as_u32(),
+                proc.cred.euid().as_u32(),
+                proc.cred.suid().as_u32(),
+                proc.cred.rgid().as_u32(),
+                proc.cred.egid().as_u32(),
+                proc.cred.sgid().as_u32(),
+            ] {
+                digest.write_u32(id);
+            }
+            digest.write_usize(proc.fds.len());
+            for entry in &proc.fds {
+                match entry {
+                    None => digest.write_u8(0),
+                    Some(FdEntry::Console) => digest.write_u8(1),
+                    Some(FdEntry::File {
+                        path,
+                        offset,
+                        flags,
+                    }) => {
+                        digest.write_u8(2);
+                        digest.write_str(path);
+                        digest.write_usize(*offset);
+                        digest.write_u32(flags.bits());
+                    }
+                    Some(FdEntry::Socket { bound, listening }) => {
+                        digest.write_u8(3);
+                        match bound {
+                            None => digest.write_u8(0),
+                            Some(port) => {
+                                digest.write_u8(1);
+                                digest.write_u32(u32::from(port.as_u16()));
+                            }
+                        }
+                        digest.write_u8(u8::from(*listening));
+                    }
+                    Some(FdEntry::Conn(conn)) => {
+                        digest.write_u8(4);
+                        digest.write_u64(conn.as_u64());
+                    }
+                }
+            }
+            digest.write_usize(proc.console.len());
+            digest.write(&proc.console);
+            match proc.exited {
+                None => digest.write_u8(0),
+                Some(status) => {
+                    digest.write_u8(1);
+                    digest.write(&status.to_le_bytes());
+                }
+            }
         }
     }
 

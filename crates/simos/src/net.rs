@@ -7,7 +7,7 @@
 //! them off with `accept`/`recv` and answers with `send`.
 
 use bytes::Bytes;
-use nvariant_types::{ConnId, Errno, Port};
+use nvariant_types::{ConnId, Errno, Fnv1a, Port};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -86,6 +86,12 @@ pub struct SimNetwork {
     connections: BTreeMap<u64, Connection>,
     next_conn: u64,
     preloaded: BTreeMap<u16, VecDeque<Vec<u8>>>,
+    /// Deterministic schedule injection: when set, every `recv` delivers at
+    /// most this many bytes even if the caller asked for more, modelling a
+    /// network that fragments request payloads at a chosen boundary. The
+    /// model checker enumerates different caps to explore the delivery
+    /// schedules a real TCP stack could produce.
+    recv_cap: Option<usize>,
 }
 
 impl SimNetwork {
@@ -211,6 +217,12 @@ impl SimNetwork {
         if c.closed {
             return Err(Errno::Ebadf);
         }
+        // A cap of 0 would starve the reader forever; deliver at least one
+        // byte per call so capped schedules always make progress.
+        let max = match self.recv_cap {
+            Some(cap) => max.min(cap.max(1)),
+            None => max,
+        };
         let start = c.read_pos.min(c.request.len());
         let end = (start + max).min(c.request.len());
         c.read_pos = end;
@@ -272,6 +284,61 @@ impl SimNetwork {
     #[must_use]
     pub fn total_response_bytes(&self) -> usize {
         self.connections.values().map(|c| c.response.len()).sum()
+    }
+
+    /// Caps (or, with `None`, uncaps) the number of bytes a single `recv`
+    /// may deliver. A cap of 0 is treated as 1 so capped readers still make
+    /// progress. See the `recv_cap` field documentation.
+    pub fn set_recv_cap(&mut self, cap: Option<usize>) {
+        self.recv_cap = cap;
+    }
+
+    /// The current per-`recv` delivery cap, if any.
+    #[must_use]
+    pub fn recv_cap(&self) -> Option<usize> {
+        self.recv_cap
+    }
+
+    /// Folds the complete network state — listeners with their backlogs,
+    /// every connection's buffers and cursors, the preloaded request queues
+    /// and the delivery cap — into `digest`, in canonical `BTreeMap` order.
+    pub fn digest_into(&self, digest: &mut Fnv1a) {
+        digest.write_usize(self.listeners.len());
+        for (port, listener) in &self.listeners {
+            digest.write_u32(u32::from(*port));
+            digest.write_u8(u8::from(listener.listening));
+            digest.write_usize(listener.backlog.len());
+            for conn in &listener.backlog {
+                digest.write_u64(conn.as_u64());
+            }
+        }
+        digest.write_usize(self.connections.len());
+        for (id, conn) in &self.connections {
+            digest.write_u64(*id);
+            digest.write_usize(conn.request.len());
+            digest.write(&conn.request);
+            digest.write_usize(conn.read_pos);
+            digest.write_usize(conn.response.len());
+            digest.write(&conn.response);
+            digest.write_u8(u8::from(conn.closed));
+        }
+        digest.write_u64(self.next_conn);
+        digest.write_usize(self.preloaded.len());
+        for (port, queue) in &self.preloaded {
+            digest.write_u32(u32::from(*port));
+            digest.write_usize(queue.len());
+            for request in queue {
+                digest.write_usize(request.len());
+                digest.write(request);
+            }
+        }
+        match self.recv_cap {
+            None => digest.write_u8(0),
+            Some(cap) => {
+                digest.write_u8(1);
+                digest.write_usize(cap);
+            }
+        }
     }
 }
 

@@ -295,6 +295,14 @@ impl PasswdDb {
         }
         out
     }
+
+    /// Folds the complete account database into `digest` via the canonical
+    /// `passwd(5)`/`group(5)` renderings (which cover every field of every
+    /// entry, in insertion order).
+    pub fn digest_into(&self, digest: &mut nvariant_types::Fnv1a) {
+        digest.write_str(&self.render_passwd());
+        digest.write_str(&self.render_group());
+    }
 }
 
 #[cfg(test)]

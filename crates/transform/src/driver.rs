@@ -208,7 +208,7 @@ mod tests {
     use super::*;
     use nvariant_vm::{compile_program, parse_program, pretty_print};
 
-    const SERVER_FRAGMENT: &str = r#"
+    const SERVER_FRAGMENT: &str = r"
         var server_uid: uid_t;
         var request_count: int = 0;
 
@@ -240,7 +240,7 @@ mod tests {
             if (geteuid() == 0) { return 2; }
             return 0;
         }
-    "#;
+    ";
 
     #[test]
     fn instrumentation_counts_every_category() {

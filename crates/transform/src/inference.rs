@@ -472,12 +472,12 @@ mod tests {
     #[test]
     fn declared_uid_types_are_recognized() {
         let ctx = analyze(
-            r#"
+            r"
             var server_uid: uid_t;
             var server_gid: gid_t;
             var counter: int;
             fn f(u: uid_t, n: int) -> int { return n; }
-            "#,
+            ",
         );
         assert!(ctx.is_uid_var("f", "server_uid"));
         assert!(ctx.is_uid_var("f", "server_gid"));
@@ -492,7 +492,7 @@ mod tests {
     fn dataflow_inference_finds_untyped_uids() {
         // The §4 scenario: the programmer used plain ints.
         let ctx = analyze(
-            r#"
+            r"
             var cached: int;
             fn drop_privileges(target: int) -> int {
                 return setuid(target);
@@ -503,7 +503,7 @@ mod tests {
                 local = cached;
                 return drop_privileges(local);
             }
-            "#,
+            ",
         );
         assert!(ctx.is_uid_var("main", "cached"));
         assert!(ctx.is_uid_var("main", "local"));
@@ -513,12 +513,12 @@ mod tests {
     #[test]
     fn uid_returning_user_functions_are_inferred() {
         let ctx = analyze(
-            r#"
+            r"
             fn lookup() -> uid_t { return getuid(); }
             fn indirect() -> int { return getuid(); }
             fn plain() -> int { return 3; }
             fn main() -> int { return 0; }
-            "#,
+            ",
         );
         assert!(ctx.is_uid_function("lookup"));
         assert!(ctx.is_uid_function("indirect"));
@@ -547,7 +547,7 @@ mod tests {
     #[test]
     fn taint_covers_uid_influenced_results() {
         let ctx = analyze(
-            r#"
+            r"
             var flag: int;
             fn main() -> int {
                 var rc: int;
@@ -558,7 +558,7 @@ mod tests {
                 if (rc != 0) { return 1; }
                 return untouched;
             }
-            "#,
+            ",
         );
         assert!(ctx.is_tainted("main", "rc"));
         assert!(ctx.is_tainted("main", "flag"));
@@ -571,11 +571,11 @@ mod tests {
     #[test]
     fn locals_shadow_globals_for_uid_and_taint_queries() {
         let ctx = analyze(
-            r#"
+            r"
             var uid: uid_t;
             fn f() -> int { var uid: int; uid = 3; return uid; }
             fn g() -> int { return 0; }
-            "#,
+            ",
         );
         assert!(!ctx.is_uid_var("f", "uid"));
         assert!(ctx.is_uid_var("g", "uid"));
@@ -585,11 +585,11 @@ mod tests {
     #[test]
     fn call_takes_uid_args_detection() {
         let ctx = analyze(
-            r#"
+            r"
             fn wrapper(u: uid_t) -> int { return setuid(u); }
             fn plain(n: int) -> int { return n; }
             fn main() -> int { return 0; }
-            "#,
+            ",
         );
         assert!(ctx.call_takes_uid_args("setuid"));
         assert!(ctx.call_takes_uid_args("wrapper"));

@@ -58,13 +58,13 @@ mod tests {
     #[test]
     fn equality_against_constant_root() {
         let (text, count) = transform(
-            r#"
+            r"
             var server_uid: uid_t;
             fn main() -> int {
                 if (server_uid == 0) { return 1; }
                 return 0;
             }
-            "#,
+            ",
         );
         assert_eq!(count, 1);
         assert!(text.contains("cc_eq(server_uid, 0)"));
@@ -73,7 +73,7 @@ mod tests {
     #[test]
     fn all_six_operators_are_mapped() {
         let (text, count) = transform(
-            r#"
+            r"
             fn classify(u: uid_t) -> int {
                 if (u == 0) { return 1; }
                 if (u != 0) { return 2; }
@@ -84,7 +84,7 @@ mod tests {
                 return 0;
             }
             fn main() -> int { return classify(getuid()); }
-            "#,
+            ",
         );
         assert_eq!(count, 6);
         for call in ["cc_eq", "cc_neq", "cc_lt", "cc_leq", "cc_gt", "cc_geq"] {
@@ -95,10 +95,10 @@ mod tests {
     #[test]
     fn uid_to_uid_comparisons_are_rewritten() {
         let (text, count) = transform(
-            r#"
+            r"
             fn same_owner(a: uid_t, b: uid_t) -> int { return a == b; }
             fn main() -> int { return same_owner(getuid(), geteuid()); }
-            "#,
+            ",
         );
         assert_eq!(count, 1);
         assert!(text.contains("cc_eq(a, b)"));
@@ -107,14 +107,14 @@ mod tests {
     #[test]
     fn plain_integer_comparisons_are_untouched() {
         let (text, count) = transform(
-            r#"
+            r"
             fn main() -> int {
                 var n: int = 5;
                 if (n == 5) { return 1; }
                 if (n < 10) { return 2; }
                 return 0;
             }
-            "#,
+            ",
         );
         assert_eq!(count, 0);
         assert!(!text.contains("cc_"));

@@ -55,14 +55,14 @@ mod tests {
     #[test]
     fn uid_influenced_conditions_are_wrapped() {
         let (text, count) = transform(
-            r#"
+            r"
             fn main() -> int {
                 var rc: int;
                 rc = setuid(48);
                 if (rc != 0) { return 1; }
                 return 0;
             }
-            "#,
+            ",
         );
         assert_eq!(count, 1);
         assert!(text.contains("if (cond_chk((rc != 0)))"));
@@ -71,13 +71,13 @@ mod tests {
     #[test]
     fn direct_uid_comparisons_are_left_to_cc_calls() {
         let (text, count) = transform(
-            r#"
+            r"
             var server_uid: uid_t;
             fn main() -> int {
                 if (server_uid == 0) { return 1; }
                 return 0;
             }
-            "#,
+            ",
         );
         assert_eq!(count, 0);
         assert!(text.contains("if (cc_eq(server_uid, 0))"));
@@ -87,14 +87,14 @@ mod tests {
     #[test]
     fn untainted_conditions_are_untouched() {
         let (text, count) = transform(
-            r#"
+            r"
             fn main() -> int {
                 var n: int = 3;
                 while (n > 0) { n = n - 1; }
                 if (n == 0) { return 1; }
                 return 0;
             }
-            "#,
+            ",
         );
         assert_eq!(count, 0);
         assert!(!text.contains("cond_chk"));
@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn compound_conditions_mixing_uid_and_other_data_are_wrapped() {
         let (text, count) = transform(
-            r#"
+            r"
             var authorized: int;
             fn main() -> int {
                 var rc: int;
@@ -113,7 +113,7 @@ mod tests {
                 while (authorized < 10) { authorized = authorized + 1; }
                 return 0;
             }
-            "#,
+            ",
         );
         assert_eq!(count, 2);
         assert!(text.contains("cond_chk((authorized && 1))"));
@@ -122,14 +122,14 @@ mod tests {
 
     #[test]
     fn pass_is_idempotent() {
-        let src = r#"
+        let src = r"
             fn main() -> int {
                 var rc: int;
                 rc = setuid(48);
                 if (rc != 0) { return 1; }
                 return 0;
             }
-        "#;
+        ";
         let mut program = parse_program(src).unwrap();
         let ctx = UidContext::analyze(&program).unwrap();
         assert_eq!(run(&mut program, &ctx), 1);

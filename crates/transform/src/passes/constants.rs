@@ -133,10 +133,10 @@ mod tests {
     use super::*;
     use nvariant_vm::{parse_program, pretty_print};
 
-    fn transform(src: &str, t: &UidTransform) -> (String, usize) {
+    fn transform(src: &str, t: UidTransform) -> (String, usize) {
         let mut program = parse_program(src).unwrap();
         let ctx = UidContext::analyze(&program).unwrap();
-        let count = run(&mut program, &ctx, t);
+        let count = run(&mut program, &ctx, &t);
         (pretty_print(&program), count)
     }
 
@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn identity_transform_changes_nothing() {
         let src = "var u: uid_t = 0; fn main() -> int { return setuid(0); }";
-        let (text, count) = transform(src, &UidTransform::Identity);
+        let (text, count) = transform(src, UidTransform::Identity);
         assert_eq!(count, 0);
         assert!(text.contains("setuid(0)"));
         assert!(text.contains("var u: uid_t = 0"));
@@ -155,7 +155,7 @@ mod tests {
     fn global_initializers_are_reexpressed() {
         let (text, count) = transform(
             "var u: uid_t = 48; var n: int = 48; fn main() -> int { return 0; }",
-            &UidTransform::paper_mask(),
+            UidTransform::paper_mask(),
         );
         assert_eq!(count, 1);
         assert!(text.contains(&format!("var u: uid_t = {:#x}", 48u32 ^ 0x7FFF_FFFF)));
@@ -175,7 +175,7 @@ mod tests {
                 return 0;
             }
             "#,
-            &UidTransform::paper_mask(),
+            UidTransform::paper_mask(),
         );
         assert_eq!(count, 3);
         assert!(text.contains(&format!("setuid({MASKED_ROOT})")));
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn assignments_and_declarations_are_reexpressed() {
         let (text, count) = transform(
-            r#"
+            r"
             fn main() -> int {
                 var u: uid_t = 0;
                 var n: int = 0;
@@ -196,8 +196,8 @@ mod tests {
                 n = 1000;
                 return 0;
             }
-            "#,
-            &UidTransform::paper_mask(),
+            ",
+            UidTransform::paper_mask(),
         );
         assert_eq!(count, 2);
         assert!(text.contains(&format!("var u: uid_t = {MASKED_ROOT}")));
@@ -211,15 +211,15 @@ mod tests {
         // If a comparison was for some reason not rewritten to cc_*, the
         // literal is still re-expressed so normal equivalence holds.
         let (text, count) = transform(
-            r#"
+            r"
             var u: uid_t;
             fn main() -> int {
                 if (u == 0) { return 1; }
                 if (1000 != u) { return 2; }
                 return 0;
             }
-            "#,
-            &UidTransform::paper_mask(),
+            ",
+            UidTransform::paper_mask(),
         );
         assert_eq!(count, 2);
         assert!(text.contains(&format!("(u == {MASKED_ROOT})")));
@@ -229,11 +229,11 @@ mod tests {
     #[test]
     fn user_functions_with_uid_parameters_are_reexpressed() {
         let (text, count) = transform(
-            r#"
+            r"
             fn become(who: uid_t) -> int { return setuid(who); }
             fn main() -> int { return become(0); }
-            "#,
-            &UidTransform::paper_mask(),
+            ",
+            UidTransform::paper_mask(),
         );
         assert_eq!(count, 1);
         assert!(text.contains(&format!("become({MASKED_ROOT})")));
@@ -243,7 +243,7 @@ mod tests {
     fn full_mask_uses_all_bits() {
         let (text, count) = transform(
             "fn main() -> int { return setuid(0); }",
-            &UidTransform::full_mask(),
+            UidTransform::full_mask(),
         );
         assert_eq!(count, 1);
         assert!(text.contains("setuid(0xffffffff)"));

@@ -52,13 +52,13 @@ mod tests {
     #[test]
     fn uid_arguments_to_user_functions_are_wrapped() {
         let (text, count) = transform(
-            r#"
+            r"
             var server_uid: uid_t;
             fn audit(who: uid_t, what: int) -> int { return what; }
             fn main() -> int {
                 return audit(server_uid, 3);
             }
-            "#,
+            ",
         );
         assert_eq!(count, 1);
         assert!(text.contains("audit(uid_value(server_uid), 3)"));
@@ -67,10 +67,10 @@ mod tests {
     #[test]
     fn uid_returning_calls_as_arguments_are_wrapped() {
         let (text, count) = transform(
-            r#"
+            r"
             fn log_owner(who: uid_t) -> int { return 0; }
             fn main() -> int { return log_owner(getuid()); }
-            "#,
+            ",
         );
         assert_eq!(count, 1);
         assert!(text.contains("log_owner(uid_value(getuid()))"));
@@ -81,10 +81,10 @@ mod tests {
         // The kernel wrapper already applies the inverse reexpression and
         // checks setuid's argument; wrapping again would be redundant.
         let (text, count) = transform(
-            r#"
+            r"
             var server_uid: uid_t;
             fn main() -> int { return setuid(server_uid); }
-            "#,
+            ",
         );
         assert_eq!(count, 0);
         assert!(text.contains("setuid(server_uid)"));
@@ -93,12 +93,12 @@ mod tests {
 
     #[test]
     fn non_uid_arguments_are_untouched_and_wrapping_is_idempotent() {
-        let src = r#"
+        let src = r"
             var server_uid: uid_t;
             fn audit(who: uid_t, what: int) -> int { return what; }
             fn main() -> int { return audit(uid_value(server_uid), strlenish(4)); }
             fn strlenish(n: int) -> int { return n; }
-        "#;
+        ";
         let mut program = parse_program(src).unwrap();
         let ctx = UidContext::analyze(&program).unwrap();
         let first = run(&mut program, &ctx);

@@ -63,14 +63,14 @@ mod tests {
     #[test]
     fn bare_uid_condition_becomes_inequality() {
         let (text, count) = transform(
-            r#"
+            r"
             var server_uid: uid_t;
             fn main() -> int {
                 if (server_uid) { return 1; }
                 while (getuid()) { return 2; }
                 return 0;
             }
-            "#,
+            ",
         );
         assert_eq!(count, 2);
         assert!(text.contains("(server_uid != 0)"));
@@ -80,14 +80,14 @@ mod tests {
     #[test]
     fn non_uid_expressions_are_untouched() {
         let (text, count) = transform(
-            r#"
+            r"
             fn main() -> int {
                 var n: int = 3;
                 if (!n) { return 1; }
                 if (n) { return 2; }
                 return 0;
             }
-            "#,
+            ",
         );
         assert_eq!(count, 0);
         assert!(text.contains("!n"));
@@ -97,13 +97,13 @@ mod tests {
     #[test]
     fn nested_negations_inside_larger_conditions() {
         let (text, count) = transform(
-            r#"
+            r"
             var server_uid: uid_t;
             fn main() -> int {
                 if (!server_uid && 1) { return 1; }
                 return 0;
             }
-            "#,
+            ",
         );
         assert_eq!(count, 1);
         assert!(text.contains("(server_uid == 0)"));

@@ -51,7 +51,7 @@ mod tests {
     fn transform(src: &str, sinks: &[&str]) -> (String, usize) {
         let mut program = parse_program(src).unwrap();
         let ctx = UidContext::analyze(&program).unwrap();
-        let sinks: Vec<String> = sinks.iter().map(|s| s.to_string()).collect();
+        let sinks: Vec<String> = sinks.iter().map(std::string::ToString::to_string).collect();
         let count = run(&mut program, &ctx, &sinks);
         (pretty_print(&program), count)
     }
@@ -59,7 +59,7 @@ mod tests {
     #[test]
     fn uid_values_are_scrubbed_from_sinks() {
         let (text, count) = transform(
-            r#"
+            r"
             var server_uid: uid_t;
             fn utoa(value: int, dst: ptr) -> int { return 0; }
             fn main() -> int {
@@ -68,7 +68,7 @@ mod tests {
                 utoa(42, &line);
                 return 0;
             }
-            "#,
+            ",
             &["utoa"],
         );
         assert_eq!(count, 1);
@@ -79,11 +79,11 @@ mod tests {
     #[test]
     fn non_sink_calls_are_untouched() {
         let (text, count) = transform(
-            r#"
+            r"
             var server_uid: uid_t;
             fn audit(value: uid_t) -> int { return 0; }
             fn main() -> int { return audit(server_uid); }
-            "#,
+            ",
             &["utoa"],
         );
         assert_eq!(count, 0);
@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn multiple_sinks_are_supported() {
         let (_, count) = transform(
-            r#"
+            r"
             var server_uid: uid_t;
             fn utoa(value: int, dst: ptr) -> int { return 0; }
             fn log_int(value: int) -> int { return value; }
@@ -103,7 +103,7 @@ mod tests {
                 log_int(getuid());
                 return 0;
             }
-            "#,
+            ",
             &["utoa", "log_int"],
         );
         assert_eq!(count, 2);
@@ -112,11 +112,11 @@ mod tests {
     #[test]
     fn empty_sink_list_changes_nothing() {
         let (_, count) = transform(
-            r#"
+            r"
             var server_uid: uid_t;
             fn utoa(value: int, dst: ptr) -> int { return 0; }
             fn main() -> int { var b: buf[8]; utoa(server_uid, &b); return 0; }
-            "#,
+            ",
             &[],
         );
         assert_eq!(count, 0);

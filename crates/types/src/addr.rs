@@ -187,7 +187,7 @@ mod tests {
 
     #[test]
     fn display_formats_as_hex() {
-        assert_eq!(format!("{}", VirtAddr::new(0x80001234)), "0x80001234");
+        assert_eq!(format!("{}", VirtAddr::new(0x8000_1234)), "0x80001234");
         assert_eq!(
             format!("{:?}", VirtAddr::new(0x1234)),
             "VirtAddr(0x00001234)"

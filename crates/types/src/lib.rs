@@ -37,6 +37,7 @@
 mod addr;
 mod errno;
 mod error;
+pub mod fnv;
 mod ids;
 mod uid;
 mod word;
@@ -44,6 +45,7 @@ mod word;
 pub use addr::VirtAddr;
 pub use errno::Errno;
 pub use error::{KernelError, KernelResult};
+pub use fnv::{fnv1a_64, Fnv1a};
 pub use ids::{ConnId, Fd, Pid, Port, VariantId};
 pub use uid::{Gid, Uid};
 pub use word::Word;

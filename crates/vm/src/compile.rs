@@ -102,7 +102,7 @@ pub fn compile_program(program: &Program) -> Result<CompiledProgram, CompileErro
     for function in &program.functions {
         compiler.compile_function(function)?;
     }
-    compiler.finish()
+    Ok(compiler.finish())
 }
 
 /// Where a named variable lives, as seen by the code generator.
@@ -222,7 +222,7 @@ impl<'a> Compiler<'a> {
     }
 
     fn compile_function(&mut self, function: &Function) -> Result<(), CompileError> {
-        self.current_function = function.name.clone();
+        self.current_function.clone_from(&function.name);
         let offset = (self.instrs.len() as u32) * INSTR_SIZE;
         self.functions.insert(function.name.clone(), offset);
 
@@ -544,7 +544,7 @@ impl<'a> Compiler<'a> {
         }
     }
 
-    fn finish(mut self) -> Result<CompiledProgram, CompileError> {
+    fn finish(mut self) -> CompiledProgram {
         // Resolve call targets.
         for (index, name) in &self.call_fixups {
             let offset = self.functions[name];
@@ -555,14 +555,14 @@ impl<'a> Compiler<'a> {
             let target_index = self.labels[*label].expect("label bound before finish");
             self.instrs[*index].operand = target_index as u32 * INSTR_SIZE;
         }
-        Ok(CompiledProgram {
+        CompiledProgram {
             code: encode_all(&self.instrs),
             globals_image: self.globals_image,
             globals_map: self.globals_map,
             functions: self.functions,
             entry_offset: 0,
             type_info: self.type_info,
-        })
+        }
     }
 }
 
@@ -634,12 +634,12 @@ mod tests {
     #[test]
     fn globals_layout_is_declaration_order() {
         let c = compile(
-            r#"
+            r"
             var first: int = 5;
             var logbuf: buf[10];
             var server_uid: uid_t = 48;
             fn main() -> int { return first; }
-            "#,
+            ",
         );
         let (first_off, _) = c.globals_map["first"];
         let (buf_off, buf_ty) = c.globals_map["logbuf"];
@@ -705,13 +705,13 @@ mod tests {
     #[test]
     fn jumps_are_resolved_to_code_offsets() {
         let c = compile(
-            r#"
+            r"
             fn main() -> int {
                 var i: int = 0;
                 while (i < 10) { i = i + 1; }
                 if (i == 10) { return 1; } else { return 2; }
             }
-            "#,
+            ",
         );
         let instrs = decode_all(&c.code).unwrap();
         for instr in &instrs {

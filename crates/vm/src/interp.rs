@@ -353,7 +353,7 @@ mod tests {
     #[test]
     fn signed_arithmetic_and_comparisons() {
         let mut p = process_for(
-            r#"
+            r"
             fn main() -> int {
                 var a: int = 0 - 7;
                 var b: int = 3;
@@ -364,7 +364,7 @@ mod tests {
                 }
                 return 0;
             }
-            "#,
+            ",
         );
         assert_eq!(run_to_exit(&mut p), 1);
     }
@@ -372,7 +372,7 @@ mod tests {
     #[test]
     fn while_loop_and_locals() {
         let mut p = process_for(
-            r#"
+            r"
             fn main() -> int {
                 var i: int = 0;
                 var total: int = 0;
@@ -382,7 +382,7 @@ mod tests {
                 }
                 return total;
             }
-            "#,
+            ",
         );
         assert_eq!(run_to_exit(&mut p), 45);
     }
@@ -390,7 +390,7 @@ mod tests {
     #[test]
     fn break_and_continue() {
         let mut p = process_for(
-            r#"
+            r"
             fn main() -> int {
                 var i: int = 0;
                 var total: int = 0;
@@ -402,7 +402,7 @@ mod tests {
                 }
                 return total;
             }
-            "#,
+            ",
         );
         assert_eq!(run_to_exit(&mut p), 25);
     }
@@ -410,11 +410,11 @@ mod tests {
     #[test]
     fn function_calls_with_arguments() {
         let mut p = process_for(
-            r#"
+            r"
             fn add3(a: int, b: int, c: int) -> int { return a + b + c; }
             fn twice(x: int) -> int { return add3(x, x, 0); }
             fn main() -> int { return twice(7) + add3(1, 2, 3); }
-            "#,
+            ",
         );
         assert_eq!(run_to_exit(&mut p), 20);
     }
@@ -422,13 +422,13 @@ mod tests {
     #[test]
     fn recursion() {
         let mut p = process_for(
-            r#"
+            r"
             fn fib(n: int) -> int {
                 if (n < 2) { return n; }
                 return fib(n - 1) + fib(n - 2);
             }
             fn main() -> int { return fib(10); }
-            "#,
+            ",
         );
         assert_eq!(run_to_exit(&mut p), 55);
     }
@@ -436,7 +436,7 @@ mod tests {
     #[test]
     fn globals_buffers_and_pointers() {
         let mut p = process_for(
-            r#"
+            r"
             var table: buf[16];
             var cursor: int = 0;
             fn put(value: int) {
@@ -452,7 +452,7 @@ mod tests {
                 *p = *p + 100;
                 return table[0] + table[1] + table[2] + cursor;
             }
-            "#,
+            ",
         );
         assert_eq!(run_to_exit(&mut p), 163);
     }
@@ -460,7 +460,7 @@ mod tests {
     #[test]
     fn logical_operators_short_circuit() {
         let mut p = process_for(
-            r#"
+            r"
             var side_effects: int = 0;
             fn bump() -> int { side_effects = side_effects + 1; return 1; }
             fn main() -> int {
@@ -470,7 +470,7 @@ mod tests {
                 }
                 return 0;
             }
-            "#,
+            ",
         );
         assert_eq!(run_to_exit(&mut p), 1);
     }
@@ -488,14 +488,14 @@ mod tests {
     #[test]
     fn wild_pointer_write_segfaults() {
         let mut p = process_for(
-            r#"
+            r"
             fn main() -> int {
                 var p: ptr;
                 p = 0x40;
                 *p = 7;
                 return 0;
             }
-            "#,
+            ",
         );
         match p.run_until_trap(10_000) {
             TrapReason::Faulted(Fault::Segfault { addr }) => {
@@ -510,7 +510,7 @@ mod tests {
         // The Figure 1 scenario: an absolute address valid for variant 0 is
         // unmapped in the partitioned variant.
         let program = parse_program(
-            r#"
+            r"
             var target: int = 5;
             fn main() -> int {
                 var p: ptr;
@@ -518,7 +518,7 @@ mod tests {
                 *p = 99;
                 return target;
             }
-            "#,
+            ",
         )
         .unwrap();
         let compiled = compile_program(&program).unwrap();
@@ -581,10 +581,10 @@ mod tests {
     #[test]
     fn deep_recursion_overflows_the_stack() {
         let mut p = process_for(
-            r#"
+            r"
             fn spin(n: int) -> int { return spin(n + 1); }
             fn main() -> int { return spin(0); }
-            "#,
+            ",
         );
         match p.run_until_trap(50_000_000) {
             TrapReason::Faulted(Fault::StackOverflow) => {}

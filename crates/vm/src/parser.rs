@@ -356,6 +356,7 @@ impl Parser {
     /// handled by `parse_unary`, so this is only reached when `&` follows a
     /// complete operand and is therefore always binary. Kept as a hook for
     /// clarity.
+    #[allow(clippy::unused_self)] // a method on purpose: the decision belongs to the parser
     fn amp_is_addr_of(&self) -> bool {
         false
     }
@@ -528,7 +529,7 @@ mod tests {
     #[test]
     fn parses_globals_and_functions() {
         let program = parse_program(
-            r#"
+            r"
             var logbuf: buf[128];
             var server_uid: uid_t;
             var count: int = 0;
@@ -536,7 +537,7 @@ mod tests {
             fn main() -> int {
                 return count;
             }
-            "#,
+            ",
         )
         .unwrap();
         assert_eq!(program.globals.len(), 3);
@@ -562,7 +563,7 @@ mod tests {
     #[test]
     fn parses_if_else_chains_and_while() {
         let program = parse_program(
-            r#"
+            r"
             fn classify(n: int) -> int {
                 var i: int = 0;
                 while (i < n) {
@@ -570,7 +571,7 @@ mod tests {
                 }
                 return i;
             }
-            "#,
+            ",
         )
         .unwrap();
         let f = &program.functions[0];
@@ -601,7 +602,7 @@ mod tests {
     #[test]
     fn parses_pointer_and_index_forms() {
         let program = parse_program(
-            r#"
+            r"
             fn f(p: ptr) -> int {
                 var local: buf[16];
                 *p = 4;
@@ -609,7 +610,7 @@ mod tests {
                 p[1] = local[0];
                 return *p + p[1];
             }
-            "#,
+            ",
         )
         .unwrap();
         let f = &program.functions[0];

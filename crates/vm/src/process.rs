@@ -256,6 +256,31 @@ impl Process {
         self.ostack.push(value);
     }
 
+    /// Folds the process' mutable execution state — registers, operand
+    /// stack, globals and stack images, execution state and instruction tag
+    /// — into `digest`.
+    ///
+    /// Deliberately excluded: the code image (write-protected, fixed at
+    /// construction and implied by the tag), the symbol tables (immutable),
+    /// and the `instructions_executed` / `syscalls_made` counters (monotone
+    /// bookkeeping whose inclusion would make every state look new and
+    /// defeat the model checker's visited-state pruning).
+    pub fn digest_into(&self, digest: &mut nvariant_types::Fnv1a) {
+        digest.write_u32(self.pc);
+        digest.write_u32(self.sp);
+        digest.write_u32(self.fp);
+        digest.write_u8(self.expected_tag);
+        digest.write_str(&format!("{:?}", self.state));
+        digest.write_usize(self.ostack.len());
+        for word in &self.ostack {
+            digest.write_u32(word.as_u32());
+        }
+        digest.write_usize(self.globals.len());
+        digest.write(&self.globals);
+        digest.write_usize(self.stack.len());
+        digest.write(&self.stack);
+    }
+
     // ----- memory access ------------------------------------------------------
 
     fn segment_for(&self, addr: u32) -> Option<(Segment, usize)> {
@@ -406,11 +431,11 @@ mod tests {
 
     fn compiled() -> CompiledProgram {
         let program = parse_program(
-            r#"
+            r"
             var logbuf: buf[16];
             var server_uid: uid_t = 48;
             fn main() -> int { return 0; }
-            "#,
+            ",
         )
         .unwrap();
         compile_program(&program).unwrap()
@@ -472,9 +497,9 @@ mod tests {
         ));
         // Stack is writable.
         let stack_addr = VirtAddr::new(p.layout().stack_top - 8);
-        p.write_word(stack_addr, Word::from_u32(0xAABBCCDD))
+        p.write_word(stack_addr, Word::from_u32(0xAABB_CCDD))
             .unwrap();
-        assert_eq!(p.read_word(stack_addr).unwrap().as_u32(), 0xAABBCCDD);
+        assert_eq!(p.read_word(stack_addr).unwrap().as_u32(), 0xAABB_CCDD);
     }
 
     #[test]

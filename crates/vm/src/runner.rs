@@ -303,14 +303,14 @@ mod tests {
     #[test]
     fn identity_syscalls_round_trip() {
         let (outcome, _, _) = run_source(
-            r#"
+            r"
             fn main() -> int {
                 var uid: uid_t;
                 uid = getuid();
                 if (uid == 0) { return 1; }
                 return 0;
             }
-            "#,
+            ",
             Uid::ROOT,
         );
         assert_eq!(outcome.exit_status, Some(1));
@@ -320,7 +320,7 @@ mod tests {
     #[test]
     fn privilege_drop_through_syscalls() {
         let (outcome, kernel, pid) = run_source(
-            r#"
+            r"
             fn main() -> int {
                 var rc: int;
                 rc = setuid(48);
@@ -329,7 +329,7 @@ mod tests {
                 if (rc == 0) { return 2; }
                 return 0;
             }
-            "#,
+            ",
             Uid::ROOT,
         );
         assert_eq!(outcome.exit_status, Some(0));
@@ -422,7 +422,7 @@ mod tests {
     #[test]
     fn detection_calls_behave_transparently_without_a_monitor() {
         let (outcome, _, _) = run_source(
-            r#"
+            r"
             fn main() -> int {
                 var uid: uid_t;
                 uid = uid_value(getuid());
@@ -435,7 +435,7 @@ mod tests {
                 if (cond_chk(uid == 0) == 0) { return 7; }
                 return 0;
             }
-            "#,
+            ",
             Uid::ROOT,
         );
         assert_eq!(outcome.exit_status, Some(0));
@@ -444,13 +444,13 @@ mod tests {
     #[test]
     fn faults_are_reported_in_the_outcome() {
         let (outcome, _, _) = run_source(
-            r#"
+            r"
             fn main() -> int {
                 var p: ptr;
                 p = 4;
                 return *p;
             }
-            "#,
+            ",
             Uid::ROOT,
         );
         assert_eq!(outcome.exit_status, None);

@@ -11,7 +11,7 @@ use crate::parser::{parse_program, ParseError};
 /// SimC source of the standard library.
 #[must_use]
 pub fn stdlib_source() -> &'static str {
-    r#"
+    r"
 // ---------------------------------------------------------------------------
 // SimC standard library: string and memory routines.
 // ---------------------------------------------------------------------------
@@ -175,7 +175,7 @@ fn write_str(fd: int, s: ptr) -> int {
 fn send_str(fd: int, s: ptr) -> int {
     return send(fd, s, strlen(s));
 }
-"#
+"
 }
 
 /// Parses application source text and links it with the standard library.
@@ -285,7 +285,7 @@ mod tests {
 
     #[test]
     fn memcpy_and_memset() {
-        let status = run(r#"
+        let status = run(r"
             fn main() -> int {
                 var a: buf[16];
                 var b: buf[16];
@@ -295,7 +295,7 @@ mod tests {
                 if (b[0] == 'x' && b[14] == 'x' && b[15] == 0) { return strlen(&b); }
                 return 0 - 1;
             }
-            "#);
+            ");
         assert_eq!(status, 15);
     }
 

@@ -570,12 +570,12 @@ mod tests {
     #[test]
     fn expr_type_propagates_uid_class() {
         let info = check(
-            r#"
+            r"
             var server_uid: uid_t;
             fn f(u: uid_t, n: int) -> int {
                 return 0;
             }
-            "#,
+            ",
         )
         .unwrap();
         use crate::ast::Expr;
@@ -605,11 +605,11 @@ mod tests {
     #[test]
     fn locals_shadow_globals() {
         let info = check(
-            r#"
+            r"
             var uid: int;
             fn f() -> uid_t { var uid: uid_t; uid = getuid(); return uid; }
             fn g() -> int { return uid; }
-            "#,
+            ",
         )
         .unwrap();
         assert_eq!(info.var_type("f", "uid"), Some(Type::UidT));

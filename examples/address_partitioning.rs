@@ -6,7 +6,7 @@
 
 use nvariant::prelude::*;
 
-const ATTACKED_PROGRAM: &str = r#"
+const ATTACKED_PROGRAM: &str = r"
     var secret_flag: int = 0;
     fn main() -> int {
         var p: ptr;
@@ -18,7 +18,7 @@ const ATTACKED_PROGRAM: &str = r#"
         if (secret_flag == 1) { return 99; }
         return 0;
     }
-"#;
+";
 
 fn main() -> Result<(), BuildError> {
     println!("== Figure 1: address-space partitioning ==\n");

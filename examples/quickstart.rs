@@ -9,7 +9,7 @@ use nvariant::prelude::*;
 fn main() -> Result<(), BuildError> {
     // A server-style program: look up the service UID, drop privileges,
     // and refuse to continue if it is somehow still root.
-    let source = r#"
+    let source = r"
         var service_uid: uid_t;
         fn main() -> int {
             var rc: int;
@@ -21,7 +21,7 @@ fn main() -> Result<(), BuildError> {
             if (geteuid() == 0) { return 3; }
             return 0;
         }
-    "#;
+    ";
 
     println!("== Security through Redundant Data Diversity: quickstart ==\n");
 

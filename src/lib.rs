@@ -4,6 +4,8 @@
 //! directories; the actual functionality lives in the `crates/*` members.
 //! See the [`nvariant`] facade crate for the public API.
 
+#![forbid(unsafe_code)]
+
 pub use nvariant;
 pub use nvariant_apps as apps;
 pub use nvariant_diversity as diversity;

@@ -5,7 +5,7 @@
 use nvariant::prelude::*;
 use nvariant_diversity::AddressTransform;
 
-const ABSOLUTE_WRITE: &str = r#"
+const ABSOLUTE_WRITE: &str = r"
     var target: int = 5;
     fn main() -> int {
         var p: ptr;
@@ -13,7 +13,7 @@ const ABSOLUTE_WRITE: &str = r#"
         *p = 99;
         return target;
     }
-"#;
+";
 
 #[test]
 fn absolute_address_injection_succeeds_alone_and_is_detected_partitioned() {

@@ -14,7 +14,7 @@ use nvariant_simos::WorldTemplate;
 
 #[test]
 fn full_matrix_campaign_is_byte_identical_at_1_and_4_workers() {
-    let campaign = full_matrix_campaign(&security_sweep_configs(), &[], 6, 2).seed(0xD15EA5E);
+    let campaign = full_matrix_campaign(&security_sweep_configs(), &[], 6, 2).seed(0x0D15_EA5E);
     let serial = campaign.run(1);
     let parallel = campaign.run(4);
     assert_eq!(serial.cells.len(), 5 * 4 * 2);
@@ -89,7 +89,7 @@ fn shard_merge_reproduces_the_unsharded_report_through_the_codec() {
         DeploymentConfig::TwoVariantUid,
     ];
     let worlds = [WorldTemplate::standard(), WorldTemplate::faulty_fs()];
-    let plan = full_matrix_campaign(&configs, &worlds, 4, 2).seed(0xC0FFEE);
+    let plan = full_matrix_campaign(&configs, &worlds, 4, 2).seed(0x00C0_FFEE);
     let whole = plan.run(4);
     for (count, workers) in [(2, 1), (4, 4)] {
         let merged = CampaignReport::merge((0..count).map(|index| {

@@ -5,18 +5,25 @@
 
 use nvariant::DeploymentConfig;
 use nvariant_apps::campaigns::full_matrix_campaign;
-use nvariant_campaign::CampaignReport;
+use nvariant_campaign::{CampaignReport, CheckSummary};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
 /// A rich, real shard text: attack cells with alarms, judged verdicts and
 /// binary exchange payloads, benign cells with per-seed request sequences.
 /// None of the quick matrix's cells terminate in a single-process fault,
-/// so one faulted cell is grafted in to cover that optional line too.
+/// so one faulted cell is grafted in to cover that optional line too, and
+/// a model-checking summary covers the v3 `checked` line.
 fn sample_text() -> &'static str {
     static TEXT: OnceLock<String> = OnceLock::new();
     TEXT.get_or_init(|| {
         let mut report = full_matrix_campaign(&[DeploymentConfig::TwoVariantUid], &[], 3, 1).run(2);
+        report.cells[0].checked = Some(CheckSummary {
+            property: "P1".to_string(),
+            status: "pass".to_string(),
+            states: 4242,
+            depth: 24,
+        });
         let mut faulted = report.cells[0].clone();
         faulted.spec.replicate += 1;
         faulted.outcome.exit_status = None;
@@ -38,6 +45,7 @@ fn sample_covers_the_grammar() {
         "fault ",
         "observed ",
         "expected ",
+        "checked ",
         "exchange ",
         "endcell",
     ] {
