@@ -128,6 +128,23 @@ impl LoadLevel {
     pub fn total_requests(&self) -> usize {
         self.clients * self.requests_per_client
     }
+
+    /// A doubling client-count ladder (1, 2, 4, ... up to `max_clients`),
+    /// for tracing how throughput and latency trend *between* the paper's
+    /// two published load points instead of just at them.
+    #[must_use]
+    pub fn ladder(max_clients: usize) -> Vec<LoadLevel> {
+        let mut levels = Vec::new();
+        let mut clients = 1;
+        while clients <= max_clients {
+            levels.push(LoadLevel {
+                clients,
+                requests_per_client: 4,
+            });
+            clients *= 2;
+        }
+        levels
+    }
 }
 
 /// One measured cell of the Table 3 reproduction.
@@ -382,6 +399,18 @@ mod tests {
         assert_eq!(LoadLevel::unsaturated().clients, 1);
         assert_eq!(LoadLevel::saturated().clients, 15);
         assert!(LoadLevel::saturated().total_requests() >= 60);
+    }
+
+    #[test]
+    fn ladder_doubles_client_counts() {
+        let ladder = LoadLevel::ladder(64);
+        assert_eq!(
+            ladder.iter().map(|l| l.clients).collect::<Vec<_>>(),
+            vec![1, 2, 4, 8, 16, 32, 64]
+        );
+        assert!(ladder.iter().all(|l| l.total_requests() > 0));
+        // A cap below the next power of two stops the ladder early.
+        assert_eq!(LoadLevel::ladder(10).len(), 4);
     }
 
     #[test]

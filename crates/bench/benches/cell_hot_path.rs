@@ -1,0 +1,104 @@
+//! The per-cell hot path, pinned: raw interpreter stepping, per-cell
+//! instantiation, and full instantiate-and-serve cells for each of the
+//! paper's four configurations, plus the shard/artifact hex codec that
+//! sits on the warm-run path. The `bench_snapshot` binary runs the same
+//! matrix and writes the committed `BENCH_*.json` trajectory; this bench
+//! is the interactive criterion view of it.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nvariant::DeploymentConfig;
+use nvariant_apps::scenarios::compiled_httpd_system;
+use nvariant_types::hex::{hex_decode, hex_encode};
+use nvariant_types::Port;
+use nvariant_vm::{compile_program, parse_with_stdlib, MemoryLayout, Process};
+use std::time::Duration;
+
+const BUSY_LOOP: &str = r"
+fn main() -> int {
+    var i: int = 0;
+    var total: int = 0;
+    while (i < 20000) {
+        total = total + i * 3 - (total / 7);
+        i = i + 1;
+    }
+    return total % 97;
+}
+";
+
+fn bench_steps(c: &mut Criterion) {
+    let program = parse_with_stdlib(BUSY_LOOP).expect("busy loop parses");
+    let compiled = compile_program(&program).expect("busy loop compiles");
+    let steps = {
+        let mut p = Process::new(&compiled, MemoryLayout::default());
+        let _ = p.run_until_trap(10_000_000);
+        p.instructions_executed()
+    };
+
+    let mut group = c.benchmark_group("cell_hot_path");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(steps));
+    group.bench_function("steps_busy_loop", |b| {
+        b.iter(|| {
+            let mut process = Process::new(&compiled, MemoryLayout::default());
+            black_box(process.run_until_trap(10_000_000));
+            process.instructions_executed()
+        });
+    });
+    group.finish();
+}
+
+fn bench_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_hot_path");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+
+    for config in DeploymentConfig::paper_configurations() {
+        let compiled = compiled_httpd_system(&config);
+        group.bench_with_input(
+            BenchmarkId::new("instantiate", config.label()),
+            &compiled,
+            |b, compiled| b.iter(|| black_box(compiled.instantiate())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_cell", config.label()),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    let mut system = compiled.instantiate();
+                    system
+                        .kernel_mut()
+                        .net_mut()
+                        .preload_request(Port::HTTP, b"GET / HTTP/1.0\r\n\r\n".to_vec());
+                    black_box(system.run())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hex(c: &mut Criterion) {
+    let payload: Vec<u8> = (0u32..4096)
+        .map(|i| (i.wrapping_mul(131) >> 2) as u8)
+        .collect();
+    let encoded = hex_encode(&payload);
+
+    let mut group = c.benchmark_group("cell_hot_path");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("hex_encode_4k", |b| {
+        b.iter(|| black_box(hex_encode(&payload)));
+    });
+    group.bench_function("hex_decode_4k", |b| {
+        b.iter(|| black_box(hex_decode(&encoded).expect("round trip")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps, bench_cells, bench_hex);
+criterion_main!(benches);

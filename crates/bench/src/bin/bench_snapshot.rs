@@ -1,0 +1,354 @@
+//! Pins the cell hot path to a committed throughput trajectory.
+//!
+//! Runs a fixed quick matrix of hot-path micro-benches — raw interpreter
+//! stepping, per-cell instantiation, full instantiate-and-serve cells for
+//! each of the paper's four configurations, and the shard/artifact hex
+//! codec — and writes a `BENCH_N.json` snapshot (schema
+//! `nvariant-bench-snapshot-v1`: bench name → median ns/iter + units/sec).
+//! The committed snapshot is the baseline future PRs append to; CI replays
+//! the matrix with `--quick --check BENCH_7.json` and fails only on a > 2x
+//! full-cell throughput regression, so the gate catches catastrophes, not
+//! scheduler noise.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_snapshot [--quick] [--out FILE] [--before FILE] [--check FILE]
+//! ```
+//!
+//! `--before` embeds a previous snapshot's numbers as `before_*` fields so
+//! a single committed file records the before/after pair for a perf PR.
+
+use nvariant::DeploymentConfig;
+use nvariant_apps::scenarios::compiled_httpd_system;
+use nvariant_types::hex::{hex_decode, hex_encode};
+use nvariant_types::Port;
+use nvariant_vm::{compile_program, parse_with_stdlib, MemoryLayout, Process, TrapReason};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One measured bench: median wall time per iteration and the derived
+/// unit throughput (units are bench-specific: instructions, cells, bytes).
+#[derive(Clone, Copy, Debug)]
+struct Measurement {
+    median_ns: f64,
+    per_sec: f64,
+}
+
+/// Sampling effort. The matrix itself is identical in both modes — `--quick`
+/// only trims samples and batch time so the CI gate stays cheap.
+#[derive(Clone, Copy)]
+struct Effort {
+    samples: usize,
+    min_batch_ns: u128,
+}
+
+const FULL: Effort = Effort {
+    samples: 15,
+    min_batch_ns: 20_000_000,
+};
+const QUICK: Effort = Effort {
+    samples: 7,
+    min_batch_ns: 4_000_000,
+};
+
+/// Times `iter` (which returns the number of work units it performed),
+/// auto-calibrating an inner batch so each sample spans at least
+/// `min_batch_ns`, and reports the median per-iteration time.
+fn measure(effort: Effort, mut iter: impl FnMut() -> u64) -> Measurement {
+    let calibrate = Instant::now();
+    let units = iter().max(1);
+    let first_ns = calibrate.elapsed().as_nanos().max(1);
+    let batch = usize::try_from((effort.min_batch_ns / first_ns).clamp(1, 1_000_000))
+        .expect("clamped to usize range");
+
+    let mut per_iter_ns: Vec<f64> = (0..effort.samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(iter());
+            }
+            start.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(f64::total_cmp);
+    let median_ns = per_iter_ns[per_iter_ns.len() / 2].max(1.0);
+    Measurement {
+        median_ns,
+        per_sec: units as f64 * 1e9 / median_ns,
+    }
+}
+
+/// A tight arithmetic loop with no syscalls until the final exit — raw
+/// dispatch cost, with instantiation amortized over ~200k steps.
+const BUSY_LOOP: &str = r"
+fn main() -> int {
+    var i: int = 0;
+    var total: int = 0;
+    while (i < 20000) {
+        total = total + i * 3 - (total / 7);
+        i = i + 1;
+    }
+    return total % 97;
+}
+";
+
+fn bench_steps(effort: Effort) -> Measurement {
+    let program = parse_with_stdlib(BUSY_LOOP).expect("busy loop parses");
+    let compiled = compile_program(&program).expect("busy loop compiles");
+    measure(effort, || {
+        let mut process = Process::new(&compiled, MemoryLayout::default());
+        match process.run_until_trap(10_000_000) {
+            TrapReason::Syscall(req) if req.sysno == nvariant_simos::Sysno::Exit => {}
+            TrapReason::Exited(_) => {}
+            other => panic!("busy loop ended unexpectedly: {other:?}"),
+        }
+        process.instructions_executed()
+    })
+}
+
+fn run_matrix(effort: Effort) -> Vec<(String, Measurement)> {
+    let mut out = Vec::new();
+
+    eprintln!("measuring steps/busy_loop ...");
+    out.push(("steps/busy_loop".to_string(), bench_steps(effort)));
+
+    for config in DeploymentConfig::paper_configurations() {
+        let label = config.label();
+        let compiled = compiled_httpd_system(&config);
+
+        eprintln!("measuring instantiate/{label} ...");
+        let instantiate = measure(effort, || {
+            std::hint::black_box(compiled.instantiate());
+            1
+        });
+        out.push((format!("instantiate/{label}"), instantiate));
+
+        eprintln!("measuring full_cell/{label} ...");
+        let full_cell = measure(effort, || {
+            let mut system = compiled.instantiate();
+            system
+                .kernel_mut()
+                .net_mut()
+                .preload_request(Port::HTTP, b"GET / HTTP/1.0\r\n\r\n".to_vec());
+            let outcome = system.run();
+            assert!(outcome.exited_normally(), "cell did not serve cleanly");
+            1
+        });
+        out.push((format!("full_cell/{label}"), full_cell));
+    }
+
+    let payload: Vec<u8> = (0u32..4096)
+        .map(|i| (i.wrapping_mul(131) >> 2) as u8)
+        .collect();
+    let encoded = hex_encode(&payload);
+    let payload_len = payload.len() as u64;
+    eprintln!("measuring hex/encode_4k ...");
+    out.push((
+        "hex/encode_4k".to_string(),
+        measure(effort, || {
+            std::hint::black_box(hex_encode(&payload));
+            payload_len
+        }),
+    ));
+    eprintln!("measuring hex/decode_4k ...");
+    out.push((
+        "hex/decode_4k".to_string(),
+        measure(effort, || {
+            std::hint::black_box(hex_decode(&encoded).expect("round trip"));
+            payload_len
+        }),
+    ));
+
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot file format
+// ---------------------------------------------------------------------------
+
+const SCHEMA: &str = "nvariant-bench-snapshot-v1";
+
+fn render_snapshot(results: &[(String, Measurement)], before: &[(String, Measurement)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {SCHEMA:?},\n"));
+    out.push_str("  \"benches\": {\n");
+    for (index, (name, m)) in results.iter().enumerate() {
+        let mut fields = format!(
+            "\"median_ns\": {:.1}, \"per_sec\": {:.1}",
+            m.median_ns, m.per_sec
+        );
+        if let Some((_, b)) = before.iter().find(|(n, _)| n == name) {
+            fields.push_str(&format!(
+                ", \"before_median_ns\": {:.1}, \"before_per_sec\": {:.1}",
+                b.median_ns, b.per_sec
+            ));
+        }
+        let comma = if index + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!("    {name:?}: {{{fields}}}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Parses a snapshot file back into (name, measurement) pairs. Line
+/// oriented on purpose: each bench is rendered on its own line, so a plain
+/// scan recovers everything `--before` and `--check` need without a JSON
+/// parser (the vendored serde is a no-op stand-in).
+fn parse_snapshot(text: &str) -> Result<Vec<(String, Measurement)>, String> {
+    if !text.contains(SCHEMA) {
+        return Err(format!("snapshot is missing the {SCHEMA:?} schema marker"));
+    }
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.contains("\"median_ns\":") {
+            continue;
+        }
+        let name = line
+            .strip_prefix('"')
+            .and_then(|rest| rest.split('"').next())
+            .ok_or_else(|| format!("bench line without a quoted name: {line}"))?
+            .to_string();
+        let median_ns = field(line, "\"median_ns\":")?;
+        let per_sec = field(line, "\"per_sec\":")?;
+        out.push((name, Measurement { median_ns, per_sec }));
+    }
+    if out.is_empty() {
+        return Err("snapshot contains no benches".to_string());
+    }
+    Ok(out)
+}
+
+fn field(line: &str, key: &str) -> Result<f64, String> {
+    let start = line
+        .find(key)
+        .ok_or_else(|| format!("missing {key} in {line}"))?
+        + key.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find([',', '}'])
+        .ok_or_else(|| format!("unterminated {key} in {line}"))?;
+    rest[..end]
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| format!("bad number for {key} in {line}: {e}"))
+}
+
+/// The CI regression gate: every committed `full_cell/*` bench must still
+/// reach at least half its committed throughput.
+fn check_against(
+    committed: &[(String, Measurement)],
+    measured: &[(String, Measurement)],
+) -> Result<(), String> {
+    let mut failures = Vec::new();
+    let mut checked = 0;
+    for (name, baseline) in committed {
+        if !name.starts_with("full_cell/") {
+            continue;
+        }
+        let Some((_, now)) = measured.iter().find(|(n, _)| n == name) else {
+            failures.push(format!("{name}: present in baseline but not measured"));
+            continue;
+        };
+        checked += 1;
+        if now.per_sec * 2.0 < baseline.per_sec {
+            failures.push(format!(
+                "{name}: {:.1} cells/sec is more than 2x below the committed {:.1}",
+                now.per_sec, baseline.per_sec
+            ));
+        } else {
+            eprintln!(
+                "check {name}: {:.1} cells/sec vs committed {:.1} — ok",
+                now.per_sec, baseline.per_sec
+            );
+        }
+    }
+    if checked == 0 {
+        return Err("baseline has no full_cell/* benches to check against".to_string());
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut effort = FULL;
+    let mut out_path = "BENCH_7.json".to_string();
+    let mut before_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => effort = QUICK,
+            "--out" => match argv.next() {
+                Some(path) => out_path = path,
+                None => return usage("--out needs a file argument"),
+            },
+            "--before" => match argv.next() {
+                Some(path) => before_path = Some(path),
+                None => return usage("--before needs a file argument"),
+            },
+            "--check" => match argv.next() {
+                Some(path) => check_path = Some(path),
+                None => return usage("--check needs a file argument"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let before = match &before_path {
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match parse_snapshot(&text) {
+                Ok(parsed) => parsed,
+                Err(e) => return fail(&format!("--before {path}: {e}")),
+            },
+            Err(e) => return fail(&format!("--before {path}: {e}")),
+        },
+        None => Vec::new(),
+    };
+
+    let results = run_matrix(effort);
+    for (name, m) in &results {
+        println!(
+            "{name:<40} {:>14.1} ns/iter {:>16.1} units/sec",
+            m.median_ns, m.per_sec
+        );
+    }
+
+    if let Some(path) = &check_path {
+        let committed = match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match parse_snapshot(&text) {
+                Ok(parsed) => parsed,
+                Err(e) => return fail(&format!("--check {path}: {e}")),
+            },
+            Err(e) => return fail(&format!("--check {path}: {e}")),
+        };
+        if let Err(report) = check_against(&committed, &results) {
+            return fail(&format!("full-cell throughput regression:\n{report}"));
+        }
+        eprintln!("throughput check against {path} passed");
+    }
+
+    let rendered = render_snapshot(&results, &before);
+    if let Err(e) = std::fs::write(&out_path, &rendered) {
+        return fail(&format!("writing {out_path}: {e}"));
+    }
+    eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("bench_snapshot: {problem}");
+    eprintln!("usage: bench_snapshot [--quick] [--out FILE] [--before FILE] [--check FILE]");
+    ExitCode::FAILURE
+}
+
+fn fail(problem: &str) -> ExitCode {
+    eprintln!("bench_snapshot: {problem}");
+    ExitCode::FAILURE
+}

@@ -17,6 +17,7 @@ use crate::exchange::ServedRequest;
 use crate::report::{CampaignReport, PlanShape};
 use nvariant::ExecutionMetrics;
 use nvariant_transform::TransformStats;
+use nvariant_types::hex::{hex_decode, hex_encode};
 use std::fmt;
 use std::time::Duration;
 
@@ -87,47 +88,6 @@ fn unquote(token: &str) -> Result<String, String> {
         }
     }
     Ok(out)
-}
-
-fn hex_encode(bytes: &[u8]) -> String {
-    if bytes.is_empty() {
-        return "-".to_string();
-    }
-    const DIGITS: &[u8; 16] = b"0123456789abcdef";
-    let mut out = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        out.push(DIGITS[usize::from(b >> 4)] as char);
-        out.push(DIGITS[usize::from(b & 0xf)] as char);
-    }
-    out
-}
-
-fn hex_decode(token: &str) -> Result<Vec<u8>, String> {
-    if token == "-" {
-        return Ok(Vec::new());
-    }
-    if !token.len().is_multiple_of(2) {
-        return Err(format!("odd-length hex payload ({} bytes)", token.len()));
-    }
-    // Decode nibble-by-nibble over the raw bytes: byte-offset string
-    // slicing would panic on corrupt multi-byte UTF-8 payloads, and a
-    // parser of untrusted shard files must report, never panic.
-    let nibble = |b: u8| -> Result<u8, String> {
-        match b {
-            b'0'..=b'9' => Ok(b - b'0'),
-            b'a'..=b'f' => Ok(b - b'a' + 10),
-            // The encoder emits lowercase, but the previous
-            // from_str_radix-based decoder accepted uppercase too; keep
-            // accepting it so externally produced interchange files parse.
-            b'A'..=b'F' => Ok(b - b'A' + 10),
-            _ => Err(format!("bad hex digit {:?}", char::from(b))),
-        }
-    };
-    token
-        .as_bytes()
-        .chunks_exact(2)
-        .map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?))
-        .collect()
 }
 
 fn render_cell(out: &mut String, cell: &CellResult) {

@@ -31,6 +31,7 @@ use nvariant_diversity::{AddressTransform, UidTransform, VariantSet, VariantSpec
 use nvariant_monitor::{DivergencePolicy, MonitorConfig};
 use nvariant_simos::{OsKernel, WorldBuilder};
 use nvariant_transform::TransformStats;
+use nvariant_types::hex::{hex_decode, hex_encode};
 use nvariant_types::Uid;
 use nvariant_vm::{CompiledProgram, FunctionSig, MemoryLayout, RunLimits, Type, TypeInfo};
 use serde::{Deserialize, Serialize};
@@ -399,19 +400,6 @@ fn quote(s: &str) -> String {
     format!("{s:?}")
 }
 
-fn hex_encode(bytes: &[u8]) -> String {
-    if bytes.is_empty() {
-        return "-".to_string();
-    }
-    const DIGITS: &[u8; 16] = b"0123456789abcdef";
-    let mut out = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        out.push(DIGITS[usize::from(b >> 4)] as char);
-        out.push(DIGITS[usize::from(b & 0xf)] as char);
-    }
-    out
-}
-
 fn type_token(ty: Type) -> String {
     match ty {
         Type::Int => "int".to_string(),
@@ -477,7 +465,7 @@ fn config_line(config: &DeploymentConfig) -> Option<String> {
 
 fn render_program(out: &mut String, program: &CompiledProgram) {
     out.push_str(&format!("program {}\n", program.entry_offset));
-    out.push_str(&format!("code {}\n", hex_encode(&program.code)));
+    out.push_str(&format!("code {}\n", hex_encode(program.code())));
     out.push_str(&format!("data {}\n", hex_encode(&program.globals_image)));
     out.push_str(&format!("globals {}\n", program.globals_map.len()));
     for (name, (offset, ty)) in &program.globals_map {
@@ -654,28 +642,6 @@ fn take_quoted(input: &str) -> Result<(String, &str), String> {
         }
     }
     Err(format!("unterminated quoted string in {input:?}"))
-}
-
-fn hex_decode(token: &str) -> Result<Vec<u8>, String> {
-    if token == "-" {
-        return Ok(Vec::new());
-    }
-    if !token.len().is_multiple_of(2) {
-        return Err(format!("odd-length hex payload ({} bytes)", token.len()));
-    }
-    let nibble = |b: u8| -> Result<u8, String> {
-        match b {
-            b'0'..=b'9' => Ok(b - b'0'),
-            b'a'..=b'f' => Ok(b - b'a' + 10),
-            b'A'..=b'F' => Ok(b - b'A' + 10),
-            _ => Err(format!("bad hex digit {:?}", char::from(b))),
-        }
-    };
-    token
-        .as_bytes()
-        .chunks_exact(2)
-        .map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?))
-        .collect()
 }
 
 fn parse_type(token: &str) -> Result<Type, String> {
@@ -968,14 +934,14 @@ impl<'a> Parser<'a> {
         if line != "endprogram" {
             return self.fail(format!("expected \"endprogram\", got {line:?}"));
         }
-        Ok(CompiledProgram {
+        Ok(CompiledProgram::new(
             code,
             globals_image,
             globals_map,
             functions,
             entry_offset,
             type_info,
-        })
+        ))
     }
 
     fn parse(mut self, base_world: &OsKernel) -> Result<CompiledSystem, ArtifactParseError> {
@@ -1069,11 +1035,7 @@ impl<'a> Parser<'a> {
                     let tag: u8 = self.parse_number(tokens[1])?;
                     let layout = self.parse_layout(&tokens[2..].join(" "))?;
                     let program = self.parse_program()?;
-                    variants.push(CompiledVariant {
-                        program,
-                        layout,
-                        tag,
-                    });
+                    variants.push(CompiledVariant::new(program, layout, tag));
                 }
                 let spec_count: usize = self.expect_number("specs")?;
                 if spec_count != count {

@@ -12,7 +12,7 @@ use nvariant_vm::{
     RunLimits, Runner,
 };
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Errors raised while building a deployable system.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -294,11 +294,11 @@ impl NVariantSystemBuilder {
         let mut variants = Vec::with_capacity(n);
         for (spec, program) in specs.iter().zip(&variant_programs) {
             let compiled = compile_program(program)?;
-            variants.push(CompiledVariant {
-                program: compiled,
-                layout: self.layout_for(spec.addr),
-                tag: spec.tag,
-            });
+            variants.push(CompiledVariant::new(
+                compiled,
+                self.layout_for(spec.addr),
+                spec.tag,
+            ));
         }
 
         // Register the unshared paths with the monitor (the *set* of paths
@@ -359,6 +359,22 @@ pub(crate) struct CompiledVariant {
     pub(crate) program: CompiledProgram,
     pub(crate) layout: MemoryLayout,
     pub(crate) tag: u8,
+    /// The code image restamped with `tag`, computed once at compile time
+    /// and shared by every process this variant instantiates — per-cell
+    /// instantiation copies no code bytes.
+    pub(crate) image: Arc<[u8]>,
+}
+
+impl CompiledVariant {
+    pub(crate) fn new(program: CompiledProgram, layout: MemoryLayout, tag: u8) -> Self {
+        let image = program.retagged_image(tag);
+        CompiledVariant {
+            program,
+            layout,
+            tag,
+            image,
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -524,7 +540,7 @@ impl CompiledSystem {
             } => {
                 let processes = variants
                     .iter()
-                    .map(|v| Process::with_tag(&v.program, v.layout, v.tag))
+                    .map(|v| Process::with_image(&v.program, v.layout, v.tag, Arc::clone(&v.image)))
                     .collect();
                 let monitor = NVariantMonitor::new(
                     kernel,
@@ -567,7 +583,7 @@ impl CompiledSystem {
                 kernel,
                 variants
                     .iter()
-                    .map(|v| Process::with_tag(&v.program, v.layout, v.tag))
+                    .map(|v| Process::with_image(&v.program, v.layout, v.tag, Arc::clone(&v.image)))
                     .collect(),
                 specs.clone(),
                 self.initial_uid,
@@ -777,7 +793,7 @@ mod tests {
         assert!(fs.exists("/etc/passwd-1"));
         assert!(fs.exists("/etc/group-1"));
         // Variant 1's copy has the re-expressed UID for httpd.
-        let text = String::from_utf8(fs.get("/etc/passwd-1").unwrap().data.clone()).unwrap();
+        let text = String::from_utf8(fs.get("/etc/passwd-1").unwrap().data.to_vec()).unwrap();
         assert!(text.contains(&format!("{}", 48u32 ^ 0x7FFF_FFFF)));
         // Address-partitioned deployments do not need them.
         let system = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
@@ -880,7 +896,7 @@ mod tests {
                 .get("/etc/passwd-1")
                 .expect("unshared copy provisioned")
                 .data
-                .clone(),
+                .to_vec(),
         )
         .unwrap();
         assert!(text.contains(&format!("{}", 61u32 ^ 0x7FFF_FFFF)), "{text}");
@@ -898,7 +914,7 @@ mod tests {
                 .get("/etc/passwd-1")
                 .unwrap()
                 .data
-                .clone(),
+                .to_vec(),
         )
         .unwrap();
         assert!(template_text.contains(&format!("{}", 48u32 ^ 0x7FFF_FFFF)));

@@ -10,6 +10,8 @@ use nvariant_types::{Errno, Fnv1a, Gid, Uid};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Unix-style permission bits (lower 9 bits of the classic mode word).
 ///
@@ -193,11 +195,104 @@ impl fmt::Debug for OpenFlags {
     }
 }
 
+/// Copy-on-write file contents.
+///
+/// Campaign cells each clone a provisioned world template, and most cells
+/// never write most files. Backing the bytes with an [`Arc`] makes
+/// `FileSystem::clone` copy only the directory map; the first write to a
+/// still-shared file copies its bytes once (via [`Arc::make_mut`]) and
+/// later writes mutate that private buffer in place.
+///
+/// Equality, ordering into digests, and indexing all go through
+/// [`Deref`]`<Target = [u8]>`, so the type behaves like the `Vec<u8>` it
+/// replaced everywhere except mutation, which is funneled through
+/// [`FileData::clear`] and [`FileData::write_at`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FileData(Arc<Vec<u8>>);
+
+impl FileData {
+    /// Wraps a byte buffer as file contents.
+    #[must_use]
+    pub fn new(bytes: Vec<u8>) -> Self {
+        FileData(Arc::new(bytes))
+    }
+
+    /// Copies the contents out into an owned buffer.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.as_ref().clone()
+    }
+
+    /// Truncates the file to zero length (`O_TRUNC`), detaching from any
+    /// sharing clones first.
+    pub fn clear(&mut self) {
+        Arc::make_mut(&mut self.0).clear();
+    }
+
+    /// Writes `bytes` at byte offset `pos`, zero-filling any gap and
+    /// growing the file as needed. Detaches from sharing clones first.
+    pub fn write_at(&mut self, pos: usize, bytes: &[u8]) {
+        let buf = Arc::make_mut(&mut self.0);
+        if buf.len() < pos + bytes.len() {
+            buf.resize(pos + bytes.len(), 0);
+        }
+        buf[pos..pos + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Returns `true` while the backing buffer is still shared with at
+    /// least one other clone (i.e. no write has detached it yet).
+    #[must_use]
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.0) > 1
+    }
+}
+
+impl Deref for FileData {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for FileData {
+    fn from(bytes: Vec<u8>) -> Self {
+        FileData::new(bytes)
+    }
+}
+
+impl PartialEq<[u8]> for FileData {
+    fn eq(&self, other: &[u8]) -> bool {
+        **self == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for FileData {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        **self == **other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for FileData {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        **self == *other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for FileData {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        **self == **other
+    }
+}
+
+impl Serialize for FileData {}
+impl Deserialize<'_> for FileData {}
+
 /// A regular file in the simulated filesystem.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Inode {
     /// The file contents.
-    pub data: Vec<u8>,
+    pub data: FileData,
     /// Owning user.
     pub owner: Uid,
     /// Owning group.
@@ -211,7 +306,7 @@ impl Inode {
     #[must_use]
     pub fn new(data: Vec<u8>) -> Self {
         Inode {
-            data,
+            data: data.into(),
             owner: Uid::ROOT,
             group: Gid::ROOT,
             mode: FileMode::PUBLIC,
@@ -303,7 +398,7 @@ impl FileSystem {
         self.files.insert(
             Self::normalize(path),
             Inode {
-                data,
+                data: data.into(),
                 owner,
                 group,
                 mode,
@@ -615,6 +710,35 @@ mod tests {
         assert!(fs.clear_read_fault("/var/www/html/news.html"));
         assert!(!fs.clear_read_fault("/var/www/html/news.html"));
         assert!(!fs.is_read_faulty("/var/www/html/news.html"));
+    }
+
+    #[test]
+    fn cloned_filesystems_share_bytes_until_first_write() {
+        let mut template = FileSystem::new();
+        template.create("/var/log/httpd.log", b"seed\n".to_vec());
+        let mut cell = template.clone();
+        assert!(cell.get("/var/log/httpd.log").unwrap().data.is_shared());
+
+        // Writing through one clone detaches it; the other is untouched.
+        let inode = cell.get_mut("/var/log/httpd.log").unwrap();
+        let pos = inode.data.len();
+        inode.data.write_at(pos, b"GET /\n");
+        assert_eq!(
+            cell.get("/var/log/httpd.log").unwrap().data,
+            b"seed\nGET /\n"
+        );
+        assert_eq!(template.get("/var/log/httpd.log").unwrap().data, b"seed\n");
+        assert!(!cell.get("/var/log/httpd.log").unwrap().data.is_shared());
+
+        // Truncation detaches too, and gap writes zero-fill.
+        let inode = template.get_mut("/var/log/httpd.log").unwrap();
+        inode.data.clear();
+        inode.data.write_at(2, b"xy");
+        assert_eq!(template.get("/var/log/httpd.log").unwrap().data, b"\0\0xy");
+        assert_eq!(
+            cell.get("/var/log/httpd.log").unwrap().data,
+            b"seed\nGET /\n"
+        );
     }
 
     #[test]

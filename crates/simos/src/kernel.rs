@@ -452,10 +452,7 @@ impl OsKernel {
                 } else {
                     offset
                 };
-                if inode.data.len() < pos + data.len() {
-                    inode.data.resize(pos + data.len(), 0);
-                }
-                inode.data[pos..pos + data.len()].copy_from_slice(data);
+                inode.data.write_at(pos, data);
                 let new_offset = pos + data.len();
                 if let FdEntry::File { offset, .. } = self.proc_mut(pid)?.fd_mut(fd)? {
                     *offset = new_offset;

@@ -453,7 +453,7 @@ mod tests {
             .log_file("/var/log/alt-httpd.log")
             .build();
         let conf = kernel.fs().get("/etc/httpd.conf").unwrap();
-        let text = String::from_utf8(conf.data.clone()).unwrap();
+        let text = String::from_utf8(conf.data.to_vec()).unwrap();
         assert!(text.contains("Listen 8080"), "{text}");
         assert!(text.contains("LogFile /var/log/alt-httpd.log"), "{text}");
         assert!(kernel.fs().exists("/var/log/alt-httpd.log"));
@@ -503,7 +503,7 @@ mod tests {
     fn rendered_passwd_contains_httpd_line() {
         let kernel = WorldBuilder::standard().build();
         let passwd = kernel.fs().get("/etc/passwd").unwrap();
-        let text = String::from_utf8(passwd.data.clone()).unwrap();
+        let text = String::from_utf8(passwd.data.to_vec()).unwrap();
         assert!(text.contains("httpd:x:48:48:"));
         assert!(text.lines().count() >= 3);
     }
@@ -543,7 +543,7 @@ mod tests {
         // Every world serves the same page names and keeps the shadow prize.
         for world in &catalogue {
             let conf = world.kernel().fs().get("/etc/httpd.conf").unwrap();
-            let text = String::from_utf8(conf.data.clone()).unwrap();
+            let text = String::from_utf8(conf.data.to_vec()).unwrap();
             let docroot = text
                 .lines()
                 .find_map(|l| l.strip_prefix("DocumentRoot "))

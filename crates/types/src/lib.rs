@@ -38,6 +38,7 @@ mod addr;
 mod errno;
 mod error;
 pub mod fnv;
+pub mod hex;
 mod ids;
 mod uid;
 mod word;

@@ -1,12 +1,13 @@
 //! The SimC compiler: AST to byte-encoded bytecode.
 
 use crate::ast::{BinOp, Expr, Function, LValue, Program, Stmt, Type, UnOp};
-use crate::bytecode::{encode_all, Instr, Op, INSTR_SIZE};
+use crate::bytecode::{decode_all, encode_all, retag_code, Instr, Op, INSTR_SIZE};
 use crate::typecheck::{typecheck_program, TypeError, TypeInfo};
 use nvariant_simos::Sysno;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors produced by the compiler.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,8 +51,15 @@ impl From<TypeError> for CompileError {
 /// image, and symbol tables.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompiledProgram {
-    /// Encoded instructions (all stamped with tag 0).
-    pub code: Vec<u8>,
+    /// Encoded instructions (all stamped with tag 0), reference-counted so
+    /// every process instantiated from this program shares one image.
+    code: Arc<[u8]>,
+    /// The code image predecoded once at construction: instruction `i`
+    /// covers bytes `i * INSTR_SIZE ..`. `None` when the image does not
+    /// decode cleanly (possible for a corrupted artifact-store entry whose
+    /// hex still parses) — the interpreter then falls back to its
+    /// byte-accurate fetch path.
+    stream: Option<Arc<[Instr]>>,
     /// Initial contents of the globals + rodata segment.
     pub globals_image: Vec<u8>,
     /// Offset and declared type of each global within the globals segment.
@@ -65,6 +73,58 @@ pub struct CompiledProgram {
 }
 
 impl CompiledProgram {
+    /// Assembles a compiled program from its parts, predecoding the code
+    /// image once so instruction fetch never re-decodes per step.
+    #[must_use]
+    pub fn new(
+        code: Vec<u8>,
+        globals_image: Vec<u8>,
+        globals_map: BTreeMap<String, (u32, Type)>,
+        functions: BTreeMap<String, u32>,
+        entry_offset: u32,
+        type_info: TypeInfo,
+    ) -> Self {
+        let stream = decode_all(&code).map(Arc::from);
+        CompiledProgram {
+            code: Arc::from(code),
+            stream,
+            globals_image,
+            globals_map,
+            functions,
+            entry_offset,
+            type_info,
+        }
+    }
+
+    /// The encoded code image (all instructions stamped with tag 0).
+    #[must_use]
+    pub fn code(&self) -> &[u8] {
+        &self.code
+    }
+
+    /// A shared handle to the code image restamped with `tag`. Tag 0 is
+    /// the image's own tag, so it returns the already-shared image without
+    /// copying a byte; other tags copy once per call — callers that
+    /// instantiate many processes at one tag (the campaign engine) hold on
+    /// to the returned handle instead of re-calling.
+    #[must_use]
+    pub fn retagged_image(&self, tag: u8) -> Arc<[u8]> {
+        if tag == 0 {
+            Arc::clone(&self.code)
+        } else {
+            Arc::from(retag_code(&self.code, tag))
+        }
+    }
+
+    /// The predecoded instruction stream, when the image decodes cleanly.
+    /// Tags are *not* authoritative here: the interpreter reads the live
+    /// tag byte from the (possibly retagged) code image, so one stream
+    /// serves every variant — retagging changes only byte 0 of each
+    /// instruction, never the opcode or operand.
+    pub(crate) fn stream(&self) -> Option<Arc<[Instr]>> {
+        self.stream.clone()
+    }
+
     /// Number of encoded instructions in the code image.
     #[must_use]
     pub fn instruction_count(&self) -> usize {
@@ -555,14 +615,14 @@ impl<'a> Compiler<'a> {
             let target_index = self.labels[*label].expect("label bound before finish");
             self.instrs[*index].operand = target_index as u32 * INSTR_SIZE;
         }
-        CompiledProgram {
-            code: encode_all(&self.instrs),
-            globals_image: self.globals_image,
-            globals_map: self.globals_map,
-            functions: self.functions,
-            entry_offset: 0,
-            type_info: self.type_info,
-        }
+        CompiledProgram::new(
+            encode_all(&self.instrs),
+            self.globals_image,
+            self.globals_map,
+            self.functions,
+            0,
+            self.type_info,
+        )
     }
 }
 
@@ -603,7 +663,7 @@ mod tests {
         let c = compile("fn main() -> int { return 42; }");
         assert!(c.functions.contains_key("main"));
         assert_eq!(c.entry_offset, 0);
-        let instrs = decode_all(&c.code).unwrap();
+        let instrs = decode_all(c.code()).unwrap();
         // Start stub: Call main, Syscall exit, Halt.
         assert_eq!(instrs[0].op, Op::Call);
         assert_eq!(instrs[1].op, Op::Syscall);
@@ -670,7 +730,7 @@ mod tests {
     #[test]
     fn syscalls_encode_number_and_argc() {
         let c = compile("fn main() -> int { return setuid(48); }");
-        let instrs = decode_all(&c.code).unwrap();
+        let instrs = decode_all(c.code()).unwrap();
         let syscall = instrs
             .iter()
             .find(|i| i.op == Op::Syscall && (i.operand >> 8) == Sysno::SetUid.as_u32())
@@ -713,11 +773,11 @@ mod tests {
             }
             ",
         );
-        let instrs = decode_all(&c.code).unwrap();
+        let instrs = decode_all(c.code()).unwrap();
         for instr in &instrs {
             if matches!(instr.op, Op::Jmp | Op::Jz | Op::Jnz) {
                 assert_eq!(instr.operand % INSTR_SIZE, 0);
-                assert!((instr.operand as usize) < c.code.len());
+                assert!((instr.operand as usize) < c.code().len());
             }
         }
     }
@@ -725,6 +785,6 @@ mod tests {
     #[test]
     fn instruction_count_reflects_code_size() {
         let c = compile("fn main() -> int { return 1 + 2 + 3; }");
-        assert_eq!(c.instruction_count() * INSTR_SIZE as usize, c.code.len());
+        assert_eq!(c.instruction_count() * INSTR_SIZE as usize, c.code().len());
     }
 }

@@ -65,21 +65,59 @@ impl Process {
             ProcessState::Faulted(fault) => return StepResult::Faulted(fault),
         }
 
-        let pc = VirtAddr::new(self.pc);
-        let raw = match self.read_bytes(pc, INSTR_SIZE as usize) {
-            Ok(raw) => raw,
-            Err(fault) => return self.fault(fault),
+        // Fetch. Fast path: an aligned, in-range pc indexes the predecoded
+        // stream directly — no allocation, no re-decode. The tag check
+        // reads the live tag byte from the (possibly retagged) code image,
+        // not the stream, because the stream is shared across tags and
+        // tests may restamp `expected_tag` out from under the image.
+        let instr = {
+            let off = self.pc.wrapping_sub(self.layout.code_base);
+            let predecoded = match &self.instrs {
+                Some(instrs)
+                    if off.is_multiple_of(INSTR_SIZE) && (off as usize) < self.code.len() =>
+                {
+                    let found = self.code[off as usize];
+                    if found == self.expected_tag {
+                        Some(instrs[(off / INSTR_SIZE) as usize])
+                    } else {
+                        return self.fault(Fault::TagMismatch {
+                            pc: VirtAddr::new(self.pc),
+                            expected: self.expected_tag,
+                            found,
+                        });
+                    }
+                }
+                _ => None,
+            };
+            match predecoded {
+                Some(instr) => instr,
+                // Byte-accurate slow path: out-of-range or misaligned pc,
+                // execution redirected into a data segment (the monitor's
+                // code-injection scenarios), or an image that didn't
+                // predecode. Faults exactly as a byte walk would.
+                None => {
+                    let pc = VirtAddr::new(self.pc);
+                    let mut raw = [0u8; INSTR_SIZE as usize];
+                    for (i, byte) in raw.iter_mut().enumerate() {
+                        *byte = match self.read_byte(pc + i as u32) {
+                            Ok(byte) => byte,
+                            Err(fault) => return self.fault(fault),
+                        };
+                    }
+                    let Some(instr) = Instr::decode(&raw) else {
+                        return self.fault(Fault::IllegalInstruction { pc });
+                    };
+                    if instr.tag != self.expected_tag {
+                        return self.fault(Fault::TagMismatch {
+                            pc,
+                            expected: self.expected_tag,
+                            found: instr.tag,
+                        });
+                    }
+                    instr
+                }
+            }
         };
-        let Some(instr) = Instr::decode(&raw) else {
-            return self.fault(Fault::IllegalInstruction { pc });
-        };
-        if instr.tag != self.expected_tag {
-            return self.fault(Fault::TagMismatch {
-                pc,
-                expected: self.expected_tag,
-                found: instr.tag,
-            });
-        }
 
         self.pc = self.pc.wrapping_add(INSTR_SIZE);
         self.instructions_executed += 1;

@@ -22,13 +22,14 @@
 //! partition bit (`0x8000_0000`), so the same program runs at disjoint
 //! addresses in the two variants.
 
-use crate::bytecode::retag_code;
+use crate::bytecode::Instr;
 use crate::compile::CompiledProgram;
 use crate::fault::Fault;
 use nvariant_simos::ProcessMem;
 use nvariant_types::{Errno, VirtAddr, Word};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Placement of the code, globals and stack segments in the 32-bit virtual
 /// address space of one variant.
@@ -128,7 +129,15 @@ pub enum ProcessState {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Process {
     pub(crate) layout: MemoryLayout,
-    pub(crate) code: Vec<u8>,
+    /// The (possibly retagged) code image, shared with the compiled program
+    /// and every sibling process at the same tag — code is write-protected,
+    /// so one reference-counted image serves them all.
+    pub(crate) code: Arc<[u8]>,
+    /// Predecoded view of `code`: instruction `i` covers bytes
+    /// `i * INSTR_SIZE ..`. Opcode and operand are tag-independent, so the
+    /// tag-0 stream serves every retagged image; the fetch stage reads the
+    /// live tag byte from `code`. `None` falls back to byte decoding.
+    pub(crate) instrs: Option<Arc<[Instr]>>,
     pub(crate) globals: Vec<u8>,
     pub(crate) stack: Vec<u8>,
     pub(crate) pc: u32,
@@ -152,16 +161,30 @@ impl Process {
 
     /// Instantiates a process whose code image is stamped with `tag` and
     /// whose fetch stage requires that tag (instruction-set tagging).
+    ///
+    /// Retags the image on every call for tags other than 0; batch
+    /// instantiators (the campaign engine) retag once via
+    /// [`CompiledProgram::retagged_image`] and use [`Process::with_image`].
     #[must_use]
     pub fn with_tag(compiled: &CompiledProgram, layout: MemoryLayout, tag: u8) -> Self {
-        let code = if tag == 0 {
-            compiled.code.clone()
-        } else {
-            retag_code(&compiled.code, tag)
-        };
+        Self::with_image(compiled, layout, tag, compiled.retagged_image(tag))
+    }
+
+    /// Instantiates a process around an already-retagged shared code image
+    /// (obtained from [`CompiledProgram::retagged_image`] with the same
+    /// `tag`), so instantiating many sibling processes copies no code.
+    #[must_use]
+    pub fn with_image(
+        compiled: &CompiledProgram,
+        layout: MemoryLayout,
+        tag: u8,
+        image: Arc<[u8]>,
+    ) -> Self {
+        debug_assert_eq!(image.len(), compiled.code().len());
         Process {
             layout,
-            code,
+            code: image,
+            instrs: compiled.stream(),
             globals: compiled.globals_image.clone(),
             stack: vec![0; layout.stack_size as usize],
             pc: layout.code_base + compiled.entry_offset,
@@ -339,11 +362,21 @@ impl Process {
     ///
     /// Returns [`Fault::Segfault`] if any of the four bytes is unmapped.
     pub fn read_word(&self, addr: VirtAddr) -> Result<Word, Fault> {
-        let mut bytes = [0u8; 4];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.read_byte(addr + i as u32)?;
+        match self.read_slice(addr, 4) {
+            Ok(bytes) => Ok(Word::from_le_bytes([
+                bytes[0], bytes[1], bytes[2], bytes[3],
+            ])),
+            // Byte-accurate slow path: the range straddles a segment end,
+            // so fault (or succeed, under adjacent custom layouts) exactly
+            // where a byte-at-a-time walk would.
+            Err(_) => {
+                let mut bytes = [0u8; 4];
+                for (i, b) in bytes.iter_mut().enumerate() {
+                    *b = self.read_byte(addr + i as u32)?;
+                }
+                Ok(Word::from_le_bytes(bytes))
+            }
         }
-        Ok(Word::from_le_bytes(bytes))
     }
 
     /// Writes a little-endian word.
@@ -353,10 +386,57 @@ impl Process {
     /// Returns [`Fault::Segfault`] or [`Fault::WriteProtection`] as for
     /// [`Process::write_byte`].
     pub fn write_word(&mut self, addr: VirtAddr, value: Word) -> Result<(), Fault> {
+        if let Some(span) = self.write_span(addr, 4) {
+            span.copy_from_slice(&value.to_le_bytes());
+            return Ok(());
+        }
         for (i, b) in value.to_le_bytes().iter().enumerate() {
             self.write_byte(addr + i as u32, *b)?;
         }
         Ok(())
+    }
+
+    /// Borrows `len` bytes of process memory without copying, when the
+    /// whole range lies within a single segment — the common case for
+    /// word accesses, syscall buffers and string reads. Ranges that cross
+    /// a segment boundary are refused (even if every byte is mapped under
+    /// an adjacent custom layout, a contiguous borrow cannot exist);
+    /// callers needing byte-exact semantics fall back to
+    /// [`Process::read_bytes`], which does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Segfault`] naming the first byte that does not fit
+    /// in the segment containing `addr` (or `addr` itself if unmapped).
+    pub fn read_slice(&self, addr: VirtAddr, len: usize) -> Result<&[u8], Fault> {
+        let (segment, off) = self
+            .segment_for(addr.as_u32())
+            .ok_or(Fault::Segfault { addr })?;
+        let bytes = match segment {
+            Segment::Code => &self.code[..],
+            Segment::Globals => &self.globals,
+            Segment::Stack => &self.stack,
+        };
+        match bytes.get(off..off + len) {
+            Some(slice) => Ok(slice),
+            None => Err(Fault::Segfault {
+                addr: addr + (bytes.len() - off) as u32,
+            }),
+        }
+    }
+
+    /// Mutably borrows `len` bytes when the whole range lies within one
+    /// *writable* segment; `None` sends the caller to the byte-at-a-time
+    /// path, which reports [`Fault::WriteProtection`] / [`Fault::Segfault`]
+    /// byte-accurately.
+    fn write_span(&mut self, addr: VirtAddr, len: usize) -> Option<&mut [u8]> {
+        let (segment, off) = self.segment_for(addr.as_u32())?;
+        let bytes = match segment {
+            Segment::Code => return None,
+            Segment::Globals => &mut self.globals,
+            Segment::Stack => &mut self.stack,
+        };
+        bytes.get_mut(off..off + len)
     }
 
     /// Reads `len` bytes of process memory.
@@ -365,6 +445,9 @@ impl Process {
     ///
     /// Returns [`Fault::Segfault`] if any byte is unmapped.
     pub fn read_bytes(&self, addr: VirtAddr, len: usize) -> Result<Vec<u8>, Fault> {
+        if let Ok(slice) = self.read_slice(addr, len) {
+            return Ok(slice.to_vec());
+        }
         let mut out = Vec::with_capacity(len);
         for i in 0..len {
             out.push(self.read_byte(addr + i as u32)?);
@@ -379,6 +462,10 @@ impl Process {
     /// Returns [`Fault::Segfault`] or [`Fault::WriteProtection`] as for
     /// [`Process::write_byte`].
     pub fn write_bytes(&mut self, addr: VirtAddr, data: &[u8]) -> Result<(), Fault> {
+        if let Some(span) = self.write_span(addr, data.len()) {
+            span.copy_from_slice(data);
+            return Ok(());
+        }
         for (i, b) in data.iter().enumerate() {
             self.write_byte(addr + i as u32, *b)?;
         }
@@ -392,6 +479,23 @@ impl Process {
     /// Returns [`Fault::Segfault`] if the string runs off mapped memory
     /// before a terminator is found within `max` bytes.
     pub fn read_cstring(&self, addr: VirtAddr, max: usize) -> Result<Vec<u8>, Fault> {
+        // Fast path: scan the containing segment directly. Valid only when
+        // the segment holds the full `max` window or terminates the string
+        // within it — otherwise the byte walk decides what lies beyond the
+        // segment end.
+        if let Some((segment, off)) = self.segment_for(addr.as_u32()) {
+            let bytes = match segment {
+                Segment::Code => &self.code[..],
+                Segment::Globals => &self.globals,
+                Segment::Stack => &self.stack,
+            };
+            let window = &bytes[off..bytes.len().min(off + max)];
+            match window.iter().position(|&b| b == 0) {
+                Some(nul) => return Ok(window[..nul].to_vec()),
+                None if window.len() == max => return Ok(window.to_vec()),
+                None => {}
+            }
+        }
         let mut out = Vec::new();
         for i in 0..max {
             let b = self.read_byte(addr + i as u32)?;
