@@ -1,15 +1,22 @@
-//! `campaignd` — the distributed campaign coordinator.
+//! `campaignd` — the distributed campaign coordinator, a thin CLI over the
+//! [`nvariant_fleet`] scheduler.
 //!
-//! Turns the single-process shard/merge proof into actual distribution:
-//! the coordinator computes the canonical plan hash of the full security ×
-//! world × workload matrix, spawns one `campaign_report --shard I/N --out
-//! FILE` worker **process** per shard, collects the shard interchange
-//! files, retries workers that crash, are killed, time out, or hand back
-//! unusable files (per-shard attempt cap), and merges the collected
-//! reports **validation-only** — the plan hash gates every shard and the
-//! merged cell set is checked against the plan's expected matrix, so a
-//! wrong-but-plausible report is structurally impossible and no cell is
-//! ever re-run by the coordinator.
+//! The coordinator computes the canonical plan hash of the full security ×
+//! world × workload matrix, then hands the run to a [`Fleet`]: shards are
+//! assigned to a host pool through a pluggable transport (local child
+//! processes, or an arbitrary command prefix like `ssh {host}`), workers
+//! that crash, hang, time out, or hand back unusable files are retried up
+//! to a per-shard attempt cap, hosts that fail repeatedly are quarantined
+//! (and re-admitted only when no healthy host remains), fully cached
+//! shards are served warm without spawning anything, and the collected
+//! shard reports are merged **validation-only** — the plan hash gates
+//! every shard and the merged cell set is checked against the plan's
+//! expected matrix, so a wrong-but-plausible report is structurally
+//! impossible and no cell is ever re-run by the coordinator. When a
+//! retrieved shard is valid but *disagrees* with the shared cache (or the
+//! `--verify-rerun` recomputation), the logarithmic divergence finder
+//! names the exact first differing cell coordinate instead of dumping a
+//! whole-report diff.
 //!
 //! Usage:
 //!
@@ -17,44 +24,91 @@
 //! campaignd [--quick] [--shards N] [--workers N] [--attempts K]
 //!           [--timeout-secs T] [--dir DIR] [--out FILE]
 //!           [--cache-dir DIR | --no-cache] [--canonical-out FILE]
-//!           [--worker-bin PATH] [--kill-shard I] [--verify-rerun]
+//!           [--worker-bin PATH] [--hosts H1,H2,...]
+//!           [--transport local|cmd:TEMPLATE] [--quarantine-after K]
+//!           [--kill-shard I]... [--corrupt-shard I]... [--verify-rerun]
 //! ```
 //!
-//! * `--shards N` — worker process count (default 3); shard `I` runs
+//! * `--shards N` — worker count (default 3); shard `I` runs
 //!   `campaign_report --shard I/N`.
 //! * `--workers N` — threads per worker process (default: cores/shards).
 //! * `--attempts K` — per-shard attempt cap (default 3). A shard that
-//!   exhausts its attempts fails the whole run with a non-zero exit.
+//!   exhausts its attempts fails the whole run.
 //! * `--timeout-secs T` — per-attempt wall budget (default 600); a worker
 //!   over budget is killed and the shard retried.
-//! * `--dir DIR` — where shard files are written (default: a fresh
-//!   directory under the system temp dir; kept for post-mortems).
+//! * `--dir DIR` — coordinator-side scratch for shard files (default: a
+//!   fresh directory under the system temp dir; kept for post-mortems).
 //! * `--out FILE` — additionally write the merged report in the shard
 //!   interchange format.
 //! * `--worker-bin PATH` — the worker binary (default: the
 //!   `campaign_report` next to this executable).
+//! * `--hosts H1,H2,...` — the host pool (default `local`). Shards go to
+//!   the least-loaded healthy host; a host is quarantined after
+//!   `--quarantine-after` consecutive failures and re-admitted only when
+//!   no healthy host remains. Per-host stats print at end of run.
+//! * `--transport local|cmd:TEMPLATE` — how workers reach their hosts.
+//!   `local` (default) spawns child processes; `cmd:TEMPLATE` runs every
+//!   worker through the whitespace-split command prefix TEMPLATE with
+//!   `{host}` substituted (e.g. `cmd:ssh {host}`, or a wrapper script
+//!   simulating remote hosts in CI). Prefix transports retrieve shard
+//!   files *through the prefix* (`... cat FILE`), never off the local
+//!   filesystem.
+//! * `--quarantine-after K` — consecutive failures before a host is
+//!   quarantined (default 2).
 //! * `--cache-dir DIR` — the shared result cache (artifact store + cell
-//!   memoization), forwarded to every worker. A shard whose cells are all
-//!   already cached is **served warm**: the coordinator assembles its
-//!   report from file reads without spawning a worker process — in
-//!   particular, the retry of a killed shard becomes file reads once a
-//!   previous run populated the cache. Without the flag
-//!   `NVARIANT_CACHE_DIR` is honoured; `--no-cache` disables caching.
-//! * `--canonical-out FILE` — write the merged report's canonical (wall-
-//!   clock-free) serialization, for byte-identity comparisons across runs.
-//! * `--kill-shard I` — fault injection for tests/CI: kill shard `I`'s
-//!   first attempt right after spawn, exercising the retry path (the first
-//!   attempt is never served warm, so the injection always fires).
+//!   memoization), forwarded to every worker. This is what makes the pool
+//!   elastic: a shard whose cells are all already cached is served warm by
+//!   the coordinator (file reads, no worker), and hosts only execute cells
+//!   nobody has computed yet. The cache is also the *authority* retrieved
+//!   shards are cross-checked against — a valid shard that disagrees is a
+//!   divergence, not a retry. Without the flag `NVARIANT_CACHE_DIR` is
+//!   honoured; `--no-cache` disables caching.
+//! * `--canonical-out FILE` — write the merged report's canonical
+//!   (wall-clock-free) serialization, for byte-identity comparisons.
+//! * `--kill-shard I` — fault injection (repeatable): kill shard `I`'s
+//!   first attempt right after spawn, exercising retry, host-failure
+//!   accounting and quarantine (the first attempt is never served warm, so
+//!   the injection always fires).
+//! * `--corrupt-shard I` — fault injection (repeatable, requires
+//!   `--cache-dir`): corrupt shard `I`'s first retrieved file in transit
+//!   (one metrics counter bumped — still parseable, cell set intact), which
+//!   must be caught by the divergence cross-check, not the parser.
 //! * `--verify-rerun` — after the merge, re-run the plan unsharded
-//!   in-process and assert byte-identical canonical output.
+//!   in-process (uncached) and diagnose any disagreement with the
+//!   divergence finder.
+//!
+//! Exit codes:
+//!
+//! * `0` — success.
+//! * `1` — generic failure (setup errors, verdict mismatches).
+//! * `2` — usage error.
+//! * `3` — a shard exhausted its attempt cap (worker exhaustion).
+//! * `4` — merge validation rejected the collected shard set.
+//! * `5` — divergence: a valid result disagrees with the shared cache or
+//!   the verification re-run; the first differing cell coordinate is
+//!   printed.
 
 use nvariant_apps::campaigns::report_matrix_plan;
 use nvariant_apps::scenarios::{artifact_store, init_artifact_store};
 use nvariant_bench::resolve_cache_dir;
-use nvariant_campaign::{CampaignPlan, CampaignReport};
+use nvariant_fleet::{
+    verify_reports, CommandTransport, Fleet, FleetConfig, FleetError, LocalProcessTransport,
+    WorkerTransport,
+};
+use std::collections::BTreeSet;
 use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
+
+const EXIT_USAGE: i32 = 2;
+const EXIT_EXHAUSTED: i32 = 3;
+const EXIT_MERGE: i32 = 4;
+const EXIT_DIVERGENCE: i32 = 5;
+
+#[derive(Clone, Debug)]
+enum TransportChoice {
+    Local,
+    Command(String),
+}
 
 #[derive(Clone, Debug)]
 struct Args {
@@ -66,21 +120,34 @@ struct Args {
     dir: Option<PathBuf>,
     out: Option<PathBuf>,
     worker_bin: Option<PathBuf>,
-    kill_shard: Option<usize>,
+    hosts: Vec<String>,
+    transport: TransportChoice,
+    quarantine_after: usize,
+    kill_shards: BTreeSet<usize>,
+    corrupt_shards: BTreeSet<usize>,
     verify_rerun: bool,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
     canonical_out: Option<PathBuf>,
 }
 
+const USAGE: &str = "usage: campaignd [--quick] [--shards N] [--workers N] [--attempts K] \
+                     [--timeout-secs T] [--dir DIR] [--out FILE] \
+                     [--cache-dir DIR | --no-cache] [--canonical-out FILE] \
+                     [--worker-bin PATH] [--hosts H1,H2,...] \
+                     [--transport local|cmd:TEMPLATE] [--quarantine-after K] \
+                     [--kill-shard I]... [--corrupt-shard I]... [--verify-rerun]";
+
+const EXIT_CODE_DOC: &str = "exit codes: 0 success, 1 generic failure (setup, verdict \
+                             mismatches), 2 usage, 3 worker exhaustion (a shard used up its \
+                             attempt cap), 4 merge validation rejected the shard set, \
+                             5 divergence (a valid result disagrees with the cache or the \
+                             verification re-run)";
+
 fn usage_exit() -> ! {
-    eprintln!(
-        "usage: campaignd [--quick] [--shards N] [--workers N] [--attempts K] \
-         [--timeout-secs T] [--dir DIR] [--out FILE] \
-         [--cache-dir DIR | --no-cache] [--canonical-out FILE] \
-         [--worker-bin PATH] [--kill-shard I] [--verify-rerun]"
-    );
-    std::process::exit(2);
+    eprintln!("{USAGE}");
+    eprintln!("{EXIT_CODE_DOC}");
+    std::process::exit(EXIT_USAGE);
 }
 
 fn parse_args() -> Args {
@@ -93,7 +160,11 @@ fn parse_args() -> Args {
         dir: None,
         out: None,
         worker_bin: None,
-        kill_shard: None,
+        hosts: vec!["local".to_string()],
+        transport: TransportChoice::Local,
+        quarantine_after: 2,
+        kill_shards: BTreeSet::new(),
+        corrupt_shards: BTreeSet::new(),
         verify_rerun: false,
         cache_dir: None,
         no_cache: false,
@@ -110,6 +181,11 @@ fn parse_args() -> Args {
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                println!("{EXIT_CODE_DOC}");
+                std::process::exit(0);
+            }
             "--quick" => parsed.quick = true,
             "--shards" => parsed.shards = number(&mut args, "--shards").max(1),
             "--workers" => parsed.workers = number(&mut args, "--workers").max(1),
@@ -127,7 +203,45 @@ fn parse_args() -> Args {
                 parsed.worker_bin =
                     Some(PathBuf::from(args.next().unwrap_or_else(|| usage_exit())));
             }
-            "--kill-shard" => parsed.kill_shard = Some(number(&mut args, "--kill-shard")),
+            "--hosts" => {
+                let list = args.next().unwrap_or_else(|| usage_exit());
+                parsed.hosts = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|h| !h.is_empty())
+                    .map(String::from)
+                    .collect();
+                if parsed.hosts.is_empty() {
+                    eprintln!("--hosts expects a comma-separated list of host names");
+                    usage_exit();
+                }
+            }
+            "--transport" => {
+                let value = args.next().unwrap_or_else(|| usage_exit());
+                parsed.transport = if value == "local" {
+                    TransportChoice::Local
+                } else if let Some(template) = value.strip_prefix("cmd:") {
+                    if template.split_whitespace().next().is_none() {
+                        eprintln!("--transport cmd: expects a non-empty command template");
+                        usage_exit();
+                    }
+                    TransportChoice::Command(template.to_string())
+                } else {
+                    eprintln!("--transport expects 'local' or 'cmd:TEMPLATE' (got {value:?})");
+                    usage_exit();
+                };
+            }
+            "--quarantine-after" => {
+                parsed.quarantine_after = number(&mut args, "--quarantine-after").max(1);
+            }
+            "--kill-shard" => {
+                parsed.kill_shards.insert(number(&mut args, "--kill-shard"));
+            }
+            "--corrupt-shard" => {
+                parsed
+                    .corrupt_shards
+                    .insert(number(&mut args, "--corrupt-shard"));
+            }
             "--verify-rerun" => parsed.verify_rerun = true,
             "--cache-dir" => {
                 parsed.cache_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage_exit())));
@@ -143,18 +257,27 @@ fn parse_args() -> Args {
             }
         }
     }
-    if parsed
-        .kill_shard
-        .is_some_and(|index| index >= parsed.shards)
-    {
-        eprintln!(
-            "--kill-shard index out of range for {} shards",
-            parsed.shards
-        );
-        usage_exit();
+    for (flag, shards) in [
+        ("--kill-shard", &parsed.kill_shards),
+        ("--corrupt-shard", &parsed.corrupt_shards),
+    ] {
+        if let Some(index) = shards.iter().find(|&&index| index >= parsed.shards) {
+            eprintln!(
+                "{flag} index {index} out of range for {} shards",
+                parsed.shards
+            );
+            usage_exit();
+        }
     }
     if parsed.no_cache && parsed.cache_dir.is_some() {
         eprintln!("--cache-dir and --no-cache are mutually exclusive");
+        usage_exit();
+    }
+    if !parsed.corrupt_shards.is_empty() && parsed.cache_dir.is_none() && parsed.no_cache {
+        eprintln!(
+            "--corrupt-shard requires a cache (the shared cache is the authority the \
+             divergence cross-check compares against); drop --no-cache or pass --cache-dir"
+        );
         usage_exit();
     }
     parsed
@@ -172,223 +295,11 @@ fn default_worker_bin() -> PathBuf {
     path
 }
 
-/// One worker attempt: state of a spawned `campaign_report --shard` child.
-struct Attempt {
-    child: Child,
-    started: Instant,
-}
-
-/// The coordinator's bookkeeping for one shard of the plan.
-struct ShardJob {
-    index: usize,
-    out_file: PathBuf,
-    attempts_used: usize,
-    running: Option<Attempt>,
-    report: Option<CampaignReport>,
-    /// Why each failed attempt failed, for the final error message.
-    failures: Vec<String>,
-}
-
-/// How many shards (and cells) the coordinator served from the cell cache
-/// without spawning a worker process.
-#[derive(Clone, Copy, Debug, Default)]
-struct WarmServing {
-    shards: usize,
-    cells: usize,
-}
-
-struct Coordinator<'a> {
-    plan: &'a CampaignPlan,
-    expected_hash: u64,
-    worker_bin: PathBuf,
-    args: &'a Args,
-}
-
-impl Coordinator<'_> {
-    /// Starts (or restarts) a shard: served warm from the cell cache when
-    /// every one of its cells is already there, otherwise as a worker
-    /// process. The `--kill-shard` fault injection targets the first
-    /// attempt, which is therefore never served warm — so the injection
-    /// always fires, and it is the *retry* that demonstrates
-    /// warm-from-cache recovery.
-    fn start(&self, job: &mut ShardJob, warm: &mut WarmServing) {
-        let fault_injected = self.args.kill_shard == Some(job.index) && job.attempts_used == 0;
-        if !fault_injected {
-            if let Some(report) = self.plan.cached_shard_report(job.index, self.args.shards) {
-                job.attempts_used += 1;
-                println!(
-                    "shard {}: served warm from cache ({} cells as file reads, attempt {})",
-                    job.index,
-                    report.cells.len(),
-                    job.attempts_used
-                );
-                warm.shards += 1;
-                warm.cells += report.cells.len();
-                job.report = Some(report);
-                return;
-            }
-        }
-        self.spawn(job);
-    }
-
-    fn spawn(&self, job: &mut ShardJob) {
-        let mut command = Command::new(&self.worker_bin);
-        if self.args.quick {
-            command.arg("--quick");
-        }
-        command
-            .arg("--shard")
-            .arg(format!("{}/{}", job.index, self.args.shards))
-            .arg("--out")
-            .arg(&job.out_file)
-            .arg("--workers")
-            .arg(self.args.workers.to_string())
-            // Worker chatter stays out of the coordinator's report stream;
-            // stderr passes through so real worker errors surface.
-            .stdout(Stdio::null());
-        // Workers share the coordinator's result cache: their cells become
-        // reusable by later runs (and retries), and a partially warm shard
-        // only executes its missing cells.
-        match &self.args.cache_dir {
-            Some(dir) => {
-                command.arg("--cache-dir").arg(dir);
-            }
-            None => {
-                // The coordinator resolved the environment already; a
-                // worker must not re-apply it differently.
-                command.arg("--no-cache");
-            }
-        }
-        job.attempts_used += 1;
-        match command.spawn() {
-            Ok(mut child) => {
-                // Fault injection: kill the first attempt of the chosen
-                // shard before it can write its report, so the retry path
-                // runs under test instead of only in production incidents.
-                if self.args.kill_shard == Some(job.index) && job.attempts_used == 1 {
-                    let _ = child.kill();
-                    println!(
-                        "shard {}: attempt 1 killed by --kill-shard fault injection",
-                        job.index
-                    );
-                }
-                job.running = Some(Attempt {
-                    child,
-                    started: Instant::now(),
-                });
-            }
-            Err(error) => {
-                job.failures.push(format!(
-                    "attempt {}: spawn failed: {error}",
-                    job.attempts_used
-                ));
-                job.running = None;
-            }
-        }
-    }
-
-    /// Polls a running attempt: records a collected report, a failure to
-    /// retry, or a timeout kill; does nothing while the worker is still
-    /// healthy and within budget.
-    fn poll(&self, job: &mut ShardJob) {
-        let Some(attempt) = job.running.as_mut() else {
-            return;
-        };
-        match attempt.child.try_wait() {
-            Ok(Some(status)) if status.success() => {
-                job.running = None;
-                match self.collect(job) {
-                    Ok(report) => {
-                        println!(
-                            "shard {}: collected {} cells (attempt {})",
-                            job.index,
-                            report.cells.len(),
-                            job.attempts_used
-                        );
-                        job.report = Some(report);
-                    }
-                    Err(reason) => job
-                        .failures
-                        .push(format!("attempt {}: {reason}", job.attempts_used)),
-                }
-            }
-            Ok(Some(status)) => {
-                job.running = None;
-                job.failures.push(format!(
-                    "attempt {}: worker exited with {status}",
-                    job.attempts_used
-                ));
-            }
-            Ok(None) => {
-                if attempt.started.elapsed() > self.args.timeout {
-                    let _ = attempt.child.kill();
-                    let _ = attempt.child.wait();
-                    job.running = None;
-                    job.failures.push(format!(
-                        "attempt {}: timed out after {:?} and was killed",
-                        job.attempts_used, self.args.timeout
-                    ));
-                }
-            }
-            Err(error) => {
-                job.running = None;
-                job.failures.push(format!(
-                    "attempt {}: wait failed: {error}",
-                    job.attempts_used
-                ));
-            }
-        }
-    }
-
-    /// Reads and validates a finished worker's shard file. Any failure here
-    /// (missing/truncated/corrupt file, foreign plan hash, wrong cell set)
-    /// counts against the shard's attempt cap exactly like a crash.
-    fn collect(&self, job: &ShardJob) -> Result<CampaignReport, String> {
-        let text = std::fs::read_to_string(&job.out_file)
-            .map_err(|error| format!("cannot read {}: {error}", job.out_file.display()))?;
-        let report = CampaignReport::from_shard_text(&text)
-            .map_err(|error| format!("{}: {error}", job.out_file.display()))?;
-        if report.plan_hash != self.expected_hash {
-            return Err(format!(
-                "shard plan hash {:#018x} does not match coordinator plan {:#018x}",
-                report.plan_hash, self.expected_hash
-            ));
-        }
-        // A corrupt or tampered shape header is an unusable file like any
-        // other: count it against the attempt cap here instead of letting
-        // it abort the whole campaign at the final merge.
-        if report.shape != self.plan.shape() {
-            return Err(format!(
-                "shard declares matrix shape {} but the coordinator plan is {}",
-                report.shape,
-                self.plan.shape()
-            ));
-        }
-        let expected: Vec<_> = self
-            .plan
-            .shard(job.index, self.args.shards)
-            .iter()
-            .map(nvariant_campaign::CellSpec::coordinates)
-            .collect();
-        let got: Vec<_> = report
-            .cells
-            .iter()
-            .map(|cell| cell.spec.coordinates())
-            .collect();
-        if got != expected {
-            let first_diff = expected
-                .iter()
-                .zip(&got)
-                .find(|(e, g)| e != g)
-                .map(|(e, g)| format!("; first divergence: expected {e:?}, got {g:?}"))
-                .unwrap_or_default();
-            return Err(format!(
-                "shard cell set mismatch: expected {} cells, got {}{first_diff}",
-                expected.len(),
-                got.len()
-            ));
-        }
-        Ok(report)
+fn exit_code(error: &FleetError) -> i32 {
+    match error {
+        FleetError::Exhausted { .. } => EXIT_EXHAUSTED,
+        FleetError::Merge(_) => EXIT_MERGE,
+        FleetError::Divergence { .. } => EXIT_DIVERGENCE,
     }
 }
 
@@ -400,6 +311,14 @@ fn main() {
     // and pin the resolution into `args`, so workers inherit exactly it.
     args.cache_dir = resolve_cache_dir(args.cache_dir.take(), args.no_cache);
     init_artifact_store(args.cache_dir.clone());
+    if !args.corrupt_shards.is_empty() && args.cache_dir.is_none() {
+        eprintln!(
+            "--corrupt-shard requires a cache (the shared cache is the authority the \
+             divergence cross-check compares against); pass --cache-dir or set \
+             NVARIANT_CACHE_DIR"
+        );
+        std::process::exit(EXIT_USAGE);
+    }
     let args = args;
 
     // Building the plan compiles the matrix's artifacts (cached
@@ -418,10 +337,6 @@ fn main() {
     } else {
         (std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) / args.shards)
             .max(1)
-    };
-    let args = Args {
-        workers: per_worker_threads,
-        ..args
     };
 
     let dir = args
@@ -442,99 +357,77 @@ fn main() {
         std::process::exit(1);
     }
 
+    let transport: Box<dyn WorkerTransport> = match &args.transport {
+        TransportChoice::Local => Box::new(LocalProcessTransport),
+        TransportChoice::Command(template) => match CommandTransport::from_template(template) {
+            Ok(transport) => Box::new(transport),
+            Err(error) => {
+                eprintln!("--transport cmd: {error}");
+                std::process::exit(EXIT_USAGE);
+            }
+        },
+    };
+
     println!(
         "campaignd: {} configurations x {} worlds, {total_cells} cells, plan hash {expected_hash:#018x}",
         configs.len(),
         worlds.len(),
     );
     println!(
-        "spawning {} worker process(es) x {} thread(s) ({} attempt(s) per shard, {:?} timeout), \
-         shard files in {}",
+        "fleet: {} host(s) [{}] via {}, {} shard(s) x {} thread(s) ({} attempt(s) per shard, \
+         {:?} timeout, quarantine after {} consecutive failure(s)), shard files in {}",
+        args.hosts.len(),
+        args.hosts.join(", "),
+        transport.label(),
         args.shards,
-        args.workers,
+        per_worker_threads,
         args.attempts,
         args.timeout,
+        args.quarantine_after,
         dir.display()
     );
 
-    let coordinator = Coordinator {
-        plan: &plan,
-        expected_hash,
-        worker_bin,
-        args: &args,
-    };
-    let mut warm = WarmServing::default();
-    let mut jobs: Vec<ShardJob> = (0..args.shards)
-        .map(|index| ShardJob {
-            index,
-            out_file: dir.join(format!("shard-{index}-of-{}.txt", args.shards)),
-            attempts_used: 0,
-            running: None,
-            report: None,
-            failures: Vec::new(),
+    // Workers share the coordinator's result cache: their cells become
+    // reusable by later runs (and retries), and a partially warm shard
+    // only executes its missing cells. The coordinator resolved the
+    // environment already; a worker must not re-apply it differently.
+    let mut worker_args: Vec<String> = Vec::new();
+    if args.quick {
+        worker_args.push("--quick".to_string());
+    }
+    worker_args.push("--workers".to_string());
+    worker_args.push(per_worker_threads.to_string());
+    match &args.cache_dir {
+        Some(cache_dir) => {
+            worker_args.push("--cache-dir".to_string());
+            worker_args.push(cache_dir.display().to_string());
+        }
+        None => worker_args.push("--no-cache".to_string()),
+    }
+
+    let fleet = Fleet::new(&plan, transport, worker_bin, dir)
+        .hosts(args.hosts.clone())
+        .worker_args(worker_args)
+        .config(FleetConfig {
+            shards: args.shards,
+            attempts: args.attempts,
+            timeout: args.timeout,
+            quarantine_after: args.quarantine_after,
+            kill_shards: args.kill_shards.clone(),
+            corrupt_shards: args.corrupt_shards.clone(),
+            poll_interval: Duration::from_millis(20),
         })
-        .collect();
-    for job in &mut jobs {
-        coordinator.start(job, &mut warm);
-    }
+        .on_progress(|line| println!("{line}"));
 
-    // The supervision loop: poll every running worker, respawn failed
-    // shards while attempts remain, stop when every shard is collected or
-    // some shard is exhausted.
-    loop {
-        for job in &mut jobs {
-            coordinator.poll(job);
-            if job.report.is_none() && job.running.is_none() && job.attempts_used < args.attempts {
-                println!(
-                    "shard {}: retrying (attempt {}): {}",
-                    job.index,
-                    job.attempts_used + 1,
-                    job.failures.last().map_or("unknown failure", |f| f)
-                );
-                coordinator.start(job, &mut warm);
-            }
+    let run = match fleet.run() {
+        Ok(run) => run,
+        Err(error) => {
+            eprintln!("{error}");
+            std::process::exit(exit_code(&error));
         }
-        let exhausted: Vec<usize> = jobs
-            .iter()
-            .filter(|job| {
-                job.report.is_none() && job.running.is_none() && job.attempts_used >= args.attempts
-            })
-            .map(|job| job.index)
-            .collect();
-        if !exhausted.is_empty() {
-            for &index in &exhausted {
-                let job = &jobs[index];
-                eprintln!(
-                    "shard {}: exhausted {} attempt(s): {}",
-                    job.index,
-                    args.attempts,
-                    job.failures.join("; ")
-                );
-            }
-            // Don't leave orphan workers behind the failing coordinator.
-            for job in &mut jobs {
-                if let Some(attempt) = job.running.as_mut() {
-                    let _ = attempt.child.kill();
-                    let _ = attempt.child.wait();
-                }
-            }
-            std::process::exit(1);
-        }
-        if jobs.iter().all(|job| job.report.is_some()) {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(20));
-    }
-
-    let retries: usize = jobs.iter().map(|job| job.attempts_used - 1).sum();
-    let merged = CampaignReport::merge(jobs.into_iter().map(|job| {
-        job.report
-            .expect("loop exits only when every shard is collected")
-    }))
-    .unwrap_or_else(|error| {
-        eprintln!("merge failed: {error}");
-        std::process::exit(1);
-    });
+    };
+    let merged = &run.report;
+    let retries = run.retries;
 
     println!(
         "\nMerged report ({} shards, {retries} retr{}, plan hash {:#018x}, coordinator wall {:.1?}):",
@@ -544,18 +437,19 @@ fn main() {
         started.elapsed()
     );
     println!("{}", merged.render_summary());
+    print!("{}", run.render_host_summary());
     // Cache + retry effectiveness, for operators watching repeated or
     // retried campaigns turn into file reads.
     match &args.cache_dir {
         Some(cache_dir) => {
-            let cold = total_cells - warm.cells;
+            let cold = total_cells - run.warm_cells;
             println!(
                 "cache ({}): {}/{} shards served warm from cache ({} cell hits, {} cells \
                  delegated to workers), {retries} shard retr{}; artifact store: {}",
                 cache_dir.display(),
-                warm.shards,
+                run.warm_shards,
                 args.shards,
-                warm.cells,
+                run.warm_cells,
                 cold,
                 if retries == 1 { "y" } else { "ies" },
                 artifact_store().stats()
@@ -593,18 +487,19 @@ fn main() {
         // the *uncached* plan, so a poisoned cache cannot vouch for itself.
         let whole = uncached_plan
             .run(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
-        let identical = merged.canonical_text() == whole.canonical_text();
+        let disagreement = verify_reports(&whole, merged, "verification re-run");
         println!(
             "Distributed determinism check ({} worker processes vs unsharded in-process run): {}",
             args.shards,
-            if identical {
+            if disagreement.is_none() {
                 "byte-identical canonical reports"
             } else {
                 "MISMATCH"
             }
         );
-        if !identical {
-            std::process::exit(1);
+        if let Some(error) = disagreement {
+            eprintln!("{error}");
+            std::process::exit(EXIT_DIVERGENCE);
         }
     }
 }

@@ -80,6 +80,9 @@ fn exhausted_shard_attempts_fail_the_whole_run() {
         .expect("campaignd runs");
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(!output.status.success(), "coordinator must fail");
+    // Worker exhaustion has its own exit code (3), distinct from merge
+    // validation failures (4) and divergence (5).
+    assert_eq!(output.status.code(), Some(3), "{stderr}");
     assert!(
         stderr.contains("shard 1: exhausted 1 attempt(s)"),
         "{stderr}"
@@ -88,6 +91,51 @@ fn exhausted_shard_attempts_fail_the_whole_run() {
         stderr.contains("SIGKILL") || stderr.contains("signal"),
         "{stderr}"
     );
+}
+
+#[test]
+fn kill_shard_is_repeatable_and_kills_each_listed_shard_once() {
+    let dir = scratch("kill-two");
+    let output = campaignd()
+        .args(["--quick", "--shards", "3", "--workers", "1"])
+        .args(["--kill-shard", "0", "--kill-shard", "2"])
+        .arg("--dir")
+        .arg(&dir)
+        .output()
+        .expect("campaignd runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "campaignd failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    // Both injections fired, both shards retried, and the summary counts
+    // both retries.
+    for shard in [0, 2] {
+        assert!(
+            stdout.contains(&format!(
+                "shard {shard}: attempt 1 killed by --kill-shard fault injection"
+            )),
+            "{stdout}"
+        );
+        assert!(
+            stdout.contains(&format!("shard {shard}: retrying (attempt 2)")),
+            "{stdout}"
+        );
+    }
+    assert!(!stdout.contains("shard 1: retrying"), "{stdout}");
+    assert!(stdout.contains("2 retries"), "{stdout}");
+}
+
+#[test]
+fn out_of_range_fault_injection_is_a_usage_error() {
+    let output = campaignd()
+        .args(["--quick", "--shards", "2", "--kill-shard", "2"])
+        .output()
+        .expect("campaignd runs");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("out of range"), "{stderr}");
 }
 
 #[test]

@@ -566,6 +566,21 @@ impl CampaignReport {
         out
     }
 
+    /// The canonical per-cell stream: each cell's matrix coordinates
+    /// (config, world, scenario, replicate) paired with its rendered
+    /// canonical line, in report order (canonical order for whole and
+    /// merged reports). This is the stream a fleet coordinator feeds to the
+    /// logarithmic divergence finder: two reports of the same plan are
+    /// byte-identical in [`canonical_text`](Self::canonical_text) iff their
+    /// canonical cell streams are equal element-wise.
+    pub fn canonical_cells(
+        &self,
+    ) -> impl Iterator<Item = ((usize, usize, usize, usize), String)> + '_ {
+        self.cells
+            .iter()
+            .map(|cell| (cell.spec.coordinates(), cell.canonical_line()))
+    }
+
     /// A human-oriented summary: rates, totals, latency percentiles and
     /// timing.
     #[must_use]
@@ -766,6 +781,22 @@ mod tests {
         assert_eq!(ra.canonical_text(), rb.canonical_text());
         a.outcome.exit_status = Some(1);
         assert_ne!(report(vec![a]).canonical_text(), ra.canonical_text());
+    }
+
+    #[test]
+    fn canonical_cells_mirror_canonical_text() {
+        let report = report(vec![cell("A", true, None), cell("B", false, None)]);
+        let cells: Vec<_> = report.canonical_cells().collect();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].0, (0, 0, 0, 0));
+        assert_eq!(cells[1].0, (1, 0, 0, 0));
+        // The stream's lines are exactly the canonical text's cell lines.
+        let text = report.canonical_text();
+        let mut lines = text.lines().skip(1);
+        for (_, line) in &cells {
+            assert_eq!(lines.next(), Some(line.as_str()));
+        }
+        assert_eq!(lines.next(), None);
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! The logarithmic divergence finder: given two canonical per-cell streams
+//! that *should* be identical (a retrieved shard vs the shared cache, or a
+//! merged report vs a verification re-run), locate the **first differing
+//! cell coordinate** in O(log cells) stream comparisons instead of diffing
+//! whole reports byte-by-byte.
+//!
+//! The trick is the classic first-divergence search over a prefix-digest
+//! oracle: a [`CellStream`] precomputes one chained FNV-1a digest per
+//! prefix length while ingesting its cells (O(n) once, O(1) per probe), and
+//! [`find_divergence`] binary-searches for the longest common prefix. Two
+//! streams agree on a prefix iff their prefix digests match — the chaining
+//! makes prefix equality monotone, so "first differing index" is the
+//! boundary the binary search lands on. (A digest collision would need two
+//! different prefixes to collide in 64 bits; for campaign-sized streams the
+//! odds are astronomically small, and the final report comparison still
+//! catches it.)
+
+use std::fmt;
+
+use nvariant_types::fnv::Fnv1a;
+
+/// A cell's position in the campaign matrix:
+/// (config, world, scenario, replicate).
+pub type Coordinates = (usize, usize, usize, usize);
+
+/// An ordered stream of canonical cell lines with O(1) prefix digests.
+///
+/// Build one per side (expected vs observed) over the *same* enumeration
+/// order — for campaign reports that is the plan's canonical cell order,
+/// via [`CampaignReport::canonical_cells`].
+///
+/// [`CampaignReport::canonical_cells`]:
+///     nvariant_campaign::CampaignReport::canonical_cells
+#[derive(Clone, Debug, Default)]
+pub struct CellStream {
+    coordinates: Vec<Coordinates>,
+    lines: Vec<String>,
+    /// `prefix_digests[k]` = chained digest of the first `k` lines;
+    /// `prefix_digests[0]` is the digest of the empty stream.
+    prefix_digests: Vec<u64>,
+    hasher: Fnv1a,
+}
+
+impl CellStream {
+    /// An empty stream.
+    #[must_use]
+    pub fn new() -> Self {
+        let hasher = Fnv1a::new();
+        CellStream {
+            coordinates: Vec::new(),
+            lines: Vec::new(),
+            prefix_digests: vec![hasher.finish()],
+            hasher,
+        }
+    }
+
+    /// Builds a stream from `(coordinates, canonical line)` pairs.
+    #[must_use]
+    pub fn from_cells(cells: impl IntoIterator<Item = (Coordinates, String)>) -> Self {
+        let mut stream = CellStream::new();
+        for (coordinates, line) in cells {
+            stream.push(coordinates, line);
+        }
+        stream
+    }
+
+    /// Builds the stream of a report's canonical cells, in report order.
+    #[must_use]
+    pub fn from_report(report: &nvariant_campaign::CampaignReport) -> Self {
+        Self::from_cells(report.canonical_cells())
+    }
+
+    /// Appends one cell; the prefix digest chain extends in O(1).
+    pub fn push(&mut self, coordinates: Coordinates, line: String) {
+        // Length-prefixed write: "ab" + "c" cannot alias "a" + "bc".
+        self.hasher.write_str(&line);
+        self.prefix_digests.push(self.hasher.finish());
+        self.coordinates.push(coordinates);
+        self.lines.push(line);
+    }
+
+    /// Number of cells in the stream.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the stream has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Digest of the first `len` cells (O(1)). Panics if `len > self.len()`.
+    #[must_use]
+    pub fn prefix_digest(&self, len: usize) -> u64 {
+        self.prefix_digests[len]
+    }
+
+    /// The cell at `index`: its coordinates and rendered canonical line.
+    #[must_use]
+    pub fn cell(&self, index: usize) -> (Coordinates, &str) {
+        (self.coordinates[index], &self.lines[index])
+    }
+}
+
+/// Where two streams first disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Divergence {
+    /// Both streams have a cell at `index` and the cells differ; this is
+    /// the *first* such index.
+    Cell {
+        /// Index of the first differing cell in canonical order.
+        index: usize,
+        /// That cell's matrix coordinates
+        /// (config, world, scenario, replicate), taken from the expected
+        /// stream.
+        coordinates: Coordinates,
+        /// The expected side's rendered canonical line.
+        expected: String,
+        /// The observed side's rendered canonical line.
+        observed: String,
+    },
+    /// One stream is a strict prefix of the other: every shared cell
+    /// agrees but the lengths differ.
+    Length {
+        /// Number of cells the streams share (all equal).
+        common: usize,
+        /// Expected stream length.
+        expected: usize,
+        /// Observed stream length.
+        observed: usize,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Cell {
+                index,
+                coordinates: (c, w, s, r),
+                expected,
+                observed,
+            } => {
+                writeln!(
+                    f,
+                    "first divergence at cell #{index} (config {c}, world {w}, scenario {s}, replicate {r}):"
+                )?;
+                writeln!(f, "  expected: {expected}")?;
+                write!(f, "  observed: {observed}")
+            }
+            Divergence::Length {
+                common,
+                expected,
+                observed,
+            } => write!(
+                f,
+                "streams agree on all {common} shared cells but differ in length: expected {expected} cells, observed {observed}"
+            ),
+        }
+    }
+}
+
+/// The outcome of a divergence scan: the first disagreement (if any) and
+/// how many prefix-digest probes the search spent finding it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DivergenceScan {
+    /// `None` when the streams are identical.
+    pub divergence: Option<Divergence>,
+    /// Prefix-digest comparisons performed — bounded by
+    /// ⌈log₂(cells)⌉ + 2, the "O(log cells)" the fleet summary reports.
+    pub probes: usize,
+}
+
+/// Locates the first cell where `observed` disagrees with `expected`, in
+/// O(log cells) prefix-digest probes.
+#[must_use]
+pub fn find_divergence(expected: &CellStream, observed: &CellStream) -> DivergenceScan {
+    let shared = expected.len().min(observed.len());
+    let mut probes = 0;
+
+    // One probe settles the whole shared prefix.
+    probes += 1;
+    if expected.prefix_digest(shared) == observed.prefix_digest(shared) {
+        let divergence = if expected.len() == observed.len() {
+            None
+        } else {
+            Some(Divergence::Length {
+                common: shared,
+                expected: expected.len(),
+                observed: observed.len(),
+            })
+        };
+        return DivergenceScan { divergence, probes };
+    }
+
+    // Invariant: prefixes of length `lo` agree, prefixes of length `hi`
+    // disagree. Chained digests make prefix equality monotone, so binary
+    // search finds the boundary; the first differing cell is index `lo`.
+    let (mut lo, mut hi) = (0_usize, shared);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        probes += 1;
+        if expected.prefix_digest(mid) == observed.prefix_digest(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+
+    let (coordinates, expected_line) = expected.cell(lo);
+    let (_, observed_line) = observed.cell(lo);
+    DivergenceScan {
+        divergence: Some(Divergence::Cell {
+            index: lo,
+            coordinates,
+            expected: expected_line.to_string(),
+            observed: observed_line.to_string(),
+        }),
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic stream of `n` cells with distinct lines; coordinates
+    /// encode the index so assertions can name them.
+    fn synthetic(n: usize) -> CellStream {
+        CellStream::from_cells((0..n).map(|i| ((i, i + 1, i + 2, i + 3), format!("cell line {i}"))))
+    }
+
+    /// `synthetic(n)` with the cell at `k` rewritten.
+    fn mutated(n: usize, k: usize) -> CellStream {
+        CellStream::from_cells((0..n).map(|i| {
+            let line = if i == k {
+                format!("cell line {i} CORRUPTED")
+            } else {
+                format!("cell line {i}")
+            };
+            ((i, i + 1, i + 2, i + 3), line)
+        }))
+    }
+
+    fn max_probes(n: usize) -> usize {
+        // One shared-prefix probe + a binary search over at most n states.
+        (usize::BITS - n.leading_zeros()) as usize + 2
+    }
+
+    #[test]
+    fn equal_streams_have_no_divergence_in_one_probe() {
+        let scan = find_divergence(&synthetic(100), &synthetic(100));
+        assert_eq!(scan.divergence, None);
+        assert_eq!(scan.probes, 1);
+    }
+
+    #[test]
+    fn empty_streams_are_equal() {
+        let scan = find_divergence(&CellStream::new(), &CellStream::new());
+        assert_eq!(scan.divergence, None);
+    }
+
+    #[test]
+    fn first_cell_divergence_is_found() {
+        let scan = find_divergence(&synthetic(64), &mutated(64, 0));
+        match scan.divergence.expect("diverges") {
+            Divergence::Cell {
+                index,
+                coordinates,
+                expected,
+                observed,
+            } => {
+                assert_eq!(index, 0);
+                assert_eq!(coordinates, (0, 1, 2, 3));
+                assert_eq!(expected, "cell line 0");
+                assert_eq!(observed, "cell line 0 CORRUPTED");
+            }
+            Divergence::Length { .. } => panic!("not a length mismatch"),
+        }
+        assert!(scan.probes <= max_probes(64), "{} probes", scan.probes);
+    }
+
+    #[test]
+    fn last_cell_divergence_is_found() {
+        let scan = find_divergence(&synthetic(64), &mutated(64, 63));
+        match scan.divergence.expect("diverges") {
+            Divergence::Cell { index, .. } => assert_eq!(index, 63),
+            Divergence::Length { .. } => panic!("not a length mismatch"),
+        }
+        assert!(scan.probes <= max_probes(64), "{} probes", scan.probes);
+    }
+
+    #[test]
+    fn middle_divergence_reports_the_first_of_two() {
+        // Cells 20 and 40 both differ; the finder must name 20.
+        let base = synthetic(64);
+        let observed = CellStream::from_cells((0..64).map(|i| {
+            let line = if i == 20 || i == 40 {
+                format!("cell line {i} CORRUPTED")
+            } else {
+                format!("cell line {i}")
+            };
+            ((i, i + 1, i + 2, i + 3), line)
+        }));
+        let scan = find_divergence(&base, &observed);
+        match scan.divergence.expect("diverges") {
+            Divergence::Cell {
+                index, coordinates, ..
+            } => {
+                assert_eq!(index, 20);
+                assert_eq!(coordinates, (20, 21, 22, 23));
+            }
+            Divergence::Length { .. } => panic!("not a length mismatch"),
+        }
+    }
+
+    #[test]
+    fn length_mismatch_with_equal_shared_prefix() {
+        let scan = find_divergence(&synthetic(50), &synthetic(40));
+        assert_eq!(
+            scan.divergence,
+            Some(Divergence::Length {
+                common: 40,
+                expected: 50,
+                observed: 40
+            })
+        );
+        assert_eq!(scan.probes, 1);
+    }
+
+    #[test]
+    fn differing_cell_wins_over_length_mismatch() {
+        // Shorter stream that also differs at cell 5: the cell divergence
+        // is earlier, so it is what gets reported.
+        let observed = CellStream::from_cells((0..40).map(|i| {
+            let line = if i == 5 {
+                "tampered".to_string()
+            } else {
+                format!("cell line {i}")
+            };
+            ((i, i + 1, i + 2, i + 3), line)
+        }));
+        let scan = find_divergence(&synthetic(50), &observed);
+        match scan.divergence.expect("diverges") {
+            Divergence::Cell { index, .. } => assert_eq!(index, 5),
+            Divergence::Length { .. } => panic!("cell divergence precedes length mismatch"),
+        }
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic_not_linear() {
+        // 4096 cells: a linear scan would need thousands of comparisons;
+        // the finder stays within log2(4096) + 2 = 14.
+        for k in [0, 1, 2048, 4094, 4095] {
+            let scan = find_divergence(&synthetic(4096), &mutated(4096, k));
+            match scan.divergence.expect("diverges") {
+                Divergence::Cell { index, .. } => assert_eq!(index, k),
+                Divergence::Length { .. } => panic!("not a length mismatch"),
+            }
+            assert!(
+                scan.probes <= 14,
+                "cell {k}: {} probes exceeds log bound",
+                scan.probes
+            );
+        }
+    }
+
+    #[test]
+    fn display_names_the_exact_coordinate() {
+        let scan = find_divergence(&synthetic(8), &mutated(8, 3));
+        let rendered = scan.divergence.expect("diverges").to_string();
+        assert!(
+            rendered.contains("cell #3 (config 3, world 4, scenario 5, replicate 6)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("expected: cell line 3"), "{rendered}");
+        assert!(
+            rendered.contains("observed: cell line 3 CORRUPTED"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn prefix_digests_are_chained_not_positional() {
+        // Swapping two adjacent cells must change the digest at the first
+        // swapped position even though the *set* of lines is unchanged.
+        let a = CellStream::from_cells([
+            ((0, 0, 0, 0), "x".to_string()),
+            ((0, 0, 0, 1), "y".to_string()),
+        ]);
+        let b = CellStream::from_cells([
+            ((0, 0, 0, 0), "y".to_string()),
+            ((0, 0, 0, 1), "x".to_string()),
+        ]);
+        let scan = find_divergence(&a, &b);
+        match scan.divergence.expect("diverges") {
+            Divergence::Cell { index, .. } => assert_eq!(index, 0),
+            Divergence::Length { .. } => panic!("not a length mismatch"),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `nvariant_fleet` — multi-host campaign execution over pluggable worker
+//! transports.
+//!
+//! The campaign crate made sharded runs *provably* recomposable: cells are
+//! deterministic, shards are pure functions of the plan, and the plan-hash
+//! gate plus matrix validation make a wrong-but-plausible merge
+//! structurally impossible. This crate turns that proof into distribution
+//! infrastructure:
+//!
+//! * [`WorkerTransport`] / [`WorkerHandle`] — how a coordinator starts a
+//!   shard worker *somewhere*, watches it, kills it, and retrieves the
+//!   shard file it produced. [`LocalProcessTransport`] is the classic
+//!   single-host child-process path; [`CommandTransport`] runs workers
+//!   through an arbitrary command prefix (`ssh {host}`, or the hermetic
+//!   fake-remote wrapper CI uses), retrieving files *through the prefix*
+//!   so nothing assumes a shared filesystem.
+//! * [`Fleet`] — the scheduler: assigns shards to a host pool
+//!   (least-loaded healthy host), keeps per-host attempt/health accounting
+//!   with consecutive-failure quarantine and oldest-first re-admission,
+//!   serves fully cached shards warm from the shared cell cache (hosts are
+//!   *elastic*: they only execute cells nobody has computed yet), and
+//!   retries crashed, hung, or unusable attempts up to a cap.
+//! * [`find_divergence`] — when a retrieved shard *is* valid but disagrees
+//!   with the authoritative result (shared cache, or a verification
+//!   re-run), a logarithmic divergence finder over the canonical per-cell
+//!   stream reports the exact first differing coordinate
+//!   (config × world × scenario × replicate) and both rendered cells, in
+//!   O(log cells) prefix-digest probes instead of a whole-report byte
+//!   diff.
+//!
+//! `campaignd` is a thin CLI over this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod divergence;
+pub mod fleet;
+pub mod transport;
+
+pub use divergence::{find_divergence, CellStream, Coordinates, Divergence, DivergenceScan};
+pub use fleet::{
+    corrupt_shard_text, verify_reports, Fleet, FleetConfig, FleetError, FleetRun, HostStats,
+};
+pub use transport::{
+    local_shard_path, CommandTransport, LocalProcessTransport, ShardAssignment, TransportError,
+    WorkerHandle, WorkerStatus, WorkerTransport,
+};

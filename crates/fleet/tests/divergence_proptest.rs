@@ -1,0 +1,78 @@
+//! Property tests for the logarithmic divergence finder: over randomly
+//! sized streams and mutation positions, the reported coordinate is always
+//! the *minimal* differing one, and the probe count stays logarithmic.
+
+use nvariant_fleet::{find_divergence, CellStream, Divergence};
+use proptest::prelude::*;
+
+/// A synthetic stream of `n` distinct cells whose content is salted by
+/// `salt` (so two streams with different salts differ everywhere).
+fn stream(n: usize, salt: u64, mutate: Option<usize>) -> CellStream {
+    CellStream::from_cells((0..n).map(|i| {
+        let line = if mutate == Some(i) {
+            format!("cell {i} salt {salt} MUTATED")
+        } else {
+            format!("cell {i} salt {salt}")
+        };
+        ((i, i / 2, i / 3, i / 5), line)
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The reported divergence index is exactly the mutated position — the
+    /// minimal differing coordinate — wherever the mutation lands, and the
+    /// probe count respects the O(log cells) bound.
+    #[test]
+    fn reported_coordinate_is_the_minimal_differing_one(
+        n in 1usize..300,
+        k_raw in any::<usize>(),
+        salt in any::<u64>(),
+    ) {
+        let k = k_raw % n;
+        let expected = stream(n, salt, None);
+        let observed = stream(n, salt, Some(k));
+        let scan = find_divergence(&expected, &observed);
+        match scan.divergence {
+            Some(Divergence::Cell { index, coordinates, .. }) => {
+                prop_assert_eq!(index, k);
+                prop_assert_eq!(coordinates, (k, k / 2, k / 3, k / 5));
+            }
+            other => prop_assert!(false, "expected a cell divergence, got {:?}", other),
+        }
+        // 1 shared-prefix probe + binary search over n+1 prefix lengths.
+        let log_bound = (usize::BITS - n.leading_zeros()) as usize + 2;
+        prop_assert!(
+            scan.probes <= log_bound,
+            "{} probes exceeds log bound {} for {} cells",
+            scan.probes, log_bound, n
+        );
+    }
+
+    /// Identical streams never report a divergence, regardless of size.
+    #[test]
+    fn equal_streams_never_diverge(n in 0usize..300, salt in any::<u64>()) {
+        let scan = find_divergence(&stream(n, salt, None), &stream(n, salt, None));
+        prop_assert_eq!(scan.divergence, None);
+        prop_assert_eq!(scan.probes, 1);
+    }
+
+    /// A truncated but otherwise honest stream is reported as a length
+    /// mismatch naming the exact shared prefix.
+    #[test]
+    fn truncation_is_a_length_mismatch(
+        n in 2usize..300,
+        cut_raw in any::<usize>(),
+        salt in any::<u64>(),
+    ) {
+        let cut = 1 + cut_raw % (n - 1); // 1..n
+        let expected = stream(n, salt, None);
+        let observed = stream(cut, salt, None);
+        let scan = find_divergence(&expected, &observed);
+        prop_assert_eq!(
+            scan.divergence,
+            Some(Divergence::Length { common: cut, expected: n, observed: cut })
+        );
+    }
+}

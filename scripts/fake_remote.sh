@@ -1,0 +1,54 @@
+#!/bin/sh
+# fake_remote.sh — hermetic stand-in for `ssh <host>`: runs a command in a
+# per-host scratch directory with injectable latency, crashes and dropped
+# shard files, so the fleet e2e tests exercise CommandTransport end to end
+# (spawn through the prefix, shard files written host-side, retrieval via
+# `... cat FILE`) without any network.
+#
+#   fake_remote.sh <host> <command> [args...]
+#
+# Environment:
+#   FAKE_REMOTE_ROOT        scratch root; each host gets $root/<host> as
+#                           its working directory (default:
+#                           ${TMPDIR:-/tmp}/fake-remote — set it explicitly
+#                           in tests to stay isolated between runs)
+#   FAKE_REMOTE_LATENCY_MS  sleep this many milliseconds before running
+#                           the command (simulated link latency)
+#   FAKE_REMOTE_CRASH_HOSTS comma-separated hosts that fail every command
+#                           (simulated dead host; exits 13)
+#   FAKE_REMOTE_DROP_HOSTS  comma-separated hosts that run commands but
+#                           lose any shard file they produced (simulated
+#                           storage loss: the later `cat` retrieval fails)
+set -eu
+
+host="$1"
+shift
+
+root="${FAKE_REMOTE_ROOT:-${TMPDIR:-/tmp}/fake-remote}"
+mkdir -p "$root/$host"
+cd "$root/$host"
+
+case ",${FAKE_REMOTE_CRASH_HOSTS:-}," in
+  *",$host,"*)
+    echo "fake_remote: host $host is down" >&2
+    exit 13
+    ;;
+esac
+
+if [ -n "${FAKE_REMOTE_LATENCY_MS:-}" ]; then
+  sleep "$(awk "BEGIN { print ${FAKE_REMOTE_LATENCY_MS} / 1000 }")"
+fi
+
+case ",${FAKE_REMOTE_DROP_HOSTS:-}," in
+  *",$host,"*)
+    # Run the command normally, then lose its shard files. No exec here:
+    # the cleanup must run after the worker exits.
+    "$@"
+    rm -f shard-*.txt
+    exit 0
+    ;;
+esac
+
+# exec so coordinator-side kills reach the worker itself, exactly as a
+# killed ssh session would take the remote command down with it.
+exec "$@"
