@@ -1,0 +1,184 @@
+//! The abstract value lattice of the diversity verifier.
+//!
+//! The lattice is deliberately small — the properties we check are about
+//! *where UID-class data flows*, not about arithmetic precision:
+//!
+//! ```text
+//!                Top
+//!       /     |      |      \
+//!   Const  UidClass AddrClass ...
+//!       \     |      |      /
+//!             Tainted
+//! ```
+//!
+//! `Tainted` absorbs on join (attacker influence is sticky); any other
+//! disagreement widens to `Top`. `Const` carries the *counterpart* operand —
+//! the word the other variant of the pair holds at the same pc — which is
+//! what turns a plain constant-propagation domain into a diversity checker:
+//! a constant that is **equal across variants** under a non-identity UID
+//! relation cannot have been reexpressed.
+
+use nvariant_diversity::UidTransform;
+use std::fmt;
+
+/// The memory region an address points into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// The globals + rodata segment (`LeaG`).
+    Globals,
+    /// The current frame (`LeaL`).
+    Stack,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::Globals => write!(f, "globals"),
+            Region::Stack => write!(f, "stack"),
+        }
+    }
+}
+
+/// An abstract value tracked per stack slot, local slot, and global.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Unknown.
+    Top,
+    /// A compile-time constant: the word this variant pushes, the word the
+    /// pair's other variant pushes at the same pc, and the defining pc.
+    Const {
+        /// The operand in the analyzed variant.
+        value: u32,
+        /// The operand the other variant of the pair holds at the same pc.
+        counterpart: u32,
+        /// The code offset of the defining `Push`.
+        pc: u32,
+    },
+    /// A runtime UID-class value expressed under the given reexpression
+    /// (syscall results, UID-typed globals and parameters).
+    UidClass(UidTransform),
+    /// An address into the given region.
+    AddrClass(Region),
+    /// Attacker-influenced input (results of `read`/`recv`).
+    Tainted,
+}
+
+impl AbsVal {
+    /// Least upper bound. `Tainted` absorbs; differing values widen to
+    /// `Top`; equal constants reached along different paths keep the
+    /// earliest defining pc so diagnostics are deterministic.
+    #[must_use]
+    pub fn join(self, other: AbsVal) -> AbsVal {
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (AbsVal::Tainted, _) | (_, AbsVal::Tainted) => AbsVal::Tainted,
+            (
+                AbsVal::Const {
+                    value: v1,
+                    counterpart: c1,
+                    pc: p1,
+                },
+                AbsVal::Const {
+                    value: v2,
+                    counterpart: c2,
+                    pc: p2,
+                },
+            ) if v1 == v2 && c1 == c2 => AbsVal::Const {
+                value: v1,
+                counterpart: c1,
+                pc: p1.min(p2),
+            },
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// `true` for values that carry taint.
+    #[must_use]
+    pub fn is_tainted(self) -> bool {
+        matches!(self, AbsVal::Tainted)
+    }
+}
+
+impl fmt::Display for AbsVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsVal::Top => write!(f, "Top"),
+            AbsVal::Const {
+                value,
+                counterpart,
+                pc,
+            } => write!(
+                f,
+                "Const({value:#x}, counterpart {counterpart:#x}, def pc {pc:#010x})"
+            ),
+            AbsVal::UidClass(t) => write!(f, "UidClass({})", t.describe()),
+            AbsVal::AddrClass(region) => write!(f, "AddrClass({region})"),
+            AbsVal::Tainted => write!(f, "Tainted"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C1: AbsVal = AbsVal::Const {
+        value: 1,
+        counterpart: 1,
+        pc: 12,
+    };
+
+    #[test]
+    fn join_is_commutative_and_idempotent() {
+        let vals = [
+            AbsVal::Top,
+            C1,
+            AbsVal::UidClass(UidTransform::Identity),
+            AbsVal::AddrClass(Region::Stack),
+            AbsVal::Tainted,
+        ];
+        for a in vals {
+            assert_eq!(a.join(a), a);
+            for b in vals {
+                assert_eq!(a.join(b), b.join(a));
+            }
+        }
+    }
+
+    #[test]
+    fn taint_absorbs_and_disagreement_widens() {
+        assert_eq!(C1.join(AbsVal::Tainted), AbsVal::Tainted);
+        assert_eq!(AbsVal::Top.join(AbsVal::Tainted), AbsVal::Tainted);
+        assert_eq!(C1.join(AbsVal::Top), AbsVal::Top);
+        let c2 = AbsVal::Const {
+            value: 2,
+            counterpart: 2,
+            pc: 12,
+        };
+        assert_eq!(C1.join(c2), AbsVal::Top);
+    }
+
+    #[test]
+    fn equal_constants_keep_earliest_pc() {
+        let later = AbsVal::Const {
+            value: 1,
+            counterpart: 1,
+            pc: 48,
+        };
+        assert_eq!(C1.join(later), C1);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(
+            C1.to_string(),
+            "Const(0x1, counterpart 0x1, def pc 0x0000000c)"
+        );
+        assert_eq!(
+            AbsVal::AddrClass(Region::Globals).to_string(),
+            "AddrClass(globals)"
+        );
+    }
+}

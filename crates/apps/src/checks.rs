@@ -13,12 +13,13 @@ use crate::httpd::httpd_source;
 use crate::scenarios::artifact_store;
 use crate::workload::benign_request;
 use nvariant::prelude::MonitorConfig;
-use nvariant::{CompiledSystem, DeploymentConfig, NVariantSystemBuilder};
+use nvariant::{AnalysisReport, CompiledSystem, DeploymentConfig, NVariantSystemBuilder};
 use nvariant_campaign::{CampaignPlan, CheckSummary, Scenario};
 use nvariant_check::{
     AttackerModel, BoundedChecker, CheckReport, CheckRequest, CheckTarget, Checker, Property,
 };
 use nvariant_simos::WorldTemplate;
+use nvariant_transform::TransformOptions;
 use nvariant_types::{Port, Uid};
 use std::sync::Arc;
 
@@ -84,6 +85,60 @@ pub fn weakened_httpd_system(config: &DeploymentConfig) -> Arc<CompiledSystem> {
         .monitor_config(MonitorConfig::default().without_detection_checks());
     artifact_store()
         .get_or_compile(builder)
+        .expect("bundled httpd source compiles under every configuration")
+}
+
+/// Transform options with UID reexpression deliberately skipping
+/// [`ATTACKED_GLOBAL`] — the seeded weakened-*transform* regression, the
+/// static-analysis counterpart of [`weakened_httpd_system`]'s weakened
+/// monitor. The static verifier must surface a P-Residual finding against
+/// artifacts built with these options; it exists so the verifier itself is
+/// continuously tested against a transform that is actually broken.
+#[must_use]
+pub fn weakened_transform_options() -> TransformOptions {
+    TransformOptions {
+        skip_reexpression_globals: vec![ATTACKED_GLOBAL.to_string()],
+        ..TransformOptions::default()
+    }
+}
+
+fn httpd_analysis_builder(
+    config: &DeploymentConfig,
+    options: TransformOptions,
+) -> NVariantSystemBuilder {
+    NVariantSystemBuilder::from_source(httpd_source())
+        .expect("bundled httpd source parses")
+        .config(config.clone())
+        .initial_uid(Uid::ROOT)
+        .transform_options(options)
+}
+
+/// Runs the static diversity verifier over the mini Apache's variant pairs
+/// under `config`, returning the full per-pair reports (empty for
+/// single-process configurations, which have no pair to relate).
+///
+/// # Panics
+///
+/// Panics if the bundled server source fails to compile — a bug in this
+/// crate, not in the caller.
+#[must_use]
+pub fn httpd_analysis_reports(config: &DeploymentConfig) -> Vec<AnalysisReport> {
+    httpd_analysis_builder(config, TransformOptions::default())
+        .analyze_diversity()
+        .expect("bundled httpd source compiles under every configuration")
+}
+
+/// Like [`httpd_analysis_reports`] but over artifacts built with
+/// [`weakened_transform_options`] — the pairs that must *fail* P-Residual.
+///
+/// # Panics
+///
+/// Panics if the bundled server source fails to compile — a bug in this
+/// crate, not in the caller.
+#[must_use]
+pub fn weakened_transform_analysis_reports(config: &DeploymentConfig) -> Vec<AnalysisReport> {
+    httpd_analysis_builder(config, weakened_transform_options())
+        .analyze_diversity()
         .expect("bundled httpd source compiles under every configuration")
 }
 

@@ -57,8 +57,9 @@ pub use campaigns::{
     benign_scenario, full_matrix_campaign, httpd_campaign, security_sweep_configs,
 };
 pub use checks::{
-    check_paper_matrix, check_summary, check_worlds, checked_httpd_campaign, httpd_attacker,
-    httpd_check_target, weakened_httpd_check_target, weakened_httpd_system,
+    check_paper_matrix, check_summary, check_worlds, checked_httpd_campaign,
+    httpd_analysis_reports, httpd_attacker, httpd_check_target, weakened_httpd_check_target,
+    weakened_httpd_system, weakened_transform_analysis_reports, weakened_transform_options,
 };
 pub use httpd::httpd_source;
 pub use scenarios::{

@@ -38,11 +38,15 @@ use nvariant::{DeploymentConfig, NVariantSystemBuilder};
 use nvariant_apps::campaigns::report_matrix_plan;
 use nvariant_apps::httpd_source;
 use nvariant_apps::scenarios::{artifact_store, init_artifact_store};
-use nvariant_bench::{render_table, resolve_cache_dir};
+use nvariant_bench::{
+    render_table, resolve_cache_dir, verify_diversity_gate, EXIT_ANALYSIS_FINDINGS,
+};
 use nvariant_campaign::{CampaignPlan, CampaignReport};
 use std::path::PathBuf;
 use std::time::Instant;
 
+// A CLI flag set: each bool mirrors one independent on/off flag.
+#[allow(clippy::struct_excessive_bools)]
 #[derive(Clone, Debug, Default)]
 struct Args {
     quick: bool,
@@ -54,12 +58,13 @@ struct Args {
     cache_dir: Option<PathBuf>,
     no_cache: bool,
     canonical_out: Option<PathBuf>,
+    analyze: bool,
 }
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: campaign_report [--quick] [--workers N] [--cache-dir DIR | --no-cache] \
-         [--canonical-out FILE] [--shard I/N --out FILE] \
+        "usage: campaign_report [--quick] [--analyze] [--workers N] \
+         [--cache-dir DIR | --no-cache] [--canonical-out FILE] [--shard I/N --out FILE] \
          [--merge FILE... [--verify-rerun]]"
     );
     std::process::exit(2);
@@ -151,6 +156,7 @@ fn parse_args() -> Args {
                 }
             }
             "--verify-rerun" => parsed.verify_rerun = true,
+            "--analyze" => parsed.analyze = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 usage_exit();
@@ -391,6 +397,18 @@ fn main() {
         Some(dir) => uncached_plan.clone().with_cache_dir(dir),
         None => uncached_plan.clone(),
     };
+
+    if args.analyze {
+        let findings = verify_diversity_gate(&configs);
+        if findings > 0 {
+            eprintln!(
+                "refusing to run campaign cells: {findings} static diversity finding(s) — \
+                 fix the transform before measuring the deployment"
+            );
+            std::process::exit(EXIT_ANALYSIS_FINDINGS);
+        }
+        println!();
+    }
 
     if let Some((index, count)) = args.shard {
         run_shard_mode(

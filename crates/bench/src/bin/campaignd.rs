@@ -90,7 +90,7 @@
 
 use nvariant_apps::campaigns::report_matrix_plan;
 use nvariant_apps::scenarios::{artifact_store, init_artifact_store};
-use nvariant_bench::resolve_cache_dir;
+use nvariant_bench::{resolve_cache_dir, verify_diversity_gate, EXIT_ANALYSIS_FINDINGS};
 use nvariant_fleet::{
     verify_reports, CommandTransport, Fleet, FleetConfig, FleetError, LocalProcessTransport,
     WorkerTransport,
@@ -110,6 +110,8 @@ enum TransportChoice {
     Command(String),
 }
 
+// A CLI flag set: each bool mirrors one independent on/off flag.
+#[allow(clippy::struct_excessive_bools)]
 #[derive(Clone, Debug)]
 struct Args {
     quick: bool,
@@ -129,10 +131,11 @@ struct Args {
     cache_dir: Option<PathBuf>,
     no_cache: bool,
     canonical_out: Option<PathBuf>,
+    analyze: bool,
 }
 
-const USAGE: &str = "usage: campaignd [--quick] [--shards N] [--workers N] [--attempts K] \
-                     [--timeout-secs T] [--dir DIR] [--out FILE] \
+const USAGE: &str = "usage: campaignd [--quick] [--analyze] [--shards N] [--workers N] \
+                     [--attempts K] [--timeout-secs T] [--dir DIR] [--out FILE] \
                      [--cache-dir DIR | --no-cache] [--canonical-out FILE] \
                      [--worker-bin PATH] [--hosts H1,H2,...] \
                      [--transport local|cmd:TEMPLATE] [--quarantine-after K] \
@@ -142,7 +145,8 @@ const EXIT_CODE_DOC: &str = "exit codes: 0 success, 1 generic failure (setup, ve
                              mismatches), 2 usage, 3 worker exhaustion (a shard used up its \
                              attempt cap), 4 merge validation rejected the shard set, \
                              5 divergence (a valid result disagrees with the cache or the \
-                             verification re-run)";
+                             verification re-run), 6 static diversity findings (--analyze \
+                             refused to run cells)";
 
 fn usage_exit() -> ! {
     eprintln!("{USAGE}");
@@ -169,6 +173,7 @@ fn parse_args() -> Args {
         cache_dir: None,
         no_cache: false,
         canonical_out: None,
+        analyze: false,
     };
     let mut args = std::env::args().skip(1);
     let number = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
@@ -187,6 +192,7 @@ fn parse_args() -> Args {
                 std::process::exit(0);
             }
             "--quick" => parsed.quick = true,
+            "--analyze" => parsed.analyze = true,
             "--shards" => parsed.shards = number(&mut args, "--shards").max(1),
             "--workers" => parsed.workers = number(&mut args, "--workers").max(1),
             "--attempts" => parsed.attempts = number(&mut args, "--attempts").max(1),
@@ -330,6 +336,18 @@ fn main() {
         Some(dir) => uncached_plan.clone().with_cache_dir(dir),
         None => uncached_plan.clone(),
     };
+    if args.analyze {
+        let findings = verify_diversity_gate(&configs);
+        if findings > 0 {
+            eprintln!(
+                "refusing to dispatch campaign shards: {findings} static diversity finding(s) — \
+                 fix the transform before measuring the deployment"
+            );
+            std::process::exit(EXIT_ANALYSIS_FINDINGS);
+        }
+        println!();
+    }
+
     let expected_hash = plan.plan_hash();
     let total_cells = plan.cells().len();
     let per_worker_threads = if args.workers > 0 {

@@ -1,0 +1,121 @@
+//! Static diversity verification of the compiled mini Apache: reconstruct
+//! each variant pair's control-flow graphs, run the abstract interpreter of
+//! `nvariant_analyze` over them, and check P-Residual (no UID constant
+//! reaches a sink untransformed), P-Lockstep (variants identical modulo the
+//! declared relation) and P-Boundary (syscall arguments in one reexpression
+//! domain) over the paper's four configurations.
+//!
+//! Usage:
+//!
+//! * `nvariant_analyze [--config unmodified|transformed|address|uid|all]` —
+//!   verify the selected configuration(s); prints one verdict block per
+//!   configuration. Exits 0 when every pair is clean, 6 when any finding
+//!   surfaces.
+//! * `nvariant_analyze --weakened [...]` — verify artifacts built with the
+//!   deliberately weakened transform (UID reexpression skips the
+//!   `server_uid` global). This must *fail* with a P-Residual finding naming
+//!   the exact pc; CI asserts the 6 exit and greps the diagnostic. It is the
+//!   verifier's own regression mode, mirroring `nvariant_check --weakened`.
+//!
+//! Verification is deterministic: the same invocation prints byte-identical
+//! reports.
+
+use nvariant::analyze::verdict_is_clean;
+use nvariant::{AnalysisReport, DeploymentConfig};
+use nvariant_apps::checks::{httpd_analysis_reports, weakened_transform_analysis_reports};
+
+/// Exit status when any property finding surfaces (0 = clean, 2 = usage).
+const EXIT_FINDINGS: i32 = 6;
+
+#[derive(Clone, Debug, Default)]
+struct Args {
+    configs: Vec<DeploymentConfig>,
+    weakened: bool,
+}
+
+fn usage_exit() -> ! {
+    eprintln!(
+        "usage: nvariant_analyze [--config unmodified|transformed|address|uid|all] [--weakened]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config(value: &str) -> Option<DeploymentConfig> {
+    match value.to_ascii_lowercase().as_str() {
+        "unmodified" => Some(DeploymentConfig::Unmodified),
+        "transformed" => Some(DeploymentConfig::TransformedSingle),
+        "address" => Some(DeploymentConfig::TwoVariantAddress),
+        "uid" => Some(DeploymentConfig::TwoVariantUid),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--config expects unmodified, transformed, address, uid or all");
+                    usage_exit();
+                };
+                if value.eq_ignore_ascii_case("all") {
+                    parsed.configs = DeploymentConfig::paper_configurations();
+                } else {
+                    let Some(config) = parse_config(&value) else {
+                        eprintln!(
+                            "unknown configuration {value:?} (expected unmodified, transformed, \
+                             address, uid or all)"
+                        );
+                        usage_exit();
+                    };
+                    parsed.configs.push(config);
+                }
+            }
+            "--weakened" => parsed.weakened = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage_exit();
+            }
+        }
+    }
+    if parsed.configs.is_empty() {
+        parsed.configs = DeploymentConfig::paper_configurations();
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let mode = if args.weakened {
+        "weakened transform (UID reexpression skips server_uid)"
+    } else {
+        "paper transform"
+    };
+    println!("static diversity verification — {mode}");
+    let mut total_findings = 0usize;
+    for config in &args.configs {
+        let reports: Vec<AnalysisReport> = if args.weakened {
+            weakened_transform_analysis_reports(config)
+        } else {
+            httpd_analysis_reports(config)
+        };
+        let verdict = nvariant::analyze::combined_verdict(&reports);
+        println!("\n== {} ==", config.label());
+        println!("{verdict}");
+        if !verdict_is_clean(&verdict) {
+            for report in &reports {
+                if !report.is_clean() {
+                    println!("{}", report.render());
+                    total_findings += report.findings.len();
+                }
+            }
+        }
+    }
+    if total_findings > 0 {
+        println!("\n{total_findings} finding(s) across the sweep");
+        std::process::exit(EXIT_FINDINGS);
+    }
+    println!("\nall pairs clean");
+}

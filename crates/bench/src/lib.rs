@@ -25,6 +25,41 @@ pub fn resolve_cache_dir(explicit: Option<PathBuf>, no_cache: bool) -> Option<Pa
     })
 }
 
+/// The exit status the campaign binaries share with `nvariant_analyze`
+/// when the static diversity verifier reports findings.
+pub const EXIT_ANALYSIS_FINDINGS: i32 = 6;
+
+/// `--analyze` support for the campaign binaries: run the static diversity
+/// verifier over every configuration before any cell executes, print one
+/// verdict line per configuration (plus the full report for any pair with
+/// findings), and return the total finding count. Callers refuse to run
+/// cells — exiting [`EXIT_ANALYSIS_FINDINGS`] — when it is non-zero:
+/// deploying a system whose transform is already known-broken would only
+/// measure the bug.
+#[must_use]
+pub fn verify_diversity_gate(configs: &[DeploymentConfig]) -> usize {
+    println!(
+        "Static diversity verification ({} configuration(s)):",
+        configs.len()
+    );
+    let mut total_findings = 0usize;
+    for config in configs {
+        let reports = nvariant_apps::httpd_analysis_reports(config);
+        println!(
+            "  {}: {}",
+            config.label(),
+            nvariant::analyze::combined_verdict(&reports)
+        );
+        for report in &reports {
+            if !report.is_clean() {
+                println!("{}", report.render());
+                total_findings += report.findings.len();
+            }
+        }
+    }
+    total_findings
+}
+
 /// Renders a list of rows as a fixed-width text table.
 #[must_use]
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

@@ -145,7 +145,9 @@ impl std::fmt::Debug for Scenario {
             .field("port", &self.port)
             .field("judged", &self.judge.is_some())
             .field("checked", &self.check.is_some())
-            .finish()
+            // The generator/judge/check closures have no useful rendering;
+            // the three flags above say everything the closures would.
+            .finish_non_exhaustive()
     }
 }
 

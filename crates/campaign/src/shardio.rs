@@ -681,7 +681,11 @@ mod tests {
         let text = sample_report().to_shard_text();
         let total = text.lines().count();
         for keep in 0..total {
-            let truncated: String = text.lines().take(keep).map(|l| format!("{l}\n")).collect();
+            let truncated = text.lines().take(keep).fold(String::new(), |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            });
             let err = CampaignReport::from_shard_text(&truncated).unwrap_err();
             assert!(
                 err.line <= keep + 1,

@@ -74,6 +74,8 @@ pub mod store;
 pub mod system;
 
 pub use config::DeploymentConfig;
+pub use nvariant_analyze as analyze;
+pub use nvariant_analyze::AnalysisReport;
 pub use outcome::{ExecutionMetrics, SystemOutcome};
 pub use store::{ArtifactStore, CacheStats};
 pub use system::{BuildError, CompiledSystem, NVariantSystemBuilder, RunnableSystem};

@@ -41,8 +41,11 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Format version of the on-disk artifact files.
-const HEADER: &str = "nvariant-artifact v1";
+/// Format version of the on-disk artifact files. v2 added the `analysis`
+/// line (the static diversity verifier's verdict); v1 entries fail the
+/// header check and are recompiled over, which is the codec's designed
+/// upgrade path.
+const HEADER: &str = "nvariant-artifact v2";
 
 /// FNV-1a 64: the workspace's one stable cross-process hash, re-exported
 /// from [`nvariant_types::fnv`] — the same construction the campaign plan
@@ -536,6 +539,10 @@ pub fn to_artifact_text(system: &CompiledSystem) -> Option<String> {
     for path in &system.extra_unshared {
         out.push_str(&format!("xfile {}\n", quote(path)));
     }
+    match &system.analysis {
+        Some(verdict) => out.push_str(&format!("analysis {}\n", quote(verdict))),
+        None => out.push_str("analysis -\n"),
+    }
     match &system.plan {
         CompiledPlan::Single { program, layout } => {
             out.push_str("plan single\n");
@@ -1006,6 +1013,18 @@ impl<'a> Parser<'a> {
             max_syscalls,
         };
         let extra_unshared = self.quoted_list("xfiles", "xfile")?;
+        let analysis = {
+            let rest = self.expect_field("analysis")?;
+            if rest == "-" {
+                None
+            } else {
+                let (verdict, trailing) = self.lift(take_quoted(rest))?;
+                if !trailing.is_empty() {
+                    return self.fail(format!("unexpected trailing content {trailing:?}"));
+                }
+                Some(verdict)
+            }
+        };
 
         let plan = match self.expect_field("plan")? {
             "single" => {
@@ -1111,6 +1130,7 @@ impl<'a> Parser<'a> {
             initial_uid,
             run_limits,
             extra_unshared,
+            analysis,
             plan,
         };
         system.kernel_template = system.provision_world(base_world);
@@ -1341,6 +1361,74 @@ mod tests {
     }
 
     #[test]
+    fn analysis_verdicts_persist_and_option_changes_reanalyze() {
+        let dir =
+            std::env::temp_dir().join(format!("nvariant-store-analysis-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let verified = |options: nvariant_transform::TransformOptions| {
+            NVariantSystemBuilder::from_source(
+                r"
+                var server_uid: uid_t = 48;
+                fn main() -> int {
+                    if (server_uid == 0) { return 2; }
+                    return setuid(server_uid);
+                }
+                ",
+            )
+            .unwrap()
+            .config(DeploymentConfig::TwoVariantUid)
+            .transform_options(options)
+            .verify_diversity(true)
+        };
+
+        let store = ArtifactStore::at(&dir);
+        let clean = store
+            .get_or_compile(verified(nvariant_transform::TransformOptions::default()))
+            .unwrap();
+        let verdict = clean.analysis().expect("verified build has a verdict");
+        assert!(nvariant_analyze::verdict_is_clean(verdict), "{verdict}");
+        // The verdict line is part of the disk entry...
+        let entry = store.entry_path(clean.fingerprint()).unwrap();
+        let text = std::fs::read_to_string(&entry).unwrap();
+        assert!(text.contains("analysis \"clean"), "{text}");
+        // ...so a fresh store ("new process") serves it warm — a disk hit,
+        // no recompilation and no re-analysis.
+        let fresh = ArtifactStore::at(&dir);
+        let warm = fresh
+            .get_or_compile(verified(nvariant_transform::TransformOptions::default()))
+            .unwrap();
+        assert_eq!(fresh.stats().hits, 1);
+        assert_eq!(fresh.stats().misses, 0);
+        assert_eq!(warm.analysis(), clean.analysis());
+
+        // Changing a transform option re-keys the artifact, so the weakened
+        // transform is compiled fresh and re-analyzed — the stale clean
+        // verdict cannot be served for it.
+        let weakened = fresh
+            .get_or_compile(verified(nvariant_transform::TransformOptions {
+                skip_reexpression_globals: vec!["server_uid".to_string()],
+                ..nvariant_transform::TransformOptions::default()
+            }))
+            .unwrap();
+        assert_eq!(fresh.stats().misses, 1);
+        assert_ne!(weakened.fingerprint(), clean.fingerprint());
+        let verdict = weakened.analysis().expect("verified build has a verdict");
+        assert!(!nvariant_analyze::verdict_is_clean(verdict), "{verdict}");
+        assert!(verdict.contains("P-Residual"), "{verdict}");
+
+        // Turning verification off is a separate cache entry with no
+        // verdict — analyzed and unanalyzed builds never share a slot.
+        let unverified = fresh
+            .get_or_compile(
+                verified(nvariant_transform::TransformOptions::default()).verify_diversity(false),
+            )
+            .unwrap();
+        assert!(unverified.analysis().is_none());
+        assert_ne!(unverified.fingerprint(), clean.fingerprint());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corrupt_disk_entries_fall_back_to_recompile_and_are_overwritten() {
         let dir =
             std::env::temp_dir().join(format!("nvariant-store-corrupt-{}", std::process::id()));
@@ -1492,7 +1580,11 @@ mod tests {
         // Truncation at every line boundary is a clean error.
         let total = text.lines().count();
         for keep in 0..total {
-            let truncated: String = text.lines().take(keep).map(|l| format!("{l}\n")).collect();
+            let truncated = text.lines().take(keep).fold(String::new(), |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            });
             let err = from_artifact_text(&truncated, &world)
                 .expect_err("a proper prefix can never be a complete artifact");
             assert!(err.line <= keep + 1, "kept {keep}, error line {}", err.line);

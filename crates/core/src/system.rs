@@ -2,10 +2,13 @@
 
 use crate::config::DeploymentConfig;
 use crate::outcome::SystemOutcome;
-use nvariant_diversity::{AddressTransform, UidTransform, VariantSet};
+use nvariant_analyze::{analyze_pair, combined_verdict, AnalysisReport, VariantArtifact};
+use nvariant_diversity::{AddressTransform, UidTransform, VariantSet, VariantSpec};
 use nvariant_monitor::{provision_unshared_copies, MonitorConfig, NVariantMonitor};
 use nvariant_simos::{OsKernel, WorldBuilder};
-use nvariant_transform::{TransformError, TransformOptions, TransformStats, UidTransformer};
+use nvariant_transform::{
+    TransformError, TransformOptions, TransformStats, UidContext, UidTransformer,
+};
 use nvariant_types::{Pid, Uid};
 use nvariant_vm::{
     compile_program, CompileError, CompiledProgram, MemoryLayout, ParseError, Process, Program,
@@ -74,6 +77,7 @@ pub struct NVariantSystemBuilder {
     base_layout: MemoryLayout,
     run_limits: RunLimits,
     extra_unshared: Vec<String>,
+    verify_diversity: bool,
     /// Lazily computed [`fingerprint`](Self::fingerprint), invalidated by
     /// every setter that shapes the compiled artifact. Deriving the
     /// fingerprint walks the canonical pretty-printed source, so store
@@ -106,6 +110,7 @@ impl NVariantSystemBuilder {
             base_layout: MemoryLayout::default(),
             run_limits: RunLimits::default(),
             extra_unshared: Vec::new(),
+            verify_diversity: false,
             fingerprint_cache: OnceLock::new(),
         }
     }
@@ -177,6 +182,19 @@ impl NVariantSystemBuilder {
         self
     }
 
+    /// Enables the static diversity verifier: [`compile`](Self::compile)
+    /// runs [`nvariant_analyze::analyze_pair`] over every variant pair of a
+    /// multi-variant plan and records the combined verdict in the artifact
+    /// ([`CompiledSystem::analysis`]). Off by default — verification adds
+    /// compile-time cost, and its verdict participates in the artifact
+    /// fingerprint, so verified and unverified builds cache separately.
+    #[must_use]
+    pub fn verify_diversity(mut self, verify: bool) -> Self {
+        self.verify_diversity = verify;
+        self.fingerprint_cache = OnceLock::new();
+        self
+    }
+
     fn layout_for(&self, addr: AddressTransform) -> MemoryLayout {
         match addr {
             AddressTransform::Identity => self.base_layout,
@@ -223,6 +241,7 @@ impl NVariantSystemBuilder {
         descriptor.push_str(&format!("base_layout {:?}\n", self.base_layout));
         descriptor.push_str(&format!("run_limits {:?}\n", self.run_limits));
         descriptor.push_str(&format!("extra_unshared {:?}\n", self.extra_unshared));
+        descriptor.push_str(&format!("verify_diversity {}\n", self.verify_diversity));
         descriptor.push_str("source\n");
         descriptor.push_str(&nvariant_vm::pretty_print(&self.program));
         crate::store::fnv1a_64(descriptor.as_bytes())
@@ -263,6 +282,9 @@ impl NVariantSystemBuilder {
                 initial_uid: self.initial_uid,
                 run_limits: self.run_limits,
                 extra_unshared: self.extra_unshared,
+                // A single process has no pair to verify; the verdict of an
+                // empty pair set is vacuously clean.
+                analysis: self.verify_diversity.then(|| combined_verdict(&[])),
                 plan: CompiledPlan::Single {
                     program: compiled,
                     layout: self.base_layout,
@@ -270,36 +292,24 @@ impl NVariantSystemBuilder {
             });
         }
 
-        let variation = self.config.variation().ok_or_else(|| {
-            BuildError::Variation("a multi-variant deployment requires a variation".to_string())
-        })?;
-        let specs = variation
-            .try_variant_specs(n)
-            .map_err(BuildError::Variation)?;
-
-        // Per-variant program text.
-        let (variant_programs, stats) = if self.config.transforms_uids() {
-            let uid_transforms: Vec<UidTransform> = specs.iter().map(|s| s.uid).collect();
-            let variants = transformer.transform_for_variants(&self.program, &uid_transforms)?;
-            let stats = variants.last().map(|v| v.stats).unwrap_or_default();
-            (
-                variants.into_iter().map(|v| v.program).collect::<Vec<_>>(),
-                stats,
-            )
+        let multi = self
+            .compile_multi_variants()?
+            .expect("variant_count > 1 implies a multi-variant plan");
+        let MultiVariants {
+            variants,
+            specs,
+            programs: variant_programs,
+            stats,
+        } = multi;
+        let analysis = if self.verify_diversity {
+            Some(combined_verdict(&Self::analysis_reports(
+                &variant_programs[0],
+                &variants,
+                &specs,
+            )?))
         } else {
-            (vec![self.program.clone(); n], TransformStats::default())
+            None
         };
-
-        // Compile each variant.
-        let mut variants = Vec::with_capacity(n);
-        for (spec, program) in specs.iter().zip(&variant_programs) {
-            let compiled = compile_program(program)?;
-            variants.push(CompiledVariant::new(
-                compiled,
-                self.layout_for(spec.addr),
-                spec.tag,
-            ));
-        }
 
         // Register the unshared paths with the monitor (the *set* of paths
         // is a property of the configuration; the per-world file contents
@@ -327,6 +337,7 @@ impl NVariantSystemBuilder {
             initial_uid: self.initial_uid,
             run_limits: self.run_limits,
             extra_unshared: self.extra_unshared,
+            analysis,
             plan: CompiledPlan::Multi {
                 variants,
                 specs: VariantSet::new(specs),
@@ -335,6 +346,99 @@ impl NVariantSystemBuilder {
         };
         system.kernel_template = system.provision_world(&system.kernel_template);
         Ok(system)
+    }
+
+    /// Transforms and compiles the per-variant programs of a multi-variant
+    /// plan; `None` for single-process configurations.
+    fn compile_multi_variants(&self) -> Result<Option<MultiVariants>, BuildError> {
+        let n = self.config.variant_count();
+        if n == 1 {
+            return Ok(None);
+        }
+        let variation = self.config.variation().ok_or_else(|| {
+            BuildError::Variation("a multi-variant deployment requires a variation".to_string())
+        })?;
+        let specs = variation
+            .try_variant_specs(n)
+            .map_err(BuildError::Variation)?;
+
+        // Per-variant program text.
+        let transformer = UidTransformer::new(self.transform_options.clone());
+        let (programs, stats) = if self.config.transforms_uids() {
+            let uid_transforms: Vec<UidTransform> = specs.iter().map(|s| s.uid).collect();
+            let variants = transformer.transform_for_variants(&self.program, &uid_transforms)?;
+            let stats = variants.last().map(|v| v.stats).unwrap_or_default();
+            (
+                variants.into_iter().map(|v| v.program).collect::<Vec<_>>(),
+                stats,
+            )
+        } else {
+            (vec![self.program.clone(); n], TransformStats::default())
+        };
+
+        // Compile each variant.
+        let mut variants = Vec::with_capacity(n);
+        for (spec, program) in specs.iter().zip(&programs) {
+            let compiled = compile_program(program)?;
+            variants.push(CompiledVariant::new(
+                compiled,
+                self.layout_for(spec.addr),
+                spec.tag,
+            ));
+        }
+        Ok(Some(MultiVariants {
+            variants,
+            specs,
+            programs,
+            stats,
+        }))
+    }
+
+    /// Runs the static diversity verifier over this builder's configuration
+    /// and returns the **full** per-pair reports (variant 0 paired with
+    /// each of the others) — what the `nvariant_analyze` CLI renders.
+    /// Single-process configurations have no pairs and return an empty
+    /// vector; [`nvariant_analyze::combined_verdict`] collapses either
+    /// result into the verdict line [`compile`](Self::compile) stores.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if the program fails to transform or
+    /// compile.
+    pub fn analyze_diversity(&self) -> Result<Vec<AnalysisReport>, BuildError> {
+        match self.compile_multi_variants()? {
+            None => Ok(Vec::new()),
+            Some(multi) => {
+                Self::analysis_reports(&multi.programs[0], &multi.variants, &multi.specs)
+            }
+        }
+    }
+
+    /// Verifies variant 0 against each sibling. The UID context is derived
+    /// from variant 0's transformed AST — available only here at compile
+    /// time, which is why the artifact store persists the verdict rather
+    /// than recomputing it on warm hits.
+    fn analysis_reports(
+        canonical: &Program,
+        variants: &[CompiledVariant],
+        specs: &[VariantSpec],
+    ) -> Result<Vec<AnalysisReport>, BuildError> {
+        let ctx = UidContext::analyze(canonical)
+            .map_err(|e| BuildError::Transform(TransformError::Type(e)))?;
+        let artifacts: Vec<VariantArtifact<'_>> = variants
+            .iter()
+            .zip(specs)
+            .map(|(variant, spec)| VariantArtifact {
+                program: &variant.program,
+                image: Arc::clone(&variant.image),
+                layout: variant.layout,
+                spec: *spec,
+            })
+            .collect();
+        Ok(artifacts[1..]
+            .iter()
+            .map(|other| analyze_pair(&artifacts[0], other, &ctx))
+            .collect())
     }
 
     /// Builds the runnable system (equivalent to
@@ -350,6 +454,18 @@ impl NVariantSystemBuilder {
     pub fn build(self) -> Result<RunnableSystem, BuildError> {
         Ok(self.compile()?.instantiate())
     }
+}
+
+/// The intermediate products of compiling a multi-variant plan, shared by
+/// [`NVariantSystemBuilder::compile`] and
+/// [`NVariantSystemBuilder::analyze_diversity`].
+struct MultiVariants {
+    variants: Vec<CompiledVariant>,
+    specs: Vec<VariantSpec>,
+    /// The transformed per-variant ASTs (index-aligned with `variants`);
+    /// variant 0's program seeds the verifier's UID context.
+    programs: Vec<Program>,
+    stats: TransformStats,
 }
 
 /// The per-variant output of compilation: bytecode plus the memory layout
@@ -408,6 +524,11 @@ pub struct CompiledSystem {
     pub(crate) initial_uid: Uid,
     pub(crate) run_limits: RunLimits,
     pub(crate) extra_unshared: Vec<String>,
+    /// The static diversity verifier's combined verdict line, present when
+    /// the artifact was compiled with
+    /// [`NVariantSystemBuilder::verify_diversity`] (or loaded from a store
+    /// entry that recorded one).
+    pub(crate) analysis: Option<String>,
     pub(crate) plan: CompiledPlan,
 }
 
@@ -433,6 +554,19 @@ impl CompiledSystem {
     #[must_use]
     pub fn transform_stats(&self) -> &TransformStats {
         &self.transform_stats
+    }
+
+    /// The static diversity verifier's combined verdict line, when the
+    /// artifact was compiled with
+    /// [`NVariantSystemBuilder::verify_diversity`] — `None` for unverified
+    /// builds. Clean verdicts satisfy
+    /// [`nvariant_analyze::verdict_is_clean`]; anything else names the
+    /// first finding (property, pc, function). The verdict is persisted in
+    /// the artifact store, so warm cache hits carry it without re-running
+    /// the analysis.
+    #[must_use]
+    pub fn analysis(&self) -> Option<&str> {
+        self.analysis.as_deref()
     }
 
     /// Number of variant processes an instantiation will run.
@@ -714,8 +848,10 @@ impl fmt::Debug for RunnableSystem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RunnableSystem")
             .field("config", &self.config)
+            .field("transform_stats", &self.transform_stats)
             .field("variants", &self.variant_count())
-            .finish()
+            // `inner` holds live interpreter state with no useful rendering.
+            .finish_non_exhaustive()
     }
 }
 
@@ -759,6 +895,47 @@ mod tests {
             assert_eq!(outcome.exit_status, Some(0), "{label}: {outcome}");
             assert!(!outcome.detected_attack(), "{label}");
         }
+    }
+
+    #[test]
+    fn paper_configurations_verify_diversity_clean() {
+        for config in DeploymentConfig::paper_configurations() {
+            let label = config.to_string();
+            let compiled = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+                .unwrap()
+                .config(config)
+                .verify_diversity(true)
+                .compile()
+                .unwrap();
+            let verdict = compiled.analysis().expect("verified build has a verdict");
+            assert!(
+                nvariant_analyze::verdict_is_clean(verdict),
+                "{label}: {verdict}"
+            );
+        }
+        // Unverified builds carry no verdict.
+        let unverified = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(DeploymentConfig::TwoVariantUid)
+            .compile()
+            .unwrap();
+        assert!(unverified.analysis().is_none());
+    }
+
+    #[test]
+    fn analyze_diversity_returns_full_reports() {
+        let builder = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(DeploymentConfig::TwoVariantUid);
+        let reports = builder.analyze_diversity().unwrap();
+        assert_eq!(reports.len(), 1, "one pair for two variants");
+        assert!(reports[0].is_clean(), "{}", reports[0].render());
+        assert!(reports[0].instructions > 0);
+        // Single-process configurations have no pairs.
+        let single = NVariantSystemBuilder::from_source(DROP_PRIVILEGES)
+            .unwrap()
+            .config(DeploymentConfig::TransformedSingle);
+        assert!(single.analyze_diversity().unwrap().is_empty());
     }
 
     #[test]

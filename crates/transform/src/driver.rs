@@ -21,6 +21,13 @@ pub struct TransformOptions {
     /// Function names treated as log/format sinks whose UID arguments are
     /// removed (§4's Apache error-log workaround).
     pub log_sinks: Vec<String>,
+    /// Names of globals whose UID literals the reexpression pass
+    /// deliberately leaves in canonical form (initializers, assignments,
+    /// and literals compared with or passed alongside the global). Always
+    /// empty in production configurations; non-empty values seed the
+    /// static verifier's P-Residual regression, the transform-level
+    /// analogue of PR 6's weakened monitor.
+    pub skip_reexpression_globals: Vec<String>,
 }
 
 impl Default for TransformOptions {
@@ -28,6 +35,7 @@ impl Default for TransformOptions {
         TransformOptions {
             insert_detection_calls: true,
             log_sinks: vec!["utoa".to_string()],
+            skip_reexpression_globals: Vec::new(),
         }
     }
 }
@@ -153,7 +161,12 @@ impl UidTransformer {
     ) -> Result<(Program, usize), TransformError> {
         let mut reexpressed = program.clone();
         let ctx = UidContext::analyze(&reexpressed)?;
-        let count = passes::constants::run(&mut reexpressed, &ctx, transform);
+        let count = passes::constants::run(
+            &mut reexpressed,
+            &ctx,
+            transform,
+            &self.options.skip_reexpression_globals,
+        );
         Ok((reexpressed, count))
     }
 
@@ -297,6 +310,7 @@ mod tests {
         let transformer = UidTransformer::new(TransformOptions {
             insert_detection_calls: false,
             log_sinks: vec!["utoa".to_string()],
+            skip_reexpression_globals: Vec::new(),
         });
         let variant = transformer
             .transform_for_variant(&program, &UidTransform::paper_mask())

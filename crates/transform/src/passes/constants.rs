@@ -13,12 +13,22 @@ use nvariant_vm::ast::{Expr, Program, Stmt};
 use nvariant_vm::typecheck::builtin_signature;
 
 /// Runs the pass, returning the number of constants re-expressed.
-pub fn run(program: &mut Program, ctx: &UidContext, transform: &UidTransform) -> usize {
+///
+/// `skip_globals` names globals whose UID literals are deliberately left in
+/// canonical form — the seeded weakness the static verifier's P-Residual
+/// check must catch. It is empty in every production configuration.
+pub fn run(
+    program: &mut Program,
+    ctx: &UidContext,
+    transform: &UidTransform,
+    skip_globals: &[String],
+) -> usize {
     if transform.is_identity() {
         // Variant 0 keeps the original program text (§3.3: "the original
         // program can be used unchanged for the first variant").
         return 0;
     }
+    let skipped = |name: &str| skip_globals.iter().any(|s| s == name);
     let mut count = 0;
 
     let reexpress = |value: i64, count: &mut usize| -> Expr {
@@ -30,7 +40,7 @@ pub fn run(program: &mut Program, ctx: &UidContext, transform: &UidTransform) ->
 
     // Global initializers of UID-typed globals.
     for global in &mut program.globals {
-        if global.ty.is_uid_class() {
+        if global.ty.is_uid_class() && !skipped(&global.name) {
             if let Some(Expr::IntLit(value)) = global.init {
                 global.init = Some(reexpress(value, &mut count));
             }
@@ -45,7 +55,7 @@ pub fn run(program: &mut Program, ctx: &UidContext, transform: &UidTransform) ->
                 name,
                 init: Some(Expr::IntLit(value)),
                 ..
-            } if ctx.is_uid_var(&fname, name) => {
+            } if ctx.is_uid_var(&fname, name) && !skipped(name) => {
                 let new_init = reexpress(*value, &mut count);
                 if let Stmt::VarDecl { init, .. } = stmt {
                     *init = Some(new_init);
@@ -54,7 +64,7 @@ pub fn run(program: &mut Program, ctx: &UidContext, transform: &UidTransform) ->
             Stmt::Assign {
                 target: nvariant_vm::ast::LValue::Var(name),
                 value: Expr::IntLit(literal),
-            } if ctx.is_uid_var(&fname, name) => {
+            } if ctx.is_uid_var(&fname, name) && !skipped(name) => {
                 let new_value = reexpress(*literal, &mut count);
                 if let Stmt::Assign { value, .. } = stmt {
                     *value = new_value;
@@ -75,12 +85,20 @@ pub fn run(program: &mut Program, ctx: &UidContext, transform: &UidTransform) ->
                 .get(&name)
                 .cloned()
                 .or_else(|| builtin_signature(&name));
+            // A literal passed alongside a skipped global (e.g. the `0` of
+            // `cc_eq(server_uid, 0)`) is left canonical too: the weakness
+            // must survive the comparison-exposure rewrite.
+            let alongside_skipped = args
+                .iter()
+                .any(|arg| matches!(arg, Expr::Ident(name) if skipped(name)));
             let args = match sig {
                 Some(sig) => args
                     .into_iter()
                     .enumerate()
                     .map(|(i, arg)| match (&arg, sig.params.get(i)) {
-                        (Expr::IntLit(value), Some(param)) if param.is_uid_class() => {
+                        (Expr::IntLit(value), Some(param))
+                            if param.is_uid_class() && !alongside_skipped =>
+                        {
                             reexpress(*value, &mut count)
                         }
                         _ => arg,
@@ -93,11 +111,13 @@ pub fn run(program: &mut Program, ctx: &UidContext, transform: &UidTransform) ->
         Expr::Binary(op, lhs, rhs) if op.is_comparison() => {
             let lhs_uid = ctx.is_uid_expr(function, &lhs);
             let rhs_uid = ctx.is_uid_expr(function, &rhs);
+            let against_skipped = matches!(&*lhs, Expr::Ident(name) if skipped(name))
+                || matches!(&*rhs, Expr::Ident(name) if skipped(name));
             let (lhs, rhs) = match (&*lhs, &*rhs, lhs_uid, rhs_uid) {
-                (_, Expr::IntLit(value), true, false) => {
+                (_, Expr::IntLit(value), true, false) if !against_skipped => {
                     (lhs, Box::new(reexpress(*value, &mut count)))
                 }
-                (Expr::IntLit(value), _, false, true) => {
+                (Expr::IntLit(value), _, false, true) if !against_skipped => {
                     (Box::new(reexpress(*value, &mut count)), rhs)
                 }
                 _ => (lhs, rhs),
@@ -134,9 +154,14 @@ mod tests {
     use nvariant_vm::{parse_program, pretty_print};
 
     fn transform(src: &str, t: UidTransform) -> (String, usize) {
+        transform_skipping(src, t, &[])
+    }
+
+    fn transform_skipping(src: &str, t: UidTransform, skip: &[&str]) -> (String, usize) {
         let mut program = parse_program(src).unwrap();
         let ctx = UidContext::analyze(&program).unwrap();
-        let count = run(&mut program, &ctx, &t);
+        let skip: Vec<String> = skip.iter().map(|s| (*s).to_string()).collect();
+        let count = run(&mut program, &ctx, &t, &skip);
         (pretty_print(&program), count)
     }
 
@@ -237,6 +262,42 @@ mod tests {
         );
         assert_eq!(count, 1);
         assert!(text.contains(&format!("become({MASKED_ROOT})")));
+    }
+
+    #[test]
+    fn skipped_globals_keep_canonical_literals() {
+        let src = r"
+            var server_uid: uid_t = 48;
+            var other_uid: uid_t = 48;
+            fn main() -> int {
+                server_uid = 1000;
+                if (server_uid == 0) { return 1; }
+                cc_eq(server_uid, 0);
+                cc_eq(other_uid, 0);
+                return setuid(0);
+            }
+        ";
+        let (text, count) = transform_skipping(src, UidTransform::paper_mask(), &["server_uid"]);
+        // server_uid's initializer, assignment, comparison literal and
+        // companion cc_eq literal all stay canonical...
+        assert!(text.contains("var server_uid: uid_t = 48"), "{text}");
+        assert!(text.contains("server_uid = 1000"), "{text}");
+        assert!(text.contains("(server_uid == 0)"), "{text}");
+        assert!(text.contains("cc_eq(server_uid, 0)"), "{text}");
+        // ...while unrelated UID literals are still re-expressed.
+        assert!(
+            text.contains(&format!(
+                "var other_uid: uid_t = {:#x}",
+                48 ^ 0x7FFF_FFFFu32
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("cc_eq(other_uid, {MASKED_ROOT})")),
+            "{text}"
+        );
+        assert!(text.contains(&format!("setuid({MASKED_ROOT})")), "{text}");
+        assert_eq!(count, 3);
     }
 
     #[test]

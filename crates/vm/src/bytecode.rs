@@ -264,6 +264,57 @@ impl fmt::Display for Instr {
     }
 }
 
+/// An instruction slot that failed to decode: the offending program counter
+/// and the raw bytes found there.
+///
+/// Both the interpreter's fetch fallback and the static analyzer's stream
+/// walk report undecodable slots through this one type, so a bad opcode byte
+/// renders identically whether it is hit at run time or at verify time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecodeFailure {
+    /// The program counter (or code-segment byte offset) of the bad slot.
+    pub pc: u32,
+    /// The six raw bytes of the slot (zero-padded past the end of the image).
+    pub raw: [u8; INSTR_SIZE as usize],
+}
+
+impl DecodeFailure {
+    /// The canonical one-line rendering shared by the interpreter fault
+    /// display and the analyzer diagnostics.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let bytes: Vec<String> = self.raw.iter().map(|b| format!("{b:02x}")).collect();
+        format!(
+            "illegal instruction at {:#010x}: raw bytes {} (opcode byte {:#04x} does not decode)",
+            self.pc,
+            bytes.join(" "),
+            self.raw[1]
+        )
+    }
+}
+
+impl fmt::Display for DecodeFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// Decodes the six bytes of one slot, carrying the offending `pc` and the
+/// raw bytes into the failure so callers can report them verbatim.
+pub fn decode_slot(raw: [u8; INSTR_SIZE as usize], pc: u32) -> Result<Instr, DecodeFailure> {
+    Instr::decode(&raw).ok_or(DecodeFailure { pc, raw })
+}
+
+/// Decodes the slot at byte offset `pc` of a flat code image. Bytes past the
+/// end of the image read as zero, matching what a freshly mapped page holds.
+pub fn decode_slot_at(code: &[u8], pc: u32) -> Result<Instr, DecodeFailure> {
+    let mut raw = [0u8; INSTR_SIZE as usize];
+    for (i, byte) in raw.iter_mut().enumerate() {
+        *byte = code.get(pc as usize + i).copied().unwrap_or(0);
+    }
+    decode_slot(raw, pc)
+}
+
 /// Encodes a sequence of instructions into a flat code image.
 #[must_use]
 pub fn encode_all(instrs: &[Instr]) -> Vec<u8> {
@@ -367,6 +418,35 @@ mod tests {
         assert_eq!(decoded[0].op, Op::Push);
         assert_eq!(decoded[0].operand, 7);
         assert_eq!(decoded[1].op, Op::Halt);
+    }
+
+    #[test]
+    fn decode_slot_carries_pc_and_raw_bytes() {
+        let mut bytes = Instr::new(Op::Push, 0xAABB).encode();
+        bytes[1] = 0xFF;
+        let failure = decode_slot(bytes, 0x2A).unwrap_err();
+        assert_eq!(failure.pc, 0x2A);
+        assert_eq!(failure.raw, bytes);
+        let text = failure.describe();
+        assert!(text.contains("0x0000002a"), "{text}");
+        assert!(text.contains("0xff"), "{text}");
+        assert!(text.contains("ff"), "{text}");
+    }
+
+    #[test]
+    fn decode_slot_at_zero_pads_past_image_end() {
+        let code = encode_all(&[Instr::simple(Op::Halt)]);
+        // One full slot past the end: all-zero bytes decode as tag-0 Nop.
+        assert_eq!(
+            decode_slot_at(&code, INSTR_SIZE).unwrap(),
+            Instr::simple(Op::Nop)
+        );
+        // A bad opcode inside the image reports its own bytes.
+        let mut bad = code.clone();
+        bad[1] = 0xEE;
+        let failure = decode_slot_at(&bad, 0).unwrap_err();
+        assert_eq!(failure.raw[1], 0xEE);
+        assert_eq!(failure.pc, 0);
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub enum Fault {
     IllegalInstruction {
         /// The program counter at the time of the fault.
         pc: VirtAddr,
+        /// The six raw bytes of the undecodable slot.
+        raw: [u8; crate::bytecode::INSTR_SIZE as usize],
     },
     /// The instruction's tag byte does not match the variant's expected tag
     /// (instruction-set tagging, Table 1 of the paper).
@@ -58,7 +60,15 @@ impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Fault::Segfault { addr } => write!(f, "segmentation fault at {addr}"),
-            Fault::IllegalInstruction { pc } => write!(f, "illegal instruction at {pc}"),
+            Fault::IllegalInstruction { pc, raw } => {
+                // One renderer for undecodable slots, shared with the static
+                // analyzer, so run-time and verify-time reports agree.
+                let failure = crate::bytecode::DecodeFailure {
+                    pc: pc.as_u32(),
+                    raw: *raw,
+                };
+                f.write_str(&failure.describe())
+            }
             Fault::TagMismatch {
                 pc,
                 expected,
@@ -99,6 +109,13 @@ mod tests {
         assert!(text.contains("expected 1"));
         assert!(text.contains("found 0"));
         assert!(Fault::DivideByZero.to_string().contains("division"));
+        let text = Fault::IllegalInstruction {
+            pc: VirtAddr::new(0x42),
+            raw: [0, 0xFF, 0, 0, 0, 0],
+        }
+        .to_string();
+        assert!(text.contains("illegal instruction at 0x00000042"), "{text}");
+        assert!(text.contains("0xff"), "{text}");
     }
 
     #[test]

@@ -89,33 +89,38 @@ impl Process {
                 }
                 _ => None,
             };
-            match predecoded {
-                Some(instr) => instr,
+            if let Some(instr) = predecoded {
+                instr
+            } else {
                 // Byte-accurate slow path: out-of-range or misaligned pc,
                 // execution redirected into a data segment (the monitor's
                 // code-injection scenarios), or an image that didn't
                 // predecode. Faults exactly as a byte walk would.
-                None => {
-                    let pc = VirtAddr::new(self.pc);
-                    let mut raw = [0u8; INSTR_SIZE as usize];
-                    for (i, byte) in raw.iter_mut().enumerate() {
-                        *byte = match self.read_byte(pc + i as u32) {
-                            Ok(byte) => byte,
-                            Err(fault) => return self.fault(fault),
-                        };
-                    }
-                    let Some(instr) = Instr::decode(&raw) else {
-                        return self.fault(Fault::IllegalInstruction { pc });
+                let pc = VirtAddr::new(self.pc);
+                let mut raw = [0u8; INSTR_SIZE as usize];
+                for (i, byte) in raw.iter_mut().enumerate() {
+                    *byte = match self.read_byte(pc + i as u32) {
+                        Ok(byte) => byte,
+                        Err(fault) => return self.fault(fault),
                     };
-                    if instr.tag != self.expected_tag {
-                        return self.fault(Fault::TagMismatch {
+                }
+                let instr = match crate::bytecode::decode_slot(raw, pc.as_u32()) {
+                    Ok(instr) => instr,
+                    Err(failure) => {
+                        return self.fault(Fault::IllegalInstruction {
                             pc,
-                            expected: self.expected_tag,
-                            found: instr.tag,
+                            raw: failure.raw,
                         });
                     }
-                    instr
+                };
+                if instr.tag != self.expected_tag {
+                    return self.fault(Fault::TagMismatch {
+                        pc,
+                        expected: self.expected_tag,
+                        found: instr.tag,
+                    });
                 }
+                instr
             }
         };
 

@@ -68,7 +68,7 @@ pub mod stdlib;
 pub mod typecheck;
 
 pub use ast::{BinOp, Expr, Function, GlobalDecl, LValue, Param, Program, Stmt, Type, UnOp};
-pub use bytecode::{Instr, Op, INSTR_SIZE};
+pub use bytecode::{decode_slot, decode_slot_at, DecodeFailure, Instr, Op, INSTR_SIZE};
 pub use compile::{compile_program, CompileError, CompiledProgram};
 pub use fault::Fault;
 pub use interp::{StepResult, TrapReason};

@@ -362,20 +362,19 @@ impl Process {
     ///
     /// Returns [`Fault::Segfault`] if any of the four bytes is unmapped.
     pub fn read_word(&self, addr: VirtAddr) -> Result<Word, Fault> {
-        match self.read_slice(addr, 4) {
-            Ok(bytes) => Ok(Word::from_le_bytes([
+        if let Ok(bytes) = self.read_slice(addr, 4) {
+            Ok(Word::from_le_bytes([
                 bytes[0], bytes[1], bytes[2], bytes[3],
-            ])),
+            ]))
+        } else {
             // Byte-accurate slow path: the range straddles a segment end,
             // so fault (or succeed, under adjacent custom layouts) exactly
             // where a byte-at-a-time walk would.
-            Err(_) => {
-                let mut bytes = [0u8; 4];
-                for (i, b) in bytes.iter_mut().enumerate() {
-                    *b = self.read_byte(addr + i as u32)?;
-                }
-                Ok(Word::from_le_bytes(bytes))
+            let mut bytes = [0u8; 4];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.read_byte(addr + i as u32)?;
             }
+            Ok(Word::from_le_bytes(bytes))
         }
     }
 

@@ -569,6 +569,7 @@ mod tests {
 
     #[test]
     fn expr_type_propagates_uid_class() {
+        use crate::ast::Expr;
         let info = check(
             r"
             var server_uid: uid_t;
@@ -578,7 +579,6 @@ mod tests {
             ",
         )
         .unwrap();
-        use crate::ast::Expr;
         // uid ^ mask is still a UID.
         let xor = Expr::binary(BinOp::BitXor, Expr::ident("u"), Expr::int(0x7FFF_FFFF));
         assert_eq!(info.expr_type("f", &xor), Type::UidT);

@@ -60,7 +60,11 @@ fn every_line_truncation_is_a_clean_lined_error() {
     let text = sample_text();
     let lines: Vec<&str> = text.lines().collect();
     for keep in 0..lines.len() {
-        let truncated: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+        let truncated = lines[..keep].iter().fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        });
         let err = CampaignReport::from_shard_text(&truncated)
             .expect_err("a proper prefix can never be a complete shard file");
         assert!(

@@ -80,25 +80,22 @@ fn seeded_uid_corruption_diverges_exactly_where_the_paper_predicts() {
 
     for config in DeploymentConfig::paper_configurations() {
         let outcome = run_attack(&config, &uid_attack);
-        match config {
+        if config == DeploymentConfig::TwoVariantUid {
             // The UID variation re-expresses the corrupted data, so the
             // variants' canonical UID values disagree and the monitor kills
             // the group with a divergence alarm.
-            DeploymentConfig::TwoVariantUid => {
-                assert_eq!(outcome.result, AttackResult::Detected, "{outcome:?}");
-                let alarm = outcome.alarm.as_deref().expect("divergence alarm");
-                assert!(
-                    alarm.contains("divergent"),
-                    "alarm should report divergent variants: {alarm}"
-                );
-            }
+            assert_eq!(outcome.result, AttackResult::Detected, "{outcome:?}");
+            let alarm = outcome.alarm.as_deref().expect("divergence alarm");
+            assert!(
+                alarm.contains("divergent"),
+                "alarm should report divergent variants: {alarm}"
+            );
+        } else {
             // Every other paper configuration leaves UID data uniform across
             // the deployment, so the same attack must keep succeeding —
             // the class-specificity half of the paper's claim.
-            _ => {
-                assert_eq!(outcome.result, AttackResult::Succeeded, "{outcome:?}");
-                assert!(outcome.alarm.is_none(), "{outcome:?}");
-            }
+            assert_eq!(outcome.result, AttackResult::Succeeded, "{outcome:?}");
+            assert!(outcome.alarm.is_none(), "{outcome:?}");
         }
         assert!(outcome.matches_expectation(), "{outcome:?}");
     }
