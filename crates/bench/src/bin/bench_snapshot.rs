@@ -2,13 +2,17 @@
 //!
 //! Runs a fixed quick matrix of hot-path micro-benches — raw interpreter
 //! stepping, per-cell instantiation, full instantiate-and-serve cells for
-//! each of the paper's four configurations, and the shard/artifact hex
-//! codec — and writes a `BENCH_N.json` snapshot (schema
-//! `nvariant-bench-snapshot-v1`: bench name → median ns/iter + units/sec).
-//! The committed snapshot is the baseline future PRs append to; CI replays
-//! the matrix with `--quick --check BENCH_7.json` and fails only on a > 2x
-//! full-cell throughput regression, so the gate catches catastrophes, not
-//! scheduler noise.
+//! each of the paper's four configurations, the shard/artifact hex codec,
+//! and the k-way streaming shard merge — and writes a `BENCH_N.json`
+//! snapshot (schema `nvariant-bench-snapshot-v1`: bench name → median
+//! ns/iter + units/sec + peak RSS). Each bench resets the process peak-RSS
+//! watermark (`/proc/self/clear_refs`) before sampling and reads it back
+//! from `/proc/self/status` (`VmHWM`) after, so memory regressions are
+//! visible per bench, not just per process. The committed snapshot is the
+//! baseline future PRs append to; CI replays the matrix with `--quick
+//! --check BENCH_10.json` and fails only on a > 2x full-cell or
+//! streaming-merge throughput regression, so the gate catches
+//! catastrophes, not scheduler noise.
 //!
 //! Usage:
 //!
@@ -21,18 +25,45 @@
 
 use nvariant::DeploymentConfig;
 use nvariant_apps::scenarios::compiled_httpd_system;
+use nvariant_campaign::{
+    CampaignReport, ShardCursor, ShardMerger, StreamingAggregator, SyntheticSweep,
+};
 use nvariant_types::hex::{hex_decode, hex_encode};
 use nvariant_types::Port;
 use nvariant_vm::{compile_program, parse_with_stdlib, MemoryLayout, Process, TrapReason};
 use std::process::ExitCode;
 use std::time::Instant;
 
-/// One measured bench: median wall time per iteration and the derived
-/// unit throughput (units are bench-specific: instructions, cells, bytes).
+/// One measured bench: median wall time per iteration, the derived unit
+/// throughput (units are bench-specific: instructions, cells, bytes), and
+/// the process peak-RSS watermark observed over the bench's samples.
 #[derive(Clone, Copy, Debug)]
 struct Measurement {
     median_ns: f64,
     per_sec: f64,
+    peak_rss_kb: f64,
+}
+
+/// Resets the kernel's peak-RSS watermark for this process, where the
+/// platform allows it (writing `5` to `/proc/self/clear_refs`); elsewhere
+/// the watermark simply stays process-monotone and the per-bench numbers
+/// degrade to an upper bound.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// The current peak-RSS watermark (`VmHWM` in `/proc/self/status`), in
+/// kibibytes; 0.0 where the probe is unavailable.
+fn peak_rss_kb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1)?.parse::<f64>().ok())
+        })
+        .unwrap_or(0.0)
 }
 
 /// Sampling effort. The matrix itself is identical in both modes — `--quick`
@@ -62,6 +93,7 @@ fn measure(effort: Effort, mut iter: impl FnMut() -> u64) -> Measurement {
     let batch = usize::try_from((effort.min_batch_ns / first_ns).clamp(1, 1_000_000))
         .expect("clamped to usize range");
 
+    reset_peak_rss();
     let mut per_iter_ns: Vec<f64> = (0..effort.samples)
         .map(|_| {
             let start = Instant::now();
@@ -76,6 +108,7 @@ fn measure(effort: Effort, mut iter: impl FnMut() -> u64) -> Measurement {
     Measurement {
         median_ns,
         per_sec: units as f64 * 1e9 / median_ns,
+        peak_rss_kb: peak_rss_kb(),
     }
 }
 
@@ -105,6 +138,57 @@ fn bench_steps(effort: Effort) -> Measurement {
         }
         process.instructions_executed()
     })
+}
+
+/// The k-way streaming merge over pre-written synthetic shard files: the
+/// campaign result path this tree's reports flow through. Units are merged
+/// cells, so `per_sec` is merge throughput in cells/sec; the files are
+/// written once outside the timed region.
+fn bench_streaming_merge(effort: Effort) -> Measurement {
+    const SHARDS: usize = 4;
+    let sweep = SyntheticSweep::new(20);
+    let total = sweep.cell_count();
+    let dir = std::env::temp_dir().join(format!("bench-smerge-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir creates");
+    let paths: Vec<_> = (0..SHARDS)
+        .map(|shard| {
+            let cells: Vec<_> = (shard..total)
+                .step_by(SHARDS)
+                .map(|i| sweep.cell(i))
+                .collect();
+            let wall = cells.iter().map(|c| c.wall).sum();
+            let report = CampaignReport::new(
+                sweep.name.clone(),
+                sweep.base_seed,
+                sweep.plan_hash(),
+                sweep.shape,
+                1,
+                cells,
+                wall,
+            );
+            let path = dir.join(format!("shard-{shard}.txt"));
+            std::fs::write(&path, report.to_shard_text()).expect("bench shard writes");
+            path
+        })
+        .collect();
+    let measurement = measure(effort, || {
+        let cursors: Vec<_> = paths
+            .iter()
+            .map(|path| ShardCursor::open(path).expect("bench shard opens"))
+            .collect();
+        let mut merger = ShardMerger::new(cursors).expect("bench shards merge");
+        let mut aggregator = StreamingAggregator::from_header(merger.header());
+        let mut count = 0u64;
+        while let Some(cell) = merger.next_cell().expect("bench merge streams") {
+            aggregator.absorb(&cell);
+            count += 1;
+        }
+        assert_eq!(count as usize, total, "bench merge covered the matrix");
+        std::hint::black_box(aggregator.cells());
+        count
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    measurement
 }
 
 fn run_matrix(effort: Effort) -> Vec<(String, Measurement)> {
@@ -160,6 +244,9 @@ fn run_matrix(effort: Effort) -> Vec<(String, Measurement)> {
         }),
     ));
 
+    eprintln!("measuring streaming_merge ...");
+    out.push(("streaming_merge".to_string(), bench_streaming_merge(effort)));
+
     out
 }
 
@@ -176,8 +263,8 @@ fn render_snapshot(results: &[(String, Measurement)], before: &[(String, Measure
     out.push_str("  \"benches\": {\n");
     for (index, (name, m)) in results.iter().enumerate() {
         let mut fields = format!(
-            "\"median_ns\": {:.1}, \"per_sec\": {:.1}",
-            m.median_ns, m.per_sec
+            "\"median_ns\": {:.1}, \"per_sec\": {:.1}, \"peak_rss_kb\": {:.0}",
+            m.median_ns, m.per_sec, m.peak_rss_kb
         );
         if let Some((_, b)) = before.iter().find(|(n, _)| n == name) {
             fields.push_str(&format!(
@@ -213,7 +300,17 @@ fn parse_snapshot(text: &str) -> Result<Vec<(String, Measurement)>, String> {
             .to_string();
         let median_ns = field(line, "\"median_ns\":")?;
         let per_sec = field(line, "\"per_sec\":")?;
-        out.push((name, Measurement { median_ns, per_sec }));
+        // Older snapshots (pre peak-RSS probe) lack the field; an absent
+        // watermark parses as 0, never as an error.
+        let peak_rss_kb = field(line, "\"peak_rss_kb\":").unwrap_or(0.0);
+        out.push((
+            name,
+            Measurement {
+                median_ns,
+                per_sec,
+                peak_rss_kb,
+            },
+        ));
     }
     if out.is_empty() {
         return Err("snapshot contains no benches".to_string());
@@ -236,7 +333,8 @@ fn field(line: &str, key: &str) -> Result<f64, String> {
         .map_err(|e| format!("bad number for {key} in {line}: {e}"))
 }
 
-/// The CI regression gate: every committed `full_cell/*` bench must still
+/// The CI regression gate: every committed `full_cell/*` bench — and the
+/// `streaming_merge` throughput the report pipeline hangs off — must still
 /// reach at least half its committed throughput.
 fn check_against(
     committed: &[(String, Measurement)],
@@ -245,7 +343,7 @@ fn check_against(
     let mut failures = Vec::new();
     let mut checked = 0;
     for (name, baseline) in committed {
-        if !name.starts_with("full_cell/") {
+        if !name.starts_with("full_cell/") && name != "streaming_merge" {
             continue;
         }
         let Some((_, now)) = measured.iter().find(|(n, _)| n == name) else {
@@ -277,7 +375,7 @@ fn check_against(
 
 fn main() -> ExitCode {
     let mut effort = FULL;
-    let mut out_path = "BENCH_7.json".to_string();
+    let mut out_path = "BENCH_10.json".to_string();
     let mut before_path: Option<String> = None;
     let mut check_path: Option<String> = None;
 
@@ -315,8 +413,8 @@ fn main() -> ExitCode {
     let results = run_matrix(effort);
     for (name, m) in &results {
         println!(
-            "{name:<40} {:>14.1} ns/iter {:>16.1} units/sec",
-            m.median_ns, m.per_sec
+            "{name:<40} {:>14.1} ns/iter {:>16.1} units/sec {:>10.0} KiB peak",
+            m.median_ns, m.per_sec, m.peak_rss_kb
         );
     }
 

@@ -76,6 +76,11 @@
 //! * `--verify-rerun` — after the merge, re-run the plan unsharded
 //!   in-process (uncached) and diagnose any disagreement with the
 //!   divergence finder.
+//! * `--surface` — after the merged summary, print the
+//!   attack-success-probability surface: per (configuration, world,
+//!   attack class), success and detection rates over judged cells with
+//!   the Wilson 95% interval on the success probability (exit 1 when the
+//!   plan judged no cells).
 //!
 //! Exit codes:
 //!
@@ -132,6 +137,7 @@ struct Args {
     no_cache: bool,
     canonical_out: Option<PathBuf>,
     analyze: bool,
+    surface: bool,
 }
 
 const USAGE: &str = "usage: campaignd [--quick] [--analyze] [--shards N] [--workers N] \
@@ -139,7 +145,7 @@ const USAGE: &str = "usage: campaignd [--quick] [--analyze] [--shards N] [--work
                      [--cache-dir DIR | --no-cache] [--canonical-out FILE] \
                      [--worker-bin PATH] [--hosts H1,H2,...] \
                      [--transport local|cmd:TEMPLATE] [--quarantine-after K] \
-                     [--kill-shard I]... [--corrupt-shard I]... [--verify-rerun]";
+                     [--kill-shard I]... [--corrupt-shard I]... [--verify-rerun] [--surface]";
 
 const EXIT_CODE_DOC: &str = "exit codes: 0 success, 1 generic failure (setup, verdict \
                              mismatches), 2 usage, 3 worker exhaustion (a shard used up its \
@@ -174,6 +180,7 @@ fn parse_args() -> Args {
         no_cache: false,
         canonical_out: None,
         analyze: false,
+        surface: false,
     };
     let mut args = std::env::args().skip(1);
     let number = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
@@ -249,6 +256,7 @@ fn parse_args() -> Args {
                     .insert(number(&mut args, "--corrupt-shard"));
             }
             "--verify-rerun" => parsed.verify_rerun = true,
+            "--surface" => parsed.surface = true,
             "--cache-dir" => {
                 parsed.cache_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage_exit())));
             }
@@ -477,6 +485,18 @@ fn main() {
             "cache: disabled (0 shards served warm), {retries} shard retr{}",
             if retries == 1 { "y" } else { "ies" }
         ),
+    }
+
+    if args.surface {
+        let aggregator = merged.fold_aggregator();
+        if aggregator.judged_cells() == 0 {
+            eprintln!(
+                "no judged cells: the attack-success surface is empty \
+                 (run a plan with attack scenarios)"
+            );
+            std::process::exit(1);
+        }
+        print!("{}", aggregator.render_surface());
     }
 
     if let Some(out) = &args.out {

@@ -25,6 +25,7 @@
 
 use crate::cell::{CellResult, CellSpec};
 use crate::report::{CampaignReport, PlanShape};
+use crate::shardio::ShardCursor;
 use nvariant::store::{atomic_write_text, CacheCounters, CacheStats};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -80,25 +81,40 @@ impl CellCache {
     /// miss, or an invalidation for an entry that exists but is corrupt,
     /// truncated, keyed to a different plan hash, or describes a different
     /// cell — whenever the caller must recompute.
+    ///
+    /// The warm path streams the entry through a [`ShardCursor`] — header
+    /// gate, one decoded cell, clean end marker — with no whole-shard
+    /// `String` round trip; such hits are additionally counted as
+    /// `streamed_hits` in [`CacheStats`].
     #[must_use]
     pub fn lookup(&self, spec: &CellSpec) -> Option<CellResult> {
         let path = self.entry_path(spec);
-        let Ok(text) = std::fs::read_to_string(&path) else {
+        let Ok(file) = std::fs::File::open(&path) else {
             self.counters.miss();
             return None;
         };
-        match CampaignReport::from_shard_text(&text) {
-            Ok(mut entry)
-                if entry.plan_hash == self.plan_hash
-                    && entry.cells.len() == 1
-                    && entry.cells[0].spec == *spec =>
-            {
-                self.counters.hit();
-                Some(entry.cells.remove(0))
+        // An entry that is present but unusable means recompute: the insert
+        // after the recompute atomically replaces it.
+        let Ok(mut cursor) = ShardCursor::new(std::io::BufReader::new(file)) else {
+            self.counters.invalidation();
+            return None;
+        };
+        if cursor.header().plan_hash != self.plan_hash {
+            self.counters.invalidation();
+            return None;
+        }
+        match cursor.next_cell() {
+            // Exactly one cell followed by a clean end marker.
+            Ok(Some(cell)) if cell.spec == *spec => {
+                if let Ok(None) = cursor.next_cell() {
+                    self.counters.streamed_hit();
+                    Some(cell)
+                } else {
+                    self.counters.invalidation();
+                    None
+                }
             }
-            // Entry present but unusable: recompute; the insert after the
-            // recompute atomically replaces it.
-            Ok(_) | Err(_) => {
+            _ => {
                 self.counters.invalidation();
                 None
             }
@@ -197,7 +213,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                invalidations: 0
+                invalidations: 0,
+                streamed_hits: 1
             }
         );
         let _ = std::fs::remove_dir_all(&root);

@@ -88,6 +88,7 @@ pub mod exchange;
 pub mod plan;
 pub mod report;
 pub mod shardio;
+pub mod streaming;
 
 pub use cache::CellCache;
 pub use cell::{CellOutcome, CellResult, CellSpec, CellVerdict, CheckSummary, RequestTally};
@@ -96,7 +97,11 @@ pub use exchange::ServedRequest;
 pub use nvariant::CacheStats;
 pub use plan::{serve_requests, CampaignPlan, CellRun, Scenario};
 pub use report::{CampaignReport, MergeError, PlanShape, WallPercentiles};
-pub use shardio::ShardParseError;
+pub use shardio::{ShardCursor, ShardHeader, ShardParseError, ShardWriter};
+pub use streaming::{
+    CoordinateWalk, GroupTally, LatencyHistogram, ShardMerger, StreamMergeError,
+    StreamingAggregator, SyntheticSweep, QUANTILE_RELATIVE_ERROR,
+};
 
 #[cfg(test)]
 mod send_tests {

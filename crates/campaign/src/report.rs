@@ -440,23 +440,21 @@ impl CampaignReport {
     /// to run), so the percentiles appear in
     /// [`render_summary`](Self::render_summary) but never in the canonical
     /// serialization.
+    ///
+    /// Quantiles come from the streaming
+    /// [`LatencyHistogram`](crate::streaming::LatencyHistogram) sketch
+    /// rather than a full sort, so each reported value is its bucket's
+    /// lower bound — within
+    /// [`QUANTILE_RELATIVE_ERROR`](crate::streaming::QUANTILE_RELATIVE_ERROR)
+    /// (≤ 2%) of the exact order statistic — and sharded or streamed runs
+    /// report identical percentiles to materialized ones.
     #[must_use]
     pub fn wall_percentiles(&self) -> Option<WallPercentiles> {
-        if self.cells.is_empty() {
-            return None;
+        let mut histogram = crate::streaming::LatencyHistogram::new();
+        for cell in &self.cells {
+            histogram.record(cell.wall);
         }
-        let mut walls: Vec<Duration> = self.cells.iter().map(|c| c.wall).collect();
-        walls.sort_unstable();
-        let nearest_rank = |percent: usize| -> Duration {
-            // ceil(percent/100 * n) as a 1-based rank, clamped to the list.
-            let rank = (walls.len() * percent).div_ceil(100).max(1);
-            walls[rank - 1]
-        };
-        Some(WallPercentiles {
-            p50: nearest_rank(50),
-            p95: nearest_rank(95),
-            p99: nearest_rank(99),
-        })
+        histogram.percentiles()
     }
 
     /// The transformation change counts per configuration (one row per
@@ -582,54 +580,14 @@ impl CampaignReport {
     }
 
     /// A human-oriented summary: rates, totals, latency percentiles and
-    /// timing.
+    /// timing. Rendered through
+    /// [`StreamingAggregator`](crate::streaming::StreamingAggregator)
+    /// (see [`fold_aggregator`](Self::fold_aggregator)), so the streaming
+    /// result path produces this text byte-for-byte without ever
+    /// materializing the cells.
     #[must_use]
     pub fn render_summary(&self) -> String {
-        let tally = self.request_tally();
-        let metrics = self.total_metrics();
-        let slowest = self
-            .cells
-            .iter()
-            .max_by_key(|c| c.wall)
-            .map_or(Duration::ZERO, |c| c.wall);
-        let mut out = format!(
-            "campaign '{}': {} cells on {} workers in {:.1?} (slowest cell {:.1?})\n",
-            self.name,
-            self.cells.len(),
-            self.workers,
-            self.total_wall,
-            slowest,
-        );
-        out.push_str(&format!(
-            "  survival rate {:.1}%, detection rate {:.1}%\n",
-            self.survival_rate() * 100.0,
-            self.detection_rate() * 100.0
-        ));
-        out.push_str(&format!("  {tally}\n"));
-        out.push_str(&format!("  {metrics}\n"));
-        if let Some(percentiles) = self.wall_percentiles() {
-            out.push_str(&format!("  per-cell wall {percentiles}\n"));
-        }
-        if let Some(stats) = &self.cache {
-            out.push_str(&format!("  cell cache: {stats}\n"));
-        }
-        let worlds = self.world_labels();
-        if worlds.len() > 1 {
-            out.push_str(&format!(
-                "  {} worlds on the environment axis: {}\n",
-                worlds.len(),
-                worlds.join(", ")
-            ));
-        }
-        let judged = self.judged_cells();
-        if judged > 0 {
-            out.push_str(&format!(
-                "  {} of {} judged cells match their prediction\n",
-                judged - self.verdict_mismatches().len(),
-                judged
-            ));
-        }
-        out
+        self.fold_aggregator().render_summary()
     }
 }
 
@@ -813,9 +771,15 @@ mod tests {
         cells.reverse();
         let report = report(cells);
         let p = report.wall_percentiles().unwrap();
-        assert_eq!(p.p50, Duration::from_millis(50));
-        assert_eq!(p.p95, Duration::from_millis(95));
-        assert_eq!(p.p99, Duration::from_millis(99));
+        // Sketch quantiles: each value is the nearest-rank order
+        // statistic's bucket lower bound, within the documented ≤2%
+        // relative error of the exact value.
+        for (quantile, exact_ms) in [(p.p50, 50u64), (p.p95, 95), (p.p99, 99)] {
+            let exact = Duration::from_millis(exact_ms);
+            assert!(quantile <= exact, "{quantile:?} above exact {exact:?}");
+            let error = exact.saturating_sub(quantile).as_secs_f64() / exact.as_secs_f64();
+            assert!(error < 0.02, "{quantile:?} vs {exact:?}: error {error}");
+        }
         assert!(report.render_summary().contains("per-cell wall p50"));
 
         // A single cell is its own percentile everywhere.

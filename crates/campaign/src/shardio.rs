@@ -158,55 +158,250 @@ fn render_cell(out: &mut String, cell: &CellResult) {
     out.push_str("endcell\n");
 }
 
+/// The streaming dual of [`ShardCursor`]: writes the shard header eagerly,
+/// then one cell block per [`push`](Self::push), so a producer's peak
+/// memory is one cell — [`CampaignReport::to_shard_text`] semantics (which
+/// is implemented over this writer) without holding the whole shard.
+pub struct ShardWriter<W: std::io::Write> {
+    writer: W,
+    scratch: String,
+}
+
+impl<W: std::io::Write> ShardWriter<W> {
+    /// Writes the header lines and returns the writer, ready for cells.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying writer's I/O errors.
+    pub fn new(mut writer: W, header: &ShardHeader) -> std::io::Result<Self> {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("name {}\n", quote(&header.name)));
+        out.push_str(&format!("base_seed {:#018x}\n", header.base_seed));
+        out.push_str(&format!("plan_hash {:#018x}\n", header.plan_hash));
+        out.push_str(&format!(
+            "shape {} {} {} {}\n",
+            header.shape.configs,
+            header.shape.worlds,
+            header.shape.scenarios,
+            header.shape.replicates
+        ));
+        out.push_str(&format!("workers {}\n", header.workers));
+        out.push_str(&format!(
+            "total_wall_nanos {}\n",
+            header.total_wall.as_nanos()
+        ));
+        writer.write_all(out.as_bytes())?;
+        Ok(ShardWriter {
+            writer,
+            scratch: String::new(),
+        })
+    }
+
+    /// Appends one cell block. Cells must be pushed in the producing run's
+    /// canonical order for the file to merge cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying writer's I/O errors.
+    pub fn push(&mut self, cell: &CellResult) -> std::io::Result<()> {
+        self.scratch.clear();
+        render_cell(&mut self.scratch, cell);
+        self.writer.write_all(self.scratch.as_bytes())
+    }
+
+    /// Writes the end-of-shard trailer, flushes, and returns the
+    /// underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying writer's I/O errors.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.writer.write_all(b"end\n")?;
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
 impl CampaignReport {
     /// Serializes the report to the shard interchange text format.
     #[must_use]
     pub fn to_shard_text(&self) -> String {
-        let mut out = String::new();
-        out.push_str(HEADER);
-        out.push('\n');
-        out.push_str(&format!("name {}\n", quote(&self.name)));
-        out.push_str(&format!("base_seed {:#018x}\n", self.base_seed));
-        out.push_str(&format!("plan_hash {:#018x}\n", self.plan_hash));
-        out.push_str(&format!(
-            "shape {} {} {} {}\n",
-            self.shape.configs, self.shape.worlds, self.shape.scenarios, self.shape.replicates
-        ));
-        out.push_str(&format!("workers {}\n", self.workers));
-        out.push_str(&format!(
-            "total_wall_nanos {}\n",
-            self.total_wall.as_nanos()
-        ));
+        let header = ShardHeader {
+            name: self.name.clone(),
+            base_seed: self.base_seed,
+            plan_hash: self.plan_hash,
+            shape: self.shape,
+            workers: self.workers,
+            total_wall: self.total_wall,
+        };
+        let mut writer =
+            ShardWriter::new(Vec::new(), &header).expect("writing to a Vec cannot fail");
         for cell in &self.cells {
-            render_cell(&mut out, cell);
+            writer.push(cell).expect("writing to a Vec cannot fail");
         }
-        out.push_str("end\n");
-        out
+        let bytes = writer.finish().expect("writing to a Vec cannot fail");
+        String::from_utf8(bytes).expect("shard text is UTF-8 by construction")
     }
 
     /// Parses a report from the shard interchange text format.
+    ///
+    /// This is the materializing convenience wrapper over [`ShardCursor`]:
+    /// it drains the cursor into a cell vector. Callers that only need to
+    /// fold over the cells (aggregation, merging, divergence probing)
+    /// should drive a [`ShardCursor`] directly and never hold more than one
+    /// cell in memory.
     ///
     /// # Errors
     ///
     /// Returns a [`ShardParseError`] naming the offending line if the text
     /// is not a well-formed shard file.
     pub fn from_shard_text(text: &str) -> Result<Self, ShardParseError> {
-        Parser::new(text).parse()
+        let mut cursor = ShardCursor::new(text.as_bytes())?;
+        let mut cells = Vec::new();
+        while let Some(cell) = cursor.next_cell()? {
+            cells.push(cell);
+        }
+        let header = cursor.into_header();
+        Ok(CampaignReport::new(
+            header.name,
+            header.base_seed,
+            header.plan_hash,
+            header.shape,
+            header.workers,
+            cells,
+            header.total_wall,
+        ))
     }
 }
 
-/// A line-cursor over the shard text, with error positions.
-struct Parser<'a> {
-    lines: std::iter::Enumerate<std::str::Lines<'a>>,
-    current: usize,
+/// The per-file metadata of a shard: everything
+/// [`CampaignReport::to_shard_text`] writes before the first cell block. A
+/// [`ShardCursor`] parses it eagerly, so a merging coordinator can gate on
+/// the plan hash and shape *before* streaming a single cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardHeader {
+    /// The plan's name.
+    pub name: String,
+    /// The plan's base seed.
+    pub base_seed: u64,
+    /// The canonical plan hash the shard claims to come from.
+    pub plan_hash: u64,
+    /// The plan's matrix shape.
+    pub shape: PlanShape,
+    /// Worker threads the producing run used.
+    pub workers: usize,
+    /// Wall-clock time of the producing run.
+    pub total_wall: Duration,
 }
 
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            lines: text.lines().enumerate(),
+/// A streaming reader over the shard interchange format: parses the header
+/// eagerly, then yields one [`CellResult`] at a time from any [`BufRead`]
+/// source (a file, a retrieved byte stream, an in-memory slice), so a
+/// consumer's peak memory is one cell — independent of shard size.
+///
+/// The grammar, error messages and 1-based error line numbers are exactly
+/// those of [`CampaignReport::from_shard_text`], which is implemented over
+/// this cursor.
+pub struct ShardCursor<R> {
+    reader: R,
+    current: usize,
+    header: ShardHeader,
+    done: bool,
+}
+
+impl ShardCursor<std::io::BufReader<std::fs::File>> {
+    /// Opens a shard file for streaming. The header is parsed before this
+    /// returns; an unopenable file is reported as a parse error at line 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShardParseError`] if the file cannot be opened or its
+    /// header is malformed.
+    pub fn open(path: &std::path::Path) -> Result<Self, ShardParseError> {
+        let file = std::fs::File::open(path).map_err(|e| ShardParseError {
+            line: 0,
+            message: format!("cannot open shard file {}: {e}", path.display()),
+        })?;
+        ShardCursor::new(std::io::BufReader::new(file))
+    }
+}
+
+impl<R: std::io::BufRead> ShardCursor<R> {
+    /// Wraps a reader and parses the shard header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShardParseError`] if the header is malformed or the
+    /// reader fails.
+    pub fn new(reader: R) -> Result<Self, ShardParseError> {
+        let mut cursor = ShardCursor {
+            reader,
             current: 0,
+            header: ShardHeader {
+                name: String::new(),
+                base_seed: 0,
+                plan_hash: 0,
+                shape: PlanShape {
+                    configs: 0,
+                    worlds: 0,
+                    scenarios: 0,
+                    replicates: 0,
+                },
+                workers: 0,
+                total_wall: Duration::ZERO,
+            },
+            done: false,
+        };
+        cursor.header = cursor.parse_header()?;
+        Ok(cursor)
+    }
+
+    /// The shard's header (available before any cell is read).
+    #[must_use]
+    pub fn header(&self) -> &ShardHeader {
+        &self.header
+    }
+
+    /// Consumes the cursor, returning the header.
+    #[must_use]
+    pub fn into_header(self) -> ShardHeader {
+        self.header
+    }
+
+    /// Parses the next cell block, or returns `None` at the shard's `end`
+    /// marker. Reaching the end validates the file's tail exactly like the
+    /// whole-file parser: trailing blank lines are tolerated, any other
+    /// trailing content is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShardParseError`] naming the offending line on malformed
+    /// input, truncation, or reader failure.
+    pub fn next_cell(&mut self) -> Result<Option<CellResult>, ShardParseError> {
+        if self.done {
+            return Ok(None);
         }
+        let line = self.next_line()?;
+        if line == "end" {
+            // "end" must really end the file: trailing content would mean a
+            // concatenated or corrupted shard whose tail silently vanishes.
+            // Blank lines are tolerated — an extra trailing newline from an
+            // editor or a text-mode transfer doesn't change the report.
+            while let Some(line) = self.read_raw_line()? {
+                if line.is_empty() {
+                    continue;
+                }
+                return self.fail(format!("unexpected content after \"end\": {line:?}"));
+            }
+            self.done = true;
+            return Ok(None);
+        }
+        let Some(rest) = line.strip_prefix("cell ") else {
+            return self.fail(format!("expected \"cell\" or \"end\", got {line:?}"));
+        };
+        self.parse_cell(rest).map(Some)
     }
 
     fn fail<T>(&self, message: impl Into<String>) -> Result<T, ShardParseError> {
@@ -216,9 +411,30 @@ impl<'a> Parser<'a> {
         })
     }
 
-    fn next_line(&mut self) -> Result<&'a str, ShardParseError> {
-        if let Some((index, line)) = self.lines.next() {
-            self.current = index + 1;
+    /// Reads one line (without its terminator), or `None` at end of input.
+    fn read_raw_line(&mut self) -> Result<Option<String>, ShardParseError> {
+        let mut buf = String::new();
+        match self.reader.read_line(&mut buf) {
+            Ok(0) => Ok(None),
+            Ok(_) => {
+                if buf.ends_with('\n') {
+                    buf.pop();
+                    if buf.ends_with('\r') {
+                        buf.pop();
+                    }
+                }
+                self.current += 1;
+                Ok(Some(buf))
+            }
+            Err(e) => Err(ShardParseError {
+                line: self.current + 1,
+                message: format!("I/O error reading shard: {e}"),
+            }),
+        }
+    }
+
+    fn next_line(&mut self) -> Result<String, ShardParseError> {
+        if let Some(line) = self.read_raw_line()? {
             Ok(line)
         } else {
             self.current = 0;
@@ -230,10 +446,10 @@ impl<'a> Parser<'a> {
     }
 
     /// Consumes a `key value...` line, returning the value part.
-    fn expect_field(&mut self, key: &str) -> Result<&'a str, ShardParseError> {
+    fn expect_field(&mut self, key: &str) -> Result<String, ShardParseError> {
         let line = self.next_line()?;
         match line.strip_prefix(key).and_then(|r| r.strip_prefix(' ')) {
-            Some(rest) => Ok(rest),
+            Some(rest) => Ok(rest.to_string()),
             None => self.fail(format!("expected {key:?} field, got {line:?}")),
         }
     }
@@ -262,25 +478,26 @@ impl<'a> Parser<'a> {
         })
     }
 
-    fn parse(mut self) -> Result<CampaignReport, ShardParseError> {
+    fn parse_header(&mut self) -> Result<ShardHeader, ShardParseError> {
         let header = self.next_line()?;
         if header != HEADER {
             return self.fail(format!("expected {HEADER:?}, got {header:?}"));
         }
         let name = {
             let token = self.expect_field("name")?;
-            self.parse_quoted(token)?
+            self.parse_quoted(&token)?
         };
         let base_seed = {
             let token = self.expect_field("base_seed")?;
-            self.parse_seed(token)?
+            self.parse_seed(&token)?
         };
         let plan_hash = {
             let token = self.expect_field("plan_hash")?;
-            self.parse_seed(token)?
+            self.parse_seed(&token)?
         };
         let shape = {
-            let tokens: Vec<&str> = self.expect_field("shape")?.split(' ').collect();
+            let field = self.expect_field("shape")?;
+            let tokens: Vec<&str> = field.split(' ').collect();
             if tokens.len() != 4 {
                 return self.fail(format!(
                     "shape needs 4 axis sizes (configs, worlds, scenarios, replicates), got {}",
@@ -296,38 +513,20 @@ impl<'a> Parser<'a> {
         };
         let workers = {
             let token = self.expect_field("workers")?;
-            self.parse_number::<usize>(token)?
+            self.parse_number::<usize>(&token)?
         };
         let total_wall = {
             let token = self.expect_field("total_wall_nanos")?;
-            Duration::from_nanos(self.parse_number::<u64>(token)?)
+            Duration::from_nanos(self.parse_number::<u64>(&token)?)
         };
-
-        let mut cells = Vec::new();
-        loop {
-            let line = self.next_line()?;
-            if line == "end" {
-                break;
-            }
-            let Some(rest) = line.strip_prefix("cell ") else {
-                return self.fail(format!("expected \"cell\" or \"end\", got {line:?}"));
-            };
-            cells.push(self.parse_cell(rest)?);
-        }
-        // "end" must really end the file: trailing content would mean a
-        // concatenated or corrupted shard whose tail silently vanishes.
-        // Blank lines are tolerated — an extra trailing newline from an
-        // editor or a text-mode transfer doesn't change the report.
-        for (index, line) in self.lines.by_ref() {
-            if line.is_empty() {
-                continue;
-            }
-            self.current = index + 1;
-            return self.fail(format!("unexpected content after \"end\": {line:?}"));
-        }
-        Ok(CampaignReport::new(
-            name, base_seed, plan_hash, shape, workers, cells, total_wall,
-        ))
+        Ok(ShardHeader {
+            name,
+            base_seed,
+            plan_hash,
+            shape,
+            workers,
+            total_wall,
+        })
     }
 
     fn parse_cell(&mut self, coordinates: &str) -> Result<CellResult, ShardParseError> {
@@ -351,22 +550,22 @@ impl<'a> Parser<'a> {
         let wall = Duration::from_nanos(self.parse_number::<u64>(tokens[5])?);
         spec.config_label = {
             let token = self.expect_field("config_label")?;
-            self.parse_quoted(token)?
+            self.parse_quoted(&token)?
         };
         spec.world_label = {
             let token = self.expect_field("world_label")?;
-            self.parse_quoted(token)?
+            self.parse_quoted(&token)?
         };
         spec.scenario_label = {
             let token = self.expect_field("scenario_label")?;
-            self.parse_quoted(token)?
+            self.parse_quoted(&token)?
         };
         let exit_status = {
             let token = self.expect_field("exit")?;
             if token == "-" {
                 None
             } else {
-                Some(self.parse_number::<i32>(token)?)
+                Some(self.parse_number::<i32>(&token)?)
             }
         };
 
@@ -399,8 +598,8 @@ impl<'a> Parser<'a> {
             detection_calls: self.parse_number(m[4])?,
             io_bytes: self.parse_number(m[5])?,
         };
-        let stats_rest = self.expect_field("stats")?;
-        let s: Vec<&str> = stats_rest.split(' ').collect();
+        let stats_field = self.expect_field("stats")?;
+        let s: Vec<&str> = stats_field.split(' ').collect();
         if s.len() != 6 {
             return self.fail(format!("stats needs 6 counters, got {}", s.len()));
         }
@@ -419,7 +618,7 @@ impl<'a> Parser<'a> {
         if let Some(token) = line.strip_prefix("observed ") {
             let observed = self.parse_quoted(token)?;
             let expected_token = self.expect_field("expected")?;
-            let expected = self.parse_quoted(expected_token)?;
+            let expected = self.parse_quoted(&expected_token)?;
             verdict = Some(CellVerdict { observed, expected });
             line = self.next_line()?;
         }

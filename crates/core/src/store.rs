@@ -65,6 +65,10 @@ pub struct CacheStats {
     /// Entries that existed but were unusable — corrupt, truncated, or
     /// keyed to different content — and were recomputed and overwritten.
     pub invalidations: u64,
+    /// The subset of `hits` that were served through the streaming cursor
+    /// interface (folded cell-by-cell, never materialized as a whole-file
+    /// `String` round trip). Always `<= hits`.
+    pub streamed_hits: u64,
 }
 
 impl CacheStats {
@@ -75,6 +79,7 @@ impl CacheStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
             invalidations: self.invalidations + other.invalidations,
+            streamed_hits: self.streamed_hits + other.streamed_hits,
         }
     }
 }
@@ -85,7 +90,11 @@ impl fmt::Display for CacheStats {
             f,
             "{} hits, {} misses, {} invalidations",
             self.hits, self.misses, self.invalidations
-        )
+        )?;
+        if self.streamed_hits > 0 {
+            write!(f, " ({} hits streamed)", self.streamed_hits)?;
+        }
+        Ok(())
     }
 }
 
@@ -95,12 +104,20 @@ pub struct CacheCounters {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    streamed_hits: AtomicU64,
 }
 
 impl CacheCounters {
     /// Records a cache hit.
     pub fn hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cache hit served through the streaming cursor interface
+    /// (counts as a hit *and* bumps the distinct streamed counter).
+    pub fn streamed_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.streamed_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a cache miss.
@@ -120,6 +137,7 @@ impl CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            streamed_hits: self.streamed_hits.load(Ordering::Relaxed),
         }
     }
 }

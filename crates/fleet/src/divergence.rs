@@ -5,8 +5,8 @@
 //! whole reports byte-by-byte.
 //!
 //! The trick is the classic first-divergence search over a prefix-digest
-//! oracle: a [`CellStream`] precomputes one chained FNV-1a digest per
-//! prefix length while ingesting its cells (O(n) once, O(1) per probe), and
+//! oracle: a [`CellStream`] extends one chained FNV-1a digest per prefix
+//! length while ingesting its cells (O(n) once, O(1) per probe), and
 //! [`find_divergence`] binary-searches for the longest common prefix. Two
 //! streams agree on a prefix iff their prefix digests match — the chaining
 //! makes prefix equality monotone, so "first differing index" is the
@@ -14,6 +14,13 @@
 //! different prefixes to collide in 64 bits; for campaign-sized streams the
 //! odds are astronomically small, and the final report comparison still
 //! catches it.)
+//!
+//! The stream is **digest-only**: it keeps 8 bytes per cell (the prefix
+//! digest chain), never the canonical lines themselves, so a coordinator
+//! can ingest a million-cell shard without holding its text. The located
+//! index is recovered to human-readable evidence through the `cell_at`
+//! callback of [`find_divergence`] — invoked at most once, so callers can
+//! afford to re-stream their source to materialize that single cell.
 
 use std::fmt;
 
@@ -23,7 +30,8 @@ use nvariant_types::fnv::Fnv1a;
 /// (config, world, scenario, replicate).
 pub type Coordinates = (usize, usize, usize, usize);
 
-/// An ordered stream of canonical cell lines with O(1) prefix digests.
+/// An ordered stream of canonical cell lines reduced to O(1)-comparable
+/// prefix digests — 8 bytes of state per ingested cell, no buffered lines.
 ///
 /// Build one per side (expected vs observed) over the *same* enumeration
 /// order — for campaign reports that is the plan's canonical cell order,
@@ -33,8 +41,6 @@ pub type Coordinates = (usize, usize, usize, usize);
 ///     nvariant_campaign::CampaignReport::canonical_cells
 #[derive(Clone, Debug, Default)]
 pub struct CellStream {
-    coordinates: Vec<Coordinates>,
-    lines: Vec<String>,
     /// `prefix_digests[k]` = chained digest of the first `k` lines;
     /// `prefix_digests[0]` is the digest of the empty stream.
     prefix_digests: Vec<u64>,
@@ -47,60 +53,52 @@ impl CellStream {
     pub fn new() -> Self {
         let hasher = Fnv1a::new();
         CellStream {
-            coordinates: Vec::new(),
-            lines: Vec::new(),
             prefix_digests: vec![hasher.finish()],
             hasher,
         }
     }
 
-    /// Builds a stream from `(coordinates, canonical line)` pairs.
+    /// Builds a stream from canonical lines, in order.
     #[must_use]
-    pub fn from_cells(cells: impl IntoIterator<Item = (Coordinates, String)>) -> Self {
+    pub fn from_lines<S: AsRef<str>>(lines: impl IntoIterator<Item = S>) -> Self {
         let mut stream = CellStream::new();
-        for (coordinates, line) in cells {
-            stream.push(coordinates, line);
+        for line in lines {
+            stream.push(line.as_ref());
         }
         stream
     }
 
     /// Builds the stream of a report's canonical cells, in report order.
+    /// Each line is rendered, digested and dropped — nothing is buffered.
     #[must_use]
     pub fn from_report(report: &nvariant_campaign::CampaignReport) -> Self {
-        Self::from_cells(report.canonical_cells())
+        Self::from_lines(report.canonical_cells().map(|(_, line)| line))
     }
 
-    /// Appends one cell; the prefix digest chain extends in O(1).
-    pub fn push(&mut self, coordinates: Coordinates, line: String) {
+    /// Appends one cell's canonical line; the prefix digest chain extends
+    /// in O(1) and the line is not retained.
+    pub fn push(&mut self, line: &str) {
         // Length-prefixed write: "ab" + "c" cannot alias "a" + "bc".
-        self.hasher.write_str(&line);
+        self.hasher.write_str(line);
         self.prefix_digests.push(self.hasher.finish());
-        self.coordinates.push(coordinates);
-        self.lines.push(line);
     }
 
     /// Number of cells in the stream.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.lines.len()
+        self.prefix_digests.len() - 1
     }
 
     /// Whether the stream has no cells.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.lines.is_empty()
+        self.len() == 0
     }
 
     /// Digest of the first `len` cells (O(1)). Panics if `len > self.len()`.
     #[must_use]
     pub fn prefix_digest(&self, len: usize) -> u64 {
         self.prefix_digests[len]
-    }
-
-    /// The cell at `index`: its coordinates and rendered canonical line.
-    #[must_use]
-    pub fn cell(&self, index: usize) -> (Coordinates, &str) {
-        (self.coordinates[index], &self.lines[index])
     }
 }
 
@@ -174,8 +172,19 @@ pub struct DivergenceScan {
 
 /// Locates the first cell where `observed` disagrees with `expected`, in
 /// O(log cells) prefix-digest probes.
+///
+/// The streams carry digests only, so the evidence for a located cell
+/// divergence is recovered through `cell_at`: given the first differing
+/// index, it returns that cell's matrix coordinates (from the expected
+/// side) plus the expected and observed canonical lines. It is invoked at
+/// most once per scan — only when a cell divergence exists — so callers may
+/// re-stream a spool file or re-query a cache to answer it.
 #[must_use]
-pub fn find_divergence(expected: &CellStream, observed: &CellStream) -> DivergenceScan {
+pub fn find_divergence(
+    expected: &CellStream,
+    observed: &CellStream,
+    cell_at: impl FnOnce(usize) -> (Coordinates, String, String),
+) -> DivergenceScan {
     let shared = expected.len().min(observed.len());
     let mut probes = 0;
 
@@ -208,14 +217,13 @@ pub fn find_divergence(expected: &CellStream, observed: &CellStream) -> Divergen
         }
     }
 
-    let (coordinates, expected_line) = expected.cell(lo);
-    let (_, observed_line) = observed.cell(lo);
+    let (coordinates, expected_line, observed_line) = cell_at(lo);
     DivergenceScan {
         divergence: Some(Divergence::Cell {
             index: lo,
             coordinates,
-            expected: expected_line.to_string(),
-            observed: observed_line.to_string(),
+            expected: expected_line,
+            observed: observed_line,
         }),
         probes,
     }
@@ -225,22 +233,36 @@ pub fn find_divergence(expected: &CellStream, observed: &CellStream) -> Divergen
 mod tests {
     use super::*;
 
-    /// A synthetic stream of `n` cells with distinct lines; coordinates
-    /// encode the index so assertions can name them.
+    fn line(i: usize, corrupted: bool) -> String {
+        if corrupted {
+            format!("cell line {i} CORRUPTED")
+        } else {
+            format!("cell line {i}")
+        }
+    }
+
+    fn coords(i: usize) -> Coordinates {
+        (i, i + 1, i + 2, i + 3)
+    }
+
+    /// A synthetic stream of `n` cells with distinct lines.
     fn synthetic(n: usize) -> CellStream {
-        CellStream::from_cells((0..n).map(|i| ((i, i + 1, i + 2, i + 3), format!("cell line {i}"))))
+        CellStream::from_lines((0..n).map(|i| line(i, false)))
     }
 
     /// `synthetic(n)` with the cell at `k` rewritten.
     fn mutated(n: usize, k: usize) -> CellStream {
-        CellStream::from_cells((0..n).map(|i| {
-            let line = if i == k {
-                format!("cell line {i} CORRUPTED")
-            } else {
-                format!("cell line {i}")
-            };
-            ((i, i + 1, i + 2, i + 3), line)
-        }))
+        CellStream::from_lines((0..n).map(|i| line(i, i == k)))
+    }
+
+    /// The recovery callback for a `synthetic` vs `mutated(_, k)` scan.
+    fn recover(k: usize) -> impl FnOnce(usize) -> (Coordinates, String, String) {
+        move |i| (coords(i), line(i, false), line(i, i == k))
+    }
+
+    /// A callback for scans that must settle without a cell divergence.
+    fn unreachable_recover(i: usize) -> (Coordinates, String, String) {
+        panic!("cell_at invoked at {i} for a scan with no cell divergence")
     }
 
     fn max_probes(n: usize) -> usize {
@@ -250,20 +272,20 @@ mod tests {
 
     #[test]
     fn equal_streams_have_no_divergence_in_one_probe() {
-        let scan = find_divergence(&synthetic(100), &synthetic(100));
+        let scan = find_divergence(&synthetic(100), &synthetic(100), unreachable_recover);
         assert_eq!(scan.divergence, None);
         assert_eq!(scan.probes, 1);
     }
 
     #[test]
     fn empty_streams_are_equal() {
-        let scan = find_divergence(&CellStream::new(), &CellStream::new());
+        let scan = find_divergence(&CellStream::new(), &CellStream::new(), unreachable_recover);
         assert_eq!(scan.divergence, None);
     }
 
     #[test]
     fn first_cell_divergence_is_found() {
-        let scan = find_divergence(&synthetic(64), &mutated(64, 0));
+        let scan = find_divergence(&synthetic(64), &mutated(64, 0), recover(0));
         match scan.divergence.expect("diverges") {
             Divergence::Cell {
                 index,
@@ -283,7 +305,7 @@ mod tests {
 
     #[test]
     fn last_cell_divergence_is_found() {
-        let scan = find_divergence(&synthetic(64), &mutated(64, 63));
+        let scan = find_divergence(&synthetic(64), &mutated(64, 63), recover(63));
         match scan.divergence.expect("diverges") {
             Divergence::Cell { index, .. } => assert_eq!(index, 63),
             Divergence::Length { .. } => panic!("not a length mismatch"),
@@ -295,15 +317,10 @@ mod tests {
     fn middle_divergence_reports_the_first_of_two() {
         // Cells 20 and 40 both differ; the finder must name 20.
         let base = synthetic(64);
-        let observed = CellStream::from_cells((0..64).map(|i| {
-            let line = if i == 20 || i == 40 {
-                format!("cell line {i} CORRUPTED")
-            } else {
-                format!("cell line {i}")
-            };
-            ((i, i + 1, i + 2, i + 3), line)
-        }));
-        let scan = find_divergence(&base, &observed);
+        let observed = CellStream::from_lines((0..64).map(|i| line(i, i == 20 || i == 40)));
+        let scan = find_divergence(&base, &observed, |i| {
+            (coords(i), line(i, false), line(i, i == 20 || i == 40))
+        });
         match scan.divergence.expect("diverges") {
             Divergence::Cell {
                 index, coordinates, ..
@@ -317,7 +334,7 @@ mod tests {
 
     #[test]
     fn length_mismatch_with_equal_shared_prefix() {
-        let scan = find_divergence(&synthetic(50), &synthetic(40));
+        let scan = find_divergence(&synthetic(50), &synthetic(40), unreachable_recover);
         assert_eq!(
             scan.divergence,
             Some(Divergence::Length {
@@ -333,15 +350,17 @@ mod tests {
     fn differing_cell_wins_over_length_mismatch() {
         // Shorter stream that also differs at cell 5: the cell divergence
         // is earlier, so it is what gets reported.
-        let observed = CellStream::from_cells((0..40).map(|i| {
-            let line = if i == 5 {
+        let tampered = |i: usize| {
+            if i == 5 {
                 "tampered".to_string()
             } else {
-                format!("cell line {i}")
-            };
-            ((i, i + 1, i + 2, i + 3), line)
-        }));
-        let scan = find_divergence(&synthetic(50), &observed);
+                line(i, false)
+            }
+        };
+        let observed = CellStream::from_lines((0..40).map(tampered));
+        let scan = find_divergence(&synthetic(50), &observed, |i| {
+            (coords(i), line(i, false), tampered(i))
+        });
         match scan.divergence.expect("diverges") {
             Divergence::Cell { index, .. } => assert_eq!(index, 5),
             Divergence::Length { .. } => panic!("cell divergence precedes length mismatch"),
@@ -353,7 +372,7 @@ mod tests {
         // 4096 cells: a linear scan would need thousands of comparisons;
         // the finder stays within log2(4096) + 2 = 14.
         for k in [0, 1, 2048, 4094, 4095] {
-            let scan = find_divergence(&synthetic(4096), &mutated(4096, k));
+            let scan = find_divergence(&synthetic(4096), &mutated(4096, k), recover(k));
             match scan.divergence.expect("diverges") {
                 Divergence::Cell { index, .. } => assert_eq!(index, k),
                 Divergence::Length { .. } => panic!("not a length mismatch"),
@@ -368,7 +387,7 @@ mod tests {
 
     #[test]
     fn display_names_the_exact_coordinate() {
-        let scan = find_divergence(&synthetic(8), &mutated(8, 3));
+        let scan = find_divergence(&synthetic(8), &mutated(8, 3), recover(3));
         let rendered = scan.divergence.expect("diverges").to_string();
         assert!(
             rendered.contains("cell #3 (config 3, world 4, scenario 5, replicate 6)"),
@@ -385,18 +404,27 @@ mod tests {
     fn prefix_digests_are_chained_not_positional() {
         // Swapping two adjacent cells must change the digest at the first
         // swapped position even though the *set* of lines is unchanged.
-        let a = CellStream::from_cells([
-            ((0, 0, 0, 0), "x".to_string()),
-            ((0, 0, 0, 1), "y".to_string()),
-        ]);
-        let b = CellStream::from_cells([
-            ((0, 0, 0, 0), "y".to_string()),
-            ((0, 0, 0, 1), "x".to_string()),
-        ]);
-        let scan = find_divergence(&a, &b);
+        let a = CellStream::from_lines(["x", "y"]);
+        let b = CellStream::from_lines(["y", "x"]);
+        let scan = find_divergence(&a, &b, |i| {
+            (
+                (0, 0, 0, i),
+                ["x", "y"][i].to_string(),
+                ["y", "x"][i].to_string(),
+            )
+        });
         match scan.divergence.expect("diverges") {
             Divergence::Cell { index, .. } => assert_eq!(index, 0),
             Divergence::Length { .. } => panic!("not a length mismatch"),
         }
+    }
+
+    #[test]
+    fn streams_are_digest_only() {
+        // 100k cells cost 8 bytes of digest chain each, not their lines:
+        // the struct holds exactly len+1 u64 digests and a hasher.
+        let stream = synthetic(100_000);
+        assert_eq!(stream.len(), 100_000);
+        assert_eq!(std::mem::size_of_val(&stream.prefix_digest(0)), 8);
     }
 }

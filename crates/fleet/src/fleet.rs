@@ -13,10 +13,14 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::path::PathBuf;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use nvariant_campaign::{CampaignPlan, CampaignReport, MergeError};
+use nvariant_campaign::{
+    CacheStats, CampaignPlan, CampaignReport, CoordinateWalk, MergeError, ShardCursor, ShardMerger,
+    StreamMergeError,
+};
 
 use crate::divergence::{find_divergence, CellStream, Divergence};
 use crate::transport::{ShardAssignment, WorkerHandle, WorkerStatus, WorkerTransport};
@@ -344,13 +348,30 @@ struct RunningAttempt {
     started: Instant,
 }
 
+/// A validated shard sitting on disk, ready for the streaming final merge.
+struct CollectedShard {
+    /// The validated spool file (shard interchange format).
+    spool: PathBuf,
+    /// Cells the shard covers (from the streaming validation walk).
+    cells: usize,
+    /// Cache counters to credit to the merged report (warm-served shards).
+    cache: Option<CacheStats>,
+}
+
 /// The scheduler's bookkeeping for one shard of the plan.
 struct ShardJob {
     index: usize,
     attempts_used: usize,
     running: Option<RunningAttempt>,
-    report: Option<CampaignReport>,
+    collected: Option<CollectedShard>,
     failures: Vec<String>,
+}
+
+/// Why a retrieved shard was not collected: a retryable defect (counts
+/// against the attempt cap) or an integrity failure that aborts the run.
+enum CollectFailure {
+    Retry(String),
+    Abort(FleetError),
 }
 
 /// A campaign run over a host pool through a pluggable transport.
@@ -442,7 +463,7 @@ impl<'plan> Fleet<'plan> {
                 index,
                 attempts_used: 0,
                 running: None,
-                report: None,
+                collected: None,
                 failures: Vec::new(),
             })
             .collect();
@@ -457,7 +478,7 @@ impl<'plan> Fleet<'plan> {
         loop {
             for job in &mut jobs {
                 self.poll(job, &mut pool)?;
-                if job.report.is_none()
+                if job.collected.is_none()
                     && job.running.is_none()
                     && job.attempts_used < self.config.attempts
                 {
@@ -471,7 +492,7 @@ impl<'plan> Fleet<'plan> {
                 }
             }
             if let Some(job) = jobs.iter().find(|job| {
-                job.report.is_none()
+                job.collected.is_none()
                     && job.running.is_none()
                     && job.attempts_used >= self.config.attempts
             }) {
@@ -481,18 +502,64 @@ impl<'plan> Fleet<'plan> {
                     failures: job.failures.clone(),
                 });
             }
-            if jobs.iter().all(|job| job.report.is_some()) {
+            if jobs.iter().all(|job| job.collected.is_some()) {
                 break;
             }
             std::thread::sleep(self.config.poll_interval);
         }
 
         let retries = jobs.iter().map(|job| job.attempts_used - 1).sum();
-        let report = CampaignReport::merge(jobs.into_iter().map(|job| {
-            job.report
-                .expect("loop exits only when every shard is collected")
-        }))
-        .map_err(FleetError::Merge)?;
+        let collected: Vec<CollectedShard> = jobs
+            .into_iter()
+            .map(|job| {
+                job.collected
+                    .expect("loop exits only when every shard is collected")
+            })
+            .collect();
+        let cache = collected.iter().fold(None::<CacheStats>, |merged, shard| {
+            match (merged, shard.cache) {
+                (None, None) => None,
+                (a, b) => Some(a.unwrap_or_default().merged(b.unwrap_or_default())),
+            }
+        });
+        // The final merge streams: a k-way merge over the validated spool
+        // files holds one buffered cell per shard while re-validating
+        // coverage, duplicates and plan identity.
+        let mut cursors = Vec::with_capacity(collected.len());
+        for (index, shard) in collected.iter().enumerate() {
+            match ShardCursor::open(&shard.spool) {
+                Ok(cursor) => cursors.push(cursor),
+                Err(error) => {
+                    return Err(Self::merge_error(StreamMergeError::Shard {
+                        shard: index,
+                        error,
+                    }))
+                }
+            }
+        }
+        let mut merger = match ShardMerger::new(cursors) {
+            Ok(merger) => merger,
+            Err(error) => return Err(Self::merge_error(error)),
+        };
+        let mut cells = Vec::with_capacity(collected.iter().map(|s| s.cells).sum());
+        loop {
+            match merger.next_cell() {
+                Ok(Some(cell)) => cells.push(cell),
+                Ok(None) => break,
+                Err(error) => return Err(Self::merge_error(error)),
+            }
+        }
+        let header = merger.header();
+        let mut report = CampaignReport::new(
+            header.name.clone(),
+            header.base_seed,
+            header.plan_hash,
+            header.shape,
+            header.workers,
+            cells,
+            header.total_wall,
+        );
+        report.cache = cache;
         Ok(FleetRun {
             report,
             hosts: pool.into_stats(),
@@ -500,6 +567,22 @@ impl<'plan> Fleet<'plan> {
             warm_cells,
             retries,
         })
+    }
+
+    /// Maps a streaming-merge failure onto the fleet's error surface: merge
+    /// validation failures keep their [`MergeError`], and a spool file that
+    /// stopped parsing (it validated at collection time, so this means
+    /// on-disk corruption between collection and merge) is reported as that
+    /// shard's failure.
+    fn merge_error(error: StreamMergeError) -> FleetError {
+        match error {
+            StreamMergeError::Merge(error) => FleetError::Merge(error),
+            StreamMergeError::Shard { shard, error } => FleetError::Exhausted {
+                shard,
+                attempts: 1,
+                failures: vec![format!("final merge: spooled shard file: {error}")],
+            },
+        }
     }
 
     /// Starts (or restarts) a shard: served warm from the cell cache when
@@ -526,9 +609,31 @@ impl<'plan> Fleet<'plan> {
                     report.cells.len(),
                     job.attempts_used
                 ));
-                *warm_shards += 1;
-                *warm_cells += report.cells.len();
-                job.report = Some(report);
+                // Warm shards join the streaming final merge like any other
+                // shard: spooled to disk and dropped. The cache counters
+                // ride alongside (the shard codec doesn't carry them).
+                let spool = self.spool_path(job.index);
+                let cells = report.cells.len();
+                let cache = report.cache;
+                match std::fs::write(&spool, report.to_shard_text()) {
+                    Ok(()) => {
+                        *warm_shards += 1;
+                        *warm_cells += cells;
+                        job.collected = Some(CollectedShard {
+                            spool,
+                            cells,
+                            cache,
+                        });
+                    }
+                    Err(error) => {
+                        // A broken scratch dir degrades warm serving to a
+                        // retryable failure, never to aborting the run here.
+                        job.failures.push(format!(
+                            "attempt {}: cannot spool warm shard: {error}",
+                            job.attempts_used
+                        ));
+                    }
+                }
                 return;
             }
         }
@@ -614,45 +719,40 @@ impl<'plan> Fleet<'plan> {
                 Ok(())
             }
             WorkerStatus::Exited { success: true, .. } => {
-                let retrieved = attempt.handle.retrieve();
                 let host = attempt.host;
+                let spooled = self.spool(job.index, job.attempts_used, attempt.handle.as_mut());
                 job.running = None;
-                let collected = retrieved
-                    .map_err(|error| format!("shard file retrieval failed: {error}"))
-                    .and_then(|text| {
-                        let text = if self.config.corrupt_shards.contains(&job.index)
-                            && job.attempts_used == 1
-                        {
-                            (self.progress)(&format!(
-                                "shard {}: attempt 1 corrupted in transit by --corrupt-shard \
-                                 fault injection",
-                                job.index
-                            ));
-                            corrupt_shard_text(&text)
-                        } else {
-                            text
-                        };
-                        self.validate(job.index, &text)
-                    });
+                let collected = spooled.and_then(|spool| {
+                    self.validate_streamed(job.index, &spool)
+                        .map(|cells| CollectedShard {
+                            spool,
+                            cells,
+                            cache: None,
+                        })
+                });
                 match collected {
-                    Ok(report) => {
+                    Ok(shard) => {
                         pool.attempt_finished(host, true, self.progress.as_ref());
-                        if let Some(error) = self.cross_check(job.index, &report) {
-                            return Err(error);
-                        }
                         (self.progress)(&format!(
                             "shard {}: collected {} cells (attempt {}) via host {}",
                             job.index,
-                            report.cells.len(),
+                            shard.cells,
                             job.attempts_used,
                             pool.name(host)
                         ));
-                        job.report = Some(report);
+                        job.collected = Some(shard);
                     }
-                    Err(reason) => {
+                    Err(CollectFailure::Retry(reason)) => {
                         job.failures
                             .push(format!("attempt {}: {reason}", job.attempts_used));
                         pool.attempt_finished(host, false, self.progress.as_ref());
+                    }
+                    Err(CollectFailure::Abort(error)) => {
+                        // An integrity failure still counts as this host's
+                        // completed (successful) attempt: the worker and
+                        // transport did their job; the *data* disagrees.
+                        pool.attempt_finished(host, true, self.progress.as_ref());
+                        return Err(error);
                     }
                 }
                 Ok(())
@@ -660,81 +760,172 @@ impl<'plan> Fleet<'plan> {
         }
     }
 
-    /// Parses and validates a retrieved shard file. Any failure here
-    /// (truncated/corrupt file, foreign plan hash, wrong cell set) counts
-    /// against the shard's attempt cap exactly like a crash.
-    fn validate(&self, shard: usize, text: &str) -> Result<CampaignReport, String> {
-        let report = CampaignReport::from_shard_text(text)
-            .map_err(|error| format!("shard file: {error}"))?;
-        if report.plan_hash != self.plan.plan_hash() {
-            return Err(format!(
-                "shard plan hash {:#018x} does not match coordinator plan {:#018x}",
-                report.plan_hash,
-                self.plan.plan_hash()
+    /// The spool file a shard's validated interchange text lives in between
+    /// collection and the streaming final merge.
+    fn spool_path(&self, shard: usize) -> PathBuf {
+        self.scratch_dir
+            .join(format!("spool-shard-{shard}-of-{}.txt", self.config.shards))
+    }
+
+    /// Streams the worker's shard file to the shard's spool path —
+    /// `io::copy` from the transport's reader, never the whole file in
+    /// memory. The in-transit corruption injection (test-only) takes the
+    /// buffered path, since it must rewrite a line.
+    fn spool(
+        &self,
+        shard: usize,
+        attempts_used: usize,
+        handle: &mut dyn WorkerHandle,
+    ) -> Result<PathBuf, CollectFailure> {
+        let spool = self.spool_path(shard);
+        let corrupt = self.config.corrupt_shards.contains(&shard) && attempts_used == 1;
+        let retry = |message: String| CollectFailure::Retry(message);
+        if corrupt {
+            (self.progress)(&format!(
+                "shard {shard}: attempt 1 corrupted in transit by --corrupt-shard fault injection"
             ));
+            let text = handle
+                .retrieve()
+                .map_err(|error| retry(format!("shard file retrieval failed: {error}")))?;
+            std::fs::write(&spool, corrupt_shard_text(&text))
+                .map_err(|error| retry(format!("cannot spool shard file: {error}")))?;
+            return Ok(spool);
+        }
+        let mut reader = handle
+            .retrieve_stream()
+            .map_err(|error| retry(format!("shard file retrieval failed: {error}")))?;
+        let file = std::fs::File::create(&spool)
+            .map_err(|error| retry(format!("cannot spool shard file: {error}")))?;
+        let mut writer = std::io::BufWriter::new(file);
+        std::io::copy(&mut reader, &mut writer)
+            .and_then(|_| writer.flush())
+            .map_err(|error| retry(format!("shard file retrieval failed: {error}")))?;
+        Ok(spool)
+    }
+
+    /// Validates a spooled shard file by streaming it — header gates, then
+    /// a one-cell-at-a-time walk against the shard's expected round-robin
+    /// coordinate slice, with the shared-cache cross-check folded into the
+    /// same pass (digest-only streams; no cell is retained). Any retryable
+    /// failure (truncated/corrupt file, foreign plan hash, wrong cell set)
+    /// counts against the shard's attempt cap exactly like a crash; a
+    /// cache disagreement is a data integrity failure (a host computed —
+    /// or the transport delivered — a *different result for the same
+    /// deterministic cell*) that aborts the run, diagnosed by the
+    /// logarithmic divergence finder to its exact first coordinate.
+    ///
+    /// Returns the number of cells the shard covers.
+    fn validate_streamed(&self, shard: usize, spool: &Path) -> Result<usize, CollectFailure> {
+        let retry = |message: String| CollectFailure::Retry(message);
+        let parse_failed = |error: &dyn fmt::Display| retry(format!("shard file: {error}"));
+        let mut cursor = ShardCursor::open(spool).map_err(|e| parse_failed(&e))?;
+        if cursor.header().plan_hash != self.plan.plan_hash() {
+            return Err(retry(format!(
+                "shard plan hash {:#018x} does not match coordinator plan {:#018x}",
+                cursor.header().plan_hash,
+                self.plan.plan_hash()
+            )));
         }
         // A corrupt or tampered shape header is an unusable file like any
         // other: count it against the attempt cap here instead of letting
         // it abort the whole campaign at the final merge.
-        if report.shape != self.plan.shape() {
-            return Err(format!(
+        if cursor.header().shape != self.plan.shape() {
+            return Err(retry(format!(
                 "shard declares matrix shape {} but the coordinator plan is {}",
-                report.shape,
+                cursor.header().shape,
                 self.plan.shape()
-            ));
+            )));
         }
-        let expected: Vec<_> = self
-            .plan
-            .shard(shard, self.config.shards)
-            .iter()
-            .map(nvariant_campaign::CellSpec::coordinates)
-            .collect();
-        let got: Vec<_> = report
-            .cells
-            .iter()
-            .map(|cell| cell.spec.coordinates())
-            .collect();
-        if got != expected {
-            let first_diff = expected
-                .iter()
-                .zip(&got)
-                .find(|(e, g)| e != g)
-                .map(|(e, g)| format!("; first divergence: expected {e:?}, got {g:?}"))
-                .unwrap_or_default();
-            return Err(format!(
-                "shard cell set mismatch: expected {} cells, got {}{first_diff}",
-                expected.len(),
-                got.len()
-            ));
-        }
-        Ok(report)
-    }
-
-    /// Cross-checks a collected shard against the shared cell cache: every
-    /// cell the cache already holds must render identically. A mismatch is
-    /// a data integrity failure (a host computed — or the transport
-    /// delivered — a *different result for the same deterministic cell*),
-    /// diagnosed by the logarithmic divergence finder to its exact first
-    /// coordinate. Plans without a cache skip the check.
-    fn cross_check(&self, shard: usize, report: &CampaignReport) -> Option<FleetError> {
-        let cache = self.plan.cell_cache()?;
-        let mut expected = CellStream::new();
-        let mut observed = CellStream::new();
-        for cell in &report.cells {
-            if let Some(cached) = cache.lookup(&cell.spec) {
-                expected.push(cached.spec.coordinates(), cached.canonical_line());
-                observed.push(cell.spec.coordinates(), cell.canonical_line());
+        let total = self.plan.shape().cell_count();
+        let expected_total = if shard < total {
+            (total - shard).div_ceil(self.config.shards)
+        } else {
+            0
+        };
+        let mut expected_walk = CoordinateWalk::new(self.plan.shape())
+            .skip(shard)
+            .step_by(self.config.shards.max(1));
+        let cache = self.plan.cell_cache();
+        let mut expected_stream = CellStream::new();
+        let mut observed_stream = CellStream::new();
+        let mut got = 0_usize;
+        let mut set_mismatch = false;
+        let mut first_diff = String::new();
+        while let Some(cell) = cursor.next_cell().map_err(|e| parse_failed(&e))? {
+            got += 1;
+            match expected_walk.next() {
+                Some(expected) if expected == cell.spec.coordinates() => {
+                    if let Some(cache) = &cache {
+                        if let Some(cached) = cache.lookup(&cell.spec) {
+                            expected_stream.push(&cached.canonical_line());
+                            observed_stream.push(&cell.canonical_line());
+                        }
+                    }
+                }
+                Some(expected) => {
+                    if !set_mismatch {
+                        first_diff = format!(
+                            "; first divergence: expected {expected:?}, got {:?}",
+                            cell.spec.coordinates()
+                        );
+                    }
+                    set_mismatch = true;
+                }
+                None => set_mismatch = true,
             }
         }
-        let cells = expected.len();
-        let scan = find_divergence(&expected, &observed);
-        scan.divergence.map(|divergence| FleetError::Divergence {
-            shard: Some(shard),
-            against: "shared cell cache".to_string(),
-            divergence: Box::new(divergence),
-            probes: scan.probes,
-            cells,
-        })
+        if set_mismatch || got != expected_total {
+            return Err(retry(format!(
+                "shard cell set mismatch: expected {expected_total} cells, got {got}{first_diff}"
+            )));
+        }
+        let cells_compared = expected_stream.len();
+        let scan = find_divergence(&expected_stream, &observed_stream, |index| {
+            self.recover_cache_pair(spool, index)
+        });
+        if let Some(divergence) = scan.divergence {
+            return Err(CollectFailure::Abort(FleetError::Divergence {
+                shard: Some(shard),
+                against: "shared cell cache".to_string(),
+                divergence: Box::new(divergence),
+                probes: scan.probes,
+                cells: cells_compared,
+            }));
+        }
+        Ok(got)
+    }
+
+    /// Recovers the evidence for the `target`-th cache-checked cell of a
+    /// spooled shard (the divergence finder's `cell_at` callback): a second
+    /// streaming pass over the spool, re-querying the cache, materializing
+    /// exactly the one disagreeing pair.
+    fn recover_cache_pair(
+        &self,
+        spool: &Path,
+        target: usize,
+    ) -> ((usize, usize, usize, usize), String, String) {
+        if let (Some(cache), Ok(mut cursor)) = (self.plan.cell_cache(), ShardCursor::open(spool)) {
+            let mut checked = 0_usize;
+            while let Ok(Some(cell)) = cursor.next_cell() {
+                if let Some(cached) = cache.lookup(&cell.spec) {
+                    if checked == target {
+                        return (
+                            cached.spec.coordinates(),
+                            cached.canonical_line(),
+                            cell.canonical_line(),
+                        );
+                    }
+                    checked += 1;
+                }
+            }
+        }
+        // The spool or cache changed between the scan and the recovery
+        // pass; the coordinate is still exact, the lines are best-effort.
+        (
+            (0, 0, 0, 0),
+            "<unrecoverable>".to_string(),
+            "<unrecoverable>".to_string(),
+        )
     }
 }
 
@@ -751,7 +942,15 @@ pub fn verify_reports(
     let expected_stream = CellStream::from_report(expected);
     let observed_stream = CellStream::from_report(observed);
     let cells = expected_stream.len();
-    let scan = find_divergence(&expected_stream, &observed_stream);
+    let scan = find_divergence(&expected_stream, &observed_stream, |index| {
+        let expected_cell = &expected.cells[index];
+        let observed_cell = &observed.cells[index];
+        (
+            expected_cell.spec.coordinates(),
+            expected_cell.canonical_line(),
+            observed_cell.canonical_line(),
+        )
+    });
     scan.divergence.map(|divergence| FleetError::Divergence {
         shard: None,
         against: against.to_string(),

@@ -19,6 +19,7 @@
 //! transport carries the workers.
 
 use std::fmt;
+use std::io::{BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -117,6 +118,54 @@ pub trait WorkerHandle {
     /// after a successful exit; a missing or unreadable file is an error
     /// the scheduler counts against the attempt.
     fn retrieve(&mut self) -> Result<String, TransportError>;
+
+    /// Retrieves the shard file as a buffered byte stream, so the
+    /// scheduler can spool and validate it without ever holding the whole
+    /// file in memory. The default implementation wraps
+    /// [`retrieve`](Self::retrieve) (fine for test doubles); real
+    /// transports override it to stream from disk or from the retrieval
+    /// command's pipe.
+    fn retrieve_stream(&mut self) -> Result<Box<dyn BufRead + Send>, TransportError> {
+        self.retrieve()
+            .map(|text| Box::new(std::io::Cursor::new(text.into_bytes())) as _)
+    }
+}
+
+/// The streaming side of a command-prefix retrieval: the retrieval child's
+/// piped stdout, with the exit status checked at EOF so a failed `cat`
+/// surfaces as a read error instead of a silently truncated shard.
+struct CommandStreamReader {
+    child: Child,
+    stdout: std::process::ChildStdout,
+    finished: bool,
+}
+
+impl Read for CommandStreamReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.finished {
+            return Ok(0);
+        }
+        let n = self.stdout.read(buf)?;
+        if n == 0 {
+            self.finished = true;
+            let status = self.child.wait()?;
+            if !status.success() {
+                return Err(std::io::Error::other(format!(
+                    "retrieval command exited with {status}"
+                )));
+            }
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for CommandStreamReader {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
 }
 
 /// How the coordinator reaches a host pool: spawn a shard worker on a named
@@ -193,6 +242,35 @@ impl WorkerHandle for ProcessHandle {
                 }
                 String::from_utf8(output.stdout)
                     .map_err(|_| TransportError::new("retrieved shard file is not UTF-8"))
+            }
+        }
+    }
+
+    fn retrieve_stream(&mut self) -> Result<Box<dyn BufRead + Send>, TransportError> {
+        match &mut self.retrieval {
+            Retrieval::LocalFile(path) => {
+                let file = std::fs::File::open(&*path).map_err(|error| {
+                    TransportError::new(format!("cannot read {}: {error}", path.display()))
+                })?;
+                Ok(Box::new(BufReader::new(file)))
+            }
+            Retrieval::Command(command) => {
+                let mut child = command
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::null())
+                    .spawn()
+                    .map_err(|error| {
+                        TransportError::new(format!("retrieval command failed to start: {error}"))
+                    })?;
+                let stdout = child
+                    .stdout
+                    .take()
+                    .expect("retrieval stdout was requested piped");
+                Ok(Box::new(BufReader::new(CommandStreamReader {
+                    child,
+                    stdout,
+                    finished: false,
+                })))
             }
         }
     }

@@ -2,20 +2,26 @@
 //! sized streams and mutation positions, the reported coordinate is always
 //! the *minimal* differing one, and the probe count stays logarithmic.
 
-use nvariant_fleet::{find_divergence, CellStream, Divergence};
+use nvariant_fleet::{find_divergence, CellStream, Coordinates, Divergence};
 use proptest::prelude::*;
 
-/// A synthetic stream of `n` distinct cells whose content is salted by
-/// `salt` (so two streams with different salts differ everywhere).
+/// One synthetic canonical cell line, salted by `salt` (so two streams with
+/// different salts differ everywhere) and optionally mutated at index `i`.
+fn line(i: usize, salt: u64, mutate: Option<usize>) -> String {
+    if mutate == Some(i) {
+        format!("cell {i} salt {salt} MUTATED")
+    } else {
+        format!("cell {i} salt {salt}")
+    }
+}
+
+fn coords(i: usize) -> Coordinates {
+    (i, i / 2, i / 3, i / 5)
+}
+
+/// A digest-only stream of `n` distinct cells.
 fn stream(n: usize, salt: u64, mutate: Option<usize>) -> CellStream {
-    CellStream::from_cells((0..n).map(|i| {
-        let line = if mutate == Some(i) {
-            format!("cell {i} salt {salt} MUTATED")
-        } else {
-            format!("cell {i} salt {salt}")
-        };
-        ((i, i / 2, i / 3, i / 5), line)
-    }))
+    CellStream::from_lines((0..n).map(|i| line(i, salt, mutate)))
 }
 
 proptest! {
@@ -23,7 +29,8 @@ proptest! {
 
     /// The reported divergence index is exactly the mutated position — the
     /// minimal differing coordinate — wherever the mutation lands, and the
-    /// probe count respects the O(log cells) bound.
+    /// probe count respects the O(log cells) bound. The evidence callback
+    /// recovers the two canonical lines only at the pinpointed index.
     #[test]
     fn reported_coordinate_is_the_minimal_differing_one(
         n in 1usize..300,
@@ -33,11 +40,15 @@ proptest! {
         let k = k_raw % n;
         let expected = stream(n, salt, None);
         let observed = stream(n, salt, Some(k));
-        let scan = find_divergence(&expected, &observed);
+        let scan = find_divergence(&expected, &observed, |i| {
+            (coords(i), line(i, salt, None), line(i, salt, Some(k)))
+        });
         match scan.divergence {
-            Some(Divergence::Cell { index, coordinates, .. }) => {
+            Some(Divergence::Cell { index, coordinates, expected, observed }) => {
                 prop_assert_eq!(index, k);
-                prop_assert_eq!(coordinates, (k, k / 2, k / 3, k / 5));
+                prop_assert_eq!(coordinates, coords(k));
+                prop_assert_eq!(expected, line(k, salt, None));
+                prop_assert_eq!(observed, line(k, salt, Some(k)));
             }
             other => prop_assert!(false, "expected a cell divergence, got {:?}", other),
         }
@@ -50,16 +61,19 @@ proptest! {
         );
     }
 
-    /// Identical streams never report a divergence, regardless of size.
+    /// Identical streams never report a divergence, regardless of size —
+    /// and never ask for cell evidence.
     #[test]
     fn equal_streams_never_diverge(n in 0usize..300, salt in any::<u64>()) {
-        let scan = find_divergence(&stream(n, salt, None), &stream(n, salt, None));
+        let scan = find_divergence(&stream(n, salt, None), &stream(n, salt, None), |i| {
+            panic!("evidence requested for cell {i} of equal streams")
+        });
         prop_assert_eq!(scan.divergence, None);
         prop_assert_eq!(scan.probes, 1);
     }
 
     /// A truncated but otherwise honest stream is reported as a length
-    /// mismatch naming the exact shared prefix.
+    /// mismatch naming the exact shared prefix, without evidence recovery.
     #[test]
     fn truncation_is_a_length_mismatch(
         n in 2usize..300,
@@ -69,7 +83,9 @@ proptest! {
         let cut = 1 + cut_raw % (n - 1); // 1..n
         let expected = stream(n, salt, None);
         let observed = stream(cut, salt, None);
-        let scan = find_divergence(&expected, &observed);
+        let scan = find_divergence(&expected, &observed, |i| {
+            panic!("evidence requested for cell {i} of a pure truncation")
+        });
         prop_assert_eq!(
             scan.divergence,
             Some(Divergence::Length { common: cut, expected: n, observed: cut })

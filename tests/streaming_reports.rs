@@ -1,0 +1,37 @@
+//! Repo-level pin of the streaming result path: the million-cell synthetic
+//! surface matches its committed golden fixture (the same fixture the CI
+//! `streaming-scale` job asserts under an address-space cap), and the
+//! surface is byte-identical at any worker count.
+
+use nvariant_campaign::SyntheticSweep;
+
+/// The replicate count that makes the synthetic matrix cross 10^6 cells
+/// (5 × 4 × 3 × 16667 = 1,000,020) — the scale the CI memory experiment
+/// runs at, kept identical here so the fixture covers both.
+const MILLION_CELL_REPLICATES: usize = 16667;
+
+#[test]
+fn million_cell_surface_matches_the_committed_fixture() {
+    let sweep = SyntheticSweep::new(MILLION_CELL_REPLICATES);
+    assert!(
+        sweep.cell_count() >= 1_000_000,
+        "sweep must cross 10^6 cells"
+    );
+    let aggregator = sweep.run_streamed(4);
+    let golden = include_str!("fixtures/synthetic_surface_1m.txt");
+    assert_eq!(
+        aggregator.render_surface(),
+        golden,
+        "surface drifted from tests/fixtures/synthetic_surface_1m.txt; \
+         regenerate with: campaign_report --synthetic --replicate-factor 16667 \
+         --surface-out tests/fixtures/synthetic_surface_1m.txt"
+    );
+}
+
+#[test]
+fn surface_bytes_are_worker_count_invariant() {
+    let sweep = SyntheticSweep::new(37);
+    let serial = sweep.run_streamed(1);
+    let parallel = sweep.run_streamed(8);
+    assert_eq!(serial.render_surface(), parallel.render_surface());
+}
